@@ -1,0 +1,161 @@
+"""Benchmark scales: how much of each paper figure to regenerate.
+
+The paper's full grid (20 nodes, 500k keys, 32 warehouses/node, 5 trials)
+is hours of simulation; the default scale regenerates every figure's
+*shape* -- same axes, same competitors, same contention ordering -- in
+minutes.  Select with ``REPRO_BENCH_SCALE``:
+
+* ``quick``   -- smoke scale, a couple of minutes total;
+* ``default`` -- the committed scale used for EXPERIMENTS.md;
+* ``paper``   -- the paper's parameters (very long; run selectively).
+
+Every scaled-down parameter is recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.config import RunConfig
+from repro.workloads.tpcc import TPCCConfig
+
+#: Scaled-down TPC-C sizing used by default-scale benches; contention
+#: behaviour is controlled by warehouses per node, which the benches vary.
+BENCH_TPCC_SIZING = TPCCConfig(
+    num_warehouses=1,  # replaced per experiment
+    districts_per_warehouse=4,
+    customers_per_district=24,
+    num_items=120,
+    initial_orders_per_district=3,
+    min_order_lines=3,
+    max_order_lines=6,
+    stock_level_orders=3,
+)
+
+
+@dataclass
+class Scale:
+    name: str
+    fig5: Dict = field(default_factory=dict)
+    fig6: Dict = field(default_factory=dict)
+    fig7: Dict = field(default_factory=dict)
+    fig8: Dict = field(default_factory=dict)
+    fig9a: Dict = field(default_factory=dict)
+    fig9b: Dict = field(default_factory=dict)
+
+
+QUICK = Scale(
+    name="quick",
+    fig5=dict(
+        nodes=(4, 8),
+        key_counts=(5_000, 50_000),
+        run=RunConfig(duration=0.012, warmup=0.004),
+    ),
+    fig6=dict(
+        key_counts=(5_000, 20_000, 50_000),
+        num_nodes=8,
+        run=RunConfig(duration=0.015, warmup=0.005),
+    ),
+    fig7=dict(
+        key_counts=(5_000, 20_000, 50_000),
+        num_nodes=8,
+        run=RunConfig(duration=0.015, warmup=0.005),
+    ),
+    fig8=dict(
+        nodes=(4, 8),
+        warehouses_per_node=(2, 8),
+        run=RunConfig(duration=0.04, warmup=0.012),
+        tpcc_sizing=BENCH_TPCC_SIZING,
+    ),
+    fig9a=dict(
+        warehouses_per_node=(2, 8),
+        num_nodes=8,
+        run=RunConfig(duration=0.04, warmup=0.012),
+        tpcc_sizing=BENCH_TPCC_SIZING,
+    ),
+    fig9b=dict(
+        warehouses_per_node=(2, 4, 8),
+        num_nodes=8,
+        run=RunConfig(duration=0.04, warmup=0.012),
+        tpcc_sizing=BENCH_TPCC_SIZING,
+    ),
+)
+
+DEFAULT = Scale(
+    name="default",
+    fig5=dict(
+        nodes=(5, 10, 20),
+        key_counts=(20_000, 100_000),
+        run=RunConfig(duration=0.025, warmup=0.008),
+    ),
+    fig6=dict(
+        key_counts=(20_000, 50_000, 100_000),
+        num_nodes=12,
+        run=RunConfig(duration=0.03, warmup=0.008),
+    ),
+    fig7=dict(
+        key_counts=(20_000, 50_000, 100_000),
+        num_nodes=12,
+        run=RunConfig(duration=0.03, warmup=0.008),
+    ),
+    fig8=dict(
+        nodes=(4, 8),
+        warehouses_per_node=(2, 8),
+        run=RunConfig(duration=0.06, warmup=0.015),
+        tpcc_sizing=BENCH_TPCC_SIZING,
+    ),
+    fig9a=dict(
+        warehouses_per_node=(2, 8),
+        num_nodes=8,
+        run=RunConfig(duration=0.06, warmup=0.015),
+        tpcc_sizing=BENCH_TPCC_SIZING,
+    ),
+    fig9b=dict(
+        warehouses_per_node=(2, 4, 8),
+        num_nodes=8,
+        run=RunConfig(duration=0.06, warmup=0.015),
+        tpcc_sizing=BENCH_TPCC_SIZING,
+    ),
+)
+
+PAPER = Scale(
+    name="paper",
+    fig5=dict(run=RunConfig(duration=0.2, warmup=0.05)),
+    fig6=dict(run=RunConfig(duration=0.2, warmup=0.05)),
+    fig7=dict(run=RunConfig(duration=0.2, warmup=0.05)),
+    fig8=dict(run=RunConfig(duration=0.3, warmup=0.08)),
+    fig9a=dict(run=RunConfig(duration=0.3, warmup=0.08)),
+    fig9b=dict(run=RunConfig(duration=0.3, warmup=0.08)),
+)
+
+_SCALES = {"quick": QUICK, "default": DEFAULT, "paper": PAPER}
+
+SCALE = _SCALES[os.environ.get("REPRO_BENCH_SCALE", "default")]
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit(name: str, text: str) -> None:
+    """Print a figure's table and persist it under benchmarks/results/."""
+    print()
+    print(text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.{SCALE.name}.txt")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text + "\n")
+
+
+def emit_table(name: str, rows, columns, title: str) -> None:
+    """Print + persist a figure both as an aligned table and as CSV."""
+    import csv
+
+    from repro.harness.report import format_table
+
+    emit(name, format_table(rows, columns, title=title))
+    csv_path = os.path.join(RESULTS_DIR, f"{name}.{SCALE.name}.csv")
+    with open(csv_path, "w", encoding="utf-8", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=columns, extrasaction="ignore")
+        writer.writeheader()
+        writer.writerows(rows)

@@ -1,0 +1,169 @@
+"""Ablations of FW-KV's design choices (DESIGN.md Section 5).
+
+Four studies:
+
+* **visible reads off** -- quantifies what the VAS machinery costs
+  (FW-KV minus consistency guard vs full FW-KV);
+* **fresh update reads off** -- isolates the Figure 4 abort savings: with
+  update transactions pinned to their begin snapshot, FW-KV's abort rate
+  under delayed propagation climbs back toward Walter's;
+* **remove scope** -- broadcast (bounded) vs paper-literal (contacted
+  nodes only) vs off: VAS entries accumulate when cleanup misses nodes;
+* **propagate delay sweep** -- Walter-vs-FW-KV abort gap as a function of
+  the injected congestion delay.
+"""
+
+import dataclasses
+
+from repro.config import ClusterConfig, NetworkConfig, RunConfig
+from repro.harness import run_experiment
+from repro.workloads import YCSBConfig, YCSBWorkload
+from scales import SCALE, emit_table
+
+NODES = 8
+KEYS = 20_000
+RUN = RunConfig(duration=0.02, warmup=0.006)
+
+
+def _run(protocol, ro=0.2, delay=0.0, seed=1, **config_kwargs):
+    network = NetworkConfig()
+    if delay:
+        network = network.with_propagate_delay(delay)
+    config = ClusterConfig(
+        num_nodes=NODES, clients_per_node=5, seed=seed, network=network,
+        **config_kwargs,
+    )
+    workload = YCSBWorkload(YCSBConfig(num_keys=KEYS, read_only_fraction=ro))
+    return run_experiment(protocol, workload, config, RUN)
+
+
+def run_ablation_visible_reads():
+    rows = []
+    for label, kwargs in (
+        ("fwkv", {}),
+        ("fwkv-no-vas", {"fwkv_visible_reads": False}),
+        ("walter", None),
+    ):
+        if kwargs is None:
+            result = _run("walter", ro=0.5)
+        else:
+            result = _run("fwkv", ro=0.5, **kwargs)
+        rows.append(
+            {
+                "variant": label,
+                "throughput_ktps": result.throughput_ktps,
+                "abort_rate": result.abort_rate,
+            }
+        )
+    return rows
+
+
+def test_ablation_visible_reads(benchmark):
+    rows = benchmark.pedantic(run_ablation_visible_reads, rounds=1, iterations=1)
+    emit_table(
+        "ablation_visible_reads", rows, ["variant", "throughput_ktps", "abort_rate"],
+        title="Ablation: cost of the visible-reads (VAS) machinery, 50% RO",
+    )
+    by_variant = {row["variant"]: row["throughput_ktps"] for row in rows}
+    # Removing the VAS machinery recovers throughput toward Walter's.
+    assert by_variant["fwkv-no-vas"] >= by_variant["fwkv"] * 0.98
+    assert by_variant["walter"] >= by_variant["fwkv"] * 0.98
+
+
+def run_ablation_fresh_update_reads():
+    rows = []
+    for label, kwargs in (
+        ("fwkv", {}),
+        ("fwkv-stale-updates", {"fwkv_fresh_update_reads": False}),
+        ("walter", None),
+    ):
+        if kwargs is None:
+            result = _run("walter", ro=0.2, delay=1e-3)
+        else:
+            result = _run("fwkv", ro=0.2, delay=1e-3, **kwargs)
+        rows.append({"variant": label, "abort_rate": result.abort_rate})
+    return rows
+
+
+def test_ablation_fresh_update_reads(benchmark):
+    rows = benchmark.pedantic(
+        run_ablation_fresh_update_reads, rounds=1, iterations=1
+    )
+    emit_table(
+        "ablation_fresh_update_reads", rows, ["variant", "abort_rate"],
+        title="Ablation: fresh first reads for update txns, Propagate +1ms",
+    )
+    by_variant = {row["variant"]: row["abort_rate"] for row in rows}
+    # Fresh update reads are what keeps FW-KV's abort rate low; removing
+    # them pushes it toward (or past) Walter's.
+    assert by_variant["fwkv-stale-updates"] > by_variant["fwkv"]
+    assert by_variant["walter"] > by_variant["fwkv"]
+
+
+def run_ablation_remove_scope():
+    rows = []
+    for label, kwargs in (
+        ("broadcast", {"remove_broadcast": True}),
+        ("contacted-only", {"remove_broadcast": False}),
+        ("off", {"removes_enabled": False}),
+    ):
+        result = _run("fwkv", ro=0.5, **kwargs)
+        rows.append(
+            {
+                "variant": label,
+                "residual_vas": result.cluster.total_vas_entries(),
+                "mean_antidep": result.mean_antidep,
+                "throughput_ktps": result.throughput_ktps,
+            }
+        )
+    return rows
+
+
+def test_ablation_remove_scope(benchmark):
+    rows = benchmark.pedantic(run_ablation_remove_scope, rounds=1, iterations=1)
+    emit_table(
+        "ablation_remove_scope", rows, ["variant", "residual_vas", "mean_antidep", "throughput_ktps"],
+        title="Ablation: Remove scope vs VAS accumulation (50% RO)",
+    )
+    by_variant = {row["variant"]: row for row in rows}
+    # Cleanup scope orders residual VAS occupancy.
+    assert (
+        by_variant["off"]["residual_vas"]
+        > by_variant["contacted-only"]["residual_vas"]
+        >= 0
+    )
+    assert (
+        by_variant["off"]["residual_vas"]
+        > by_variant["broadcast"]["residual_vas"]
+    )
+
+
+def run_ablation_delay_sweep():
+    rows = []
+    for delay_us in (0, 250, 500, 1000, 2000):
+        for protocol in ("fwkv", "walter"):
+            result = _run(protocol, ro=0.2, delay=delay_us * 1e-6)
+            rows.append(
+                {
+                    "delay_us": delay_us,
+                    "protocol": protocol,
+                    "abort_rate": result.abort_rate,
+                    "throughput_ktps": result.throughput_ktps,
+                }
+            )
+    return rows
+
+
+def test_ablation_delay_sweep(benchmark):
+    rows = benchmark.pedantic(run_ablation_delay_sweep, rounds=1, iterations=1)
+    emit_table(
+        "ablation_delay_sweep", rows, ["delay_us", "protocol", "abort_rate", "throughput_ktps"],
+        title="Ablation: abort rate vs injected Propagate delay (20% RO)",
+    )
+    walter = {row["delay_us"]: row["abort_rate"] for row in rows
+              if row["protocol"] == "walter"}
+    fwkv = {row["delay_us"]: row["abort_rate"] for row in rows
+            if row["protocol"] == "fwkv"}
+    # Walter degrades faster than FW-KV as the delay grows.
+    assert walter[2000] > walter[0]
+    assert walter[2000] > fwkv[2000]

@@ -1,0 +1,86 @@
+"""Extension: quantify snapshot freshness directly.
+
+The paper's central claim -- FW-KV's read-only transactions observe
+fresher data than Walter's -- is argued qualitatively and through abort
+rates.  The simulator can measure it directly: for every read-only read we
+record the *gap* (how many committed versions newer than the returned one
+existed at the serving node) and whether a first contact returned the
+latest version.
+
+Expected shape: FW-KV's first contacts are always fresh (gap 0) by
+construction; Walter's reads go stale as soon as propagation lags, and
+dramatically so under injected congestion.
+"""
+
+from repro.config import ClusterConfig, NetworkConfig, RunConfig
+from repro.harness import run_experiment
+from repro.workloads import YCSBConfig, YCSBWorkload
+from scales import emit_table
+
+NODES = 8
+KEYS = 10_000  # small key space: frequent overwrites make staleness visible
+RUN = RunConfig(duration=0.02, warmup=0.006)
+
+
+def _run(protocol, delay):
+    network = NetworkConfig()
+    if delay:
+        network = network.with_propagate_delay(delay)
+    workload = YCSBWorkload(YCSBConfig(num_keys=KEYS, read_only_fraction=0.5))
+    return run_experiment(
+        protocol,
+        workload,
+        ClusterConfig(num_nodes=NODES, clients_per_node=5, seed=1, network=network),
+        RUN,
+    )
+
+
+def run_freshness():
+    rows = []
+    for delay_us in (0, 1000):
+        for protocol in ("fwkv", "walter"):
+            result = _run(protocol, delay_us * 1e-6)
+            metrics = result.metrics
+            first = metrics["first_contact_reads"]
+            fresh = metrics["first_contact_fresh"]
+            rows.append(
+                {
+                    "delay_us": delay_us,
+                    "protocol": protocol,
+                    "stale_ro_read_frac": metrics["stale_read_fraction"],
+                    "mean_gap_versions": metrics["ro_read_gap"]["mean"],
+                    "max_gap_versions": metrics["ro_read_gap"]["max"],
+                    "first_contact_fresh": fresh / first if first else 1.0,
+                }
+            )
+    return rows
+
+
+def test_ext_freshness(benchmark):
+    rows = benchmark.pedantic(run_freshness, rounds=1, iterations=1)
+    emit_table(
+        "ext_freshness", rows, ["delay_us", "protocol", "stale_ro_read_frac",
+             "mean_gap_versions", "max_gap_versions", "first_contact_fresh"],
+        title="Extension: read-only snapshot freshness (50% RO, 10k keys)",
+    )
+
+    by_point = {(row["delay_us"], row["protocol"]): row for row in rows}
+
+    # FW-KV's defining guarantee: a first contact observes the latest
+    # committed version at that node -- except when the version-access-set
+    # already carries the reader's identifier (an anti-dependency
+    # propagated there by a concurrent cross-node commit, the Figure 2
+    # mechanism), in which case consistency correctly wins over
+    # freshness.  Measured: ~99.9% fresh.
+    for delay in (0, 1000):
+        assert by_point[(delay, "fwkv")]["first_contact_fresh"] >= 0.99
+
+    # Walter reads go stale under congestion; FW-KV stays fresher.
+    walter_delayed = by_point[(1000, "walter")]
+    fwkv_delayed = by_point[(1000, "fwkv")]
+    assert walter_delayed["stale_ro_read_frac"] > fwkv_delayed["stale_ro_read_frac"]
+    assert walter_delayed["mean_gap_versions"] > fwkv_delayed["mean_gap_versions"]
+    assert (
+        walter_delayed["stale_ro_read_frac"]
+        > by_point[(0, "walter")]["stale_ro_read_frac"]
+    )

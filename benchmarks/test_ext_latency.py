@@ -1,0 +1,61 @@
+"""Extension: transaction latency distributions per protocol.
+
+The paper discusses latency qualitatively (Section 5.1: FW-KV's read-only
+latency is comparable to Walter's when version-access-sets are small).
+The simulator measures it directly: p50/p95/p99 per transaction class.
+
+Expected shape: PSI read-only latencies clearly below the 2PC baseline's
+(whose read-only commits pay two extra round trips); FW-KV's read-only
+latency within a small factor of Walter's.
+"""
+
+from repro.config import ClusterConfig, RunConfig
+from repro.harness import run_experiment
+from repro.workloads import YCSBConfig, YCSBWorkload
+from scales import emit_table
+
+NODES = 8
+KEYS = 50_000
+RUN = RunConfig(duration=0.02, warmup=0.006)
+
+
+def run_latency():
+    rows = []
+    for protocol in ("fwkv", "walter", "2pc"):
+        workload = YCSBWorkload(YCSBConfig(num_keys=KEYS, read_only_fraction=0.5))
+        result = run_experiment(
+            protocol,
+            workload,
+            ClusterConfig(num_nodes=NODES, clients_per_node=5, seed=1),
+            RUN,
+        )
+        ro = result.metrics["ro_latency_percentiles"]
+        up = result.metrics["update_latency_percentiles"]
+        rows.append(
+            {
+                "protocol": protocol,
+                "ro_p50_us": ro["p50"] * 1e6,
+                "ro_p99_us": ro["p99"] * 1e6,
+                "up_p50_us": up["p50"] * 1e6,
+                "up_p99_us": up["p99"] * 1e6,
+            }
+        )
+    return rows
+
+
+def test_ext_latency(benchmark):
+    rows = benchmark.pedantic(run_latency, rounds=1, iterations=1)
+    emit_table(
+        "ext_latency", rows, ["protocol", "ro_p50_us", "ro_p99_us", "up_p50_us", "up_p99_us"],
+        title="Extension: latency percentiles (us), YCSB 50% RO, 50k keys",
+    )
+    by_protocol = {row["protocol"]: row for row in rows}
+
+    # The baseline's read-only commit phase costs extra round trips.
+    assert by_protocol["2pc"]["ro_p50_us"] > 1.3 * by_protocol["walter"]["ro_p50_us"]
+    assert by_protocol["2pc"]["ro_p50_us"] > 1.3 * by_protocol["fwkv"]["ro_p50_us"]
+
+    # FW-KV's read-only latency is comparable to Walter's (paper 5.1).
+    assert (
+        by_protocol["fwkv"]["ro_p50_us"] <= 1.25 * by_protocol["walter"]["ro_p50_us"]
+    )

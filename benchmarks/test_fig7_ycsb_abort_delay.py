@@ -1,0 +1,49 @@
+"""Figure 7: YCSB abort rate when Propagate messages are delayed by 1 ms.
+
+Paper claims reproduced here: with delayed propagation, Walter's abort
+rate is a multiple of FW-KV's (paper: on average about 2x on YCSB),
+because Walter's update transactions read stale snapshots and fail
+validation until the Propagate arrives, while FW-KV's first read is
+always fresh.
+"""
+
+from repro.harness.experiments import figure7_ycsb_abort_delay
+from scales import SCALE, emit_table
+
+COLUMNS = ["figure", "keys", "ro", "delayed", "protocol", "abort_rate", "throughput_ktps"]
+
+
+def run_figure7():
+    return figure7_ycsb_abort_delay(**SCALE.fig7)
+
+
+def test_fig7_abort_rate_under_delay(benchmark):
+    rows = benchmark.pedantic(run_figure7, rounds=1, iterations=1)
+    emit_table(
+        "fig7_ycsb_abort_delay", rows, COLUMNS,
+        title="Figure 7: YCSB abort rate, Propagate delayed 1 ms",
+    )
+
+    by_point = {}
+    for row in rows:
+        by_point.setdefault((row["keys"], row["ro"]), {})[row["protocol"]] = row
+
+    walter_worse = 0
+    ratios = []
+    for point, protocols in by_point.items():
+        walter = protocols["walter"]["abort_rate"]
+        fwkv = protocols["fwkv"]["abort_rate"]
+        if walter > fwkv:
+            walter_worse += 1
+        if fwkv > 0:
+            ratios.append(walter / fwkv)
+
+    # Walter must abort more than FW-KV at every configuration.
+    assert walter_worse == len(by_point), (
+        f"Walter must abort more under delayed propagation "
+        f"({walter_worse}/{len(by_point)} points)"
+    )
+    # And by a solid multiple on average (paper: ~2x).
+    if ratios:
+        mean_ratio = sum(ratios) / len(ratios)
+        assert mean_ratio >= 1.5, f"expected Walter/FW-KV abort ratio >=1.5, got {mean_ratio:.2f}"

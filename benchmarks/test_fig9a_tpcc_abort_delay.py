@@ -1,0 +1,44 @@
+"""Figure 9a: TPC-C abort rate with Propagate delayed by 1 ms.
+
+Paper claims reproduced here: Walter's abort rate is a clear multiple of
+FW-KV's (paper: ~4x on TPC-C), because the warehouse -- the first key
+every profile touches -- is read fresh by FW-KV, so objects updated along
+with it validate successfully.
+"""
+
+from repro.harness.experiments import figure9a_tpcc_abort_delay
+from scales import SCALE, emit_table
+
+COLUMNS = ["figure", "w_per_node", "protocol", "abort_rate", "throughput_ktps"]
+
+
+def run_figure9a():
+    return figure9a_tpcc_abort_delay(**SCALE.fig9a)
+
+
+def test_fig9a_abort_rate_under_delay(benchmark):
+    rows = benchmark.pedantic(run_figure9a, rounds=1, iterations=1)
+    emit_table(
+        "fig9a_tpcc_abort_delay", rows, COLUMNS,
+        title="Figure 9a: TPC-C abort rate, Propagate delayed 1 ms",
+    )
+
+    by_wpn = {}
+    for row in rows:
+        by_wpn.setdefault(row["w_per_node"], {})[row["protocol"]] = row
+
+    for wpn, protocols in by_wpn.items():
+        walter = protocols["walter"]["abort_rate"]
+        fwkv = protocols["fwkv"]["abort_rate"]
+        assert walter > fwkv, (
+            f"Walter must abort more than FW-KV at {wpn} warehouses/node "
+            f"({walter:.4f} vs {fwkv:.4f})"
+        )
+
+    ratios = [
+        protocols["walter"]["abort_rate"] / protocols["fwkv"]["abort_rate"]
+        for protocols in by_wpn.values()
+        if protocols["fwkv"]["abort_rate"] > 0
+    ]
+    if ratios:
+        assert max(ratios) >= 1.5, f"expected a solid abort-rate multiple, got {ratios}"

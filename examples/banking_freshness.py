@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Update-transaction freshness under congestion (the paper's Figure 4).
+
+A payment processor on node 1 updates an exchange rate; a trading service
+on node 0 reads the rate and writes a trade record against it.  The
+asynchronous Propagate messages are congested (delayed 5 ms):
+
+* Walter's trader reads a *stale* rate and its commit fails validation,
+  repeatedly, until the Propagate finally lands;
+* FW-KV's trader reads the *latest* rate on its first access, advances
+  its snapshot, and commits on the first attempt.
+
+Run with::
+
+    python examples/banking_freshness.py
+"""
+
+from repro import Cluster, ClusterConfig, NetworkConfig
+from repro.cluster import ExplicitDirectory
+
+PROPAGATE_DELAY = 5e-3
+PLACEMENT = {"rate:EUR": 1, "trades:log": 0}
+
+
+def run(protocol):
+    network = NetworkConfig(jitter=0.0).with_propagate_delay(PROPAGATE_DELAY)
+    cluster = Cluster(
+        protocol,
+        ClusterConfig(num_nodes=2, seed=3, network=network),
+        directory=ExplicitDirectory(PLACEMENT),
+    )
+    cluster.load("rate:EUR", 1.0500)
+    cluster.load("trades:log", [])
+
+    outcome = {}
+
+    def rate_update():
+        """Node 1 publishes a fresh exchange rate at t=0."""
+        node = cluster.node(1)
+        txn = node.begin(is_read_only=False)
+        node.write(txn, "rate:EUR", 1.0625)
+        ok = yield from node.commit(txn)
+        assert ok
+
+    def trade():
+        """Node 0 trades against the latest rate at t=1ms, retrying aborts."""
+        yield cluster.sim.timeout(1e-3)
+        attempts = 0
+        while True:
+            attempts += 1
+            node = cluster.node(0)
+            txn = node.begin(is_read_only=False)
+            rate = yield from node.read(txn, "rate:EUR")
+            log = yield from node.read(txn, "trades:log")
+            node.write(txn, "rate:EUR", rate)  # revalidated: must be current
+            node.write(txn, "trades:log", log + [("buy", 1000, rate)])
+            ok = yield from node.commit(txn)
+            if ok:
+                outcome.update(
+                    attempts=attempts,
+                    rate_used=rate,
+                    committed_at_ms=cluster.sim.now * 1e3,
+                )
+                return
+            yield cluster.sim.timeout(100e-6)
+
+    cluster.spawn(rate_update())
+    cluster.spawn(trade())
+    cluster.run()
+    outcome["messages"] = cluster.network.stats.messages_sent
+    return outcome
+
+
+def main() -> None:
+    print(f"Propagate messages congested: +{PROPAGATE_DELAY * 1e3:.0f} ms\n")
+    results = {protocol: run(protocol) for protocol in ("walter", "fwkv")}
+    for protocol, outcome in results.items():
+        print(f"=== {protocol} ===")
+        print(f"  rate used by the trade : {outcome['rate_used']}")
+        print(f"  commit attempts        : {outcome['attempts']}")
+        print(f"  committed at           : {outcome['committed_at_ms']:.2f} ms")
+        print(f"  messages on the wire   : {outcome['messages']}")
+        print()
+
+    walter, fwkv = results["walter"], results["fwkv"]
+    saved = walter["attempts"] - fwkv["attempts"]
+    print(
+        "FW-KV read the freshest rate on its first contact, committed on "
+        f"attempt 1 (Walter needed {walter['attempts']}), and saved "
+        f"{walter['messages'] - fwkv['messages']} messages by avoiding "
+        f"{saved} abort/retry cycle(s) -- the paper's Figure 4 behaviour.\n"
+        "Note how FW-KV converts Walter's abort storm into a single "
+        "in-order wait that overlaps the congestion delay."
+    )
+    assert fwkv["attempts"] == 1
+    assert fwkv["rate_used"] == 1.0625
+    assert walter["attempts"] > 1
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Site availability: surviving a primary crash with zero lost writes.
+
+The FW-KV paper assumes every preferred site "is highly available,
+meaning the site is expected to implement a replication technique to
+resist faults" (Section 2.2), and keeps replication out of the
+concurrency-control story.  This example shows that substrate in action:
+a 3-replica primary-backup group absorbs writes, loses its primary
+mid-stream, fails over, and continues -- with every committed write
+intact.
+
+Run with::
+
+    python examples/replicated_site.py
+"""
+
+from repro.replication import ReplicaGroup
+from repro.sim import Simulator
+
+
+def main() -> None:
+    sim = Simulator()
+    group = ReplicaGroup(sim, num_replicas=3)
+    committed = []
+
+    def writer(first, last):
+        for i in range(first, last):
+            result = yield from group.submit(("put", f"order:{i}", f"item-{i}"))
+            committed.append((f"order:{i}", result, sim.now))
+
+    # Phase 1: write through the initial primary (replica 0).
+    proc = sim.spawn(writer(0, 8))
+    while not proc.triggered:
+        sim.step()
+    primary = group.primary()
+    print(f"phase 1: {len(committed)} writes committed via replica "
+          f"{primary.replica_id} at t={sim.now * 1e3:.2f} ms")
+
+    # Crash it.
+    crashed = group.crash_primary()
+    print(f"\n!! replica {crashed.replica_id} (the primary) crashes")
+
+    # Failure detection + deterministic succession.
+    sim.run(until=sim.now + 30e-3)
+    new_primary = group.primary()
+    print(f"   replica {new_primary.replica_id} takes over "
+          f"(epoch {new_primary.epoch}) at t={sim.now * 1e3:.2f} ms")
+
+    survivors = {key: new_primary.sm.get(key) for key, _r, _t in committed}
+    lost = [key for key, value in survivors.items() if value is None]
+    print(f"   committed writes present on the new primary: "
+          f"{len(survivors) - len(lost)}/{len(survivors)} (lost: {len(lost)})")
+    assert not lost, "synchronous replication must not lose committed writes"
+
+    # Phase 2: the site keeps serving.
+    proc = sim.spawn(writer(8, 12))
+    while not proc.triggered:
+        sim.step()
+    print(f"\nphase 2: {len(committed) - 8} more writes committed via "
+          f"replica {group.primary().replica_id}")
+
+    sim.run(until=sim.now + 5e-3)
+    live_snapshots = [r.sm.snapshot() for r in group.live_replicas()]
+    assert all(s == live_snapshots[0] for s in live_snapshots)
+    print(f"all {len(group.live_replicas())} live replicas agree on "
+          f"{len(live_snapshots[0])} keys")
+    group.shutdown()
+
+
+if __name__ == "__main__":
+    main()

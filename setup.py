@@ -1,0 +1,5 @@
+"""Shim for environments without PEP 517 wheel support (offline installs)."""
+
+from setuptools import setup
+
+setup()

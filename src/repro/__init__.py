@@ -1,0 +1,42 @@
+"""FW-KV reproduction: a PSI transactional key-value store with fresh reads.
+
+This package reproduces *FW-KV: Improving Read Guarantees in PSI*
+(Javidi Kishi & Palmieri, Middleware 2021): the FW-KV concurrency control,
+the Walter and 2PC baselines it is evaluated against, the YCSB and TPC-C
+workloads, and the full benchmark harness for the paper's figures -- all on
+top of a deterministic discrete-event simulation of a multi-node cluster.
+
+Quickstart::
+
+    from repro import Cluster, ClusterConfig
+
+    cluster = Cluster("fwkv", ClusterConfig(num_nodes=4))
+    cluster.load("account:alice", 100)
+    cluster.load("account:bob", 0)
+
+    def transfer():
+        node = cluster.node(0)
+        txn = node.begin(is_read_only=False)
+        balance = yield from node.read(txn, "account:alice")
+        node.write(txn, "account:alice", balance - 10)
+        node.write(txn, "account:bob", 10)
+        committed = yield from node.commit(txn)
+        return committed
+
+    assert cluster.run_process(transfer())
+"""
+
+from repro.config import ClusterConfig, CostModel, NetworkConfig, RunConfig
+from repro.system import PROTOCOLS, Cluster
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cluster",
+    "ClusterConfig",
+    "CostModel",
+    "NetworkConfig",
+    "PROTOCOLS",
+    "RunConfig",
+    "__version__",
+]

@@ -1,0 +1,150 @@
+"""Command-line entry point: regenerate any paper figure from the shell.
+
+Examples::
+
+    python -m repro figure5 --nodes 4 8 --keys 10000 --duration 0.01
+    python -m repro figure7 --nodes 8
+    python -m repro figure9b --warehouses 2 4 8
+    python -m repro list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.config import RunConfig
+from repro.harness import ascii_chart, experiments, format_table, group_series
+
+FIGURES = {
+    "figure5": (
+        experiments.figure5_ycsb_throughput,
+        ["figure", "ro", "keys", "nodes", "protocol", "throughput_ktps", "abort_rate"],
+        "YCSB throughput vs number of nodes",
+    ),
+    "figure6": (
+        experiments.figure6_antidep,
+        ["figure", "keys", "ro", "mean_antidep", "max_antidep", "samples"],
+        "anti-dependencies collected by FW-KV update transactions",
+    ),
+    "figure7": (
+        experiments.figure7_ycsb_abort_delay,
+        ["figure", "keys", "ro", "delayed", "protocol", "abort_rate",
+         "throughput_ktps"],
+        "YCSB abort rate with delayed Propagate messages",
+    ),
+    "figure8": (
+        experiments.figure8_tpcc_throughput,
+        ["figure", "ro", "w_per_node", "nodes", "protocol", "throughput_ktps",
+         "abort_rate"],
+        "TPC-C throughput vs number of nodes",
+    ),
+    "figure9a": (
+        experiments.figure9a_tpcc_abort_delay,
+        ["figure", "w_per_node", "protocol", "abort_rate", "throughput_ktps"],
+        "TPC-C abort rate with delayed Propagate messages",
+    ),
+    "figure9b": (
+        experiments.figure9b_slowdown,
+        ["figure", "ro", "w_per_node", "walter_ktps", "fwkv_ktps",
+         "slowdown_pct"],
+        "FW-KV slowdown vs Walter on TPC-C",
+    ),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate figures from the FW-KV paper (simulated).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available figures")
+
+    for name, (_fn, _cols, help_text) in FIGURES.items():
+        figure = sub.add_parser(name, help=help_text)
+        figure.add_argument("--nodes", type=int, nargs="+", default=None,
+                            help="node counts (figure5/8) or single count")
+        figure.add_argument("--keys", type=int, nargs="+", default=None,
+                            help="YCSB key counts")
+        figure.add_argument("--ro", type=float, nargs="+", default=None,
+                            help="read-only fractions")
+        figure.add_argument("--warehouses", type=int, nargs="+", default=None,
+                            help="warehouses per node (TPC-C figures)")
+        figure.add_argument("--duration", type=float, default=None,
+                            help="measured virtual seconds per run")
+        figure.add_argument("--warmup", type=float, default=None,
+                            help="warmup virtual seconds per run")
+        figure.add_argument("--seed", type=int, default=1)
+        figure.add_argument("--trials", type=int, default=1,
+                            help="runs to average (the paper uses 5)")
+        figure.add_argument("--chart", action="store_true",
+                            help="also print an ASCII chart of the series")
+    return parser
+
+
+def _figure_kwargs(name: str, args: argparse.Namespace) -> dict:
+    kwargs: dict = {"seed": args.seed}
+    if args.duration is not None or args.warmup is not None:
+        defaults = RunConfig(duration=0.04, warmup=0.012)
+        kwargs["run"] = RunConfig(
+            duration=args.duration if args.duration is not None else defaults.duration,
+            warmup=args.warmup if args.warmup is not None else defaults.warmup,
+        )
+    if args.ro is not None:
+        if name in ("figure9a",):
+            kwargs["ro_frac"] = args.ro[0]
+        else:
+            kwargs["ro_fracs"] = tuple(args.ro)
+    if args.keys is not None and name in ("figure5", "figure6", "figure7"):
+        kwargs["key_counts"] = tuple(args.keys)
+    if args.nodes is not None:
+        if name in ("figure5", "figure8"):
+            kwargs["nodes"] = tuple(args.nodes)
+        else:
+            kwargs["num_nodes"] = args.nodes[0]
+    if args.warehouses is not None and name in ("figure8", "figure9a", "figure9b"):
+        kwargs["warehouses_per_node"] = tuple(args.warehouses)
+    return kwargs
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for name, (_fn, _cols, help_text) in FIGURES.items():
+            print(f"{name:10s} {help_text}")
+        return 0
+
+    fn, columns, help_text = FIGURES[args.command]
+    kwargs = _figure_kwargs(args.command, args)
+    if args.trials > 1:
+        rows = experiments.run_trials(fn, trials=args.trials, **kwargs)
+        columns = list(columns) + ["trials"]
+    else:
+        rows = fn(**kwargs)
+    print(format_table(rows, columns, title=f"{args.command}: {help_text}"))
+    if args.chart:
+        y_field = next(
+            (c for c in ("throughput_ktps", "abort_rate", "mean_antidep",
+                         "slowdown_pct") if c in columns),
+            None,
+        )
+        x_field = next(
+            (c for c in ("nodes", "keys", "w_per_node", "ro") if c in columns),
+            None,
+        )
+        if y_field and x_field:
+            series = group_series(
+                rows, x_field, y_field,
+                group=lambda r: str(r.get("protocol", r.get("figure", ""))),
+            )
+            print()
+            print(ascii_chart(series, title=f"{y_field} by {x_field}"))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

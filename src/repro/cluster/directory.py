@@ -1,0 +1,111 @@
+"""Key-to-preferred-site lookup.
+
+The paper (Section 2.2): "every shared key can be stored in an arbitrary
+preferred site. For object reachability, FW-KV implements a local look-up
+function using consistent hashing."  All directory variants below are pure
+local functions of the key, exactly as in the paper -- no directory service
+is contacted at runtime.
+"""
+
+from __future__ import annotations
+
+import bisect
+import zlib
+from abc import ABC, abstractmethod
+from typing import Callable, Dict, Hashable, Optional, Sequence
+
+
+class Directory(ABC):
+    """Maps every key to its preferred site (node id)."""
+
+    @abstractmethod
+    def site(self, key: Hashable) -> int:
+        """The preferred node for ``key``."""
+
+    def is_local(self, key: Hashable, node_id: int) -> bool:
+        return self.site(key) == node_id
+
+
+def _stable_hash(value: str) -> int:
+    """A hash stable across processes (unlike ``hash()`` with PYTHONHASHSEED).
+
+    CRC32 is fast and deterministic; 32 bits of spread is ample for key
+    placement.  A second pass decorrelates short sequential suffixes.
+    """
+    raw = value.encode("utf-8")
+    return (zlib.crc32(raw) * 0x9E3779B1 + zlib.crc32(raw[::-1])) & 0xFFFFFFFF
+
+
+class ConsistentHashDirectory(Directory):
+    """Classic consistent-hash ring with virtual nodes.
+
+    With the default 64 virtual nodes per physical node, key ownership is
+    close to uniform, matching the paper's "keys are evenly distributed
+    across nodes".
+    """
+
+    def __init__(self, node_ids: Sequence[int], virtual_nodes: int = 64) -> None:
+        if not node_ids:
+            raise ValueError("at least one node required")
+        if virtual_nodes <= 0:
+            raise ValueError("virtual_nodes must be positive")
+        self.node_ids = list(node_ids)
+        points = []
+        for node_id in self.node_ids:
+            for replica in range(virtual_nodes):
+                points.append((_stable_hash(f"node:{node_id}:{replica}"), node_id))
+        points.sort()
+        self._ring_positions = [position for position, _ in points]
+        self._ring_owners = [owner for _, owner in points]
+
+    def site(self, key: Hashable) -> int:
+        position = _stable_hash(f"key:{key!r}")
+        index = bisect.bisect_right(self._ring_positions, position)
+        if index == len(self._ring_positions):
+            index = 0
+        return self._ring_owners[index]
+
+
+class ExplicitDirectory(Directory):
+    """Fixed key placement, for scenario tests that script exact layouts."""
+
+    def __init__(
+        self,
+        placement: Dict[Hashable, int],
+        fallback: Optional[Directory] = None,
+    ) -> None:
+        self._placement = dict(placement)
+        self._fallback = fallback
+
+    def site(self, key: Hashable) -> int:
+        if key in self._placement:
+            return self._placement[key]
+        if self._fallback is not None:
+            return self._fallback.site(key)
+        raise KeyError(f"no placement for key {key!r}")
+
+
+class CallableDirectory(Directory):
+    """Placement computed by an arbitrary function of the key.
+
+    Used by the TPC-C port to give every warehouse's object tree a single
+    preferred site (the paper's hierarchical access pattern).
+    """
+
+    def __init__(self, fn: Callable[[Hashable], int]) -> None:
+        self._fn = fn
+
+    def site(self, key: Hashable) -> int:
+        return self._fn(key)
+
+
+class ModuloDirectory(Directory):
+    """Round-robin placement of integer-indexed keys; simple and exact."""
+
+    def __init__(self, num_nodes: int) -> None:
+        if num_nodes <= 0:
+            raise ValueError("num_nodes must be positive")
+        self.num_nodes = num_nodes
+
+    def site(self, key: Hashable) -> int:
+        return _stable_hash(f"key:{key!r}") % self.num_nodes

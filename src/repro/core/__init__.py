@@ -1,0 +1,13 @@
+"""Core protocol layer: vector clocks, transactions, and concurrency controls.
+
+Subpackages implement the three systems the paper evaluates:
+
+* :mod:`repro.core.fwkv` -- the paper's contribution (PSI with fresh reads),
+* :mod:`repro.core.walter` -- the Walter baseline (PSI, snapshot at begin),
+* :mod:`repro.core.twopc` -- the serializable 2PC-baseline.
+"""
+
+from repro.core.vector_clock import VectorClock
+from repro.core.transaction import Transaction, TransactionStatus
+
+__all__ = ["Transaction", "TransactionStatus", "VectorClock"]

@@ -1,0 +1,17 @@
+"""FW-KV: the paper's concurrency control (PSI with fresh read snapshots)."""
+
+from repro.core.fwkv.node import FWKVNode
+from repro.core.fwkv.visibility import (
+    select_read_only_version,
+    select_update_version,
+    update_excluded,
+    visible_under,
+)
+
+__all__ = [
+    "FWKVNode",
+    "select_read_only_version",
+    "select_update_version",
+    "update_excluded",
+    "visible_under",
+]

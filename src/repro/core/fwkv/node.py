@@ -1,0 +1,165 @@
+"""The FW-KV protocol node: fresh reads via visible-read bookkeeping."""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, List, Optional, Tuple
+
+from repro.cluster.node import Node
+from repro.core.fwkv.visibility import (
+    select_read_only_version,
+    select_update_version,
+)
+from repro.core.interfaces import SharedState
+from repro.core.mvcc_node import MVCCNode
+from repro.core.transaction import Transaction
+from repro.core.wire import ReadRequestBody, RemoveBody
+from repro.net.message import Envelope, MessageType
+from repro.storage.version import Version
+
+
+class FWKVNode(MVCCNode):
+    """Walter's machinery plus the FW-KV freshness extensions.
+
+    The deltas over :class:`~repro.core.mvcc_node.MVCCNode` defaults are
+    exactly the paper's additional metadata and steps (Section 4):
+
+    * read handlers run under the shared side of the per-key lock so they
+      exclude concurrent conflicting update commits but not each other;
+    * read-only reads register in the version-access-set (visible reads)
+      and skip versions already carrying their identifier;
+    * replies carry a ``maxVC`` freshness bound -- the node's current
+      ``siteVC`` merged in on a first contact -- advancing the reading
+      snapshot (Alg. 2 line 9);
+    * prepare harvests the VAS of overwritten versions; decide propagates
+      the merged set into the new versions (transitive anti-dependencies);
+    * committed read-only transactions send ``Remove`` to every contacted
+      node to garbage-collect their VAS entries.
+    """
+
+    protocol_name = "fwkv"
+
+    def __init__(self, node: Node, shared: SharedState) -> None:
+        super().__init__(node, shared)
+        node.on(MessageType.REMOVE, self.on_remove)
+        # Outgoing Remove batching: destination -> pending identifiers.
+        self._pending_removes: dict = {}
+        self._remove_flush_scheduled = False
+
+    # ------------------------------------------------------------------
+    # Read-side hooks
+    # ------------------------------------------------------------------
+    def _read_needs_lock(self, request: ReadRequestBody) -> bool:
+        # Alg. 3 lines 3/12: both transaction classes lock the key; the
+        # table's shared mode lets read handlers overlap each other.
+        return True
+
+    def _select_version(self, request: ReadRequestBody) -> Tuple[Version, int]:
+        chain = self.store.chain(request.key)
+        if request.is_read_only:
+            return select_read_only_version(
+                chain, request.vc, request.has_read, request.txn_id
+            )
+        return select_update_version(chain, request.vc, request.has_read)
+
+    def _register_visible_read(
+        self, request: ReadRequestBody, version: Version
+    ) -> None:
+        if request.is_read_only and self.shared.config.fwkv_visible_reads:
+            self.store.vas_add(version, request.txn_id)  # Alg. 3 line 8
+
+    def _freshness_bound(
+        self, request: ReadRequestBody, version: Version
+    ) -> Optional[Tuple[int, ...]]:
+        """The ``maxVC`` of the ReadReturn message.
+
+        On a *fresh contact* -- the first read of this node by a read-only
+        transaction, or the very first read of an update transaction --
+        the node's current ``siteVC`` is merged in, advancing the snapshot
+        to "the latest timestamp of N" exactly as Figures 2-4 show.
+        Otherwise the bound is just the version's commit clock.
+        """
+        if request.is_read_only:
+            fresh = not request.has_read[self.node_id]
+        else:
+            fresh = (
+                self.shared.config.fwkv_fresh_update_reads
+                and not any(request.has_read)
+            )
+        if fresh:
+            return version.vc.merged(self.site_vc).to_tuple()
+        return version.vc.to_tuple()
+
+    # ------------------------------------------------------------------
+    # Commit-side hooks
+    # ------------------------------------------------------------------
+    def _collect_antideps(self, writes: Iterable[Hashable]):
+        """Alg. 5 lines 8-10: harvest the VAS of versions being overwritten."""
+        collected = set()
+        if not self.shared.config.fwkv_visible_reads:
+            return frozenset()
+        for key in writes:
+            if key in self.store:
+                collected |= self.store.chain(key).latest.access_set
+        if collected:
+            yield from self.cpu.consume(self.costs.vas_item * len(collected))
+        return frozenset(collected)
+
+    def _on_versions_installed(
+        self, versions: List[Version], collected: frozenset
+    ):
+        """Alg. 5 lines 18-20: propagate anti-dependencies transitively."""
+        if collected:
+            yield from self.cpu.consume(
+                self.costs.vas_item * len(collected) * len(versions)
+            )
+            for version in versions:
+                self.store.vas_extend(version, collected)
+
+    def _on_update_commit_decided(self, txn: Transaction) -> None:
+        # Figure 6's metric: anti-dependencies one update transaction
+        # collected across all its prepare participants.
+        self.metrics.on_antidep_collected(len(txn.collected_set))
+
+    def _commit_read_only(self, txn: Transaction) -> None:
+        """Alg. 4 lines 2-8: Remove messages for VAS garbage collection.
+
+        With ``remove_broadcast`` (default) every node is notified, because
+        commit-time propagation may have copied the identifier to nodes the
+        transaction never contacted; otherwise only contacted nodes are,
+        as in the paper's pseudocode.
+        """
+        config = self.shared.config
+        if not txn.read_keys or not config.removes_enabled:
+            return
+        if config.remove_broadcast:
+            sites = config.node_ids
+        else:
+            sites = {self.directory.site(key) for key in txn.read_keys}
+        for site in sites:
+            self._pending_removes.setdefault(site, []).append(txn.txn_id)
+        if not self._remove_flush_scheduled:
+            self._remove_flush_scheduled = True
+            self.sim.call_later(
+                self.shared.config.remove_flush_interval, self._flush_removes
+            )
+
+    def _on_client_abort(self, txn: Transaction) -> None:
+        # A rolled-back read-only (or partially-read) transaction must
+        # still erase its visible-read registrations everywhere.
+        self._commit_read_only(txn)
+
+    def _flush_removes(self) -> None:
+        self._remove_flush_scheduled = False
+        pending, self._pending_removes = self._pending_removes, {}
+        for site in sorted(pending):
+            self.node.send(site, MessageType.REMOVE, RemoveBody(tuple(pending[site])))
+
+    # ------------------------------------------------------------------
+    # FW-KV-only handler
+    # ------------------------------------------------------------------
+    def on_remove(self, envelope: Envelope) -> None:
+        """Alg. 6 lines 5-10, via the store's reverse index."""
+        body: RemoveBody = envelope.payload
+        now = self.sim.now
+        for txn_id in body.txn_ids:
+            self.store.vas_remove_txn(txn_id, now=now)

@@ -1,0 +1,532 @@
+"""Shared multi-version PSI machinery for Walter and FW-KV.
+
+Both protocols keep per-node vector clocks advanced by per-origin sequence
+numbers, buffer writes until a 2PC commit across the written keys'
+preferred sites, and propagate commits asynchronously to uninvolved nodes.
+They differ in how reads select versions and in the version-access-set
+(visible reads) bookkeeping; those differences live in the protocol
+subclasses via the hook methods marked below.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+
+from repro.cluster.node import Node
+from repro.core.interfaces import BaseProtocolNode, SharedState
+from repro.core.transaction import Transaction
+from repro.core.vector_clock import VectorClock
+from repro.core.wire import (
+    DecideBody,
+    PrepareBody,
+    PropagateBody,
+    ReadRequestBody,
+    ReadReturnBody,
+    RemoveBody,
+    VoteBody,
+)
+from repro.metrics.stats import AbortReason
+from repro.net.message import Envelope, MessageType
+from repro.sim import AllOf, ConditionVariable, wait_until
+from repro.storage.locks import LockTable
+from repro.storage.store import MultiVersionStore
+from repro.storage.version import Version
+
+
+class _PreparedTxn:
+    """Participant-side state between a yes-vote and the Decide message."""
+
+    __slots__ = ("writes", "locked_keys")
+
+    def __init__(self, writes: Dict[Hashable, object], locked_keys) -> None:
+        self.writes = writes
+        self.locked_keys = list(locked_keys)
+
+
+class MVCCNode(BaseProtocolNode):
+    """Common node logic for the two PSI protocols."""
+
+    def __init__(self, node: Node, shared: SharedState) -> None:
+        super().__init__(node, shared)
+        size = shared.num_nodes
+        #: ``siteVC``: entry j is the newest sequence number from origin j
+        #: applied at this node (paper Section 4.1).
+        self.site_vc = VectorClock.zeros(size)
+        #: ``CurrSeqNo``: sequence number of the latest transaction issued
+        #: and committed at this node.
+        self.curr_seq_no = 0
+        self.site_vc_changed = ConditionVariable(self.sim)
+        self.store = MultiVersionStore()
+        self.locks = LockTable(self.sim)
+        self._prepared: Dict[int, _PreparedTxn] = {}
+
+        node.on(MessageType.READ_REQUEST, self.on_read_request)
+        node.on(MessageType.PREPARE, self.on_prepare)
+        node.on(MessageType.DECIDE, self.on_decide)
+        node.on(MessageType.PROPAGATE, self.on_propagate)
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    def load(self, key: Hashable, value: object) -> None:
+        self.store.create(key, value, VectorClock.zeros(self.shared.num_nodes))
+
+    # ------------------------------------------------------------------
+    # Coordinator API
+    # ------------------------------------------------------------------
+    def _on_begin(self, txn: Transaction) -> None:
+        # Alg. 1: T.VC <- siteVC_i; hasRead all false (fresh Transaction
+        # objects already satisfy the latter).
+        txn.vc = self.site_vc.copy()
+
+    def read(self, txn: Transaction, key: Hashable):
+        """Alg. 2: serve from the writeset, else ask the preferred site."""
+        found, value = txn.buffered_write(key)
+        if found:
+            return value
+        if key in txn.read_cache:
+            # Re-reads return the version already observed; see the
+            # read-cache note on Transaction.
+            return txn.read_cache[key]
+
+        target = self.directory.site(key)
+        reply: ReadReturnBody = yield self.node.rpc.request(
+            target,
+            MessageType.READ_REQUEST,
+            ReadRequestBody(
+                txn_id=txn.txn_id,
+                is_read_only=txn.is_read_only,
+                key=key,
+                vc=txn.vc.to_tuple(),
+                has_read=tuple(txn.has_read),
+            ),
+        )
+        if reply.max_vc is not None:
+            txn.vc.merge(VectorClock(reply.max_vc))  # Alg. 2 line 9
+        first_contact = not txn.has_read[target]
+        txn.has_read[target] = True  # Alg. 2 line 8
+        if txn.is_read_only:
+            txn.read_keys.add(key)  # Alg. 2 lines 10-12, for Remove
+            self.metrics.on_ro_read(
+                gap=reply.latest_vid - reply.vid,
+                first_contact=first_contact,
+            )
+        txn.read_cache[key] = reply.value
+        txn.read_versions[key] = reply.vid
+        self.tracer.emit(
+            self.node_id, "read", txn=txn.txn_id, key=key, vid=reply.vid,
+            latest=reply.latest_vid, site=target,
+        )
+        self._record_read(txn, key, reply.vid, reply.latest_vid)
+        return reply.value
+
+    def read_many(self, txn: Transaction, keys):
+        """Parallel multi-get for *read-only* transactions.
+
+        Issues all read requests concurrently and returns ``{key: value}``.
+        Safe for read-only transactions because consistency is enforced by
+        the version-access-set, not by request ordering: if an update
+        overwrites one of the versions read here before another request is
+        served, the propagated VAS entry excludes the conflicting version
+        exactly as in the sequential case.  Update transactions must read
+        sequentially (their safe snapshot hinges on the *first* read), so
+        they are rejected.
+        """
+        if not txn.is_read_only:
+            raise ValueError(
+                "read_many is only available to read-only transactions"
+            )
+        keys = list(keys)
+        pending = []
+        for key in keys:
+            found, value = txn.buffered_write(key)
+            if found or key in txn.read_cache:
+                pending.append(None)
+                continue
+            pending.append(
+                self.node.rpc.request(
+                    self.directory.site(key),
+                    MessageType.READ_REQUEST,
+                    ReadRequestBody(
+                        txn_id=txn.txn_id,
+                        is_read_only=True,
+                        key=key,
+                        vc=txn.vc.to_tuple(),
+                        has_read=tuple(txn.has_read),
+                    ),
+                )
+            )
+        replies = yield AllOf(
+            self.sim, [event for event in pending if event is not None]
+        )
+        replies_iter = iter(replies)
+        values = {}
+        for key, event in zip(keys, pending):
+            if event is None:
+                values[key] = txn.read_cache.get(key, txn.writeset.get(key))
+                continue
+            reply: ReadReturnBody = next(replies_iter)
+            target = self.directory.site(key)
+            if reply.max_vc is not None:
+                txn.vc.merge(VectorClock(reply.max_vc))
+            first_contact = not txn.has_read[target]
+            txn.has_read[target] = True
+            txn.read_keys.add(key)
+            self.metrics.on_ro_read(
+                gap=reply.latest_vid - reply.vid, first_contact=first_contact
+            )
+            txn.read_cache[key] = reply.value
+            txn.read_versions[key] = reply.vid
+            self._record_read(txn, key, reply.vid, reply.latest_vid)
+            values[key] = reply.value
+        return values
+
+    def commit(self, txn: Transaction):
+        """Alg. 4: read-only cleanup, or 2PC across written keys' sites.
+
+        Per Alg. 4 line 2 the branch tests the *writeset*: a declared-
+        update transaction that ended up writing nothing commits like a
+        read-only one (no 2PC, no sequence number).
+        """
+        if txn.is_read_only or not txn.writeset:
+            self._commit_read_only(txn)
+            txn.mark_committed(self.sim.now)
+            self._record_commit(txn)
+            self.tracer.emit(self.node_id, "commit", txn=txn.txn_id, ro=True)
+            return True
+
+        yield from self.cpu.consume(self.costs.commit_base)
+
+        by_site = self._group_writes_by_site(txn)
+
+        def prepare_body(writes):
+            return PrepareBody(
+                txn.txn_id,
+                self.node_id,
+                writes,
+                txn.vc.to_tuple(),
+                read_vids={
+                    key: txn.read_versions[key]
+                    for key in writes
+                    if key in txn.read_versions
+                },
+            )
+
+        if set(by_site) == {self.node_id}:
+            # Fast path: every written key is local -- the point of the
+            # preferred-site design ("Walter can quickly commit these
+            # transactions without checking other nodes for write
+            # conflicts").  Prepare runs inline, skipping the loopback RPC.
+            vote = yield from self._handle_prepare(
+                prepare_body(by_site[self.node_id])
+            )
+            votes: List[VoteBody] = [vote]
+        else:
+            vote_events = [
+                self.node.rpc.request(
+                    site, MessageType.PREPARE, prepare_body(writes)
+                )
+                for site, writes in by_site.items()
+            ]
+            votes = yield AllOf(self.sim, vote_events)
+
+        outcome = all(vote.ok for vote in votes)
+        for vote in votes:
+            txn.collected_set |= vote.collected  # Alg. 4 line 19
+
+        if outcome:
+            # Alg. 4 lines 22-25: assign the sequence number and finalize
+            # the commit vector clock from the *current* siteVC.
+            self.curr_seq_no += 1
+            txn.seq_no = self.curr_seq_no
+            commit_vc = self.site_vc.copy()
+            commit_vc[self.node_id] = txn.seq_no
+            txn.commit_vc = commit_vc
+            self._on_update_commit_decided(txn)
+
+        participant_sites = set(by_site)
+        decide = DecideBody(
+            txn_id=txn.txn_id,
+            outcome=outcome,
+            origin=self.node_id,
+            seq_no=txn.seq_no,
+            commit_vc=txn.commit_vc.to_tuple() if txn.commit_vc else None,
+            collected=frozenset(txn.collected_set),
+        )
+        for site in sorted(participant_sites | {self.node_id} if outcome else participant_sites):
+            self.node.send(site, MessageType.DECIDE, decide)
+        if outcome:
+            # Alg. 4 line 27: asynchronous propagation to everyone else.
+            propagate = PropagateBody(self.node_id, txn.seq_no)
+            for site in self.shared.config.node_ids:
+                if site not in participant_sites and site != self.node_id:
+                    self.node.send(site, MessageType.PROPAGATE, propagate)
+            txn.mark_committed(self.sim.now)
+            self._record_commit(txn)
+            self.tracer.emit(
+                self.node_id, "commit", txn=txn.txn_id, seq=txn.seq_no
+            )
+        else:
+            txn.mark_aborted(self.sim.now)
+            reasons = [vote.reason for vote in votes if not vote.ok]
+            reason = reasons[0] if reasons else AbortReason.VOTE_NO
+            self.metrics.on_abort(txn, reason)
+            self.tracer.emit(
+                self.node_id, "abort", txn=txn.txn_id, reason=reason
+            )
+        return outcome
+
+    def _group_writes_by_site(
+        self, txn: Transaction
+    ) -> Dict[int, Dict[Hashable, object]]:
+        by_site: Dict[int, Dict[Hashable, object]] = {}
+        for key, value in txn.writeset.items():
+            by_site.setdefault(self.directory.site(key), {})[key] = value
+        return by_site
+
+    # ------------------------------------------------------------------
+    # Protocol hooks
+    # ------------------------------------------------------------------
+    def _commit_read_only(self, txn: Transaction) -> None:
+        """Read-only commit step (FW-KV sends Removes; Walter is a no-op)."""
+
+    def _on_update_commit_decided(self, txn: Transaction) -> None:
+        """Called once an update transaction's commit is decided."""
+
+    def _collect_antideps(self, writes: Iterable[Hashable]):
+        """Prepare-time VAS harvest (FW-KV); Walter collects nothing.
+
+        Generator subroutine: may charge CPU time.  Returns a frozenset.
+        """
+        return frozenset()
+        yield  # pragma: no cover - makes this a generator subroutine
+
+    def _on_versions_installed(
+        self, versions: List[Version], collected: frozenset
+    ):
+        """Decide-time VAS propagation (FW-KV); Walter does nothing.
+
+        Generator subroutine: may charge CPU time.
+        """
+        return None
+        yield  # pragma: no cover
+
+    def _select_version(self, request: ReadRequestBody) -> Tuple[Version, int]:
+        """Pick the version a read request observes.
+
+        Returns ``(version, inspected_vas_entries)``.  Implemented by the
+        protocol subclasses.
+        """
+        raise NotImplementedError
+
+    def _read_needs_lock(self, request: ReadRequestBody) -> bool:
+        """Whether the read handler must take the shared per-key lock."""
+        raise NotImplementedError
+
+    def _freshness_bound(
+        self, request: ReadRequestBody, version: Version
+    ) -> Optional[Tuple[int, ...]]:
+        """The ``maxVC`` carried back by ReadReturn (None for Walter)."""
+        raise NotImplementedError
+
+    def _register_visible_read(
+        self, request: ReadRequestBody, version: Version
+    ) -> None:
+        """Alg. 3 line 8 (FW-KV read-only only)."""
+
+    # ------------------------------------------------------------------
+    # Message handlers
+    # ------------------------------------------------------------------
+    def on_read_request(self, envelope: Envelope):
+        """Alg. 3: version selection at the storage node."""
+        request: ReadRequestBody = self.node.rpc.body_of(envelope)
+
+        # Snapshot-completeness wait.  The requester's T.VC may run ahead
+        # of this node (it can learn a commit through its own Decide
+        # participation while our in-order apply is still pending); serving
+        # the read before catching up could miss a committed-but-not-yet-
+        # installed version inside the snapshot -- a fractured read.  The
+        # original Walter never hits this because every site holds a full
+        # replica and reads locally; in the partitioned preferred-site port
+        # the handler must wait until this node's clock dominates the
+        # request's snapshot.  Without injected congestion the wait is
+        # almost always vacuous.
+        txn_vc = request.vc
+        site_vc = self.site_vc
+        if any(site_vc[j] < txn_vc[j] for j in range(len(txn_vc))):
+            stall_started = self.sim.now
+            yield from wait_until(
+                self.site_vc_changed,
+                lambda: all(
+                    site_vc[j] >= txn_vc[j] for j in range(len(txn_vc))
+                ),
+            )
+            self.metrics.on_read_stall(self.sim.now - stall_started)
+            self.tracer.emit(
+                self.node_id, "stall", txn=request.txn_id,
+                waited=self.sim.now - stall_started,
+            )
+
+        lock_key = request.key
+        needs_lock = self._read_needs_lock(request)
+        cost = self.costs.read_handler
+        if needs_lock:
+            # Shared mode: concurrent read handlers proceed together, but
+            # conflicting update commits (write lockers) are excluded.
+            granted = yield self.locks.acquire_read(
+                lock_key, owner=("read", request.txn_id), timeout=None
+            )
+            assert granted, "untimed lock acquisition cannot fail"
+            cost += self.costs.lock_op
+
+        chain = self.store.chain(request.key)
+        version, inspected = self._select_version(request)
+        self._register_visible_read(request, version)
+        cost += (
+            self.costs.version_scan_item * (chain.latest.vid - version.vid + 1)
+            + self.costs.vas_item * inspected
+        )
+        yield from self.cpu.consume(cost)
+        if inspected:
+            self.metrics.on_vas_inspected(inspected)
+        max_vc = self._freshness_bound(request, version)
+        latest_vid = chain.latest.vid
+
+        if needs_lock:
+            self.locks.release_read(lock_key, owner=("read", request.txn_id))
+
+        self.node.rpc.reply(
+            envelope,
+            ReadReturnBody(version.value, max_vc, version.vid, latest_vid),
+        )
+
+    def on_prepare(self, envelope: Envelope):
+        """Alg. 5 lines 1-13: lock, validate, harvest anti-dependencies."""
+        request: PrepareBody = self.node.rpc.body_of(envelope)
+        vote = yield from self._handle_prepare(request)
+        self.node.rpc.reply(envelope, vote)
+
+    def _handle_prepare(self, request: PrepareBody):
+        """The prepare logic itself, callable inline for local commits."""
+        keys = list(request.writes)
+        timeout = self.shared.config.lock_timeout
+        granted = yield from self.locks.acquire_write_all(
+            keys, owner=request.txn_id, timeout=timeout
+        )
+        if not granted:
+            yield from self.cpu.consume(self.costs.lock_op * len(keys))
+            return VoteBody(False, reason=AbortReason.LOCK_TIMEOUT)
+
+        yield from self.cpu.consume(
+            (self.costs.lock_op + self.costs.prepare_key) * len(keys)
+        )
+        if not self._validate(request):
+            self.locks.release_write_all(keys, owner=request.txn_id)
+            return VoteBody(False, reason=AbortReason.VALIDATION)
+
+        collected = yield from self._collect_antideps(keys)
+        self._prepared[request.txn_id] = _PreparedTxn(request.writes, keys)
+        self.tracer.emit(
+            self.node_id, "prepare", txn=request.txn_id,
+            keys=len(keys), collected=len(collected),
+        )
+        return VoteBody(True, collected)
+
+    def _validate(self, request: PrepareBody) -> bool:
+        """First-committer-wins validation of the written keys.
+
+        For a key the transaction also *read*, the latest version must be
+        exactly the version it observed (``read_vids``).  For Walter this
+        is equivalent to the paper's clock test (a frozen ``T.VC`` makes
+        "visible" and "validates" coincide), but for FW-KV the clock test
+        alone (Alg. 5 lines 27-34) is unsound: ``T.VC[j]`` can advance past
+        a version's sequence number via a fresh contact or the begin
+        snapshot while the *read* of that key was constrained to an older
+        version -- the clock test then passes and the intermediate version
+        is silently overwritten (a lost update, caught by the randomized
+        soak test).  Blind writes keep the paper's clock rule.
+        """
+        txn_vc = request.vc
+        for key in request.writes:
+            if key not in self.store:
+                continue  # fresh insert: nothing to have been overwritten
+            last = self.store.chain(key).latest
+            read_vid = request.read_vids.get(key)
+            if read_vid is not None:
+                if last.vid != read_vid:
+                    return False
+            elif last.seq > txn_vc[last.origin]:
+                return False
+        return True
+
+    def on_decide(self, envelope: Envelope):
+        """Alg. 5 lines 14-26: ordered application of a decided commit."""
+        body: DecideBody = envelope.payload
+        prepared = self._prepared.pop(body.txn_id, None)
+        if not body.outcome:
+            if prepared is not None:
+                self.locks.release_write_all(
+                    prepared.locked_keys, owner=body.txn_id
+                )
+            return
+
+        assert body.seq_no is not None and body.commit_vc is not None
+        # Alg. 5 line 16: apply commits from one origin in sequence order.
+        yield from wait_until(
+            self.site_vc_changed,
+            lambda: self.site_vc[body.origin] >= body.seq_no - 1,
+        )
+        if self.site_vc[body.origin] < body.seq_no:
+            writes = prepared.writes if prepared is not None else {}
+            if writes:
+                yield from self.cpu.consume(self.costs.install_key * len(writes))
+            commit_vc = VectorClock(body.commit_vc)
+            installed: List[Version] = []
+            for key, value in writes.items():
+                version = self.store.install(
+                    key,
+                    value,
+                    commit_vc.copy(),
+                    origin=body.origin,
+                    seq=body.seq_no,
+                    writer_txn=body.txn_id,
+                    installed_at=self.sim.now,
+                )
+                installed.append(version)
+                self._maybe_collect_garbage(key)
+            yield from self._on_versions_installed(installed, body.collected)
+            self.site_vc[body.origin] = body.seq_no  # Alg. 5 line 21
+            self.site_vc_changed.notify_all()
+            self.tracer.emit(
+                self.node_id, "decide", txn=body.txn_id,
+                origin=body.origin, seq=body.seq_no,
+            )
+        if prepared is not None:
+            self.locks.release_write_all(prepared.locked_keys, owner=body.txn_id)
+
+    def _maybe_collect_garbage(self, key: Hashable) -> None:
+        """Reclaim cold versions once a chain outgrows the trigger length."""
+        config = self.shared.config
+        if not config.gc_enabled:
+            return
+        chain = self.store.chain(key)
+        if len(chain) > config.gc_trigger_length:
+            dropped = chain.collect_garbage(
+                config.gc_keep_versions, config.gc_min_age, self.sim.now
+            )
+            if dropped:
+                self.metrics.on_versions_reclaimed(dropped)
+
+    def on_propagate(self, envelope: Envelope):
+        """Alg. 6 lines 1-4: ordered snapshot advance at uninvolved nodes."""
+        body: PropagateBody = envelope.payload
+        yield from wait_until(
+            self.site_vc_changed,
+            lambda: self.site_vc[body.origin] >= body.seq_no - 1,
+        )
+        if self.site_vc[body.origin] < body.seq_no:
+            self.site_vc[body.origin] = body.seq_no
+            self.site_vc_changed.notify_all()
+            self.tracer.emit(
+                self.node_id, "propagate", origin=body.origin, seq=body.seq_no
+            )

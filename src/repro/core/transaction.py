@@ -1,0 +1,113 @@
+"""Transaction descriptors and their lifecycle metadata."""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Hashable, List, Optional, Set
+
+from repro.core.vector_clock import VectorClock
+
+
+class TransactionStatus(enum.Enum):
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class Transaction:
+    """Coordinator-side state of one transaction attempt.
+
+    Fields mirror the paper's metadata (Section 4.1): ``vc`` is ``T.VC``
+    (the visibility bound), ``has_read`` is ``T.hasRead`` (per-site frozen
+    flags, FW-KV only), ``writeset`` the lazy-update buffer, ``read_keys``
+    the keys a read-only transaction must send ``Remove`` for, and
+    ``collected_set`` the anti-dependency identifiers gathered during 2PC.
+
+    A retried transaction is a *new* ``Transaction`` with a fresh id; the
+    client loop owns retry accounting.
+    """
+
+    __slots__ = (
+        "txn_id",
+        "node_id",
+        "is_read_only",
+        "vc",
+        "has_read",
+        "writeset",
+        "read_keys",
+        "collected_set",
+        "seq_no",
+        "commit_vc",
+        "status",
+        "start_time",
+        "end_time",
+        "profile",
+        "ops",
+        "read_cache",
+        "read_versions",
+    )
+
+    def __init__(
+        self,
+        txn_id: int,
+        node_id: int,
+        num_sites: int,
+        is_read_only: bool,
+        start_time: float = 0.0,
+        profile: Optional[str] = None,
+    ) -> None:
+        self.txn_id = txn_id
+        self.node_id = node_id
+        self.is_read_only = is_read_only
+        self.vc = VectorClock.zeros(num_sites)
+        self.has_read: List[bool] = [False] * num_sites
+        self.writeset: Dict[Hashable, object] = {}
+        self.read_keys: Set[Hashable] = set()
+        self.collected_set: Set[int] = set()
+        self.seq_no: Optional[int] = None
+        self.commit_vc: Optional[VectorClock] = None
+        self.status = TransactionStatus.ACTIVE
+        self.start_time = start_time
+        self.end_time: Optional[float] = None
+        self.profile = profile
+        #: (kind, key, vid, latest_vid) tuples for history recording.
+        self.ops: List[tuple] = []
+        #: Coordinator-side cache so a re-read of the same key returns the
+        #: version already observed (keeps the snapshot stable without a
+        #: second visible-read registration).
+        self.read_cache: Dict[Hashable, object] = {}
+        #: key -> version observed by this transaction's reads: the scalar
+        #: record version under the 2PC baseline, the vid under the MVCC
+        #: protocols.  Commit validation compares it against the current
+        #: latest (first-committer-wins).
+        self.read_versions: Dict[Hashable, int] = {}
+
+    @property
+    def is_update(self) -> bool:
+        return not self.is_read_only
+
+    @property
+    def first_read_done(self) -> bool:
+        """True once any site has been read (``T.hasRead`` has a true bit)."""
+        return any(self.has_read)
+
+    def buffered_write(self, key: Hashable):
+        """The value this transaction wrote for ``key``, if any.
+
+        Returns a ``(found, value)`` pair so ``None`` values are writable.
+        """
+        if key in self.writeset:
+            return True, self.writeset[key]
+        return False, None
+
+    def mark_committed(self, now: float) -> None:
+        self.status = TransactionStatus.COMMITTED
+        self.end_time = now
+
+    def mark_aborted(self, now: float) -> None:
+        self.status = TransactionStatus.ABORTED
+        self.end_time = now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "ro" if self.is_read_only else "up"
+        return f"<Txn {self.txn_id} {kind}@{self.node_id} {self.status.value}>"

@@ -1,0 +1,5 @@
+"""The serializable 2PC-baseline the paper compares against."""
+
+from repro.core.twopc.node import TwoPCNode
+
+__all__ = ["TwoPCNode"]

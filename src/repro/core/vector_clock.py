@@ -1,0 +1,100 @@
+"""Vector clocks (Mattern-style logical time) for PSI concurrency control."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+
+class VectorClock:
+    """A fixed-size vector of per-site logical timestamps.
+
+    Entry ``j`` of a node's clock is "the last transaction from node ``N_j``
+    that was committed at this site" (paper Section 4.1).  Transaction and
+    version clocks are snapshots of node clocks, so they share this type.
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self, entries: Iterable[int]) -> None:
+        self._entries: List[int] = list(entries)
+
+    @classmethod
+    def zeros(cls, size: int) -> "VectorClock":
+        if size <= 0:
+            raise ValueError("vector clock size must be positive")
+        return cls([0] * size)
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __getitem__(self, index: int) -> int:
+        return self._entries[index]
+
+    def __setitem__(self, index: int, value: int) -> None:
+        self._entries[index] = value
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._entries)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, VectorClock):
+            return self._entries == other._entries
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._entries))
+
+    def __repr__(self) -> str:
+        return f"VC<{','.join(str(e) for e in self._entries)}>"
+
+    # ------------------------------------------------------------------
+    # Clock algebra
+    # ------------------------------------------------------------------
+    def copy(self) -> "VectorClock":
+        return VectorClock(self._entries)
+
+    def merge(self, other: "VectorClock") -> None:
+        """Entry-wise maximum, in place (Alg. 2 line 9)."""
+        self._check_size(other)
+        self._entries = [max(a, b) for a, b in zip(self._entries, other._entries)]
+
+    def merged(self, other: "VectorClock") -> "VectorClock":
+        """Entry-wise maximum, as a new clock."""
+        result = self.copy()
+        result.merge(other)
+        return result
+
+    def leq(self, other: "VectorClock") -> bool:
+        """True when every entry is <= the corresponding entry of ``other``."""
+        self._check_size(other)
+        return all(a <= b for a, b in zip(self._entries, other._entries))
+
+    def dominates(self, other: "VectorClock") -> bool:
+        """True when every entry is >= the corresponding entry of ``other``."""
+        return other.leq(self)
+
+    def leq_on(self, other: "VectorClock", positions: Sequence[bool]) -> bool:
+        """``leq`` restricted to positions where ``positions`` is true.
+
+        This is the FW-KV visibility test (Alg. 3 line 4): a version clock
+        must not exceed the transaction clock at any *already-read* site.
+        """
+        self._check_size(other)
+        return all(
+            a <= b
+            for a, b, active in zip(self._entries, other._entries, positions)
+            if active
+        )
+
+    def to_tuple(self) -> Tuple[int, ...]:
+        return tuple(self._entries)
+
+    def _check_size(self, other: "VectorClock") -> None:
+        if len(other._entries) != len(self._entries):
+            raise ValueError(
+                f"vector clock size mismatch: {len(self._entries)} vs "
+                f"{len(other._entries)}"
+            )

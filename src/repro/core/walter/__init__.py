@@ -1,0 +1,6 @@
+"""Walter (SOSP '11): the reference PSI concurrency control."""
+
+from repro.core.walter.node import WalterNode
+from repro.core.walter.visibility import select_walter_version
+
+__all__ = ["WalterNode", "select_walter_version"]

@@ -1,0 +1,142 @@
+"""Wire formats for protocol messages.
+
+Bodies carry plain tuples/dicts (snapshots), never live coordinator
+objects, so a storage node cannot mutate a remote transaction's state --
+the same discipline a real message-passing deployment enforces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, Optional, Tuple
+
+
+@dataclass
+class ReadRequestBody:
+    """Coordinator -> storage node, one key (FW-KV and Walter)."""
+
+    txn_id: int
+    is_read_only: bool
+    key: Hashable
+    vc: Tuple[int, ...]
+    has_read: Tuple[bool, ...]
+
+
+@dataclass
+class ReadReturnBody:
+    """Storage node -> coordinator reply."""
+
+    value: object
+    #: Visibility bound to merge into ``T.VC`` (Alg. 2 line 9); ``None``
+    #: for Walter, whose snapshot never advances after begin.
+    max_vc: Optional[Tuple[int, ...]]
+    vid: int
+    #: Newest vid at the serving node when the read executed; powers the
+    #: freshness metric and the history checker.
+    latest_vid: int
+
+
+@dataclass
+class PrepareBody:
+    """2PC phase one: the writes this participant must lock and validate."""
+
+    txn_id: int
+    coordinator: int
+    writes: Dict[Hashable, object]
+    vc: Tuple[int, ...]
+    #: For written keys the transaction also *read*: the vid it observed.
+    #: Validation requires the key's latest version to still be exactly
+    #: that vid (first-committer-wins against the snapshot actually used).
+    #: The paper's clock-only rule (Alg. 5 line 29) admits a lost update
+    #: when ``T.VC`` has outrun the per-key read snapshot; see
+    #: MVCCNode._validate.
+    read_vids: Dict[Hashable, int] = field(default_factory=dict)
+
+
+@dataclass
+class VoteBody:
+    """2PC phase one reply."""
+
+    ok: bool
+    #: FW-KV only: read-only transaction ids harvested from the VAS of the
+    #: versions about to be overwritten (Alg. 5 lines 8-10).
+    collected: FrozenSet[int] = frozenset()
+    reason: Optional[str] = None
+
+
+@dataclass
+class DecideBody:
+    """2PC phase two (one-way)."""
+
+    txn_id: int
+    outcome: bool
+    origin: int
+    seq_no: Optional[int]
+    commit_vc: Optional[Tuple[int, ...]]
+    #: FW-KV only: merged anti-dependency set to propagate into the new
+    #: versions (Alg. 5 line 19).
+    collected: FrozenSet[int] = frozenset()
+
+
+@dataclass
+class PropagateBody:
+    """Asynchronous commit propagation to uninvolved nodes (Alg. 6)."""
+
+    origin: int
+    seq_no: int
+
+
+@dataclass
+class RemoveBody:
+    """FW-KV read-only cleanup (Alg. 6 lines 5-10).
+
+    The paper sends one Remove per read key; since the handler erases a
+    transaction id from *every* VAS at the node anyway, identifiers are
+    batched per destination node and flushed on a short timer -- identical
+    semantics (cleanup delayed by at most the flush interval), far fewer
+    messages.
+    """
+
+    txn_ids: Tuple[int, ...]
+
+
+# ----------------------------------------------------------------------
+# 2PC-baseline wire formats (single-version store)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class SimpleReadRequestBody:
+    txn_id: int
+    key: Hashable
+
+
+@dataclass
+class SimpleReadReturnBody:
+    value: object
+    version: int
+
+
+@dataclass
+class SimplePrepareBody:
+    """Read validation plus write intent for one participant."""
+
+    txn_id: int
+    #: key -> version the transaction read; participant re-checks equality.
+    reads: Dict[Hashable, int]
+    writes: Dict[Hashable, object]
+
+
+@dataclass
+class SimpleVoteBody:
+    ok: bool
+    #: Version each written key will receive if the commit decides yes
+    #: (stable while the write lock is held); used for history recording.
+    install_versions: Dict[Hashable, int] = field(default_factory=dict)
+    reason: Optional[str] = None
+
+
+@dataclass
+class SimpleDecideBody:
+    txn_id: int
+    outcome: bool

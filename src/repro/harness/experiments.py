@@ -1,0 +1,361 @@
+"""One function per figure of the paper's evaluation (Section 5).
+
+Every function returns a list of row dicts ready for
+:func:`repro.harness.report.format_table`.  Parameters default to the
+paper's configuration; the benchmark suite passes scaled-down values
+(fewer virtual seconds, smaller TPC-C warehouses) recorded in
+EXPERIMENTS.md.  Node counts, key counts, read-only mixes, and the
+delayed-propagation setup follow the paper exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.config import ClusterConfig, CostModel, NetworkConfig, RunConfig
+from repro.harness.runner import ExperimentResult, run_experiment
+from repro.workloads.tpcc import TPCCConfig, TPCCWorkload, tpcc_directory
+from repro.workloads.ycsb import YCSBConfig, YCSBWorkload
+
+PSI_PROTOCOLS = ("fwkv", "walter")
+ALL_PROTOCOLS = ("fwkv", "walter", "2pc")
+
+#: Keys that identify a configuration point when averaging across trials.
+_GROUP_KEYS = ("figure", "ro", "keys", "nodes", "protocol", "w_per_node", "delayed")
+
+
+def average_trials(per_trial_rows: "List[List[Dict[str, object]]]") -> "List[Dict[str, object]]":
+    """Average numeric fields across trials (the paper averages 5 runs).
+
+    Rows are matched positionally -- every trial produces the same grid in
+    the same order -- and their identifying fields are asserted equal.
+    Numeric fields become means; a ``trials`` field records the count.
+    """
+    if len(per_trial_rows) == 1:
+        return per_trial_rows[0]
+    base = per_trial_rows[0]
+    averaged: List[Dict[str, object]] = []
+    for position, row in enumerate(base):
+        merged = dict(row)
+        for other in per_trial_rows[1:]:
+            other_row = other[position]
+            for key in _GROUP_KEYS:
+                assert row.get(key) == other_row.get(key), (
+                    f"trial grids diverged at {key}: "
+                    f"{row.get(key)} vs {other_row.get(key)}"
+                )
+        for field_name, value in row.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            if field_name in _GROUP_KEYS:
+                continue
+            samples = [trial[position][field_name] for trial in per_trial_rows]
+            merged[field_name] = sum(samples) / len(samples)
+        merged["trials"] = len(per_trial_rows)
+        averaged.append(merged)
+    return averaged
+
+
+def run_trials(figure_fn, trials: int, seed: int, **kwargs):
+    """Run a figure function ``trials`` times with distinct seeds and
+    average the resulting grids."""
+    if trials < 1:
+        raise ValueError("trials must be >= 1")
+    grids = [figure_fn(seed=seed + trial, **kwargs) for trial in range(trials)]
+    return average_trials(grids)
+
+#: The paper delays Propagate messages by 1 ms ("around 5x slowdown of
+#: network delay, which might be due to congestion at high utilization").
+PROPAGATE_DELAY = 1e-3
+
+
+def _cluster_config(
+    num_nodes: int,
+    seed: int,
+    propagate_delay: float = 0.0,
+    costs: Optional[CostModel] = None,
+    remove_broadcast: bool = True,
+) -> ClusterConfig:
+    network = NetworkConfig()
+    if propagate_delay:
+        network = network.with_propagate_delay(propagate_delay)
+    kwargs = {"num_nodes": num_nodes, "clients_per_node": 5, "seed": seed,
+              "network": network, "remove_broadcast": remove_broadcast}
+    if costs is not None:
+        kwargs["costs"] = costs
+    return ClusterConfig(**kwargs)
+
+
+def _run_ycsb(
+    protocol: str,
+    num_nodes: int,
+    num_keys: int,
+    ro_frac: float,
+    run: RunConfig,
+    seed: int,
+    propagate_delay: float = 0.0,
+    remove_broadcast: bool = True,
+) -> ExperimentResult:
+    workload = YCSBWorkload(
+        YCSBConfig(num_keys=num_keys, read_only_fraction=ro_frac)
+    )
+    return run_experiment(
+        protocol,
+        workload,
+        _cluster_config(
+            num_nodes, seed, propagate_delay, remove_broadcast=remove_broadcast
+        ),
+        run,
+        params={
+            "nodes": num_nodes,
+            "keys": num_keys,
+            "ro": ro_frac,
+            "delay": propagate_delay,
+        },
+    )
+
+
+def _run_tpcc(
+    protocol: str,
+    num_nodes: int,
+    warehouses_per_node: int,
+    ro_frac: float,
+    run: RunConfig,
+    seed: int,
+    propagate_delay: float = 0.0,
+    tpcc_sizing: Optional[TPCCConfig] = None,
+) -> ExperimentResult:
+    sizing = tpcc_sizing or TPCCConfig()
+    import dataclasses
+
+    config = dataclasses.replace(
+        sizing,
+        num_warehouses=num_nodes * warehouses_per_node,
+        read_only_fraction=ro_frac,
+    )
+    workload = TPCCWorkload(config, num_nodes=num_nodes, seed=seed)
+    return run_experiment(
+        protocol,
+        workload,
+        _cluster_config(num_nodes, seed, propagate_delay),
+        run,
+        directory=tpcc_directory(num_nodes),
+        params={
+            "nodes": num_nodes,
+            "w_per_node": warehouses_per_node,
+            "ro": ro_frac,
+            "delay": propagate_delay,
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 5: YCSB throughput vs number of nodes
+# ----------------------------------------------------------------------
+def figure5_ycsb_throughput(
+    nodes: Sequence[int] = (5, 10, 15, 20),
+    key_counts: Sequence[int] = (50_000, 500_000),
+    ro_fracs: Sequence[float] = (0.2, 0.5),
+    protocols: Sequence[str] = ALL_PROTOCOLS,
+    run: RunConfig = RunConfig(duration=0.04, warmup=0.012),
+    seed: int = 1,
+) -> List[Dict[str, object]]:
+    """Throughput (KTxs/s) while varying nodes, keys, and %read-only."""
+    rows = []
+    for ro in ro_fracs:
+        for keys in key_counts:
+            for n in nodes:
+                for protocol in protocols:
+                    result = _run_ycsb(protocol, n, keys, ro, run, seed)
+                    rows.append(
+                        {
+                            "figure": "5a" if ro == ro_fracs[0] else "5b",
+                            "ro": ro,
+                            "keys": keys,
+                            "nodes": n,
+                            "protocol": protocol,
+                            "throughput_ktps": result.throughput_ktps,
+                            "abort_rate": result.abort_rate,
+                        }
+                    )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 6: anti-dependencies collected at prepare (FW-KV)
+# ----------------------------------------------------------------------
+def figure6_antidep(
+    ro_fracs: Sequence[float] = (0.2, 0.5, 0.8),
+    key_counts: Sequence[int] = (50_000, 100_000, 500_000),
+    num_nodes: int = 20,
+    run: RunConfig = RunConfig(duration=0.04, warmup=0.012),
+    seed: int = 1,
+) -> List[Dict[str, object]]:
+    """Mean size of the VAS set collected by FW-KV update transactions.
+
+    Runs with the paper-literal Remove scope (``remove_broadcast=False``):
+    identifiers propagated to nodes the reader never contacted are not
+    garbage-collected, so repeated overwrites inherit them transitively --
+    the effect behind the paper's "sharp jump" of collected sizes as the
+    update fraction grows.
+    """
+    rows = []
+    for keys in key_counts:
+        for ro in ro_fracs:
+            result = _run_ycsb(
+                "fwkv", num_nodes, keys, ro, run, seed, remove_broadcast=False
+            )
+            rows.append(
+                {
+                    "figure": "6",
+                    "keys": keys,
+                    "ro": ro,
+                    "mean_antidep": result.mean_antidep,
+                    "max_antidep": result.metrics["antidep_collected"]["max"],
+                    "samples": result.metrics["antidep_collected"]["count"],
+                }
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 7: YCSB abort rate with delayed Propagate messages
+# ----------------------------------------------------------------------
+def figure7_ycsb_abort_delay(
+    key_counts: Sequence[int] = (50_000, 100_000, 500_000),
+    ro_fracs: Sequence[float] = (0.2, 0.5),
+    num_nodes: int = 20,
+    delay: float = PROPAGATE_DELAY,
+    run: RunConfig = RunConfig(duration=0.04, warmup=0.012),
+    seed: int = 1,
+    include_undelayed: bool = False,
+) -> List[Dict[str, object]]:
+    """Update-transaction abort rate with Propagate delayed by 1 ms."""
+    rows = []
+    delays = [delay] + ([0.0] if include_undelayed else [])
+    for keys in key_counts:
+        for ro in ro_fracs:
+            for propagate_delay in delays:
+                for protocol in PSI_PROTOCOLS:
+                    result = _run_ycsb(
+                        protocol, num_nodes, keys, ro, run, seed,
+                        propagate_delay=propagate_delay,
+                    )
+                    rows.append(
+                        {
+                            "figure": "7",
+                            "keys": keys,
+                            "ro": ro,
+                            "delayed": propagate_delay > 0,
+                            "protocol": protocol,
+                            "abort_rate": result.abort_rate,
+                            "throughput_ktps": result.throughput_ktps,
+                        }
+                    )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 8: TPC-C throughput vs number of nodes
+# ----------------------------------------------------------------------
+def figure8_tpcc_throughput(
+    nodes: Sequence[int] = (5, 10, 15, 20),
+    warehouses_per_node: Sequence[int] = (16, 32),
+    ro_fracs: Sequence[float] = (0.2, 0.5),
+    protocols: Sequence[str] = ALL_PROTOCOLS,
+    run: RunConfig = RunConfig(duration=0.08, warmup=0.02),
+    seed: int = 1,
+    tpcc_sizing: Optional[TPCCConfig] = None,
+) -> List[Dict[str, object]]:
+    """TPC-C throughput varying nodes and warehouses per node."""
+    rows = []
+    for ro in ro_fracs:
+        for w_per_node in warehouses_per_node:
+            for n in nodes:
+                for protocol in protocols:
+                    result = _run_tpcc(
+                        protocol, n, w_per_node, ro, run, seed,
+                        tpcc_sizing=tpcc_sizing,
+                    )
+                    rows.append(
+                        {
+                            "figure": "8a" if ro == ro_fracs[0] else "8b",
+                            "ro": ro,
+                            "w_per_node": w_per_node,
+                            "nodes": n,
+                            "protocol": protocol,
+                            "throughput_ktps": result.throughput_ktps,
+                            "abort_rate": result.abort_rate,
+                        }
+                    )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 9a: TPC-C abort rate with delayed Propagate messages
+# ----------------------------------------------------------------------
+def figure9a_tpcc_abort_delay(
+    warehouses_per_node: Sequence[int] = (16, 32),
+    num_nodes: int = 20,
+    ro_frac: float = 0.2,
+    delay: float = PROPAGATE_DELAY,
+    run: RunConfig = RunConfig(duration=0.08, warmup=0.02),
+    seed: int = 1,
+    tpcc_sizing: Optional[TPCCConfig] = None,
+) -> List[Dict[str, object]]:
+    """TPC-C abort rate at 20 nodes with Propagate delayed by 1 ms."""
+    rows = []
+    for w_per_node in warehouses_per_node:
+        for protocol in PSI_PROTOCOLS:
+            result = _run_tpcc(
+                protocol, num_nodes, w_per_node, ro_frac, run, seed,
+                propagate_delay=delay, tpcc_sizing=tpcc_sizing,
+            )
+            rows.append(
+                {
+                    "figure": "9a",
+                    "w_per_node": w_per_node,
+                    "protocol": protocol,
+                    "abort_rate": result.abort_rate,
+                    "throughput_ktps": result.throughput_ktps,
+                }
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 9b: FW-KV slowdown vs Walter, varying warehouses per node
+# ----------------------------------------------------------------------
+def figure9b_slowdown(
+    warehouses_per_node: Sequence[int] = (8, 16, 32),
+    num_nodes: int = 20,
+    ro_fracs: Sequence[float] = (0.2, 0.5),
+    run: RunConfig = RunConfig(duration=0.08, warmup=0.02),
+    seed: int = 1,
+    tpcc_sizing: Optional[TPCCConfig] = None,
+) -> List[Dict[str, object]]:
+    """Throughput slowdown of FW-KV relative to Walter (percent)."""
+    rows = []
+    for ro in ro_fracs:
+        for w_per_node in warehouses_per_node:
+            results = {
+                protocol: _run_tpcc(
+                    protocol, num_nodes, w_per_node, ro, run, seed,
+                    tpcc_sizing=tpcc_sizing,
+                )
+                for protocol in PSI_PROTOCOLS
+            }
+            walter = results["walter"].throughput_ktps
+            fwkv = results["fwkv"].throughput_ktps
+            slowdown = 100.0 * (walter - fwkv) / walter if walter > 0 else 0.0
+            rows.append(
+                {
+                    "figure": "9b",
+                    "ro": ro,
+                    "w_per_node": w_per_node,
+                    "walter_ktps": walter,
+                    "fwkv_ktps": fwkv,
+                    "slowdown_pct": slowdown,
+                }
+            )
+    return rows

@@ -1,0 +1,91 @@
+"""Plain-text reporting of experiment rows (the benches print these)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+
+
+def format_table(
+    rows: Sequence[Dict[str, object]],
+    columns: Sequence[str],
+    title: str = "",
+) -> str:
+    """Render dict rows as an aligned ASCII table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    table = [[cell(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in table))
+        for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    rule = "  ".join("-" * w for w in widths)
+    body = "\n".join(
+        "  ".join(line[i].ljust(widths[i]) for i in range(len(columns)))
+        for line in table
+    )
+    parts = [title, header, rule, body] if title else [header, rule, body]
+    return "\n".join(parts)
+
+
+def group_series(
+    rows: Iterable[Dict[str, object]],
+    x: str,
+    y: str,
+    group: Callable[[Dict[str, object]], str],
+) -> Dict[str, List[Tuple[object, object]]]:
+    """Turn rows into plot-like ``{series label: [(x, y), ...]}`` data."""
+    series: Dict[str, List[Tuple[object, object]]] = {}
+    for row in rows:
+        series.setdefault(group(row), []).append((row[x], row[y]))
+    for points in series.values():
+        points.sort(key=lambda pair: pair[0])
+    return series
+
+
+def ascii_chart(
+    series: Dict[str, List[Tuple[object, float]]],
+    width: int = 40,
+    title: str = "",
+    value_format: str = "{:.1f}",
+) -> str:
+    """Horizontal bar chart of grouped series (terminal-friendly).
+
+    ``series`` is the output of :func:`group_series`: one labelled list of
+    ``(x, y)`` points per competitor.  Bars are scaled to the global
+    maximum so relative magnitudes -- who wins, by what factor -- are
+    visible at a glance.
+    """
+    points = [
+        (label, x, float(y))
+        for label, pairs in series.items()
+        for x, y in pairs
+    ]
+    if not points:
+        return f"{title}\n(no data)" if title else "(no data)"
+    peak = max(y for _label, _x, y in points) or 1.0
+    label_width = max(len(str(label)) for label in series)
+    x_width = max(len(str(x)) for _label, x, _y in points)
+
+    lines = [title] if title else []
+    for label in series:
+        for x, y in series[label]:
+            bar = "#" * max(1, round(width * float(y) / peak)) if y > 0 else ""
+            lines.append(
+                f"{str(label):<{label_width}}  {str(x):>{x_width}}  "
+                f"|{bar:<{width}}| {value_format.format(float(y))}"
+            )
+    return "\n".join(lines)
+
+
+def relative_gap(baseline: float, other: float) -> float:
+    """Fractional shortfall of ``other`` below ``baseline`` (0 if faster)."""
+    if baseline <= 0:
+        return 0.0
+    return max(0.0, (baseline - other) / baseline)

@@ -1,0 +1,145 @@
+"""Drive a workload against a cluster with closed-loop clients.
+
+The paper's methodology (Section 5): five application threads per node
+inject transactions in a closed loop -- a client issues a new request only
+when the previous one has returned -- and an aborted transaction is
+retried until it commits.  Results are measured over a window that starts
+after a warmup period.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.cluster.directory import Directory
+from repro.config import ClusterConfig, RunConfig
+from repro.sim.rng import make_rng
+from repro.system import Cluster
+from repro.workloads.base import Rollback, TxnContext, Workload
+
+#: Pause before retrying an aborted transaction, jittered per attempt.
+DEFAULT_RETRY_BACKOFF = 100e-6
+
+
+@dataclass
+class ExperimentResult:
+    """Everything a figure needs from one (protocol, parameters) run."""
+
+    protocol: str
+    workload: str
+    params: Dict[str, object]
+    metrics: Dict[str, object]
+    wall_seconds: float
+    cluster: Cluster = field(repr=False, default=None)
+
+    @property
+    def throughput_ktps(self) -> float:
+        """Committed transactions per second, in thousands."""
+        return self.metrics["throughput"] / 1e3
+
+    @property
+    def abort_rate(self) -> float:
+        """The run's abort rate (aborted attempts / all attempts)."""
+        return self.metrics["abort_rate"]
+
+    @property
+    def mean_antidep(self) -> float:
+        """Mean anti-dependency set size collected at prepare (Figure 6)."""
+        return self.metrics["antidep_collected"]["mean"]
+
+
+def client_loop(
+    cluster: Cluster,
+    node_id: int,
+    client_id: int,
+    workload: Workload,
+    stop_time: float,
+    backoff: float,
+    max_retries: Optional[int],
+):
+    """One closed-loop client process."""
+    sim = cluster.sim
+    node = cluster.node(node_id)
+    costs = cluster.config.costs
+    rng = make_rng(cluster.config.seed, "client", node_id, client_id)
+
+    while sim.now < stop_time:
+        program = workload.generate(rng, node_id)
+        first_attempt_started = sim.now
+        attempts = 0
+        while True:
+            attempts += 1
+            txn = node.begin(program.is_read_only, program.profile)
+            ctx = TxnContext(node, txn)
+            if costs.client_overhead:
+                yield sim.timeout(costs.client_overhead)
+            try:
+                yield from program.run(ctx)
+            except Rollback:
+                node.abort(txn)
+                break  # intended outcome; no retry
+            ok = yield from node.commit(txn)
+            if ok:
+                cluster.metrics.on_commit(
+                    txn, sim.now - first_attempt_started, attempts
+                )
+                break
+            if max_retries is not None and attempts > max_retries:
+                break
+            yield sim.timeout(backoff * (1.0 + rng.random()))
+        if costs.client_think:
+            yield sim.timeout(costs.client_think)
+
+
+def run_experiment(
+    protocol: str,
+    workload: Workload,
+    cluster_config: ClusterConfig,
+    run_config: RunConfig,
+    directory: Optional[Directory] = None,
+    record_history: bool = False,
+    backoff: float = DEFAULT_RETRY_BACKOFF,
+    params: Optional[Dict[str, object]] = None,
+) -> ExperimentResult:
+    """Build a cluster, load the workload, run clients, return metrics."""
+    cluster = Cluster(
+        protocol, cluster_config, directory=directory, record_history=record_history
+    )
+    cluster.load_many(workload.load_items())
+
+    stop_time = run_config.warmup + run_config.duration
+    cluster.metrics.open_window(run_config.warmup, stop_time)
+    for node_id in cluster_config.node_ids:
+        for client_id in range(cluster_config.clients_per_node):
+            cluster.spawn(
+                client_loop(
+                    cluster,
+                    node_id,
+                    client_id,
+                    workload,
+                    stop_time,
+                    backoff,
+                    run_config.max_retries,
+                ),
+                name=f"client-{node_id}-{client_id}",
+            )
+
+    started = time.perf_counter()
+    cluster.run(until=stop_time)
+    wall = time.perf_counter() - started
+
+    metrics = cluster.metrics.summary()
+    utilizations = cluster.cpu_utilization(stop_time)
+    metrics["mean_cpu_utilization"] = (
+        sum(utilizations) / len(utilizations) if utilizations else 0.0
+    )
+    return ExperimentResult(
+        protocol=protocol,
+        workload=workload.name,
+        params=dict(params or {}),
+        metrics=metrics,
+        wall_seconds=wall,
+        cluster=cluster,
+    )

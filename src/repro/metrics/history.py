@@ -1,0 +1,90 @@
+"""Execution histories for offline consistency checking.
+
+When history recording is enabled, every committed transaction leaves a
+:class:`TxnRecord` with the versions it read and wrote and the real-time
+interval it spanned.  The PSI checker consumes these records to hunt for
+read skew, per-site order violations, and long forks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, List, Optional, Tuple
+
+
+@dataclass
+class OpRecord:
+    """One read or write observed by a committed transaction."""
+
+    kind: str  # "r" or "w"
+    key: Hashable
+    vid: int  # version identifier read or installed
+    #: vid of the newest version at the serving node when a read was
+    #: handled; lets the checker and freshness metric reconstruct the gap.
+    latest_vid_at_read: Optional[int] = None
+
+
+@dataclass
+class TxnRecord:
+    """A committed transaction in the history."""
+
+    txn_id: int
+    node_id: int
+    is_read_only: bool
+    start_time: float
+    end_time: float
+    ops: List[OpRecord] = field(default_factory=list)
+    seq_no: Optional[int] = None
+    commit_vc: Optional[Tuple[int, ...]] = None
+    profile: Optional[str] = None
+
+    def reads(self) -> List[OpRecord]:
+        """The read operations of this transaction."""
+        return [op for op in self.ops if op.kind == "r"]
+
+    def writes(self) -> List[OpRecord]:
+        """The write operations of this transaction."""
+        return [op for op in self.ops if op.kind == "w"]
+
+    def read_of(self, key: Hashable) -> Optional[OpRecord]:
+        """The read of ``key``, or None if this transaction never read it."""
+        for op in self.ops:
+            if op.kind == "r" and op.key == key:
+                return op
+        return None
+
+    def wrote(self, key: Hashable) -> bool:
+        """Whether this transaction wrote ``key``."""
+        return any(op.kind == "w" and op.key == key for op in self.ops)
+
+
+class History:
+    """Append-only log of committed transactions."""
+
+    def __init__(self) -> None:
+        self.records: List[TxnRecord] = []
+
+    def append(self, record: TxnRecord) -> None:
+        """Record a committed transaction."""
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def committed_updates(self) -> List[TxnRecord]:
+        """All committed update transactions."""
+        return [r for r in self.records if not r.is_read_only]
+
+    def committed_read_only(self) -> List[TxnRecord]:
+        """All committed read-only transactions."""
+        return [r for r in self.records if r.is_read_only]
+
+    def by_id(self, txn_id: int) -> TxnRecord:
+        """The committed transaction with the given id (KeyError if absent)."""
+        for record in self.records:
+            if record.txn_id == txn_id:
+                return record
+        raise KeyError(f"no committed transaction {txn_id}")

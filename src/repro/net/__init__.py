@@ -1,0 +1,7 @@
+"""Simulated message fabric: envelopes, latency model, channels, and RPC."""
+
+from repro.net.message import Envelope, MessageType
+from repro.net.network import Network, NetworkStats
+from repro.net.rpc import RpcEndpoint
+
+__all__ = ["Envelope", "MessageType", "Network", "NetworkStats", "RpcEndpoint"]

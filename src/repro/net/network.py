@@ -1,0 +1,133 @@
+"""The simulated network: latency, per-channel FIFO ordering, delivery."""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.config import NetworkConfig
+from repro.net.message import Envelope, MessageType
+from repro.sim import Simulator
+from repro.sim.rng import make_rng
+
+DeliverFn = Callable[[Envelope], None]
+
+
+@dataclass
+class NetworkStats:
+    """Counters the experiment harness reads after a run."""
+
+    messages_sent: int = 0
+    messages_by_type: Counter = field(default_factory=Counter)
+    messages_dropped: int = 0
+    bytes_hint: int = 0
+
+
+class Network:
+    """Reliable asynchronous channels between registered nodes.
+
+    Matches the paper's system model (Section 2.1): "nodes communicate
+    through message passing over reliable asynchronous channels" with no
+    synchrony assumption.  Concretely:
+
+    * every message is delivered after ``base_latency`` plus deterministic
+      seeded jitter, plus any per-type injected delay (the congestion knob
+      for the delayed-Propagate experiments);
+    * messages between a fixed (src, dst) pair are delivered FIFO per
+      *channel*; foreground protocol traffic and background asynchronous
+      traffic (Propagate/Remove) use separate channels so an injected
+      propagation delay does not stall the commit critical path;
+    * messages a node sends to itself are delivered after ``self_latency``
+      (loopback dispatch, not the network fabric).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: Optional[NetworkConfig] = None,
+        seed: int = 0,
+    ) -> None:
+        self.sim = sim
+        self.config = config or NetworkConfig()
+        self.stats = NetworkStats()
+        self._rng = make_rng(seed, "network")
+        #: Optional hook adding extra delay per envelope; scenario tests use
+        #: it for asymmetric congestion (e.g. delaying Propagate on one
+        #: link only, the Figure 1 long-fork setup).
+        self.delay_policy: Optional[Callable[[Envelope], float]] = None
+        self._nodes: Dict[int, DeliverFn] = {}
+        # (src, dst, channel) -> time of the last scheduled delivery.
+        self._fifo_horizon: Dict[Tuple[int, int, str], float] = defaultdict(float)
+        self._next_msg_id = 0
+        self._crashed: set = set()
+
+    def register(self, node_id: int, deliver: DeliverFn) -> None:
+        """Attach a node's delivery callback."""
+        if node_id in self._nodes:
+            raise ValueError(f"node {node_id} already registered")
+        self._nodes[node_id] = deliver
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, src: int, dst: int, msg_type: str, payload) -> Envelope:
+        """Send a message; returns the (already scheduled) envelope."""
+        if dst not in self._nodes:
+            raise KeyError(f"unknown destination node {dst}")
+        envelope = Envelope(
+            msg_type=msg_type,
+            src=src,
+            dst=dst,
+            payload=payload,
+            send_time=self.sim.now,
+            msg_id=self._next_msg_id,
+        )
+        self._next_msg_id += 1
+
+        delay = self._latency(envelope)
+        channel = "bg" if msg_type in MessageType.BACKGROUND else "fg"
+        key = (src, dst, channel)
+        deliver_at = max(self.sim.now + delay, self._fifo_horizon[key])
+        self._fifo_horizon[key] = deliver_at
+        envelope.deliver_time = deliver_at
+
+        self.stats.messages_sent += 1
+        self.stats.messages_by_type[msg_type] += 1
+
+        self.sim.call_at(deliver_at, self._deliver, envelope)
+        return envelope
+
+    def _latency(self, envelope: Envelope) -> float:
+        cfg = self.config
+        if envelope.src == envelope.dst:
+            base = cfg.self_latency
+        else:
+            base = cfg.base_latency
+            if cfg.jitter > 0:
+                base += self._rng.uniform(0.0, cfg.jitter)
+        base += cfg.message_delays.get(envelope.msg_type, 0.0)
+        if self.delay_policy is not None:
+            base += self.delay_policy(envelope)
+        return base
+
+    def _deliver(self, envelope: Envelope) -> None:
+        if envelope.src in self._crashed or envelope.dst in self._crashed:
+            self.stats.messages_dropped += 1
+            return
+        self._nodes[envelope.dst](envelope)
+
+    # ------------------------------------------------------------------
+    # Fault injection (crash-stop)
+    # ------------------------------------------------------------------
+    def crash(self, node_id: int) -> None:
+        """Crash-stop a node: all its in-flight and future traffic drops."""
+        self._crashed.add(node_id)
+
+    def restart(self, node_id: int) -> None:
+        """Reconnect a crashed node (its volatile state is its own concern)."""
+        self._crashed.discard(node_id)
+
+    def is_crashed(self, node_id: int) -> bool:
+        """Whether the node is currently crash-stopped."""
+        return node_id in self._crashed

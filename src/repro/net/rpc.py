@@ -1,0 +1,87 @@
+"""Request/reply matching on top of the simulated network."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+from repro.net.message import Envelope, MessageType
+from repro.net.network import Network
+from repro.sim import Event, Simulator
+
+
+@dataclass
+class _Request:
+    """Wire format of an RPC request payload."""
+
+    request_id: int
+    msg_type: str
+    body: Any
+
+
+@dataclass
+class _Reply:
+    """Wire format of an RPC reply payload."""
+
+    request_id: int
+    body: Any
+
+
+class RpcEndpoint:
+    """Per-node request/reply plumbing.
+
+    A coordinator calls :meth:`request` and yields the returned event; the
+    storage-node handler computes a response and calls :meth:`reply` on the
+    original envelope.  Replies travel as ``RpcReply`` messages on the
+    foreground channel and resolve the waiting event with the reply body.
+    """
+
+    def __init__(self, sim: Simulator, network: Network, node_id: int) -> None:
+        self.sim = sim
+        self.network = network
+        self.node_id = node_id
+        self._next_request_id = 0
+        self._pending: Dict[int, Event] = {}
+
+    def request(self, dst: int, msg_type: str, body: Any) -> Event:
+        """Send a request; the returned event delivers the reply body."""
+        request_id = self._next_request_id
+        self._next_request_id += 1
+        event = self.sim.event(name=f"rpc-{msg_type}-{request_id}")
+        self._pending[request_id] = event
+        self.network.send(
+            self.node_id, dst, msg_type, _Request(request_id, msg_type, body)
+        )
+        return event
+
+    def reply(self, request_envelope: Envelope, body: Any) -> None:
+        """Answer a request previously delivered to this node."""
+        request = request_envelope.payload
+        if not isinstance(request, _Request):
+            raise TypeError(
+                f"cannot reply to non-RPC payload {request_envelope.payload!r}"
+            )
+        self.network.send(
+            self.node_id,
+            request_envelope.src,
+            MessageType.RPC_REPLY,
+            _Reply(request.request_id, body),
+        )
+
+    def handle_reply(self, envelope: Envelope) -> None:
+        """Dispatch an ``RpcReply`` envelope to its waiting event."""
+        reply = envelope.payload
+        event = self._pending.pop(reply.request_id, None)
+        if event is None:
+            raise KeyError(f"no pending request {reply.request_id} at node {self.node_id}")
+        event.succeed(reply.body)
+
+    @staticmethod
+    def body_of(envelope: Envelope) -> Any:
+        """The request body inside an RPC request envelope."""
+        return envelope.payload.body
+
+    @property
+    def pending_count(self) -> int:
+        """Requests awaiting replies (leak probe for tests)."""
+        return len(self._pending)

@@ -1,0 +1,31 @@
+"""Site availability substrate: primary-backup replication.
+
+The paper's system model (Section 2.2) assumes "each preferred site is
+highly available, meaning the site is expected to implement a replication
+technique to resist faults", and leaves that technique out of the
+concurrency-control description.  This package supplies it: a
+primary-backup replicated state machine with synchronous log shipping,
+heartbeat failure detection, and deterministic failover, built on the
+same simulation substrate as the transactional protocols.
+
+Scope notes, mirroring the paper's:
+
+* crash-stop failures, no network partitions (real deployments use a
+  consensus protocol -- the paper cites Paxos [19] -- for partition
+  tolerance; view changes here are heartbeat-driven and deterministic);
+* the transactional core treats a preferred site as one logical node;
+  this package shows how that logical node survives replica crashes with
+  no committed write lost.
+"""
+
+from repro.replication.state_machine import KVStateMachine, StateMachine
+from repro.replication.replica import Replica, ReplicaRole
+from repro.replication.group import ReplicaGroup
+
+__all__ = [
+    "KVStateMachine",
+    "Replica",
+    "ReplicaGroup",
+    "ReplicaRole",
+    "StateMachine",
+]

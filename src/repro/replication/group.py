@@ -1,0 +1,126 @@
+"""A replica group plus the client stub that finds the primary."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from repro.config import NetworkConfig
+from repro.net.message import Envelope
+from repro.net.network import Network
+from repro.replication.replica import (
+    SUBMIT,
+    SUBMIT_REPLY,
+    Replica,
+    ReplicaRole,
+)
+from repro.replication.state_machine import KVStateMachine, StateMachine
+from repro.sim import Simulator
+
+
+class ReplicaGroup:
+    """Builds ``num_replicas`` replicas and a retrying client stub.
+
+    Replicas get ids ``0..n-1``; the client stub registers as id ``n``.
+    ``submit`` is a generator subroutine: it targets the believed primary,
+    follows redirects, and retries after a timeout when the primary has
+    crashed -- returning only once the command is *committed* (applied
+    under the replication guarantee).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        num_replicas: int = 3,
+        state_machine_factory: Callable[[], StateMachine] = KVStateMachine,
+        network: Optional[Network] = None,
+        heartbeat_interval: float = 2e-3,
+        heartbeat_timeout: float = 6e-3,
+        submit_timeout: float = 10e-3,
+    ) -> None:
+        if num_replicas < 1:
+            raise ValueError("need at least one replica")
+        self.sim = sim
+        self.network = network or Network(sim, NetworkConfig(jitter=0.0))
+        self.submit_timeout = submit_timeout
+        ids = list(range(num_replicas))
+        self.replicas: List[Replica] = [
+            Replica(
+                sim,
+                self.network,
+                replica_id,
+                ids,
+                state_machine_factory(),
+                heartbeat_interval=heartbeat_interval,
+                heartbeat_timeout=heartbeat_timeout,
+            )
+            for replica_id in ids
+        ]
+        self._client_id = num_replicas
+        self._next_request = 0
+        self._pending = {}
+        self.network.register(self._client_id, self._client_deliver)
+        self._believed_primary = 0
+
+    # ------------------------------------------------------------------
+    # Client side
+    # ------------------------------------------------------------------
+    def _client_deliver(self, envelope: Envelope) -> None:
+        assert envelope.msg_type == SUBMIT_REPLY
+        request_id, ok, payload = envelope.payload
+        event = self._pending.pop(request_id, None)
+        if event is not None and not event.triggered:
+            event.succeed((ok, payload))
+
+    def submit(self, command: Any):
+        """Generator subroutine: replicate one command, return its result."""
+        while True:
+            request_id = self._next_request
+            self._next_request += 1
+            event = self.sim.event()
+            self._pending[request_id] = event
+            self.network.send(
+                self._client_id,
+                self._believed_primary,
+                SUBMIT,
+                (request_id, command),
+            )
+            deadline = self.sim.timeout(self.submit_timeout, ("timeout", None))
+            from repro.sim import AnyOf
+
+            which, value = yield AnyOf(self.sim, [event, deadline])
+            if which == 0:
+                ok, payload = value
+                if ok:
+                    return payload
+                # Redirected: payload is the responder's primary hint.
+                self._believed_primary = payload
+            else:
+                # Timed out (crashed primary?): try the next replica.
+                self._pending.pop(request_id, None)
+                self._believed_primary = (
+                    self._believed_primary + 1
+                ) % len(self.replicas)
+
+    # ------------------------------------------------------------------
+    # Introspection & control
+    # ------------------------------------------------------------------
+    def primary(self) -> Optional[Replica]:
+        for replica in self.replicas:
+            if not replica.crashed and replica.role is ReplicaRole.PRIMARY:
+                return replica
+        return None
+
+    def crash_primary(self) -> Replica:
+        primary = self.primary()
+        assert primary is not None, "no live primary to crash"
+        primary.crash()
+        return primary
+
+    def live_replicas(self) -> List[Replica]:
+        return [r for r in self.replicas if not r.crashed]
+
+    def shutdown(self) -> None:
+        """Cancel the periodic timers so the simulation can drain."""
+        for replica in self.replicas:
+            if replica._timer is not None:
+                replica._timer.cancel()

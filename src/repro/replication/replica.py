@@ -1,0 +1,266 @@
+"""One replica of a site's primary-backup group."""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Dict, List, Optional, Set
+
+from repro.net.message import Envelope
+from repro.net.network import Network
+from repro.sim import Simulator
+from repro.replication.state_machine import StateMachine
+
+APPEND = "RepAppend"
+APPEND_ACK = "RepAppendAck"
+HEARTBEAT = "RepHeartbeat"
+SUBMIT = "RepSubmit"
+SUBMIT_REPLY = "RepSubmitReply"
+
+
+class ReplicaRole(enum.Enum):
+    PRIMARY = "primary"
+    BACKUP = "backup"
+
+
+class _LogEntry:
+    __slots__ = ("index", "epoch", "command")
+
+    def __init__(self, index: int, epoch: int, command: Any) -> None:
+        self.index = index
+        self.epoch = epoch
+        self.command = command
+
+
+class Replica:
+    """A crash-stop replica with synchronous log shipping.
+
+    Succession is deterministic: the live replica with the lowest id is
+    primary.  Only the primary heartbeats; a backup that misses heartbeats
+    suspects every lower-id replica it has not heard from and takes over
+    when it becomes the lowest unsuspected id.  Because the primary
+    commits an entry only after every unsuspected backup acknowledged it,
+    any successor's log contains every committed entry -- no committed
+    write is lost across a failover (asserted by the tests).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        replica_id: int,
+        group_ids: List[int],
+        state_machine: StateMachine,
+        heartbeat_interval: float = 2e-3,
+        heartbeat_timeout: float = 6e-3,
+        ack_timeout: float = 4e-3,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.replica_id = replica_id
+        self.group_ids = sorted(group_ids)
+        self.sm = state_machine
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
+        self.ack_timeout = ack_timeout
+
+        self.log: List[_LogEntry] = []
+        self.commit_index = 0  # entries [0, commit_index) are applied
+        self.epoch = 0
+        self.suspected: Set[int] = set()
+        self.crashed = False
+
+        self._last_heartbeat = sim.now
+        self._pending_acks: Dict[int, Set[int]] = {}  # log index -> awaited ids
+        self._commit_waiters: Dict[int, list] = {}  # log index -> events
+        self._results: Dict[int, Any] = {}
+        self._timer = None
+
+        network.register(replica_id, self._deliver)
+        self._schedule_tick()
+
+    # ------------------------------------------------------------------
+    # Roles
+    # ------------------------------------------------------------------
+    @property
+    def role(self) -> ReplicaRole:
+        if self.replica_id == self._believed_primary():
+            return ReplicaRole.PRIMARY
+        return ReplicaRole.BACKUP
+
+    def _believed_primary(self) -> int:
+        for candidate in self.group_ids:
+            if candidate not in self.suspected:
+                return candidate
+        return self.replica_id
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Crash-stop: stop timers and drop all traffic."""
+        self.crashed = True
+        self.network.crash(self.replica_id)
+        if self._timer is not None:
+            self._timer.cancel()
+
+    # ------------------------------------------------------------------
+    # Periodic work
+    # ------------------------------------------------------------------
+    def _schedule_tick(self) -> None:
+        self._timer = self.sim.call_later(self.heartbeat_interval, self._tick)
+
+    def _tick(self) -> None:
+        if self.crashed:
+            return
+        if self.role is ReplicaRole.PRIMARY:
+            for peer in self.group_ids:
+                if peer != self.replica_id and peer not in self.suspected:
+                    self.network.send(
+                        self.replica_id,
+                        peer,
+                        HEARTBEAT,
+                        (self.epoch, self.commit_index),
+                    )
+        else:
+            elapsed = self.sim.now - self._last_heartbeat
+            if elapsed > self.heartbeat_timeout:
+                # Suspect every lower-id replica we have not heard from;
+                # if that makes us the lowest live id, take over.
+                for candidate in self.group_ids:
+                    if candidate == self.replica_id:
+                        break
+                    self.suspected.add(candidate)
+                if self.role is ReplicaRole.PRIMARY:
+                    self._become_primary()
+        self._schedule_tick()
+
+    def _become_primary(self) -> None:
+        self.epoch += 1
+        # Commit everything inherited: our log holds every entry the old
+        # primary committed (sync replication), plus possibly a tail the
+        # old primary never finished -- committing it is safe (the client
+        # simply observes a success it may have timed out on).
+        self._advance_commit(len(self.log))
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+    def _deliver(self, envelope: Envelope) -> None:
+        if self.crashed:
+            return
+        handler = {
+            SUBMIT: self._on_submit,
+            APPEND: self._on_append,
+            APPEND_ACK: self._on_append_ack,
+            HEARTBEAT: self._on_heartbeat,
+        }[envelope.msg_type]
+        handler(envelope)
+
+    def _on_submit(self, envelope: Envelope) -> None:
+        request_id, command = envelope.payload
+        if self.role is not ReplicaRole.PRIMARY:
+            self.network.send(
+                self.replica_id,
+                envelope.src,
+                SUBMIT_REPLY,
+                (request_id, False, self._believed_primary()),
+            )
+            return
+
+        index = len(self.log)
+        entry = _LogEntry(index, self.epoch, command)
+        self.log.append(entry)
+        peers = [
+            p for p in self.group_ids
+            if p != self.replica_id and p not in self.suspected
+        ]
+        self._pending_acks[index] = set(peers)
+        self._commit_waiters.setdefault(index, []).append((envelope.src, request_id))
+        for peer in peers:
+            self.network.send(
+                self.replica_id,
+                peer,
+                APPEND,
+                (self.epoch, index, command, self.commit_index),
+            )
+        if not peers:
+            self._advance_commit(index + 1)
+        else:
+            self.sim.call_later(self.ack_timeout, self._ack_deadline, index)
+
+    def _ack_deadline(self, index: int) -> None:
+        """Peers that never acked are suspected; the entry commits anyway."""
+        if self.crashed:
+            return
+        missing = self._pending_acks.get(index)
+        if missing:
+            self.suspected.update(missing)
+            missing.clear()
+        self._try_commit(index)
+
+    def _on_append(self, envelope: Envelope) -> None:
+        epoch, index, command, primary_commit = envelope.payload
+        if epoch < self.epoch:
+            return  # stale primary
+        self.epoch = epoch
+        self._last_heartbeat = self.sim.now
+        if index < len(self.log):
+            self.log[index] = _LogEntry(index, epoch, command)
+            del self.log[index + 1 :]
+        else:
+            # Sync shipping over FIFO channels keeps indexes dense.
+            assert index == len(self.log), "replication log gap"
+            self.log.append(_LogEntry(index, epoch, command))
+        self.network.send(
+            self.replica_id, envelope.src, APPEND_ACK, (epoch, index)
+        )
+        # Piggybacked commit progress lets backups apply without waiting
+        # for the next heartbeat.
+        self._advance_commit(min(primary_commit, len(self.log)))
+
+    def _on_append_ack(self, envelope: Envelope) -> None:
+        epoch, index = envelope.payload
+        if epoch != self.epoch:
+            return
+        pending = self._pending_acks.get(index)
+        if pending is not None:
+            pending.discard(envelope.src)
+            self._try_commit(index)
+
+    def _try_commit(self, index: int) -> None:
+        # Entries commit in order; scan forward from commit_index.
+        next_index = self.commit_index
+        while next_index < len(self.log):
+            pending = self._pending_acks.get(next_index)
+            if pending:
+                break
+            next_index += 1
+        self._advance_commit(next_index)
+
+    def _on_heartbeat(self, envelope: Envelope) -> None:
+        epoch, commit_index = envelope.payload
+        if epoch < self.epoch:
+            return
+        self.epoch = epoch
+        self._last_heartbeat = self.sim.now
+        self.suspected.discard(envelope.src)
+        self._advance_commit(min(commit_index, len(self.log)))
+
+    # ------------------------------------------------------------------
+    # Commit & apply
+    # ------------------------------------------------------------------
+    def _advance_commit(self, new_commit_index: int) -> None:
+        while self.commit_index < new_commit_index:
+            index = self.commit_index
+            entry = self.log[index]
+            result = self.sm.apply(entry.command)
+            self._results[index] = result
+            self.commit_index += 1
+            self._pending_acks.pop(index, None)
+            for client, request_id in self._commit_waiters.pop(index, []):
+                self.network.send(
+                    self.replica_id,
+                    client,
+                    SUBMIT_REPLY,
+                    (request_id, True, result),
+                )

@@ -1,0 +1,49 @@
+"""Replicated state machines: the interface and a key-value example."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Dict, Hashable
+
+
+class StateMachine(ABC):
+    """Deterministic state machine driven by an ordered command log.
+
+    Replicas apply the same commands in the same order, so any
+    deterministic implementation stays consistent across the group.
+    """
+
+    @abstractmethod
+    def apply(self, command: Any) -> Any:
+        """Apply one committed command; returns the command's result."""
+
+    @abstractmethod
+    def snapshot(self) -> Any:
+        """A deep, comparable snapshot of the full state (for tests)."""
+
+
+class KVStateMachine(StateMachine):
+    """A dictionary driven by ``("put", k, v)`` / ``("delete", k)`` commands."""
+
+    def __init__(self) -> None:
+        self._data: Dict[Hashable, Any] = {}
+
+    def apply(self, command: Any) -> Any:
+        op = command[0]
+        if op == "put":
+            _op, key, value = command
+            self._data[key] = value
+            return value
+        if op == "delete":
+            _op, key = command
+            return self._data.pop(key, None)
+        if op == "get":
+            _op, key = command
+            return self._data.get(key)
+        raise ValueError(f"unknown command {command!r}")
+
+    def get(self, key: Hashable) -> Any:
+        return self._data.get(key)
+
+    def snapshot(self) -> Dict[Hashable, Any]:
+        return dict(self._data)

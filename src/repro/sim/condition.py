@@ -1,0 +1,57 @@
+"""Condition variables and predicate waits for simulated processes."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterator, List
+
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.simulator import Simulator
+
+
+class ConditionVariable:
+    """Broadcast wake-up point for processes waiting on a predicate.
+
+    Protocol code that must block until some shared state changes (for
+    example FW-KV's in-order apply rule ``wait until siteVC[j] == seqNo-1``)
+    waits on the node's condition variable and re-checks its predicate each
+    time :meth:`notify_all` is called.  The simulation is single threaded,
+    so there is no lost-wakeup race between checking the predicate and
+    registering the waiter.
+    """
+
+    __slots__ = ("sim", "_waiters")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self._waiters: List[Event] = []
+
+    def wait(self) -> Event:
+        """An event that succeeds at the next :meth:`notify_all`."""
+        ev = Event(self.sim, name="cond-wait")
+        self._waiters.append(ev)
+        return ev
+
+    def notify_all(self) -> None:
+        """Wake every currently-registered waiter."""
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            waiter.succeed(None)
+
+    @property
+    def waiter_count(self) -> int:
+        return len(self._waiters)
+
+
+def wait_until(cond: ConditionVariable, predicate: Callable[[], Any]) -> Iterator[Event]:
+    """Generator helper: block until ``predicate()`` is truthy.
+
+    Use inside a process as ``yield from wait_until(cv, pred)``.  The
+    predicate's truthy value is returned to the caller.
+    """
+    while True:
+        value = predicate()
+        if value:
+            return value
+        yield cond.wait()

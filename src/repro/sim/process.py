@@ -1,0 +1,90 @@
+"""Generator-driven simulated processes."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.simulator import Simulator
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """A running process; also an event that triggers on completion.
+
+    A process wraps a generator.  Each value the generator ``yield``\\ s must
+    be an :class:`Event` (a :class:`Process` is itself an event, so processes
+    can join each other).  The process resumes with the event's value, or the
+    event's exception is thrown into the generator.  When the generator
+    returns, the process succeeds with the returned value; an uncaught
+    exception fails the process (and propagates to joiners, or crashes the
+    simulation if nobody joined).
+
+    Sub-routines compose with ``yield from``: any helper written as a
+    generator of events can be inlined into a process without spawning.
+    """
+
+    __slots__ = ("_gen",)
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        gen: ProcessGenerator,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(sim, name=name or getattr(gen, "__name__", "process"))
+        if not hasattr(gen, "send"):
+            raise TypeError(
+                f"Process requires a generator, got {type(gen).__name__}; "
+                "did you call a plain function instead of a generator function?"
+            )
+        self._gen = gen
+        sim.call_soon(self._step, None)
+
+    def _step(self, triggered: Optional[Event]) -> None:
+        """Advance the generator by one yield."""
+        while True:
+            try:
+                if triggered is None:
+                    target = next(self._gen)
+                elif triggered.ok:
+                    target = self._gen.send(triggered.value)
+                else:
+                    exc = triggered.exception
+                    assert exc is not None
+                    target = self._gen.throw(exc)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+                return
+            except BaseException as exc:  # noqa: BLE001 - fail the process
+                self._fail_process(exc)
+                return
+
+            if not isinstance(target, Event):
+                exc = TypeError(
+                    f"process {self.name!r} yielded {target!r}; "
+                    "processes may only yield Event instances"
+                )
+                self._gen.close()
+                self._fail_process(exc)
+                return
+
+            if target.triggered:
+                # Fast path: already-triggered events resume inline, which
+                # keeps zero-delay protocol steps from round-tripping through
+                # the scheduler and bloating the heap.
+                triggered = target
+                continue
+            target.add_callback(self._step)
+            return
+
+    def _fail_process(self, exc: BaseException) -> None:
+        handled = bool(self._callbacks)
+        self.fail(exc)
+        if not handled:
+            # Nobody was joining this process when it crashed; surface the
+            # failure through the simulator instead of dropping it silently.
+            self.sim.report_crash(self, exc)

@@ -1,0 +1,157 @@
+"""The discrete-event simulator: virtual clock plus a deterministic heap."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.sim.events import Event
+from repro.sim.process import Process, ProcessGenerator
+
+
+class SimulationCrash(RuntimeError):
+    """Raised when a process dies with an exception nobody was joining."""
+
+
+class Timer:
+    """Handle for a scheduled callback; :meth:`cancel` prevents it firing."""
+
+    __slots__ = ("when", "_cancelled")
+
+    def __init__(self, when: float) -> None:
+        self.when = when
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+
+class Simulator:
+    """Deterministic discrete-event scheduler.
+
+    Entries are ordered by ``(time, sequence)`` where the sequence number is
+    a global insertion counter, so same-time callbacks run in the order they
+    were scheduled.  This makes whole-system runs reproducible for a fixed
+    seed and program.
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: List[Tuple[float, int, Timer, Callable[..., None], tuple]] = []
+        self._sequence = 0
+        self._crashes: List[Tuple[Process, BaseException]] = []
+
+    # ------------------------------------------------------------------
+    # Scheduling primitives
+    # ------------------------------------------------------------------
+    def call_at(self, when: float, fn: Callable[..., None], *args: Any) -> Timer:
+        """Run ``fn(*args)`` at virtual time ``when``."""
+        if when < self.now:
+            raise ValueError(f"cannot schedule in the past ({when} < {self.now})")
+        timer = Timer(when)
+        heapq.heappush(self._heap, (when, self._sequence, timer, fn, args))
+        self._sequence += 1
+        return timer
+
+    def call_later(self, delay: float, fn: Callable[..., None], *args: Any) -> Timer:
+        """Run ``fn(*args)`` after ``delay`` units of virtual time."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        return self.call_at(self.now + delay, fn, *args)
+
+    def call_soon(self, fn: Callable[..., None], *args: Any) -> Timer:
+        """Run ``fn(*args)`` at the current virtual time, after pending work."""
+        return self.call_at(self.now, fn, *args)
+
+    # ------------------------------------------------------------------
+    # Waitables
+    # ------------------------------------------------------------------
+    def event(self, name: Optional[str] = None) -> Event:
+        """Create a fresh pending event bound to this simulator."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Event:
+        """An event that succeeds with ``value`` after ``delay``."""
+        ev = Event(self, name=f"timeout({delay})")
+        self.call_later(delay, ev.succeed, value)
+        return ev
+
+    def spawn(self, gen: ProcessGenerator, name: Optional[str] = None) -> Process:
+        """Start a new process driving ``gen``; returns the joinable process."""
+        return Process(self, gen, name=name)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next scheduled callback; False when the heap is empty."""
+        while self._heap:
+            when, _seq, timer, fn, args = heapq.heappop(self._heap)
+            if timer.cancelled:
+                continue
+            assert when >= self.now, "time went backwards"
+            self.now = when
+            fn(*args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the heap drains or the clock passes ``until``.
+
+        Returns the final virtual time.  Raises :class:`SimulationCrash` if
+        any process died unhandled during the run.
+        """
+        if until is None:
+            while self.step():
+                self._check_crashes()
+        else:
+            while True:
+                next_time = self._peek_time()
+                if next_time is None or next_time > until:
+                    break
+                self.step()
+                self._check_crashes()
+            self.now = max(self.now, until)
+        self._check_crashes()
+        return self.now
+
+    def run_process(self, gen: ProcessGenerator, name: Optional[str] = None) -> Any:
+        """Spawn ``gen``, run the simulation to quiescence, return its value."""
+        proc = self.spawn(gen, name=name)
+        # Register as a joiner so a failure re-raises below as the original
+        # exception instead of surfacing as an unhandled SimulationCrash.
+        proc.add_callback(lambda _event: None)
+        self.run()
+        if not proc.triggered:
+            raise RuntimeError(
+                f"process {proc.name!r} never finished: simulation deadlocked"
+            )
+        return proc.value
+
+    def _peek_time(self) -> Optional[float]:
+        """Time of the next live entry, discarding cancelled timers."""
+        while self._heap and self._heap[0][2].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0][0] if self._heap else None
+
+    # ------------------------------------------------------------------
+    # Crash accounting
+    # ------------------------------------------------------------------
+    def report_crash(self, process: Process, exc: BaseException) -> None:
+        self._crashes.append((process, exc))
+
+    def _check_crashes(self) -> None:
+        if self._crashes:
+            process, exc = self._crashes[0]
+            raise SimulationCrash(
+                f"process {process.name!r} crashed at t={self.now:.6f}: {exc!r}"
+            ) from exc
+
+    @property
+    def pending_count(self) -> int:
+        """Number of scheduled (possibly cancelled) heap entries."""
+        return len(self._heap)

@@ -1,0 +1,16 @@
+"""Storage substrate: multi-version chains, stores, and per-key locking."""
+
+from repro.storage.version import Version
+from repro.storage.chain import VersionChain
+from repro.storage.store import MultiVersionStore
+from repro.storage.simple_store import SimpleStore, SimpleRecord
+from repro.storage.locks import LockTable
+
+__all__ = [
+    "LockTable",
+    "MultiVersionStore",
+    "SimpleRecord",
+    "SimpleStore",
+    "Version",
+    "VersionChain",
+]

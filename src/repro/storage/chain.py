@@ -1,0 +1,95 @@
+"""Per-key version chains."""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator, List, Optional
+
+from repro.core.vector_clock import VectorClock
+from repro.storage.version import Version
+
+
+class VersionChain:
+    """All committed versions of one key, ordered by ascending ``vid``."""
+
+    __slots__ = ("key", "_versions")
+
+    def __init__(self, key: Hashable) -> None:
+        self.key = key
+        self._versions: List[Version] = []
+
+    def install(
+        self,
+        value: object,
+        vc: VectorClock,
+        origin: int,
+        seq: int,
+        writer_txn: Optional[int] = None,
+        installed_at: float = 0.0,
+    ) -> Version:
+        """Append a new latest version and return it."""
+        vid = self._versions[-1].vid + 1 if self._versions else 0
+        version = Version(
+            self.key, value, vc, vid, origin, seq, writer_txn, installed_at
+        )
+        self._versions.append(version)
+        return version
+
+    @property
+    def latest(self) -> Version:
+        if not self._versions:
+            raise LookupError(f"key {self.key!r} has no versions")
+        return self._versions[-1]
+
+    def __len__(self) -> int:
+        return len(self._versions)
+
+    def __iter__(self) -> Iterator[Version]:
+        return iter(self._versions)
+
+    def newest_first(self) -> Iterator[Version]:
+        """Iterate versions from freshest to oldest (selection order)."""
+        return reversed(self._versions)
+
+    def by_vid(self, vid: int) -> Version:
+        """Fetch a specific version by identifier."""
+        for version in self.newest_first():
+            if version.vid == vid:
+                return version
+        raise LookupError(f"key {self.key!r} has no version #{vid}")
+
+    def truncate_older_than(self, keep_last: int) -> int:
+        """Garbage-collect all but the newest ``keep_last`` versions.
+
+        Returns the number of versions dropped.  Not used by the protocol
+        logic itself; exposed for long-running deployments and tests.
+        """
+        if keep_last < 1:
+            raise ValueError("must keep at least the latest version")
+        drop = max(0, len(self._versions) - keep_last)
+        if drop:
+            self._versions = self._versions[drop:]
+        return drop
+
+    def collect_garbage(self, keep_last: int, min_age: float, now: float) -> int:
+        """Drop reclaimable old versions from the cold end of the chain.
+
+        A version is reclaimable when all hold: it is not among the newest
+        ``keep_last`` versions; it was installed more than ``min_age`` of
+        virtual time ago (so no in-flight snapshot can still select it,
+        assuming transactions are much shorter than ``min_age``); and its
+        version-access-set is empty (no registered read-only reader).
+        Dropping stops at the first non-reclaimable version, preserving a
+        contiguous chain.  Returns the number of versions dropped.
+        """
+        if keep_last < 1:
+            raise ValueError("must keep at least the latest version")
+        horizon = now - min_age
+        reclaimable = 0
+        limit = len(self._versions) - keep_last
+        for version in self._versions[:max(limit, 0)]:
+            if version.installed_at > horizon or version.access_set:
+                break
+            reclaimable += 1
+        if reclaimable:
+            self._versions = self._versions[reclaimable:]
+        return reclaimable

@@ -1,0 +1,116 @@
+"""Per-key lock table with multi-key acquisition helpers."""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional
+
+from repro.sim import RWLock, Simulator
+
+
+class LockTable:
+    """Lazily materialised per-key readers/writer locks.
+
+    Both protocols lock written keys exclusively during 2PC; FW-KV read
+    handlers additionally take the shared side so read-only transactions
+    "are still allowed to operate simultaneously on read handlers" while
+    excluding concurrent conflicting update commits (paper Section 4.3).
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._locks: Dict[Hashable, RWLock] = {}
+
+    def lock_for(self, key: Hashable) -> RWLock:
+        lock = self._locks.get(key)
+        if lock is None:
+            lock = RWLock(self.sim)
+            self._locks[key] = lock
+        return lock
+
+    # ------------------------------------------------------------------
+    # Multi-key helpers (generator subroutines for protocol processes)
+    # ------------------------------------------------------------------
+    def acquire_write_all(
+        self,
+        keys: Iterable[Hashable],
+        owner,
+        timeout: Optional[float],
+    ) -> Iterator:
+        """Acquire write locks on every key; all-or-nothing.
+
+        Keys are locked in sorted order to shorten (not eliminate) deadlock
+        windows; a timeout on any key releases everything already held and
+        yields ``False`` -- the caller then votes *no*, exactly as the
+        paper's prepare handler does.  Use as
+        ``ok = yield from table.acquire_write_all(...)``.
+        """
+        ordered: List[Hashable] = sorted(keys, key=repr)
+        acquired: List[Hashable] = []
+        for key in ordered:
+            granted = yield self.lock_for(key).acquire_write(owner, timeout)
+            if not granted:
+                self.release_write_all(acquired, owner)
+                return False
+            acquired.append(key)
+        return True
+
+    def release_write_all(self, keys: Iterable[Hashable], owner) -> None:
+        for key in keys:
+            self.lock_for(key).release(owner)
+
+    def acquire_mixed(
+        self,
+        read_keys: Iterable[Hashable],
+        write_keys: Iterable[Hashable],
+        owner,
+        timeout: Optional[float],
+    ) -> Iterator:
+        """Acquire shared locks on ``read_keys`` and exclusive locks on
+        ``write_keys``, all-or-nothing (2PC-baseline prepare).
+
+        A key in both sets is locked exclusively only.  Keys are acquired
+        in one global sorted order.  Yields ``(ok, read_held, write_held)``
+        where the held lists are empty on failure.
+        """
+        writes = set(write_keys)
+        reads = set(read_keys) - writes
+        plan = sorted(
+            [(key, "w") for key in writes] + [(key, "r") for key in reads],
+            key=lambda item: repr(item[0]),
+        )
+        held: List = []
+        for key, mode in plan:
+            lock = self.lock_for(key)
+            if mode == "w":
+                granted = yield lock.acquire_write(owner, timeout)
+            else:
+                granted = yield lock.acquire_read(owner, timeout)
+            if not granted:
+                for got_key, _mode in held:
+                    self.lock_for(got_key).release(owner)
+                return False, [], []
+            held.append((key, mode))
+        read_held = [key for key, mode in held if mode == "r"]
+        write_held = [key for key, mode in held if mode == "w"]
+        return True, read_held, write_held
+
+    def release_keys(self, keys: Iterable[Hashable], owner) -> None:
+        """Release a set of keys previously granted to ``owner``."""
+        for key in keys:
+            self.lock_for(key).release(owner)
+
+    def acquire_read(self, key: Hashable, owner, timeout: Optional[float]):
+        """Event for a shared acquisition on one key."""
+        return self.lock_for(key).acquire_read(owner, timeout)
+
+    def release_read(self, key: Hashable, owner) -> None:
+        self.lock_for(key).release(owner)
+
+    # ------------------------------------------------------------------
+    # Introspection (tests / invariants)
+    # ------------------------------------------------------------------
+    def any_locked(self) -> bool:
+        return any(lock.is_locked for lock in self._locks.values())
+
+    def locked_keys(self) -> List[Hashable]:
+        return [key for key, lock in self._locks.items() if lock.is_locked]

@@ -1,0 +1,57 @@
+"""Single-version store for the serializable 2PC baseline.
+
+The paper's 2PC-baseline "does not need multiversioning": every key holds
+one committed value plus a scalar version number that read validation
+compares at commit time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterator
+
+
+@dataclass
+class SimpleRecord:
+    value: object
+    version: int = 0
+
+
+class SimpleStore:
+    """One committed record per key."""
+
+    def __init__(self) -> None:
+        self._records: Dict[Hashable, SimpleRecord] = {}
+
+    def create(self, key: Hashable, value: object) -> SimpleRecord:
+        if key in self._records:
+            raise KeyError(f"key {key!r} already exists")
+        record = SimpleRecord(value)
+        self._records[key] = record
+        return record
+
+    def read(self, key: Hashable) -> SimpleRecord:
+        try:
+            return self._records[key]
+        except KeyError:
+            raise KeyError(f"key {key!r} is not stored on this node") from None
+
+    def write(self, key: Hashable, value: object) -> SimpleRecord:
+        """Overwrite the committed value, bumping the version number."""
+        record = self._records.get(key)
+        if record is None:
+            record = SimpleRecord(value)
+            self._records[key] = record
+        else:
+            record.value = value
+            record.version += 1
+        return record
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def keys(self) -> Iterator[Hashable]:
+        return iter(self._records)

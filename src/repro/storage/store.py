@@ -1,0 +1,124 @@
+"""The per-node multi-version data repository."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Hashable, Iterable, Iterator, Optional, Set, Tuple
+
+from repro.core.vector_clock import VectorClock
+from repro.storage.chain import VersionChain
+from repro.storage.version import Version
+
+
+class MultiVersionStore:
+    """All version chains held by one node, plus the VAS reverse index.
+
+    The paper's ``Remove`` handler (Alg. 6 lines 5-10) erases a read-only
+    transaction's identifier from *every* version-access-set at the node,
+    including entries propagated there by concurrent update commits.  A
+    literal scan of all chains would be O(store); we maintain a reverse
+    index ``txn_id -> versions`` so removal costs O(entries), with the same
+    semantics.  All VAS mutations must therefore go through
+    :meth:`vas_add` / :meth:`vas_extend` / :meth:`vas_remove_txn`.
+
+    **Tombstones.**  A Remove races with in-flight update commits whose
+    Decide still carries the removed identifier in its collected set; a
+    late install would resurrect the entry forever.  Since a removed
+    transaction has finished and will never read again, its identifier is
+    tombstoned: later insertions are ignored.  Tombstones expire after
+    ``tombstone_ttl`` of virtual time (far beyond any propagation delay),
+    keeping memory bounded.
+    """
+
+    def __init__(self, tombstone_ttl: float = 0.1) -> None:
+        self._chains: Dict[Hashable, VersionChain] = {}
+        self._vas_index: Dict[int, Set[Version]] = {}
+        self._tombstones: Set[int] = set()
+        self._tombstone_queue: Deque[Tuple[float, int]] = deque()
+        self.tombstone_ttl = tombstone_ttl
+
+    # ------------------------------------------------------------------
+    # Chains
+    # ------------------------------------------------------------------
+    def create(self, key: Hashable, value: object, vc: VectorClock) -> Version:
+        """Load an initial version (vid 0, origin/seq 0) for a fresh key."""
+        if key in self._chains:
+            raise KeyError(f"key {key!r} already exists")
+        chain = VersionChain(key)
+        self._chains[key] = chain
+        return chain.install(value, vc, origin=0, seq=0)
+
+    def chain(self, key: Hashable) -> VersionChain:
+        try:
+            return self._chains[key]
+        except KeyError:
+            raise KeyError(f"key {key!r} is not stored on this node") from None
+
+    def install(
+        self,
+        key: Hashable,
+        value: object,
+        vc: VectorClock,
+        origin: int,
+        seq: int,
+        writer_txn: Optional[int] = None,
+        installed_at: float = 0.0,
+    ) -> Version:
+        """Install a new committed version as the latest for ``key``."""
+        chain = self._chains.get(key)
+        if chain is None:
+            chain = VersionChain(key)
+            self._chains[key] = chain
+        return chain.install(value, vc, origin, seq, writer_txn, installed_at)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._chains
+
+    def __len__(self) -> int:
+        return len(self._chains)
+
+    def keys(self) -> Iterator[Hashable]:
+        return iter(self._chains)
+
+    # ------------------------------------------------------------------
+    # Version-access-set maintenance (FW-KV visible reads)
+    # ------------------------------------------------------------------
+    def vas_add(self, version: Version, txn_id: int) -> None:
+        """Record that read-only transaction ``txn_id`` read ``version``."""
+        if txn_id in self._tombstones:
+            return
+        version.access_set.add(txn_id)
+        self._vas_index.setdefault(txn_id, set()).add(version)
+
+    def vas_extend(self, version: Version, txn_ids: Iterable[int]) -> None:
+        """Propagate a collected anti-dependency set into ``version``."""
+        for txn_id in txn_ids:
+            self.vas_add(version, txn_id)
+
+    def vas_remove_txn(self, txn_id: int, now: float = 0.0) -> int:
+        """Erase ``txn_id`` from every VAS on this node (Remove handler).
+
+        Returns the number of entries erased.  The identifier is
+        tombstoned against late re-insertion by in-flight commits.
+        """
+        if txn_id not in self._tombstones:
+            self._tombstones.add(txn_id)
+            self._tombstone_queue.append((now, txn_id))
+        self._prune_tombstones(now)
+        versions = self._vas_index.pop(txn_id, None)
+        if not versions:
+            return 0
+        for version in versions:
+            version.access_set.discard(txn_id)
+        return len(versions)
+
+    def _prune_tombstones(self, now: float) -> None:
+        horizon = now - self.tombstone_ttl
+        queue = self._tombstone_queue
+        while queue and queue[0][0] <= horizon:
+            _when, txn_id = queue.popleft()
+            self._tombstones.discard(txn_id)
+
+    def vas_total_entries(self) -> int:
+        """Total VAS entries on this node (metrics/invariant checks)."""
+        return sum(len(versions) for versions in self._vas_index.values())

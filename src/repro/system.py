@@ -1,0 +1,184 @@
+"""The top-level facade: build a cluster, load data, run transactions.
+
+:class:`Cluster` wires together the simulator, network, directory, metrics,
+and one protocol node per simulated machine.  Tests, examples, and the
+benchmark harness all drive the system through this class.
+
+Typical scripted use::
+
+    cluster = Cluster("fwkv", ClusterConfig(num_nodes=3))
+    cluster.load("x", 0)
+
+    def scenario():
+        txn = cluster.node(0).begin(is_read_only=False)
+        value = yield from cluster.node(0).read(txn, "x")
+        cluster.node(0).write(txn, "x", value + 1)
+        ok = yield from cluster.node(0).commit(txn)
+        return ok
+
+    assert cluster.run_process(scenario())
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Optional, Tuple
+
+from repro.cluster.directory import ConsistentHashDirectory, Directory
+from repro.cluster.node import Node
+from repro.config import ClusterConfig
+from repro.core.fwkv import FWKVNode
+from repro.core.interfaces import BaseProtocolNode, SharedState
+from repro.core.mvcc_node import MVCCNode
+from repro.core.twopc import TwoPCNode
+from repro.core.walter import WalterNode
+from repro.metrics.history import History, OpRecord
+from repro.metrics.psi_checker import VersionCatalog
+from repro.metrics.stats import MetricsRecorder
+from repro.net.network import Network
+from repro.sim import Simulator, Tracer
+
+PROTOCOLS = {
+    "fwkv": FWKVNode,
+    "walter": WalterNode,
+    "2pc": TwoPCNode,
+}
+
+
+class Cluster:
+    """A complete simulated deployment of one protocol."""
+
+    def __init__(
+        self,
+        protocol: str,
+        config: ClusterConfig,
+        directory: Optional[Directory] = None,
+        record_history: bool = False,
+    ) -> None:
+        if protocol not in PROTOCOLS:
+            raise ValueError(
+                f"unknown protocol {protocol!r}; choose from {sorted(PROTOCOLS)}"
+            )
+        self.protocol = protocol
+        self.config = config
+        self.sim = Simulator()
+        self.network = Network(self.sim, config.network, seed=config.seed)
+        self.metrics = MetricsRecorder(self.sim)
+        self.tracer = Tracer(self.sim)
+        self.directory = directory or ConsistentHashDirectory(list(config.node_ids))
+        self.history: Optional[History] = History() if record_history else None
+        self.shared = SharedState(
+            sim=self.sim,
+            config=config,
+            directory=self.directory,
+            metrics=self.metrics,
+            tracer=self.tracer,
+            history=self.history,
+        )
+        node_cls = PROTOCOLS[protocol]
+        self.nodes = [
+            node_cls(Node(self.sim, node_id, self.network), self.shared)
+            for node_id in config.node_ids
+        ]
+
+    # ------------------------------------------------------------------
+    # Data loading
+    # ------------------------------------------------------------------
+    def load(self, key: Hashable, value: object) -> None:
+        """Install initial data at the key's preferred site."""
+        self.nodes[self.directory.site(key)].load(key, value)
+
+    def load_many(self, items: Iterable[Tuple[Hashable, object]]) -> int:
+        """Install many (key, value) pairs; returns the count loaded."""
+        count = 0
+        for key, value in items:
+            self.load(key, value)
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def node(self, node_id: int) -> BaseProtocolNode:
+        """The protocol node with the given id."""
+        return self.nodes[node_id]
+
+    def spawn(self, gen, name: Optional[str] = None):
+        """Start a simulated process on this cluster; returns it (joinable)."""
+        return self.sim.spawn(gen, name=name)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run the simulation until quiescence or ``until`` virtual seconds."""
+        return self.sim.run(until)
+
+    def run_process(self, gen, name: Optional[str] = None):
+        """Spawn ``gen``, run to quiescence, and return the process's value."""
+        return self.sim.run_process(gen, name=name)
+
+    # ------------------------------------------------------------------
+    # Post-run analysis
+    # ------------------------------------------------------------------
+    def version_catalog(self) -> VersionCatalog:
+        """(key, vid) -> (origin, seq, writer txn) across all nodes."""
+        catalog: VersionCatalog = {}
+        for node in self.nodes:
+            if isinstance(node, MVCCNode):
+                for key in node.store.keys():
+                    for version in node.store.chain(key):
+                        catalog[(key, version.vid)] = (
+                            version.origin,
+                            version.seq,
+                            version.writer_txn,
+                        )
+            elif isinstance(node, TwoPCNode):
+                catalog.update(node.catalog)
+        return catalog
+
+    def finalized_history(self) -> History:
+        """The recorded history with write vids resolved from the catalog.
+
+        Coordinators never learn the vids their writes received at remote
+        nodes, so update-transaction write operations are reconstructed
+        here from each version's ``writer_txn`` stamp.  2PC records write
+        vids inline at commit and needs no resolution.
+        """
+        if self.history is None:
+            raise RuntimeError("history recording was not enabled")
+        writes_by_txn: Dict[int, list] = {}
+        for (key, vid), (_origin, _seq, writer) in self.version_catalog().items():
+            if writer is not None:
+                writes_by_txn.setdefault(writer, []).append((key, vid))
+        for record in self.history:
+            if record.is_read_only or record.writes():
+                continue
+            for key, vid in sorted(writes_by_txn.get(record.txn_id, []), key=repr):
+                record.ops.append(OpRecord("w", key, vid))
+        return self.history
+
+    # ------------------------------------------------------------------
+    # Invariant probes (tests)
+    # ------------------------------------------------------------------
+    def total_vas_entries(self) -> int:
+        """Version-access-set entries across all nodes (invariant probe)."""
+        total = 0
+        for node in self.nodes:
+            if isinstance(node, MVCCNode):
+                total += node.store.vas_total_entries()
+        return total
+
+    def any_locks_held(self) -> bool:
+        """True if any per-key lock is held anywhere (invariant probe)."""
+        return any(node.locks.any_locked() for node in self.nodes)
+
+    def cpu_utilization(self, elapsed: Optional[float] = None):
+        """Per-node mean CPU utilisation over ``elapsed`` virtual seconds
+        (defaults to the whole run so far)."""
+        window = elapsed if elapsed is not None else self.sim.now
+        return [node.cpu.utilization(window) for node in self.nodes]
+
+    def site_clocks(self):
+        """Per-node siteVC tuples (MVCC protocols only), for assertions."""
+        return [
+            node.site_vc.to_tuple()
+            for node in self.nodes
+            if isinstance(node, MVCCNode)
+        ]

@@ -1,0 +1,80 @@
+"""Workload abstractions.
+
+A :class:`Workload` turns randomness into :class:`TxnProgram`\\ s; the
+harness executes each program against a transaction through a
+:class:`TxnContext`.  Programs are generator functions so transaction
+logic can branch on the values it reads (TPC-C needs this), while reads
+remain simulation-blocking operations.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Callable, Hashable, Iterable, Iterator, Tuple
+
+
+class Rollback(Exception):
+    """Raised by a transaction program to abort for business reasons.
+
+    TPC-C's specification requires ~1% of NewOrder transactions to roll
+    back upon selecting an unused item.  The client loop catches this,
+    calls :meth:`BaseProtocolNode.abort`, and does *not* retry -- a
+    rollback is an intended outcome, not a conflict.
+    """
+
+
+class TxnContext:
+    """What a transaction program may do: read and write keys."""
+
+    __slots__ = ("_node", "_txn")
+
+    def __init__(self, node, txn) -> None:
+        self._node = node
+        self._txn = txn
+
+    def read(self, key: Hashable):
+        """Generator subroutine: ``value = yield from ctx.read(key)``."""
+        value = yield from self._node.read(self._txn, key)
+        return value
+
+    def write(self, key: Hashable, value: object) -> None:
+        self._node.write(self._txn, key, value)
+
+
+class TxnProgram:
+    """One transaction to execute (regenerated bodies support retries)."""
+
+    __slots__ = ("profile", "is_read_only", "_body")
+
+    def __init__(
+        self,
+        profile: str,
+        is_read_only: bool,
+        body: Callable[[TxnContext], Iterator],
+    ) -> None:
+        self.profile = profile
+        self.is_read_only = is_read_only
+        self._body = body
+
+    def run(self, ctx: TxnContext):
+        """Generator subroutine executing the program's operations."""
+        result = yield from self._body(ctx)
+        return result
+
+
+class Workload(ABC):
+    """A source of transaction programs plus the initial data set."""
+
+    @abstractmethod
+    def load_items(self) -> Iterable[Tuple[Hashable, object]]:
+        """(key, value) pairs to install before the run."""
+
+    @abstractmethod
+    def generate(self, rng: random.Random, node_id: int) -> TxnProgram:
+        """The next transaction for a client attached to ``node_id``."""
+
+    @property
+    @abstractmethod
+    def name(self) -> str:
+        """Short label used in reports."""

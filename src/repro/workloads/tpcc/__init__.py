@@ -1,0 +1,15 @@
+"""TPC-C ported to the key-value model (paper Section 5.2).
+
+An order-entry environment: warehouses at the top of a hierarchical access
+pattern, districts, customers, stock, and orders below.  Three update
+profiles (NewOrder, Payment, Delivery) and two read-only profiles
+(OrderStatus, StockLevel).  Every warehouse's object tree shares the
+warehouse's preferred site; contention is controlled by the number of
+warehouses per node.
+"""
+
+from repro.workloads.tpcc.config import TPCCConfig
+from repro.workloads.tpcc.generator import TPCCWorkload, tpcc_directory
+from repro.workloads.tpcc import schema
+
+__all__ = ["TPCCConfig", "TPCCWorkload", "schema", "tpcc_directory"]

@@ -1,0 +1,77 @@
+"""TPC-C sizing and mix configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class TPCCConfig:
+    """Scaled-down TPC-C sizing.
+
+    The full spec populates 3000 customers per district and a 100k-item
+    catalog; defaults here are scaled down so simulated clusters load in
+    milliseconds.  Contention behaviour is governed by the number of
+    warehouses (the paper varies warehouses per node), which is preserved.
+    """
+
+    num_warehouses: int = 4
+    districts_per_warehouse: int = 10
+    customers_per_district: int = 60
+    num_items: int = 500
+    #: Orders pre-loaded per district (so OrderStatus/StockLevel have data).
+    initial_orders_per_district: int = 5
+    min_order_lines: int = 5
+    max_order_lines: int = 10
+    #: Orders scanned by StockLevel (spec: the last 20; scaled down).
+    stock_level_orders: int = 4
+    #: Fraction of read-only transactions (paper tests 20% and 50%).
+    read_only_fraction: float = 0.5
+    #: Spec probabilities for remote accesses.
+    remote_stock_prob: float = 0.01
+    remote_payment_prob: float = 0.15
+    #: Spec: ~1% of NewOrders select an unused item and roll back.
+    new_order_rollback_prob: float = 0.01
+    #: Spec: 60% of Payments / OrderStatus address the customer by last
+    #: name, resolved through the secondary name index.
+    by_last_name_prob: float = 0.60
+    #: How clients pick the warehouse each transaction targets.
+    #: ``uniform`` (the paper's setting: "transactions select keys to be
+    #: accessed using a uniform distribution, which entails accesses might
+    #: or might not be to the local data repository") picks any warehouse;
+    #: ``local`` models classic TPC-C terminals bound to a home warehouse
+    #: on the client's node.
+    warehouse_selection: str = "uniform"
+
+    def __post_init__(self) -> None:
+        if self.num_warehouses <= 0:
+            raise ValueError("num_warehouses must be positive")
+        if self.districts_per_warehouse <= 0:
+            raise ValueError("districts_per_warehouse must be positive")
+        if self.customers_per_district <= 0:
+            raise ValueError("customers_per_district must be positive")
+        if self.num_items <= 0:
+            raise ValueError("num_items must be positive")
+        if not 0.0 <= self.read_only_fraction <= 1.0:
+            raise ValueError("read_only_fraction must be within [0, 1]")
+        if self.min_order_lines > self.max_order_lines:
+            raise ValueError("min_order_lines must be <= max_order_lines")
+        if self.warehouse_selection not in ("uniform", "local"):
+            raise ValueError(
+                f"unknown warehouse_selection {self.warehouse_selection!r}"
+            )
+
+    @property
+    def total_keys(self) -> int:
+        """Approximate initial key count (for sizing reports)."""
+        per_warehouse = (
+            1
+            + self.districts_per_warehouse
+            * (
+                2  # district + delivery cursor
+                + 2 * self.customers_per_district  # customer + last-order ptr
+                + self.initial_orders_per_district * (2 + self.max_order_lines)
+            )
+            + self.num_items  # stock rows
+        )
+        return self.num_warehouses * per_warehouse + self.num_items

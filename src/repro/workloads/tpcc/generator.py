@@ -1,0 +1,178 @@
+"""The TPC-C workload generator and warehouse-aware key placement."""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Tuple
+
+from repro.cluster.directory import CallableDirectory, Directory
+from repro.workloads.base import TxnProgram, Workload
+from repro.workloads.tpcc import loader, schema, transactions
+from repro.workloads.tpcc.config import TPCCConfig
+
+#: Update-profile weights from the TPC-C standard mix (NewOrder 45%,
+#: Payment 43%, Delivery 4% of all transactions), renormalised over the
+#: update share; the read-only share splits evenly between OrderStatus and
+#: StockLevel.
+_UPDATE_WEIGHTS = (
+    (transactions.NEW_ORDER, 45.0),
+    (transactions.PAYMENT, 43.0),
+    (transactions.DELIVERY, 4.0),
+)
+
+
+def tpcc_directory(num_nodes: int) -> Directory:
+    """Warehouse-scoped keys live at ``warehouse % num_nodes``; the global
+    item catalog spreads by item id."""
+
+    def site(key) -> int:
+        tag = key[0]
+        if tag in schema.WAREHOUSE_SCOPED:
+            return key[1] % num_nodes
+        if tag == schema.ITEM:
+            return key[1] % num_nodes
+        raise ValueError(f"unrecognised TPC-C key {key!r}")
+
+    return CallableDirectory(site)
+
+
+class TPCCWorkload(Workload):
+    """Generates the five TPC-C profiles for node-attached clients.
+
+    Each client acts as a terminal of a *home warehouse* hosted on its own
+    node (the hierarchical, mostly-local pattern the paper describes);
+    remote stock (1%) and remote payment customers (15%) add the
+    cross-node traffic of the spec.
+    """
+
+    def __init__(self, config: TPCCConfig, num_nodes: int, seed: int = 0) -> None:
+        if config.num_warehouses < num_nodes:
+            raise ValueError(
+                "need at least one warehouse per node: "
+                f"{config.num_warehouses} warehouses, {num_nodes} nodes"
+            )
+        self.config = config
+        self.num_nodes = num_nodes
+        self.seed = seed
+        self._warehouses_by_node: List[List[int]] = [
+            [w for w in range(config.num_warehouses) if w % num_nodes == node]
+            for node in range(num_nodes)
+        ]
+        update_total = sum(weight for _p, weight in _UPDATE_WEIGHTS)
+        self._update_cdf = []
+        acc = 0.0
+        for profile, weight in _UPDATE_WEIGHTS:
+            acc += weight / update_total
+            self._update_cdf.append((acc, profile))
+
+    @property
+    def name(self) -> str:
+        return "tpcc"
+
+    def load_items(self) -> Iterable[Tuple[tuple, dict]]:
+        return loader.load_items(self.config, self.seed)
+
+    # ------------------------------------------------------------------
+    # Generation
+    # ------------------------------------------------------------------
+    def generate(self, rng: random.Random, node_id: int) -> TxnProgram:
+        config = self.config
+        if config.warehouse_selection == "uniform":
+            w = rng.randrange(config.num_warehouses)
+        else:
+            w = rng.choice(self._warehouses_by_node[node_id])
+        d = rng.randrange(config.districts_per_warehouse)
+        if rng.random() < config.read_only_fraction:
+            if rng.random() < 0.5:
+                return self._order_status(rng, w, d)
+            return self._stock_level(rng, w, d)
+        pick = rng.random()
+        for bound, profile in self._update_cdf:
+            if pick <= bound:
+                break
+        if profile == transactions.NEW_ORDER:
+            return self._new_order(rng, w, d)
+        if profile == transactions.PAYMENT:
+            return self._payment(rng, w, d)
+        return self._delivery(rng, w, d)
+
+    def _random_customer(self, rng: random.Random) -> int:
+        return rng.randint(1, self.config.customers_per_district)
+
+    def _random_last_name(self, rng: random.Random) -> str:
+        # A name that certainly exists: derive it from a random customer.
+        return schema.customer_last_name(self._random_customer(rng))
+
+    def _new_order(self, rng: random.Random, w: int, d: int) -> TxnProgram:
+        config = self.config
+        c = self._random_customer(rng)
+        line_count = rng.randint(config.min_order_lines, config.max_order_lines)
+        items = rng.sample(range(config.num_items), line_count)
+        lines = []
+        for item in items:
+            supply_w = w
+            if (
+                config.num_warehouses > 1
+                and rng.random() < config.remote_stock_prob
+            ):
+                supply_w = rng.choice(
+                    [x for x in range(config.num_warehouses) if x != w]
+                )
+            lines.append((item, supply_w, rng.randint(1, 10)))
+        invalid_item = rng.random() < config.new_order_rollback_prob
+        return TxnProgram(
+            transactions.NEW_ORDER,
+            False,
+            transactions.new_order_body(w, d, c, lines, invalid_item),
+        )
+
+    def _payment(self, rng: random.Random, w: int, d: int) -> TxnProgram:
+        config = self.config
+        cw, cd = w, d
+        if (
+            config.num_warehouses > 1
+            and rng.random() < config.remote_payment_prob
+        ):
+            cw = rng.choice([x for x in range(config.num_warehouses) if x != w])
+            cd = rng.randrange(config.districts_per_warehouse)
+        amount = round(rng.uniform(1.0, 5000.0), 2)
+        nonce = rng.getrandbits(48)
+        if rng.random() < config.by_last_name_prob:
+            body = transactions.payment_by_name_body(
+                w, d, cw, cd, self._random_last_name(rng), amount, nonce
+            )
+        else:
+            body = transactions.payment_body(
+                w, d, cw, cd, self._random_customer(rng), amount, nonce
+            )
+        return TxnProgram(transactions.PAYMENT, False, body)
+
+    def _delivery(self, rng: random.Random, w: int, d: int) -> TxnProgram:
+        return TxnProgram(
+            transactions.DELIVERY,
+            False,
+            transactions.delivery_body(w, d, carrier=rng.randint(1, 10)),
+        )
+
+    def _order_status(self, rng: random.Random, w: int, d: int) -> TxnProgram:
+        if rng.random() < self.config.by_last_name_prob:
+            body = transactions.order_status_by_name_body(
+                w, d, self._random_last_name(rng)
+            )
+        else:
+            body = transactions.order_status_body(
+                w, d, self._random_customer(rng)
+            )
+        return TxnProgram(transactions.ORDER_STATUS, True, body)
+
+    def _stock_level(self, rng: random.Random, w: int, d: int) -> TxnProgram:
+        return TxnProgram(
+            transactions.STOCK_LEVEL,
+            True,
+            transactions.stock_level_body(
+                w,
+                d,
+                threshold=rng.randint(10, 20),
+                orders_to_scan=self.config.stock_level_orders,
+            ),
+        )

@@ -1,0 +1,60 @@
+"""Initial TPC-C population."""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from repro.sim.rng import make_rng
+from repro.workloads.tpcc import schema
+from repro.workloads.tpcc.config import TPCCConfig
+
+
+def load_items(config: TPCCConfig, seed: int = 0) -> Iterable[Tuple[tuple, dict]]:
+    """(key, record) pairs for the whole initial database.
+
+    Every district is pre-loaded with ``initial_orders_per_district``
+    orders (customer ``k`` owns order ``k``), so OrderStatus and StockLevel
+    find data from the first transaction onward.  The delivery cursor
+    starts at order 1: initial orders are undelivered.
+    """
+    rng = make_rng(seed, "tpcc-loader")
+    for item in range(config.num_items):
+        yield schema.item_key(item), schema.item_record(item)
+
+    for w in range(config.num_warehouses):
+        yield schema.warehouse_key(w), schema.warehouse_record(w)
+        for item in range(config.num_items):
+            yield schema.stock_key(w, item), schema.stock_record(w, item)
+        for d in range(config.districts_per_warehouse):
+            orders = config.initial_orders_per_district
+            yield (
+                schema.district_key(w, d),
+                schema.district_record(w, d, next_o_id=orders + 1),
+            )
+            yield schema.delivery_cursor_key(w, d), {"next": 1}
+            name_index = {}
+            for c in range(1, config.customers_per_district + 1):
+                yield schema.customer_key(w, d, c), schema.customer_record(w, d, c)
+                last_order = c if c <= orders else 0
+                yield schema.customer_last_order_key(w, d, c), {"order": last_order}
+                name_index.setdefault(schema.customer_last_name(c), []).append(c)
+            # Secondary index for the spec's by-last-name lookups.
+            for name, ids in name_index.items():
+                yield schema.customer_name_index_key(w, d, name), {"ids": ids}
+            for o in range(1, orders + 1):
+                line_count = rng.randint(
+                    config.min_order_lines, config.max_order_lines
+                )
+                customer = o  # customer k owns initial order k
+                yield (
+                    schema.order_key(w, d, o),
+                    schema.order_record(w, d, o, customer, line_count),
+                )
+                yield schema.new_order_key(w, d, o), {"delivered": False}
+                for line in range(line_count):
+                    item = rng.randrange(config.num_items)
+                    quantity = rng.randint(1, 10)
+                    yield (
+                        schema.order_line_key(w, d, o, line),
+                        schema.order_line_record(item, w, quantity, quantity * 2.5),
+                    )

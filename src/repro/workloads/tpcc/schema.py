@@ -1,0 +1,179 @@
+"""Key naming and record shapes for the TPC-C key-value port.
+
+Keys are tuples whose first element tags the table; every key under a
+warehouse embeds the warehouse id so placement can follow the warehouse.
+Records are plain dicts (the KV port stores whole rows as values).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+# Table tags
+WAREHOUSE = "w"
+DISTRICT = "d"
+CUSTOMER = "c"
+CUSTOMER_LAST_ORDER = "clo"
+CUSTOMER_NAME_INDEX = "cnidx"
+STOCK = "s"
+ITEM = "i"
+ORDER = "o"
+ORDER_LINE = "ol"
+NEW_ORDER = "no"
+DELIVERY_CURSOR = "dlv"
+HISTORY = "h"
+
+#: Tags whose keys carry the owning warehouse in position 1.
+WAREHOUSE_SCOPED = frozenset(
+    {
+        WAREHOUSE,
+        DISTRICT,
+        CUSTOMER,
+        CUSTOMER_LAST_ORDER,
+        CUSTOMER_NAME_INDEX,
+        STOCK,
+        ORDER,
+        ORDER_LINE,
+        NEW_ORDER,
+        DELIVERY_CURSOR,
+        HISTORY,
+    }
+)
+
+
+def warehouse_key(w: int) -> Tuple:
+    return (WAREHOUSE, w)
+
+
+def district_key(w: int, d: int) -> Tuple:
+    return (DISTRICT, w, d)
+
+
+def customer_key(w: int, d: int, c: int) -> Tuple:
+    return (CUSTOMER, w, d, c)
+
+
+def customer_last_order_key(w: int, d: int, c: int) -> Tuple:
+    return (CUSTOMER_LAST_ORDER, w, d, c)
+
+
+#: The spec's last-name syllables (TPC-C clause 4.3.2.3).
+LAST_NAME_SYLLABLES = (
+    "BAR", "OUGHT", "ABLE", "PRI", "PRES",
+    "ESE", "ANTI", "CALLY", "ATION", "EING",
+)
+
+
+def last_name(number: int) -> str:
+    """The spec's three-syllable last name for a 0-999 name number."""
+    if not 0 <= number <= 999:
+        raise ValueError("last-name numbers span 0..999")
+    return (
+        LAST_NAME_SYLLABLES[number // 100]
+        + LAST_NAME_SYLLABLES[(number // 10) % 10]
+        + LAST_NAME_SYLLABLES[number % 10]
+    )
+
+
+def customer_last_name(c: int) -> str:
+    """The (deterministic) last name of customer ``c``.
+
+    A multiplicative scramble stands in for the spec's NURand selection;
+    what matters is a stable many-to-few mapping so by-name lookups
+    return multiple candidates.
+    """
+    return last_name((c * 211 + 17) % 1000)
+
+
+def customer_name_index_key(w: int, d: int, name: str) -> Tuple:
+    """Secondary index: (warehouse, district, last name) -> customer ids."""
+    return (CUSTOMER_NAME_INDEX, w, d, name)
+
+
+def stock_key(w: int, item: int) -> Tuple:
+    return (STOCK, w, item)
+
+
+def item_key(item: int) -> Tuple:
+    return (ITEM, item)
+
+
+def order_key(w: int, d: int, o: int) -> Tuple:
+    return (ORDER, w, d, o)
+
+
+def order_line_key(w: int, d: int, o: int, line: int) -> Tuple:
+    return (ORDER_LINE, w, d, o, line)
+
+
+def new_order_key(w: int, d: int, o: int) -> Tuple:
+    return (NEW_ORDER, w, d, o)
+
+
+def delivery_cursor_key(w: int, d: int) -> Tuple:
+    return (DELIVERY_CURSOR, w, d)
+
+
+def history_key(w: int, d: int, nonce: int) -> Tuple:
+    return (HISTORY, w, d, nonce)
+
+
+def owning_warehouse(key: Tuple) -> int:
+    """The warehouse a key belongs to; raises for global (item) keys."""
+    if key[0] in WAREHOUSE_SCOPED:
+        return key[1]
+    raise ValueError(f"key {key!r} is not warehouse-scoped")
+
+
+# ----------------------------------------------------------------------
+# Record factories (initial values)
+# ----------------------------------------------------------------------
+
+
+def warehouse_record(w: int) -> dict:
+    return {"id": w, "tax": 0.05 + (w % 10) * 0.005, "ytd": 0.0}
+
+
+def district_record(w: int, d: int, next_o_id: int) -> dict:
+    return {
+        "w": w,
+        "id": d,
+        "tax": 0.03 + (d % 10) * 0.004,
+        "ytd": 0.0,
+        "next_o_id": next_o_id,
+    }
+
+
+def customer_record(w: int, d: int, c: int) -> dict:
+    return {
+        "w": w,
+        "d": d,
+        "id": c,
+        "balance": -10.0,
+        "ytd_payment": 10.0,
+        "payment_cnt": 1,
+        "delivery_cnt": 0,
+    }
+
+
+def stock_record(w: int, item: int) -> dict:
+    return {"w": w, "item": item, "quantity": 50 + (item % 41), "ytd": 0, "order_cnt": 0}
+
+
+def item_record(item: int) -> dict:
+    return {"id": item, "price": 1.0 + (item % 100) * 0.25, "name": f"item-{item}"}
+
+
+def order_record(w: int, d: int, o: int, customer: int, line_count: int) -> dict:
+    return {
+        "w": w,
+        "d": d,
+        "id": o,
+        "customer": customer,
+        "line_count": line_count,
+        "carrier": None,
+    }
+
+
+def order_line_record(item: int, supply_w: int, quantity: int, amount: float) -> dict:
+    return {"item": item, "supply_w": supply_w, "quantity": quantity, "amount": amount}

@@ -1,0 +1,266 @@
+"""The five TPC-C transaction profiles as transaction-program bodies.
+
+Each function returns a generator function over a
+:class:`~repro.workloads.base.TxnContext`.  Access patterns follow the
+spec's logic ported to whole-record key-value reads/writes; per the
+paper's observation, the warehouse record is the first key every profile
+touches ("the warehouse is often the first accessed key", Section 5.2),
+and read-only profiles register on it -- which is what makes the
+warehouse count the contention knob of Figures 8-9.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.workloads.base import Rollback, TxnContext
+from repro.workloads.tpcc import schema
+
+NEW_ORDER = "tpcc-new-order"
+PAYMENT = "tpcc-payment"
+DELIVERY = "tpcc-delivery"
+ORDER_STATUS = "tpcc-order-status"
+STOCK_LEVEL = "tpcc-stock-level"
+
+UPDATE_PROFILES = (NEW_ORDER, PAYMENT, DELIVERY)
+READ_ONLY_PROFILES = (ORDER_STATUS, STOCK_LEVEL)
+
+
+def new_order_body(
+    w: int,
+    d: int,
+    c: int,
+    lines: List[Tuple[int, int, int]],
+    invalid_item: bool = False,
+):
+    """NewOrder: place an order of ``lines`` = [(item, supply_w, qty)].
+
+    With ``invalid_item`` the order references an unused item number and
+    rolls back after the initial reads, per the spec's required ~1%
+    rollback rate (clause 2.4.1.4).
+    """
+
+    def body(ctx: TxnContext):
+        warehouse = yield from ctx.read(schema.warehouse_key(w))
+        district = yield from ctx.read(schema.district_key(w, d))
+        _customer = yield from ctx.read(schema.customer_key(w, d, c))
+        if invalid_item:
+            raise Rollback("NewOrder selected an unused item number")
+
+        o_id = district["next_o_id"]
+        ctx.write(
+            schema.district_key(w, d), {**district, "next_o_id": o_id + 1}
+        )
+
+        total = 0.0
+        for line_no, (item_id, supply_w, quantity) in enumerate(lines):
+            item = yield from ctx.read(schema.item_key(item_id))
+            stock = yield from ctx.read(schema.stock_key(supply_w, item_id))
+            new_quantity = stock["quantity"] - quantity
+            if new_quantity < 10:
+                new_quantity += 91
+            ctx.write(
+                schema.stock_key(supply_w, item_id),
+                {
+                    **stock,
+                    "quantity": new_quantity,
+                    "ytd": stock["ytd"] + quantity,
+                    "order_cnt": stock["order_cnt"] + 1,
+                },
+            )
+            amount = quantity * item["price"]
+            total += amount
+            ctx.write(
+                schema.order_line_key(w, d, o_id, line_no),
+                schema.order_line_record(item_id, supply_w, quantity, amount),
+            )
+
+        total *= (1 + warehouse["tax"] + district["tax"])
+        ctx.write(
+            schema.order_key(w, d, o_id),
+            schema.order_record(w, d, o_id, c, len(lines)),
+        )
+        ctx.write(schema.new_order_key(w, d, o_id), {"delivered": False})
+        ctx.write(schema.customer_last_order_key(w, d, c), {"order": o_id})
+        return o_id
+
+    return body
+
+
+def payment_body(w: int, d: int, cw: int, cd: int, c: int, amount: float, nonce: int):
+    """Payment: credit warehouse/district YTD, debit the customer.
+
+    The customer may live in a *remote* warehouse (``cw != w`` with 15%
+    probability per spec) -- the cross-node write the paper's contention
+    analysis leans on.
+    """
+
+    def body(ctx: TxnContext):
+        warehouse = yield from ctx.read(schema.warehouse_key(w))
+        ctx.write(
+            schema.warehouse_key(w), {**warehouse, "ytd": warehouse["ytd"] + amount}
+        )
+        district = yield from ctx.read(schema.district_key(w, d))
+        ctx.write(
+            schema.district_key(w, d), {**district, "ytd": district["ytd"] + amount}
+        )
+        customer = yield from ctx.read(schema.customer_key(cw, cd, c))
+        ctx.write(
+            schema.customer_key(cw, cd, c),
+            {
+                **customer,
+                "balance": customer["balance"] - amount,
+                "ytd_payment": customer["ytd_payment"] + amount,
+                "payment_cnt": customer["payment_cnt"] + 1,
+            },
+        )
+        ctx.write(schema.history_key(w, d, nonce), {"amount": amount, "c": c})
+
+    return body
+
+
+def payment_by_name_body(
+    w: int, d: int, cw: int, cd: int, lastname: str, amount: float, nonce: int
+):
+    """Payment addressing the customer by last name (spec: 60% of cases).
+
+    The secondary index resolves the name to candidate ids; the spec
+    takes the midpoint customer of the name group (clause 2.5.2.2).
+    """
+
+    def body(ctx: TxnContext):
+        warehouse = yield from ctx.read(schema.warehouse_key(w))
+        ctx.write(
+            schema.warehouse_key(w), {**warehouse, "ytd": warehouse["ytd"] + amount}
+        )
+        district = yield from ctx.read(schema.district_key(w, d))
+        ctx.write(
+            schema.district_key(w, d), {**district, "ytd": district["ytd"] + amount}
+        )
+        index = yield from ctx.read(schema.customer_name_index_key(cw, cd, lastname))
+        ids = index["ids"]
+        c = ids[(len(ids) - 1) // 2]  # ceil(n/2)-th, zero-based
+        customer = yield from ctx.read(schema.customer_key(cw, cd, c))
+        ctx.write(
+            schema.customer_key(cw, cd, c),
+            {
+                **customer,
+                "balance": customer["balance"] - amount,
+                "ytd_payment": customer["ytd_payment"] + amount,
+                "payment_cnt": customer["payment_cnt"] + 1,
+            },
+        )
+        ctx.write(schema.history_key(w, d, nonce), {"amount": amount, "c": c})
+        return c
+
+    return body
+
+
+def order_status_by_name_body(w: int, d: int, lastname: str):
+    """OrderStatus addressing the customer by last name (spec: 60%)."""
+
+    def body(ctx: TxnContext):
+        _warehouse = yield from ctx.read(schema.warehouse_key(w))
+        index = yield from ctx.read(schema.customer_name_index_key(w, d, lastname))
+        ids = index["ids"]
+        c = ids[(len(ids) - 1) // 2]
+        customer = yield from ctx.read(schema.customer_key(w, d, c))
+        pointer = yield from ctx.read(schema.customer_last_order_key(w, d, c))
+        o_id = pointer["order"]
+        if o_id == 0:
+            return {"customer": customer, "order": None}
+        order = yield from ctx.read(schema.order_key(w, d, o_id))
+        lines = []
+        for line_no in range(order["line_count"]):
+            line = yield from ctx.read(schema.order_line_key(w, d, o_id, line_no))
+            lines.append(line)
+        return {"customer": customer, "order": order, "lines": lines}
+
+    return body
+
+
+def delivery_body(w: int, d: int, carrier: int):
+    """Deliver the oldest undelivered order of one district, if any."""
+
+    def body(ctx: TxnContext):
+        _warehouse = yield from ctx.read(schema.warehouse_key(w))
+        district = yield from ctx.read(schema.district_key(w, d))
+        cursor = yield from ctx.read(schema.delivery_cursor_key(w, d))
+        o_id = cursor["next"]
+        if o_id >= district["next_o_id"]:
+            return None  # nothing to deliver; empty writeset commits as RO
+
+        marker = yield from ctx.read(schema.new_order_key(w, d, o_id))
+        order = yield from ctx.read(schema.order_key(w, d, o_id))
+        total = 0.0
+        for line_no in range(order["line_count"]):
+            line = yield from ctx.read(schema.order_line_key(w, d, o_id, line_no))
+            total += line["amount"]
+        customer = yield from ctx.read(
+            schema.customer_key(w, d, order["customer"])
+        )
+        ctx.write(schema.new_order_key(w, d, o_id), {**marker, "delivered": True})
+        ctx.write(schema.order_key(w, d, o_id), {**order, "carrier": carrier})
+        ctx.write(
+            schema.customer_key(w, d, order["customer"]),
+            {
+                **customer,
+                "balance": customer["balance"] + total,
+                "delivery_cnt": customer["delivery_cnt"] + 1,
+            },
+        )
+        ctx.write(schema.delivery_cursor_key(w, d), {"next": o_id + 1})
+        return o_id
+
+    return body
+
+
+def order_status_body(w: int, d: int, c: int):
+    """OrderStatus (read-only): the customer's last order and its lines.
+
+    The first read retrieves the warehouse; subsequent reads return
+    objects committed along with it -- the paper's Section 1 example of a
+    profile for which FW-KV always returns the freshest snapshot.
+    """
+
+    def body(ctx: TxnContext):
+        _warehouse = yield from ctx.read(schema.warehouse_key(w))
+        customer = yield from ctx.read(schema.customer_key(w, d, c))
+        pointer = yield from ctx.read(schema.customer_last_order_key(w, d, c))
+        o_id = pointer["order"]
+        if o_id == 0:
+            return {"customer": customer, "order": None}
+        order = yield from ctx.read(schema.order_key(w, d, o_id))
+        lines = []
+        for line_no in range(order["line_count"]):
+            line = yield from ctx.read(schema.order_line_key(w, d, o_id, line_no))
+            lines.append(line)
+        return {"customer": customer, "order": order, "lines": lines}
+
+    return body
+
+
+def stock_level_body(w: int, d: int, threshold: int, orders_to_scan: int):
+    """StockLevel (read-only): count recent items below the threshold."""
+
+    def body(ctx: TxnContext):
+        _warehouse = yield from ctx.read(schema.warehouse_key(w))
+        district = yield from ctx.read(schema.district_key(w, d))
+        next_o_id = district["next_o_id"]
+        first = max(1, next_o_id - orders_to_scan)
+        item_ids = set()
+        for o_id in range(first, next_o_id):
+            order = yield from ctx.read(schema.order_key(w, d, o_id))
+            for line_no in range(order["line_count"]):
+                line = yield from ctx.read(
+                    schema.order_line_key(w, d, o_id, line_no)
+                )
+                item_ids.add(line["item"])
+        low = 0
+        for item_id in sorted(item_ids):
+            stock = yield from ctx.read(schema.stock_key(w, item_id))
+            if stock["quantity"] < threshold:
+                low += 1
+        return low
+
+    return body

@@ -1,0 +1,107 @@
+"""YCSB ported to the transactional key-value model.
+
+The paper's configuration (Section 5): two transaction profiles --
+*update* reads two keys and writes the same two keys, *read-only* reads
+two keys -- with 4-byte keys, 12-byte values, and uniform key selection.
+Because updates rewrite exactly what they read, the execution is
+"equivalent to an execution in which the concurrency control ensures
+Serializability", which stresses snapshot freshness for update
+transactions (a stale read means a failed validation).
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from dataclasses import dataclass, field
+from typing import Iterable, List, Tuple
+
+from repro.workloads.base import TxnContext, TxnProgram, Workload
+from repro.workloads.distributions import UniformChooser, ZipfianChooser
+
+READ_ONLY_PROFILE = "ycsb-ro"
+UPDATE_PROFILE = "ycsb-up"
+
+_VALUE_ALPHABET = string.ascii_letters + string.digits
+
+
+@dataclass
+class YCSBConfig:
+    """Shape of the YCSB workload."""
+
+    num_keys: int = 50_000
+    read_only_fraction: float = 0.5
+    keys_per_txn: int = 2
+    value_size: int = 12
+    #: "uniform" (the paper's setting) or "zipfian" (skew extension).
+    distribution: str = "uniform"
+    zipf_theta: float = 0.99
+
+    def __post_init__(self) -> None:
+        if self.num_keys <= 0:
+            raise ValueError("num_keys must be positive")
+        if not 0.0 <= self.read_only_fraction <= 1.0:
+            raise ValueError("read_only_fraction must be within [0, 1]")
+        if self.keys_per_txn <= 0:
+            raise ValueError("keys_per_txn must be positive")
+        if self.distribution not in ("uniform", "zipfian"):
+            raise ValueError(f"unknown distribution {self.distribution!r}")
+
+
+class YCSBWorkload(Workload):
+    """Generates the paper's two YCSB transaction profiles."""
+
+    def __init__(self, config: YCSBConfig) -> None:
+        self.config = config
+        if config.distribution == "uniform":
+            self._chooser = UniformChooser(config.num_keys)
+        else:
+            self._chooser = ZipfianChooser(config.num_keys, config.zipf_theta)
+
+    @property
+    def name(self) -> str:
+        return "ycsb"
+
+    @staticmethod
+    def key(index: int) -> str:
+        # 4-byte-ish compact keys, matching the paper's tiny-key setup.
+        return f"u{index}"
+
+    def _random_value(self, rng: random.Random) -> str:
+        return "".join(
+            rng.choice(_VALUE_ALPHABET) for _ in range(self.config.value_size)
+        )
+
+    def load_items(self) -> Iterable[Tuple[str, str]]:
+        pad = ("x" * self.config.value_size)
+        for index in range(self.config.num_keys):
+            yield self.key(index), pad
+
+    def generate(self, rng: random.Random, node_id: int) -> TxnProgram:
+        keys = [self.key(i) for i in self._chooser.sample(rng, self.config.keys_per_txn)]
+        if rng.random() < self.config.read_only_fraction:
+            return TxnProgram(READ_ONLY_PROFILE, True, self._read_only_body(keys))
+        new_values = [self._random_value(rng) for _ in keys]
+        return TxnProgram(UPDATE_PROFILE, False, self._update_body(keys, new_values))
+
+    @staticmethod
+    def _read_only_body(keys: List[str]):
+        def body(ctx: TxnContext):
+            values = []
+            for key in keys:
+                value = yield from ctx.read(key)
+                values.append(value)
+            return values
+
+        return body
+
+    @staticmethod
+    def _update_body(keys: List[str], new_values: List[str]):
+        def body(ctx: TxnContext):
+            # Read-modify-write of the same keys (paper Section 5).
+            for key in keys:
+                yield from ctx.read(key)
+            for key, value in zip(keys, new_values):
+                ctx.write(key, value)
+
+        return body

@@ -1,0 +1,72 @@
+"""Unit tests for key placement directories."""
+
+from collections import Counter
+
+import pytest
+
+from repro.cluster import (
+    CallableDirectory,
+    ConsistentHashDirectory,
+    ExplicitDirectory,
+    ModuloDirectory,
+)
+
+
+def test_consistent_hash_is_stable():
+    directory = ConsistentHashDirectory(range(5))
+    sites = [directory.site(f"key{i}") for i in range(100)]
+    again = [ConsistentHashDirectory(range(5)).site(f"key{i}") for i in range(100)]
+    assert sites == again
+
+
+def test_consistent_hash_spreads_keys_roughly_evenly():
+    directory = ConsistentHashDirectory(range(10), virtual_nodes=128)
+    counts = Counter(directory.site(f"key{i}") for i in range(20000))
+    assert set(counts) == set(range(10))
+    share = [count / 20000 for count in counts.values()]
+    assert min(share) > 0.04  # within ~2.5x of the 10% ideal
+    assert max(share) < 0.25
+
+
+def test_consistent_hash_minimal_movement_on_node_add():
+    before = ConsistentHashDirectory(range(5), virtual_nodes=128)
+    after = ConsistentHashDirectory(range(6), virtual_nodes=128)
+    keys = [f"key{i}" for i in range(5000)]
+    moved = sum(1 for k in keys if before.site(k) != after.site(k))
+    # Adding 1 of 6 nodes should move roughly 1/6 of keys, not reshuffle all.
+    assert moved / len(keys) < 0.35
+
+
+def test_consistent_hash_validates_arguments():
+    with pytest.raises(ValueError):
+        ConsistentHashDirectory([])
+    with pytest.raises(ValueError):
+        ConsistentHashDirectory([0], virtual_nodes=0)
+
+
+def test_explicit_directory_and_fallback():
+    fallback = ModuloDirectory(4)
+    directory = ExplicitDirectory({"x": 2}, fallback=fallback)
+    assert directory.site("x") == 2
+    assert directory.site("other") == fallback.site("other")
+
+
+def test_explicit_directory_without_fallback_raises():
+    directory = ExplicitDirectory({"x": 0})
+    with pytest.raises(KeyError):
+        directory.site("unknown")
+
+
+def test_callable_directory():
+    directory = CallableDirectory(lambda key: len(str(key)) % 3)
+    assert directory.site("ab") == 2
+    assert directory.is_local("ab", 2)
+    assert not directory.is_local("ab", 0)
+
+
+def test_modulo_directory_covers_all_nodes():
+    directory = ModuloDirectory(7)
+    sites = {directory.site(f"key{i}") for i in range(500)}
+    assert sites == set(range(7))
+    with pytest.raises(ValueError):
+        ModuloDirectory(0)

@@ -1,0 +1,99 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import FIGURES, build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in FIGURES:
+        assert name in out
+
+
+def test_parser_rejects_unknown_figure():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["figure99"])
+
+
+def test_figure5_tiny_run(capsys):
+    code = main(
+        [
+            "figure5",
+            "--nodes", "2",
+            "--keys", "500",
+            "--ro", "0.5",
+            "--duration", "0.004",
+            "--warmup", "0.001",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "figure5" in out
+    assert "fwkv" in out and "walter" in out and "2pc" in out
+
+
+def test_figure6_tiny_run(capsys):
+    code = main(
+        [
+            "figure6",
+            "--nodes", "2",
+            "--keys", "500",
+            "--ro", "0.5",
+            "--duration", "0.004",
+            "--warmup", "0.001",
+        ]
+    )
+    assert code == 0
+    assert "mean_antidep" in capsys.readouterr().out
+
+
+def test_figure8_tiny_run_routes_warehouses(capsys):
+    code = main(
+        [
+            "figure8",
+            "--nodes", "2",
+            "--warehouses", "1",
+            "--ro", "0.5",
+            "--duration", "0.006",
+            "--warmup", "0.001",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "w_per_node" in out
+    assert "fwkv" in out and "walter" in out
+
+
+def test_chart_flag_prints_bars(capsys):
+    code = main(
+        [
+            "figure5",
+            "--nodes", "2",
+            "--keys", "400",
+            "--ro", "0.5",
+            "--duration", "0.003",
+            "--warmup", "0.001",
+            "--chart",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "|#" in out, "chart bars expected"
+
+
+def test_figure9a_tiny_run(capsys):
+    code = main(
+        [
+            "figure9a",
+            "--nodes", "2",
+            "--warehouses", "1",
+            "--ro", "0.3",
+            "--duration", "0.01",
+            "--warmup", "0.002",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "abort_rate" in out

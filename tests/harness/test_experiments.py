@@ -1,0 +1,85 @@
+"""Smoke tests for every figure's experiment function (micro scale)."""
+
+import pytest
+
+from repro.config import RunConfig
+from repro.harness import experiments
+from repro.workloads.tpcc import TPCCConfig
+
+MICRO_RUN = RunConfig(duration=0.004, warmup=0.001)
+MICRO_TPCC = TPCCConfig(
+    num_warehouses=1,
+    districts_per_warehouse=2,
+    customers_per_district=8,
+    num_items=30,
+    initial_orders_per_district=2,
+    min_order_lines=2,
+    max_order_lines=3,
+    stock_level_orders=2,
+)
+
+
+def test_figure5_row_schema():
+    rows = experiments.figure5_ycsb_throughput(
+        nodes=(2,), key_counts=(300,), ro_fracs=(0.5,), run=MICRO_RUN
+    )
+    assert len(rows) == 3  # one per protocol
+    for row in rows:
+        assert set(row) >= {"figure", "ro", "keys", "nodes", "protocol",
+                            "throughput_ktps", "abort_rate"}
+        assert row["throughput_ktps"] > 0
+
+
+def test_figure6_row_schema():
+    rows = experiments.figure6_antidep(
+        ro_fracs=(0.5,), key_counts=(300,), num_nodes=2, run=MICRO_RUN
+    )
+    assert len(rows) == 1
+    assert rows[0]["samples"] > 0
+    assert rows[0]["mean_antidep"] >= 0
+
+
+def test_figure7_rows_cover_both_protocols():
+    rows = experiments.figure7_ycsb_abort_delay(
+        key_counts=(300,), ro_fracs=(0.5,), num_nodes=2, run=MICRO_RUN
+    )
+    assert {row["protocol"] for row in rows} == {"fwkv", "walter"}
+    assert all(row["delayed"] for row in rows)
+
+
+def test_figure7_can_include_undelayed_baseline():
+    rows = experiments.figure7_ycsb_abort_delay(
+        key_counts=(300,), ro_fracs=(0.5,), num_nodes=2, run=MICRO_RUN,
+        include_undelayed=True,
+    )
+    assert {row["delayed"] for row in rows} == {True, False}
+
+
+def test_figure8_row_schema():
+    rows = experiments.figure8_tpcc_throughput(
+        nodes=(2,), warehouses_per_node=(1,), ro_fracs=(0.5,),
+        run=MICRO_RUN, tpcc_sizing=MICRO_TPCC,
+    )
+    assert len(rows) == 3
+    for row in rows:
+        assert row["w_per_node"] == 1
+        assert row["throughput_ktps"] > 0
+
+
+def test_figure9a_row_schema():
+    rows = experiments.figure9a_tpcc_abort_delay(
+        warehouses_per_node=(1,), num_nodes=2, run=MICRO_RUN,
+        tpcc_sizing=MICRO_TPCC,
+    )
+    assert {row["protocol"] for row in rows} == {"fwkv", "walter"}
+
+
+def test_figure9b_computes_slowdown():
+    rows = experiments.figure9b_slowdown(
+        warehouses_per_node=(1,), num_nodes=2, ro_fracs=(0.5,),
+        run=MICRO_RUN, tpcc_sizing=MICRO_TPCC,
+    )
+    assert len(rows) == 1
+    row = rows[0]
+    expected = 100.0 * (row["walter_ktps"] - row["fwkv_ktps"]) / row["walter_ktps"]
+    assert row["slowdown_pct"] == pytest.approx(expected)

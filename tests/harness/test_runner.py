@@ -1,0 +1,137 @@
+"""Integration tests for the experiment harness."""
+
+import pytest
+
+from repro import ClusterConfig, RunConfig
+from repro.harness import run_experiment
+from repro.harness.report import format_table, group_series, relative_gap
+from repro.workloads import YCSBConfig, YCSBWorkload
+
+
+def small_run(protocol="fwkv", seed=1, **cluster_kwargs):
+    workload = YCSBWorkload(YCSBConfig(num_keys=500, read_only_fraction=0.5))
+    return run_experiment(
+        protocol,
+        workload,
+        ClusterConfig(num_nodes=3, clients_per_node=2, seed=seed, **cluster_kwargs),
+        RunConfig(duration=0.01, warmup=0.003),
+        params={"tag": "unit"},
+    )
+
+
+def test_runner_produces_commits_and_metrics():
+    result = small_run()
+    assert result.protocol == "fwkv"
+    assert result.workload == "ycsb"
+    assert result.params == {"tag": "unit"}
+    assert result.metrics["commits"] > 10
+    assert result.throughput_ktps > 0
+    assert 0.0 <= result.abort_rate < 1.0
+    assert result.wall_seconds > 0
+
+
+def test_runner_is_deterministic():
+    first = small_run(seed=9)
+    second = small_run(seed=9)
+    assert first.metrics["commits"] == second.metrics["commits"]
+    assert first.metrics["aborts"] == second.metrics["aborts"]
+
+
+def test_different_seeds_differ():
+    # Not guaranteed in principle, but overwhelmingly likely.
+    a = small_run(seed=1).metrics["commits"]
+    b = small_run(seed=2).metrics["commits"]
+    c = small_run(seed=3).metrics["commits"]
+    assert len({a, b, c}) > 1
+
+
+def test_measurement_window_excludes_warmup():
+    workload = YCSBWorkload(YCSBConfig(num_keys=500))
+    result = run_experiment(
+        "fwkv",
+        workload,
+        ClusterConfig(num_nodes=2, clients_per_node=1, seed=4),
+        RunConfig(duration=0.004, warmup=0.004),
+    )
+    # Roughly half the executed transactions fall inside the window.
+    window = result.cluster.metrics
+    assert window.window_start == pytest.approx(0.004)
+    assert result.metrics["commits"] > 0
+
+
+def test_all_protocols_run_under_harness():
+    for protocol in ("fwkv", "walter", "2pc"):
+        result = small_run(protocol=protocol)
+        assert result.metrics["commits"] > 0, protocol
+
+
+def test_max_retries_caps_attempts():
+    """With max_retries=0 a client gives up after the first abort."""
+    workload = YCSBWorkload(YCSBConfig(num_keys=4, read_only_fraction=0.0))
+    result = run_experiment(
+        "fwkv",
+        workload,
+        ClusterConfig(num_nodes=2, clients_per_node=3, seed=5),
+        RunConfig(duration=0.01, warmup=0.0, max_retries=0),
+    )
+    # Tiny key space forces conflicts; attempts per commit stay at 1.
+    assert result.metrics["aborts"] > 0
+    assert result.metrics["commits"] > 0
+    assert result.metrics["latency"]["count"] == result.metrics["commits"]
+
+
+def test_cpu_utilization_reported():
+    result = small_run()
+    util = result.metrics["mean_cpu_utilization"]
+    assert 0.0 < util < 1.0
+
+
+def test_format_table_alignment():
+    rows = [
+        {"a": 1, "b": 2.34567, "c": "xy"},
+        {"a": 10, "b": 0.5, "c": "z"},
+    ]
+    text = format_table(rows, ["a", "b", "c"], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "b" in lines[1]
+    assert "2.346" in text
+    assert format_table([], ["a"]) == "(no rows)"
+
+
+def test_group_series_sorts_by_x():
+    rows = [
+        {"x": 2, "y": 20, "p": "w"},
+        {"x": 1, "y": 10, "p": "w"},
+        {"x": 1, "y": 5, "p": "f"},
+    ]
+    series = group_series(rows, "x", "y", group=lambda r: r["p"])
+    assert series == {"w": [(1, 10), (2, 20)], "f": [(1, 5)]}
+
+
+def test_ascii_chart_scales_bars_to_peak():
+    from repro.harness import ascii_chart
+
+    series = {
+        "walter": [(5, 100.0), (10, 200.0)],
+        "2pc": [(5, 50.0)],
+    }
+    chart = ascii_chart(series, width=10, title="T")
+    lines = chart.splitlines()
+    assert lines[0] == "T"
+    bars = {line.split()[0] + line.split()[1]: line.count("#") for line in lines[1:]}
+    assert bars["walter10"] == 10  # peak fills the width
+    assert bars["walter5"] == 5
+    assert bars["2pc5"] == 2  # round(50/200 * 10), banker's rounding
+
+
+def test_ascii_chart_empty():
+    from repro.harness import ascii_chart
+
+    assert "(no data)" in ascii_chart({})
+
+
+def test_relative_gap():
+    assert relative_gap(100, 80) == pytest.approx(0.2)
+    assert relative_gap(100, 120) == 0.0
+    assert relative_gap(0, 10) == 0.0

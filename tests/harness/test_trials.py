@@ -1,0 +1,59 @@
+"""Tests for multi-trial averaging (the paper averages 5 trials)."""
+
+import pytest
+
+from repro.config import RunConfig
+from repro.harness.experiments import (
+    average_trials,
+    figure5_ycsb_throughput,
+    run_trials,
+)
+
+MICRO_RUN = RunConfig(duration=0.004, warmup=0.001)
+
+
+def test_average_trials_means_numeric_fields():
+    grids = [
+        [{"figure": "5a", "protocol": "fwkv", "nodes": 2, "throughput_ktps": 10.0}],
+        [{"figure": "5a", "protocol": "fwkv", "nodes": 2, "throughput_ktps": 20.0}],
+    ]
+    averaged = average_trials(grids)
+    assert averaged[0]["throughput_ktps"] == pytest.approx(15.0)
+    assert averaged[0]["trials"] == 2
+    assert averaged[0]["protocol"] == "fwkv"
+    assert averaged[0]["nodes"] == 2  # identity field untouched
+
+
+def test_average_trials_single_trial_passthrough():
+    grid = [[{"figure": "5a", "protocol": "fwkv", "throughput_ktps": 10.0}]]
+    assert average_trials(grid) is grid[0]
+
+
+def test_average_trials_detects_grid_divergence():
+    grids = [
+        [{"figure": "5a", "protocol": "fwkv", "throughput_ktps": 10.0}],
+        [{"figure": "5a", "protocol": "walter", "throughput_ktps": 20.0}],
+    ]
+    with pytest.raises(AssertionError, match="diverged"):
+        average_trials(grids)
+
+
+def test_run_trials_end_to_end():
+    rows = run_trials(
+        figure5_ycsb_throughput,
+        trials=2,
+        seed=1,
+        nodes=(2,),
+        key_counts=(300,),
+        ro_fracs=(0.5,),
+        protocols=("fwkv",),
+        run=MICRO_RUN,
+    )
+    assert len(rows) == 1
+    assert rows[0]["trials"] == 2
+    assert rows[0]["throughput_ktps"] > 0
+
+
+def test_run_trials_validates_count():
+    with pytest.raises(ValueError):
+        run_trials(figure5_ycsb_throughput, trials=0, seed=1)

@@ -1,0 +1,94 @@
+"""Helpers for scripted protocol scenarios (the paper's Figures 1-4)."""
+
+from repro import Cluster, ClusterConfig, NetworkConfig
+from repro.cluster import ExplicitDirectory
+
+
+def make_cluster(
+    protocol,
+    num_nodes,
+    placement,
+    initial=None,
+    propagate_delay=0.0,
+    record_history=True,
+    seed=0,
+):
+    """A cluster with explicit key placement and optional Propagate delay.
+
+    ``placement`` maps key -> preferred node; every placed key is loaded
+    with ``initial.get(key, 0)``.
+    """
+    network = NetworkConfig(jitter=0.0)
+    if propagate_delay:
+        network = network.with_propagate_delay(propagate_delay)
+    config = ClusterConfig(num_nodes=num_nodes, seed=seed, network=network)
+    cluster = Cluster(
+        protocol,
+        config,
+        directory=ExplicitDirectory(dict(placement)),
+        record_history=record_history,
+    )
+    initial = initial or {}
+    for key in placement:
+        cluster.load(key, initial.get(key, 0))
+    return cluster
+
+
+def update_txn(cluster, node_id, writes, reads=(), delay=0.0):
+    """Generator: run one update transaction; returns (ok, read_values)."""
+    node = cluster.node(node_id)
+    if delay:
+        yield cluster.sim.timeout(delay)
+    txn = node.begin(is_read_only=False)
+    observed = {}
+    for key in reads:
+        observed[key] = yield from node.read(txn, key)
+    for key, value in writes.items():
+        node.write(txn, key, value)
+    ok = yield from node.commit(txn)
+    return ok, observed
+
+
+def read_only_txn(cluster, node_id, keys, delay=0.0):
+    """Generator: run one read-only transaction; returns observed dict."""
+    node = cluster.node(node_id)
+    if delay:
+        yield cluster.sim.timeout(delay)
+    txn = node.begin(is_read_only=True)
+    observed = {}
+    for key in keys:
+        observed[key] = yield from node.read(txn, key)
+    ok = yield from node.commit(txn)
+    assert ok, "read-only transactions never abort"
+    return observed
+
+
+def retry_update(cluster, node_id, writes, reads=(), delay=0.0, backoff=100e-6):
+    """Generator: retry an update transaction until it commits.
+
+    Backoff is jittered (seeded per node) so two conflicting retry loops
+    cannot livelock in deterministic lockstep.  Returns
+    (attempts, read_values_of_last_attempt).
+    """
+    from repro.sim.rng import make_rng
+
+    rng = make_rng(cluster.config.seed, "retry", node_id, repr(sorted(writes, key=repr)))
+    node = cluster.node(node_id)
+    if delay:
+        yield cluster.sim.timeout(delay)
+    attempts = 0
+    while True:
+        attempts += 1
+        txn = node.begin(is_read_only=False)
+        observed = {}
+        for key in reads:
+            observed[key] = yield from node.read(txn, key)
+        for key, value in writes.items():
+            if callable(value):
+                node.write(txn, key, value(observed))
+            else:
+                node.write(txn, key, value)
+        ok = yield from node.commit(txn)
+        if ok:
+            return attempts, observed
+        yield cluster.sim.timeout(backoff * (0.5 + rng.random()))

@@ -1,0 +1,41 @@
+"""Smoke tests: every example script runs to completion."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+EXAMPLES = [
+    "quickstart.py",
+    "social_network.py",
+    "banking_freshness.py",
+    "tpcc_demo.py",
+    "replicated_site.py",
+    "trace_debugging.py",
+]
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    path = os.path.join(EXAMPLES_DIR, script)
+    completed = subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip(), "examples must print their findings"
+
+
+def test_social_network_shows_the_contrast():
+    path = os.path.join(EXAMPLES_DIR, "social_network.py")
+    completed = subprocess.run(
+        [sys.executable, path], capture_output=True, text=True, timeout=300
+    )
+    out = completed.stdout
+    assert "long fork" in out
+    assert "no observable long fork" in out

@@ -1,0 +1,81 @@
+"""The local-commit fast path: all-local writesets skip the Prepare RPC."""
+
+from repro.net.message import MessageType
+from tests.integration.scenario_tools import make_cluster, update_txn
+
+
+def message_count(cluster, msg_type):
+    return cluster.network.stats.messages_by_type.get(msg_type, 0)
+
+
+def test_local_commit_sends_no_prepare_messages():
+    cluster = make_cluster("walter", 2, {"local": 0}, initial={"local": 0})
+    ok, _ = cluster.run_process(update_txn(cluster, 0, writes={"local": 1}))
+    assert ok
+    assert message_count(cluster, MessageType.PREPARE) == 0
+    assert message_count(cluster, MessageType.VOTE) == 0
+    # The ordered Decide/Propagate machinery still runs.
+    assert message_count(cluster, MessageType.DECIDE) == 1
+    assert message_count(cluster, MessageType.PROPAGATE) == 1
+    assert cluster.node(0).store.chain("local").latest.value == 1
+    assert cluster.site_clocks() == [(1, 0), (1, 0)]
+
+
+def test_remote_writeset_still_uses_rpc_prepare():
+    cluster = make_cluster("fwkv", 2, {"remote": 1}, initial={"remote": 0})
+    ok, _ = cluster.run_process(update_txn(cluster, 0, writes={"remote": 1}))
+    assert ok
+    assert message_count(cluster, MessageType.PREPARE) == 1
+
+
+def test_mixed_writeset_uses_rpc_for_all_participants():
+    cluster = make_cluster(
+        "fwkv", 2, {"here": 0, "there": 1}, initial={"here": 0, "there": 0}
+    )
+    ok, _ = cluster.run_process(
+        update_txn(cluster, 0, writes={"here": 1, "there": 2})
+    )
+    assert ok
+    assert message_count(cluster, MessageType.PREPARE) == 2
+
+
+def test_fast_path_still_validates_conflicts():
+    """Two local read-modify-writes racing on one key: one aborts."""
+    cluster = make_cluster("fwkv", 1, {"k": 0}, initial={"k": 0})
+    outcomes = []
+
+    def rmw():
+        node = cluster.node(0)
+        txn = node.begin(is_read_only=False)
+        value = yield from node.read(txn, "k")
+        yield cluster.sim.timeout(50e-6)  # overlap the two transactions
+        node.write(txn, "k", value + 1)
+        ok = yield from node.commit(txn)
+        outcomes.append(ok)
+
+    cluster.spawn(rmw())
+    cluster.spawn(rmw())
+    cluster.run()
+    assert sorted(outcomes) == [False, True]
+    assert cluster.node(0).store.chain("k").latest.value == 1
+    assert not cluster.any_locks_held()
+
+
+def test_local_commits_are_faster_than_remote():
+    def commit_latency(placement_node):
+        cluster = make_cluster(
+            "walter", 2, {"key": placement_node}, initial={"key": 0}
+        )
+
+        def proc():
+            node = cluster.node(0)
+            txn = node.begin(is_read_only=False)
+            node.write(txn, "key", 1)
+            started = cluster.sim.now
+            ok = yield from node.commit(txn)
+            assert ok
+            return cluster.sim.now - started
+
+        return cluster.run_process(proc())
+
+    assert commit_latency(placement_node=0) < commit_latency(placement_node=1)

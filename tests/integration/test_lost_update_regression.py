@@ -1,0 +1,155 @@
+"""Regression: the lost update admitted by clock-only write validation.
+
+Found by the randomized soak test and minimised here.  The paper's write
+validation (Alg. 5 line 29) checks ``latest.VC[origin] <= T.VC[origin]``;
+for FW-KV that is unsound because ``T.VC`` can absorb knowledge of a
+version that remains *invisible* to the transaction's reads:
+
+* node 1 commits three local updates U0 (seq 1), U1 (seq 2), U2 (seq 3);
+  its Propagate towards node 3 is congested, so node 3 only knows seq 1;
+* update transaction T (node 0) reads ``k1`` at node 1 after U1, freezing
+  its node-1 bound at 2;
+* W commits ``k2`` on node 2 after U2's propagation arrived there, so W's
+  commit clock carries node-1 entry 3 -- W is invisible to T forever;
+* X commits ``k4`` locally on node 3 after W's propagation arrived there
+  but while node 3 still only knows node-1 seq 1: X's clock has node-1
+  entry 1 (*strictly below* T's bound, dodging the SCORe exclusion rule)
+  and node-2 entry 1 (W!);
+* T reads ``k4``, selects X's version (visible, not excluded) and merges
+  its clock: ``T.VC[2]`` now covers W without T ever seeing W's write;
+* T reads ``k2`` (old version -- W is invisible), writes ``k2`` back.
+
+Alg. 5's test now passes (``W.seq = 1 <= T.VC[2] = 1``) and W's committed
+write would be silently overwritten by a transaction that never observed
+it -- a lost update, forbidden by PSI's write-conflict rule.  The fixed
+validation compares the latest vid with the vid T actually read, and
+aborts T.
+"""
+
+from repro.net.message import MessageType
+from tests.integration.scenario_tools import make_cluster, update_txn
+
+PLACEMENT = {"k1": 1, "k2": 2, "k3": 1, "k4": 3}
+INITIAL = {"k1": 100, "k2": 200, "k3": 300, "k4": 400}
+SLOW = 50e-3
+
+
+def _delay_policy(envelope):
+    # Congestion hits node 1's Propagate traffic towards node 3 from U1
+    # onwards (seq >= 2); U0's announcement got through.
+    if (
+        envelope.msg_type == MessageType.PROPAGATE
+        and (envelope.src, envelope.dst) == (1, 3)
+        and envelope.payload.seq_no >= 2
+    ):
+        return SLOW
+    return 0.0
+
+
+def run_scenario():
+    cluster = make_cluster("fwkv", 4, PLACEMENT, initial=INITIAL)
+    cluster.network.delay_policy = _delay_policy
+    sim = cluster.sim
+    sync = {name: sim.event() for name in
+            ("u0", "t_read_k1", "u2", "w", "x", "t_done")}
+    result = {}
+
+    def node1_writer():
+        ok, _ = yield from update_txn(cluster, 1, writes={"k3": 1})  # U0 seq 1
+        assert ok
+        yield sim.timeout(300e-6)  # U0 propagates everywhere (incl. node 3... not: 1->3 delayed)
+        ok, _ = yield from update_txn(cluster, 1, writes={"k3": 2})  # U1 seq 2
+        assert ok
+        yield sim.timeout(300e-6)  # U1 reaches nodes 0 and 2 (not 3)
+        sync["u0"].succeed()
+        yield sync["t_read_k1"]
+        ok, _ = yield from update_txn(cluster, 1, writes={"k3": 3})  # U2 seq 3
+        assert ok
+        yield sim.timeout(300e-6)  # U2 reaches node 2
+        sync["u2"].succeed()
+
+    def w_writer():
+        yield sync["u2"]
+        ok, _ = yield from update_txn(cluster, 2, writes={"k2": 999})  # W
+        assert ok
+        yield sim.timeout(300e-6)  # W's propagate reaches node 3
+        sync["w"].succeed()
+
+    def x_writer():
+        yield sync["w"]
+        result["site_vc_3"] = cluster.node(3).site_vc.to_tuple()
+        ok, _ = yield from update_txn(cluster, 3, writes={"k4": 777})  # X
+        assert ok
+        yield sim.timeout(100e-6)
+        sync["x"].succeed()
+
+    def t():
+        yield sync["u0"]
+        node = cluster.node(0)
+        txn = node.begin(is_read_only=False)
+        result["k1"] = yield from node.read(txn, "k1")
+        result["t_vc_after_k1"] = txn.vc.to_tuple()
+        sync["t_read_k1"].succeed()
+        yield sync["x"]
+        result["k4"] = yield from node.read(txn, "k4")
+        result["t_vc_after_k4"] = txn.vc.to_tuple()
+        result["k2_read"] = yield from node.read(txn, "k2")
+        result["k2_latest"] = cluster.node(2).store.chain("k2").latest.value
+        node.write(txn, "k2", result["k2_read"] + 1)
+        result["t_committed"] = yield from node.commit(txn)
+        sync["t_done"].succeed()
+
+    for proc in (node1_writer(), w_writer(), x_writer(), t()):
+        cluster.spawn(proc)
+    cluster.run()
+    return cluster, result
+
+
+def test_construction_reaches_the_dangerous_state():
+    _cluster, result = run_scenario()
+    # Node 3 was cut off from node 1's progress (knows seq 1 only) but saw W.
+    assert result["site_vc_3"][1] == 1
+    assert result["site_vc_3"][2] == 1
+    # T froze its node-1 bound at 2 and later absorbed X's clock.
+    assert result["t_vc_after_k1"][1] == 2
+    assert result["k4"] == 777, "X's version is visible and not excluded"
+    assert result["t_vc_after_k4"][2] >= 1, "T's clock now covers W"
+    # Yet W's write stayed invisible to T's read of k2.
+    assert result["k2_latest"] == 999
+    assert result["k2_read"] == 200
+
+
+def test_write_validation_aborts_the_lost_update():
+    cluster, result = run_scenario()
+    assert result["t_committed"] is False, (
+        "T overwrote a version it never observed: lost update"
+    )
+    assert cluster.node(2).store.chain("k2").latest.value == 999
+
+
+def test_walter_is_immune_by_construction():
+    """Walter's frozen snapshot keeps visibility and validation aligned:
+    the same kind of schedule simply aborts (T's clock never covers W)."""
+    cluster = make_cluster("walter", 3, {"k1": 1, "k2": 2}, initial=INITIAL)
+    done = {}
+
+    def t():
+        node = cluster.node(0)
+        txn = node.begin(is_read_only=False)
+        _ = yield from node.read(txn, "k1")
+        yield cluster.sim.timeout(1e-3)
+        value = yield from node.read(txn, "k2")
+        node.write(txn, "k2", value + 1)
+        done["t"] = yield from node.commit(txn)
+
+    def w():
+        yield cluster.sim.timeout(200e-6)
+        ok, _ = yield from update_txn(cluster, 2, writes={"k2": 999})
+        done["w"] = ok
+
+    cluster.spawn(t())
+    cluster.spawn(w())
+    cluster.run()
+    assert done["w"] is True
+    assert done["t"] is False
+    assert cluster.node(2).store.chain("k2").latest.value == 999

@@ -1,0 +1,164 @@
+"""Edge-case tests for the shared MVCC machinery (prepare/decide/propagate)."""
+
+import pytest
+
+from repro.net.message import MessageType
+from tests.integration.scenario_tools import (
+    make_cluster,
+    read_only_txn,
+    retry_update,
+    update_txn,
+)
+
+
+def test_lock_timeout_aborts_prepare():
+    """A prepare that cannot lock within the timeout votes no."""
+    cluster = make_cluster("fwkv", 2, {"x": 1}, initial={"x": 0})
+    outcome = {}
+    lock_acquired = cluster.sim.event()
+
+    def holder():
+        # Take the write lock directly and sit on it past the timeout.
+        node = cluster.node(1)
+        granted = yield node.locks.lock_for("x").acquire_write("intruder")
+        assert granted
+        lock_acquired.succeed()
+        yield cluster.sim.timeout(5e-3)
+        node.locks.lock_for("x").release("intruder")
+
+    def txn():
+        yield lock_acquired
+        node = cluster.node(0)
+        t = node.begin(is_read_only=False)
+        node.write(t, "x", 42)
+        outcome["ok"] = yield from node.commit(t)
+
+    cluster.spawn(holder())
+    cluster.spawn(txn())
+    cluster.run()
+    assert outcome["ok"] is False
+    assert cluster.metrics.aborts_by_reason.get("lock_timeout", 0) == 1
+    # After the holder releases, a retry succeeds.
+    cluster.run_process(retry_update(cluster, 0, writes={"x": 42}))
+    assert cluster.node(1).store.chain("x").latest.value == 42
+
+
+def test_in_order_decide_application():
+    """Commits from one origin apply in sequence-number order even when a
+    middle transaction's Propagate is the only carrier of its seq."""
+    placement = {"a": 1, "b": 1, "c": 0}
+    cluster = make_cluster("fwkv", 2, placement, propagate_delay=2e-3)
+
+    def writer():
+        # Txn 1 from node 0 writes a key on node 1 (Decide to node 1).
+        ok, _ = yield from update_txn(cluster, 0, writes={"a": 1})
+        assert ok
+        # Txn 2 from node 0 writes only local key c (node 1 gets Propagate,
+        # delayed 2ms).
+        ok, _ = yield from update_txn(cluster, 0, writes={"c": 2})
+        assert ok
+        # Txn 3 from node 0 writes on node 1 again: its Decide must wait at
+        # node 1 for txn 2's delayed Propagate.
+        ok, _ = yield from update_txn(cluster, 0, writes={"b": 3})
+        assert ok
+
+    cluster.spawn(writer())
+    cluster.run(until=1.5e-3)
+    node1 = cluster.node(1)
+    # Txn 3 decided, but cannot apply before txn 2's Propagate arrives.
+    assert node1.site_vc[0] == 1
+    assert node1.store.chain("b").latest.value == 0
+    cluster.run()
+    assert node1.site_vc[0] == 3
+    assert node1.store.chain("b").latest.value == 3
+
+
+def test_propagate_is_idempotent_and_ordered():
+    cluster = make_cluster("walter", 3, {"x": 0}, initial={"x": 0})
+    cluster.run_process(update_txn(cluster, 0, writes={"x": 1}))
+    node2 = cluster.node(2)
+    assert node2.site_vc[0] == 1
+    # A duplicate propagate for an already-applied seq is a no-op.
+    from repro.core.wire import PropagateBody
+
+    cluster.node(0).node.send(2, MessageType.PROPAGATE, PropagateBody(0, 1))
+    cluster.run()
+    assert node2.site_vc[0] == 1
+
+
+def test_read_stall_released_by_catchup():
+    """A read whose snapshot outruns the serving node waits, then serves."""
+    placement = {"x": 1, "y": 0}
+    cluster = make_cluster("fwkv", 3, placement, propagate_delay=3e-3,
+                           initial={"x": "x0", "y": "y0"})
+    result = {}
+
+    def writer():
+        # Node 0 commits y1 (node 0 is preferred site); node 1 learns of it
+        # only via the delayed Propagate.
+        ok, _ = yield from update_txn(cluster, 0, writes={"y": "y1"})
+        assert ok
+
+    def reader():
+        yield cluster.sim.timeout(0.5e-3)
+        node = cluster.node(0)  # begins at node 0: snapshot includes y1
+        txn = node.begin(is_read_only=True)
+        value = yield from node.read(txn, "x")  # served by lagging node 1
+        result["x"] = value
+        result["at"] = cluster.sim.now
+        yield from node.commit(txn)
+
+    cluster.spawn(writer())
+    cluster.spawn(reader())
+    cluster.run()
+    assert result["x"] == "x0"
+    # The read stalled until node 1 received the delayed Propagate (~3ms).
+    assert result["at"] >= 3e-3
+    assert cluster.metrics.read_stalls >= 1
+
+
+def test_empty_writeset_update_commits_as_read_only():
+    """Alg. 4 line 2 keys on the writeset, not the declared mode."""
+    cluster = make_cluster("fwkv", 2, {"x": 1}, initial={"x": 5})
+
+    def txn():
+        node = cluster.node(0)
+        t = node.begin(is_read_only=False)
+        value = yield from node.read(t, "x")
+        ok = yield from node.commit(t)
+        return value, ok, t.seq_no
+
+    value, ok, seq_no = cluster.run_process(txn())
+    assert (value, ok) == (5, True)
+    assert seq_no is None, "no sequence number consumed without writes"
+    assert cluster.node(0).curr_seq_no == 0
+
+
+def test_aborted_transactions_consume_no_sequence_numbers():
+    cluster = make_cluster("walter", 2, {"x": 1}, initial={"x": 0})
+    read_done = cluster.sim.event()
+    winner_done = cluster.sim.event()
+
+    def loser():
+        node = cluster.node(0)
+        t = node.begin(is_read_only=False)
+        _ = yield from node.read(t, "x")
+        node.write(t, "x", "loser")
+        read_done.succeed()
+        yield winner_done
+        ok = yield from node.commit(t)
+        assert not ok
+
+    def winner():
+        yield read_done
+        ok, _ = yield from update_txn(cluster, 1, writes={"x": "winner"})
+        assert ok
+        winner_done.succeed()
+
+    cluster.spawn(loser())
+    cluster.spawn(winner())
+    cluster.run()
+    assert cluster.node(0).curr_seq_no == 0, "aborts must not consume seqs"
+    assert cluster.node(1).curr_seq_no == 1
+    # Every node converges on the winner's commit.
+    assert cluster.site_clocks() == [(0, 1), (0, 1)]

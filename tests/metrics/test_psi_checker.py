@@ -1,0 +1,144 @@
+"""Unit tests for the offline PSI checker on hand-built histories."""
+
+from repro.metrics import (
+    History,
+    OpRecord,
+    TxnRecord,
+    check_no_read_skew,
+    check_site_order,
+    find_long_forks,
+)
+
+
+def txn(txn_id, ops, *, ro=False, start=0.0, end=1.0, node=0):
+    record = TxnRecord(
+        txn_id=txn_id,
+        node_id=node,
+        is_read_only=ro,
+        start_time=start,
+        end_time=end,
+    )
+    for op in ops:
+        record.ops.append(OpRecord(*op))
+    return record
+
+
+def test_read_skew_detected():
+    history = History()
+    # Writer 1 writes x@1 and y@1 atomically.
+    history.append(txn(1, [("w", "x", 1, None), ("w", "y", 1, None)]))
+    # Reader sees x@1 but stale y@0: fractured.
+    history.append(txn(2, [("r", "x", 1, 1), ("r", "y", 0, 1)], ro=True))
+    result = check_no_read_skew(history)
+    assert not result.ok
+    assert "fractured" in result.violations[0]
+
+
+def test_consistent_snapshot_passes():
+    history = History()
+    history.append(txn(1, [("w", "x", 1, None), ("w", "y", 1, None)]))
+    history.append(txn(2, [("r", "x", 0, 1), ("r", "y", 0, 1)], ro=True))
+    history.append(txn(3, [("r", "x", 1, 1), ("r", "y", 1, 1)], ro=True))
+    assert check_no_read_skew(history).ok
+
+
+def test_single_shared_key_cannot_fracture():
+    history = History()
+    history.append(txn(1, [("w", "x", 1, None), ("w", "y", 1, None)]))
+    history.append(txn(2, [("r", "x", 1, 1)], ro=True))
+    assert check_no_read_skew(history).ok
+
+
+def test_site_order_violation_detected():
+    history = History()
+    # Reader saw origin 1 up to seq 5 on key x, but on key y it read vid 0
+    # while vid 1 (origin 1, seq 3 <= 5) already existed at the node.
+    history.append(
+        txn(9, [("r", "x", 2, 2), ("r", "y", 0, 1)], ro=True)
+    )
+    catalog = {
+        ("x", 2): (1, 5, 100),
+        ("y", 0): (0, 0, None),
+        ("y", 1): (1, 3, 101),
+    }
+    result = check_site_order(history, catalog)
+    assert not result.ok
+    assert "origin 1" in result.violations[0]
+
+
+def test_site_order_allows_missing_other_origins():
+    history = History()
+    history.append(txn(9, [("r", "x", 2, 2), ("r", "y", 0, 1)], ro=True))
+    catalog = {
+        ("x", 2): (1, 5, 100),
+        ("y", 0): (0, 0, None),
+        ("y", 1): (2, 3, 101),  # different origin: long fork, not order
+    }
+    assert check_site_order(history, catalog).ok
+
+
+def test_site_order_ignores_versions_installed_after_the_read():
+    history = History()
+    # latest_vid_at_read == vid: nothing newer existed when the read ran.
+    history.append(txn(9, [("r", "x", 2, 2), ("r", "y", 0, 0)], ro=True))
+    catalog = {
+        ("x", 2): (1, 5, 100),
+        ("y", 0): (0, 0, None),
+        ("y", 1): (1, 3, 101),
+    }
+    assert check_site_order(history, catalog).ok
+
+
+def build_fork_history(*, readers_after=True):
+    history = History()
+    history.append(txn(1, [("w", "x", 1, None)], end=1.0))
+    history.append(txn(2, [("w", "y", 1, None)], end=1.0))
+    start = 2.0 if readers_after else 0.5
+    history.append(
+        txn(3, [("r", "x", 1, 1), ("r", "y", 0, 1)], ro=True, start=start)
+    )
+    history.append(
+        txn(4, [("r", "x", 0, 1), ("r", "y", 1, 1)], ro=True, start=start)
+    )
+    return history
+
+
+def test_long_fork_found_and_classified_observable():
+    forks = find_long_forks(build_fork_history(readers_after=True))
+    assert len(forks) == 1
+    fork = forks[0]
+    assert {fork.writer_x, fork.writer_y} == {1, 2}
+    assert fork.observable
+
+
+def test_long_fork_concurrent_not_observable():
+    forks = find_long_forks(build_fork_history(readers_after=False))
+    assert len(forks) == 1
+    assert not forks[0].observable
+
+
+def test_agreeing_readers_are_not_a_fork():
+    history = History()
+    history.append(txn(1, [("w", "x", 1, None)]))
+    history.append(txn(2, [("w", "y", 1, None)]))
+    history.append(txn(3, [("r", "x", 1, 1), ("r", "y", 1, 1)], ro=True))
+    history.append(txn(4, [("r", "x", 0, 1), ("r", "y", 0, 1)], ro=True))
+    assert find_long_forks(history) == []
+
+
+def test_history_accessors():
+    history = History()
+    history.append(txn(1, [("w", "x", 1, None)]))
+    history.append(txn(2, [("r", "x", 1, 1)], ro=True))
+    assert len(history) == 2
+    assert len(history.committed_updates()) == 1
+    assert len(history.committed_read_only()) == 1
+    assert history.by_id(1).wrote("x")
+    assert history.by_id(2).read_of("x").vid == 1
+    assert history.by_id(2).read_of("nope") is None
+    try:
+        history.by_id(99)
+    except KeyError:
+        pass
+    else:  # pragma: no cover
+        raise AssertionError("expected KeyError")

@@ -1,0 +1,57 @@
+"""Unit tests for reservoir sampling and percentile reporting."""
+
+import pytest
+
+from repro.metrics import ReservoirSample
+
+
+def test_small_streams_kept_exactly():
+    sample = ReservoirSample(capacity=100)
+    for value in range(10):
+        sample.add(float(value))
+    assert sample.seen == 10
+    assert sample.percentile(0.0) == 0.0
+    assert sample.percentile(1.0) == 9.0
+    assert sample.percentile(0.5) == 5.0
+
+
+def test_percentiles_on_large_stream_are_close():
+    sample = ReservoirSample(capacity=512, seed=3)
+    for value in range(10_000):
+        sample.add(float(value))
+    assert sample.seen == 10_000
+    p50 = sample.percentile(0.5)
+    p99 = sample.percentile(0.99)
+    assert 4000 < p50 < 6000
+    assert p99 > 9000
+
+
+def test_empty_sample_reports_zero():
+    sample = ReservoirSample()
+    assert sample.percentile(0.5) == 0.0
+    assert sample.as_dict() == {"seen": 0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+
+def test_invalid_arguments():
+    with pytest.raises(ValueError):
+        ReservoirSample(capacity=0)
+    with pytest.raises(ValueError):
+        ReservoirSample().percentile(1.5)
+
+
+def test_deterministic_given_seed():
+    def collect(seed):
+        sample = ReservoirSample(capacity=16, seed=seed)
+        for value in range(1000):
+            sample.add(float(value))
+        return sample.as_dict()
+
+    assert collect(5) == collect(5)
+
+
+def test_as_dict_shape():
+    sample = ReservoirSample()
+    sample.add(1.0)
+    d = sample.as_dict()
+    assert set(d) == {"seen", "p50", "p95", "p99"}
+    assert d["seen"] == 1

@@ -1,0 +1,114 @@
+"""Unit tests for the metrics recorder."""
+
+import math
+
+import pytest
+
+from repro.core.transaction import Transaction
+from repro.metrics import MetricsRecorder, RunningStat
+from repro.sim import Simulator
+
+
+def make_txn(ro=False, profile=None):
+    txn = Transaction(1, 0, 4, is_read_only=ro, profile=profile)
+    return txn
+
+
+def test_running_stat_tracks_extremes():
+    stat = RunningStat()
+    for value in (3.0, 1.0, 2.0):
+        stat.add(value)
+    assert stat.count == 3
+    assert stat.mean == pytest.approx(2.0)
+    assert stat.minimum == 1.0
+    assert stat.maximum == 3.0
+    d = stat.as_dict()
+    assert d["count"] == 3 and d["mean"] == pytest.approx(2.0)
+
+
+def test_running_stat_empty():
+    stat = RunningStat()
+    assert stat.mean == 0.0
+    assert stat.as_dict() == {"count": 0, "mean": 0.0, "min": 0.0, "max": 0.0}
+
+
+def test_commit_and_abort_counting():
+    sim = Simulator()
+    metrics = MetricsRecorder(sim)
+    metrics.on_commit(make_txn(profile="p1"), latency=0.01, attempts=2)
+    metrics.on_commit(make_txn(ro=True, profile="p2"), latency=0.02, attempts=1)
+    metrics.on_abort(make_txn(), reason="validation")
+    assert metrics.commits == 2
+    assert metrics.aborts == 1
+    assert metrics.abort_rate == pytest.approx(1 / 3)
+    assert metrics.commits_by_profile == {"p1": 1, "p2": 1}
+    assert metrics.aborts_by_reason == {"validation": 1}
+    assert metrics.read_only_latency.count == 1
+    assert metrics.update_latency.count == 1
+    assert metrics.attempts_per_commit.mean == pytest.approx(1.5)
+
+
+def test_window_excludes_events_outside():
+    sim = Simulator()
+    metrics = MetricsRecorder(sim)
+    metrics.open_window(start=1.0, end=2.0)
+    # now == 0: before the window.
+    metrics.on_commit(make_txn(), latency=0.1, attempts=1)
+    metrics.on_abort(make_txn(), "validation")
+    metrics.on_ro_read(gap=1, first_contact=True)
+    metrics.on_antidep_collected(5)
+    metrics.on_read_stall(0.1)
+    assert metrics.commits == 0
+    assert metrics.aborts == 0
+    assert metrics.ro_reads == 0
+    assert metrics.antidep_collected.count == 0
+    assert metrics.read_stalls == 0
+
+    sim.call_at(1.5, lambda: metrics.on_commit(make_txn(), 0.1, 1))
+    sim.run()
+    assert metrics.commits == 1
+
+
+def test_throughput_uses_window_duration():
+    sim = Simulator()
+    metrics = MetricsRecorder(sim)
+    metrics.open_window(start=0.0, end=2.0)
+    metrics.on_commit(make_txn(), 0.1, 1)
+    sim.call_at(2.0, lambda: None)
+    sim.run()
+    assert metrics.window_duration == pytest.approx(2.0)
+    assert metrics.throughput() == pytest.approx(0.5)
+
+
+def test_freshness_accounting():
+    sim = Simulator()
+    metrics = MetricsRecorder(sim)
+    metrics.on_ro_read(gap=0, first_contact=True)
+    metrics.on_ro_read(gap=3, first_contact=True)
+    metrics.on_ro_read(gap=0, first_contact=False)
+    assert metrics.ro_reads == 3
+    assert metrics.ro_stale_reads == 1
+    assert metrics.stale_read_fraction == pytest.approx(1 / 3)
+    assert metrics.first_contact_reads == 2
+    assert metrics.first_contact_fresh == 1
+    assert metrics.ro_read_gap.mean == pytest.approx(1.0)
+
+
+def test_summary_contains_all_sections():
+    sim = Simulator()
+    metrics = MetricsRecorder(sim)
+    summary = metrics.summary()
+    for key in (
+        "commits", "aborts", "abort_rate", "throughput", "latency",
+        "antidep_collected", "vas_inspected", "ro_read_gap",
+        "stale_read_fraction", "read_stalls", "read_stall_time",
+    ):
+        assert key in summary, key
+
+
+def test_zero_rates_without_samples():
+    sim = Simulator()
+    metrics = MetricsRecorder(sim)
+    assert metrics.abort_rate == 0.0
+    assert metrics.stale_read_fraction == 0.0
+    assert metrics.throughput() == 0.0

@@ -1,0 +1,61 @@
+"""Tests for crash-stop fault injection in the network."""
+
+from repro.config import NetworkConfig
+from repro.net import Network
+from repro.sim import Simulator
+
+
+def build():
+    sim = Simulator()
+    net = Network(sim, NetworkConfig(jitter=0.0))
+    received = []
+    net.register(0, lambda env: received.append((0, env.payload)))
+    net.register(1, lambda env: received.append((1, env.payload)))
+    return sim, net, received
+
+
+def test_messages_to_crashed_node_drop():
+    sim, net, received = build()
+    net.crash(1)
+    net.send(0, 1, "Ping", "lost")
+    sim.run()
+    assert received == []
+    assert net.stats.messages_dropped == 1
+
+
+def test_messages_from_crashed_node_drop():
+    sim, net, received = build()
+    net.crash(0)
+    net.send(0, 1, "Ping", "lost")
+    sim.run()
+    assert received == []
+
+
+def test_in_flight_messages_drop_on_crash():
+    sim, net, received = build()
+    net.send(0, 1, "Ping", "in-flight")
+    net.crash(1)  # crash after send, before delivery
+    sim.run()
+    assert received == []
+
+
+def test_restart_restores_delivery():
+    sim, net, received = build()
+    net.crash(1)
+    net.send(0, 1, "Ping", "lost")
+    sim.run()
+    net.restart(1)
+    net.send(0, 1, "Ping", "delivered")
+    sim.run()
+    assert received == [(1, "delivered")]
+    assert not net.is_crashed(1)
+
+
+def test_crash_is_idempotent():
+    sim, net, _received = build()
+    net.crash(1)
+    net.crash(1)
+    assert net.is_crashed(1)
+    net.restart(1)
+    net.restart(1)
+    assert not net.is_crashed(1)

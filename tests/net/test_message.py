@@ -1,0 +1,27 @@
+"""Unit tests for message envelopes and the protocol vocabulary."""
+
+from repro.net.message import Envelope, MessageType
+
+
+def test_envelope_latency():
+    env = Envelope("Ping", 0, 1, None, send_time=1.0, deliver_time=1.5)
+    assert env.latency == 0.5
+
+
+def test_background_channel_membership():
+    assert MessageType.PROPAGATE in MessageType.BACKGROUND
+    assert MessageType.REMOVE in MessageType.BACKGROUND
+    for foreground in (
+        MessageType.READ_REQUEST,
+        MessageType.PREPARE,
+        MessageType.VOTE,
+        MessageType.DECIDE,
+        MessageType.RPC_REPLY,
+    ):
+        assert foreground not in MessageType.BACKGROUND
+
+
+def test_envelope_repr_mentions_route():
+    env = Envelope("Decide", 2, 5, None, send_time=0.0, deliver_time=0.0)
+    assert "Decide" in repr(env)
+    assert "2->5" in repr(env)

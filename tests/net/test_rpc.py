@@ -1,0 +1,108 @@
+"""Unit tests for RPC request/reply matching over the simulated network."""
+
+import pytest
+
+from repro.cluster import Node
+from repro.config import NetworkConfig
+from repro.net import Network
+from repro.sim import Simulator
+
+
+def build_pair():
+    sim = Simulator()
+    net = Network(sim, NetworkConfig(jitter=0.0))
+    client = Node(sim, 0, net)
+    server = Node(sim, 1, net)
+    return sim, client, server
+
+
+def test_request_reply_round_trip():
+    sim, client, server = build_pair()
+
+    def handle(envelope):
+        body = server.rpc.body_of(envelope)
+        server.rpc.reply(envelope, body * 2)
+
+    server.on("Echo", handle)
+
+    def proc():
+        result = yield client.rpc.request(1, "Echo", 21)
+        return result
+
+    assert sim.run_process(proc()) == 42
+    assert client.rpc.pending_count == 0
+
+
+def test_concurrent_requests_match_correct_replies():
+    sim, client, server = build_pair()
+
+    def handle(envelope):
+        body = server.rpc.body_of(envelope)
+
+        def delayed():
+            # Later requests answer sooner, exercising id matching.
+            yield sim.timeout((10 - body) * 1e-6)
+            server.rpc.reply(envelope, f"reply-{body}")
+
+        sim.spawn(delayed())
+
+    server.on("Slow", handle)
+
+    def proc():
+        first = client.rpc.request(1, "Slow", 1)
+        second = client.rpc.request(1, "Slow", 2)
+        a = yield first
+        b = yield second
+        return a, b
+
+    assert sim.run_process(proc()) == ("reply-1", "reply-2")
+
+
+def test_generator_handler_is_spawned():
+    sim, client, server = build_pair()
+
+    def handle(envelope):
+        yield sim.timeout(5e-6)
+        server.rpc.reply(envelope, "done")
+
+    server.on("Work", handle)
+
+    def proc():
+        result = yield client.rpc.request(1, "Work", None)
+        return result, sim.now
+
+    result, finished = sim.run_process(proc())
+    assert result == "done"
+    assert finished > 5e-6
+
+
+def test_unhandled_message_type_raises():
+    sim, client, server = build_pair()
+
+    def proc():
+        yield client.rpc.request(1, "Nope", None)
+
+    with pytest.raises(Exception):
+        sim.run_process(proc())
+
+
+def test_duplicate_handler_registration_rejected():
+    sim, client, server = build_pair()
+    server.on("X", lambda env: None)
+    with pytest.raises(ValueError):
+        server.on("X", lambda env: None)
+
+
+def test_reply_requires_rpc_envelope():
+    sim, client, server = build_pair()
+    received = []
+
+    def handle(envelope):
+        received.append(envelope)
+
+    server.on("Fire", handle)
+    client.send(1, "Fire", "payload")
+    sim.run()
+    assert len(received) == 1
+    with pytest.raises(TypeError):
+        server.rpc.reply(received[0], "oops")

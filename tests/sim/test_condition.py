@@ -1,0 +1,76 @@
+"""Unit tests for condition variables and predicate waits."""
+
+from repro.sim import ConditionVariable, Simulator, wait_until
+
+
+def test_notify_all_wakes_every_waiter():
+    sim = Simulator()
+    cv = ConditionVariable(sim)
+    woken = []
+
+    def waiter(name):
+        yield cv.wait()
+        woken.append((name, sim.now))
+
+    sim.spawn(waiter("a"))
+    sim.spawn(waiter("b"))
+    sim.call_later(3.0, cv.notify_all)
+    sim.run()
+    assert woken == [("a", 3.0), ("b", 3.0)]
+
+
+def test_wait_until_rechecks_predicate():
+    sim = Simulator()
+    cv = ConditionVariable(sim)
+    state = {"value": 0}
+    done = []
+
+    def bump(value):
+        state["value"] = value
+        cv.notify_all()
+
+    def waiter():
+        yield from wait_until(cv, lambda: state["value"] >= 3)
+        done.append(sim.now)
+
+    sim.spawn(waiter())
+    sim.call_later(1.0, bump, 1)
+    sim.call_later(2.0, bump, 2)
+    sim.call_later(3.0, bump, 3)
+    sim.run()
+    assert done == [3.0]
+
+
+def test_wait_until_returns_immediately_when_true():
+    sim = Simulator()
+    cv = ConditionVariable(sim)
+
+    def waiter():
+        result = yield from wait_until(cv, lambda: "ready")
+        return result
+
+    assert sim.run_process(waiter()) == "ready"
+    assert sim.now == 0.0
+
+
+def test_waiter_count_tracks_registrations():
+    sim = Simulator()
+    cv = ConditionVariable(sim)
+
+    def waiter():
+        yield cv.wait()
+
+    sim.spawn(waiter())
+    sim.spawn(waiter())
+    sim.run(until=0.5)
+    assert cv.waiter_count == 2
+    cv.notify_all()
+    sim.run()
+    assert cv.waiter_count == 0
+
+
+def test_notify_with_no_waiters_is_noop():
+    sim = Simulator()
+    cv = ConditionVariable(sim)
+    cv.notify_all()
+    assert cv.waiter_count == 0

@@ -1,0 +1,226 @@
+"""Unit tests for simulated mutexes and readers/writer locks."""
+
+import pytest
+
+from repro.sim import Mutex, RWLock, Simulator
+from repro.sim.locks import LockError
+
+
+def acquire_now(lock_method, owner, timeout=None):
+    """Helper: acquire and assert the grant resolved within the run."""
+    event = lock_method(owner, timeout)
+    return event
+
+
+def test_mutex_grants_free_lock_immediately():
+    sim = Simulator()
+    mutex = Mutex(sim)
+
+    def proc():
+        granted = yield mutex.acquire("t1")
+        return granted
+
+    assert sim.run_process(proc()) is True
+    assert mutex.held_by("t1")
+
+
+def test_mutex_blocks_second_owner_until_release():
+    sim = Simulator()
+    mutex = Mutex(sim)
+    order = []
+
+    def first():
+        yield mutex.acquire("t1")
+        order.append(("t1-acquired", sim.now))
+        yield sim.timeout(5.0)
+        mutex.release("t1")
+
+    def second():
+        yield sim.timeout(1.0)
+        granted = yield mutex.acquire("t2")
+        order.append(("t2-acquired", sim.now, granted))
+        mutex.release("t2")
+
+    sim.spawn(first())
+    sim.spawn(second())
+    sim.run()
+    assert order == [("t1-acquired", 0.0), ("t2-acquired", 5.0, True)]
+
+
+def test_mutex_timeout_returns_false():
+    sim = Simulator()
+    mutex = Mutex(sim)
+    results = {}
+
+    def holder():
+        yield mutex.acquire("t1")
+        yield sim.timeout(10.0)
+        mutex.release("t1")
+
+    def contender():
+        granted = yield mutex.acquire("t2", timeout=2.0)
+        results["granted"] = granted
+        results["when"] = sim.now
+
+    sim.spawn(holder())
+    sim.spawn(contender())
+    sim.run()
+    assert results == {"granted": False, "when": 2.0}
+    assert not mutex.held_by("t2")
+
+
+def test_mutex_reentrant_same_owner():
+    sim = Simulator()
+    mutex = Mutex(sim)
+
+    def proc():
+        yield mutex.acquire("t1")
+        granted = yield mutex.acquire("t1")
+        mutex.release("t1")
+        assert mutex.held_by("t1")
+        mutex.release("t1")
+        return granted
+
+    assert sim.run_process(proc()) is True
+    assert not mutex.is_locked
+
+
+def test_release_without_hold_is_an_error():
+    sim = Simulator()
+    mutex = Mutex(sim)
+    with pytest.raises(LockError):
+        mutex.release("ghost")
+
+
+def test_rwlock_readers_share():
+    sim = Simulator()
+    lock = RWLock(sim)
+
+    def proc():
+        first = yield lock.acquire_read("r1")
+        second = yield lock.acquire_read("r2")
+        return first, second
+
+    assert sim.run_process(proc()) == (True, True)
+    assert lock.held_by("r1") == "r"
+    assert lock.held_by("r2") == "r"
+
+
+def test_rwlock_writer_excludes_readers():
+    sim = Simulator()
+    lock = RWLock(sim)
+    order = []
+
+    def writer():
+        yield lock.acquire_write("w")
+        order.append(("w", sim.now))
+        yield sim.timeout(3.0)
+        lock.release("w")
+
+    def reader():
+        yield sim.timeout(1.0)
+        yield lock.acquire_read("r")
+        order.append(("r", sim.now))
+        lock.release("r")
+
+    sim.spawn(writer())
+    sim.spawn(reader())
+    sim.run()
+    assert order == [("w", 0.0), ("r", 3.0)]
+
+
+def test_rwlock_fifo_prevents_writer_starvation():
+    """A read queued behind a write waits even while other reads hold."""
+    sim = Simulator()
+    lock = RWLock(sim)
+    order = []
+
+    def early_reader():
+        yield lock.acquire_read("r1")
+        order.append(("r1", sim.now))
+        yield sim.timeout(4.0)
+        lock.release("r1")
+
+    def writer():
+        yield sim.timeout(1.0)
+        yield lock.acquire_write("w")
+        order.append(("w", sim.now))
+        yield sim.timeout(2.0)
+        lock.release("w")
+
+    def late_reader():
+        yield sim.timeout(2.0)
+        yield lock.acquire_read("r2")
+        order.append(("r2", sim.now))
+        lock.release("r2")
+
+    sim.spawn(early_reader())
+    sim.spawn(writer())
+    sim.spawn(late_reader())
+    sim.run()
+    assert order == [("r1", 0.0), ("w", 4.0), ("r2", 6.0)]
+
+
+def test_rwlock_upgrade_attempt_rejected():
+    sim = Simulator()
+    lock = RWLock(sim)
+
+    def proc():
+        yield lock.acquire_read("t")
+        yield lock.acquire_write("t")
+
+    with pytest.raises(LockError):
+        sim.run_process(proc())
+
+
+def test_rwlock_timeout_of_queued_writer_unblocks_readers():
+    sim = Simulator()
+    lock = RWLock(sim)
+    order = []
+
+    def holder():
+        yield lock.acquire_read("r1")
+        yield sim.timeout(10.0)
+        lock.release("r1")
+
+    def impatient_writer():
+        yield sim.timeout(1.0)
+        granted = yield lock.acquire_write("w", timeout=2.0)
+        order.append(("w", granted, sim.now))
+
+    def queued_reader():
+        yield sim.timeout(2.0)
+        granted = yield lock.acquire_read("r2")
+        order.append(("r2", granted, sim.now))
+        lock.release("r2")
+
+    sim.spawn(holder())
+    sim.spawn(impatient_writer())
+    sim.spawn(queued_reader())
+    sim.run()
+    # Writer times out at t=3; the reader queued behind it is then granted.
+    assert order == [("w", False, 3.0), ("r2", True, 3.0)]
+
+
+def test_rwlock_queue_length_reporting():
+    sim = Simulator()
+    lock = RWLock(sim)
+
+    def holder():
+        yield lock.acquire_write("w1")
+        yield sim.timeout(5.0)
+        lock.release("w1")
+
+    def waiter(name):
+        yield sim.timeout(1.0)
+        yield lock.acquire_write(name)
+        lock.release(name)
+
+    sim.spawn(holder())
+    sim.spawn(waiter("w2"))
+    sim.spawn(waiter("w3"))
+    sim.run(until=2.0)
+    assert lock.queue_length == 2
+    sim.run()
+    assert lock.queue_length == 0
+    assert not lock.is_locked

@@ -1,0 +1,29 @@
+"""Unit tests for deterministic seed derivation."""
+
+from repro.sim import derive_seed, make_rng
+
+
+def test_derive_seed_is_deterministic():
+    assert derive_seed(1, "clients", 3) == derive_seed(1, "clients", 3)
+
+
+def test_derive_seed_varies_with_stream():
+    seeds = {
+        derive_seed(1, "clients", 0),
+        derive_seed(1, "clients", 1),
+        derive_seed(1, "network"),
+        derive_seed(2, "clients", 0),
+    }
+    assert len(seeds) == 4
+
+
+def test_make_rng_streams_are_independent():
+    a = make_rng(7, "a")
+    b = make_rng(7, "b")
+    assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+def test_make_rng_reproducible():
+    first = [make_rng(7, "x").random() for _ in range(3)]
+    second = [make_rng(7, "x").random() for _ in range(3)]
+    assert first == second

@@ -1,0 +1,133 @@
+"""Unit tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.simulator import SimulationCrash
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_call_later_advances_clock():
+    sim = Simulator()
+    seen = []
+    sim.call_later(5.0, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [5.0]
+    assert sim.now == 5.0
+
+
+def test_call_at_schedules_absolute_time():
+    sim = Simulator()
+    seen = []
+    sim.call_at(3.0, lambda: seen.append("a"))
+    sim.call_at(1.0, lambda: seen.append("b"))
+    sim.run()
+    assert seen == ["b", "a"]
+
+
+def test_same_time_callbacks_run_in_fifo_order():
+    sim = Simulator()
+    seen = []
+    for label in "abcde":
+        sim.call_later(1.0, seen.append, label)
+    sim.run()
+    assert seen == list("abcde")
+
+
+def test_cannot_schedule_in_the_past():
+    sim = Simulator()
+    sim.call_later(2.0, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.call_at(1.0, lambda: None)
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.call_later(-1.0, lambda: None)
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    seen = []
+    sim.call_later(1.0, seen.append, "early")
+    sim.call_later(10.0, seen.append, "late")
+    sim.run(until=5.0)
+    assert seen == ["early"]
+    assert sim.now == 5.0
+    sim.run()
+    assert seen == ["early", "late"]
+
+
+def test_timer_cancel_prevents_callback():
+    sim = Simulator()
+    seen = []
+    timer = sim.call_later(1.0, seen.append, "x")
+    timer.cancel()
+    sim.run()
+    assert seen == []
+
+
+def test_run_until_skips_cancelled_head():
+    sim = Simulator()
+    seen = []
+    timer = sim.call_later(1.0, seen.append, "cancelled")
+    sim.call_later(8.0, seen.append, "late")
+    timer.cancel()
+    sim.run(until=5.0)
+    assert seen == []
+    assert sim.now == 5.0
+
+
+def test_nested_scheduling_from_callback():
+    sim = Simulator()
+    seen = []
+
+    def outer():
+        seen.append(("outer", sim.now))
+        sim.call_later(2.0, inner)
+
+    def inner():
+        seen.append(("inner", sim.now))
+
+    sim.call_later(1.0, outer)
+    sim.run()
+    assert seen == [("outer", 1.0), ("inner", 3.0)]
+
+
+def test_unjoined_process_crash_raises():
+    sim = Simulator()
+
+    def boom():
+        yield sim.timeout(1.0)
+        raise ValueError("kaput")
+
+    sim.spawn(boom())
+    with pytest.raises(SimulationCrash):
+        sim.run()
+
+
+def test_run_process_returns_value():
+    sim = Simulator()
+
+    def work():
+        yield sim.timeout(2.0)
+        return 42
+
+    assert sim.run_process(work()) == 42
+    assert sim.now == 2.0
+
+
+def test_run_process_detects_deadlock():
+    sim = Simulator()
+
+    def stuck():
+        yield sim.event()  # never triggered
+
+    with pytest.raises(RuntimeError, match="deadlock"):
+        sim.run_process(stuck())

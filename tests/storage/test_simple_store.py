@@ -1,0 +1,47 @@
+"""Unit tests for the single-version 2PC-baseline store."""
+
+import pytest
+
+from repro.storage import SimpleStore
+
+
+def test_create_read_write_cycle():
+    store = SimpleStore()
+    store.create("x", "a")
+    record = store.read("x")
+    assert record.value == "a"
+    assert record.version == 0
+
+    store.write("x", "b")
+    record = store.read("x")
+    assert record.value == "b"
+    assert record.version == 1
+
+
+def test_duplicate_create_rejected():
+    store = SimpleStore()
+    store.create("x", 1)
+    with pytest.raises(KeyError):
+        store.create("x", 2)
+
+
+def test_missing_key_read_raises():
+    store = SimpleStore()
+    with pytest.raises(KeyError):
+        store.read("ghost")
+
+
+def test_write_creates_missing_key_at_version_zero():
+    store = SimpleStore()
+    record = store.write("fresh", 10)
+    assert record.version == 0
+    assert store.read("fresh").value == 10
+
+
+def test_len_and_keys():
+    store = SimpleStore()
+    store.create("a", 1)
+    store.create("b", 2)
+    assert len(store) == 2
+    assert sorted(store.keys()) == ["a", "b"]
+    assert "a" in store and "c" not in store

@@ -1,0 +1,48 @@
+"""Unit tests for VAS tombstones (Remove vs in-flight commit races)."""
+
+from repro.core import VectorClock
+from repro.storage import MultiVersionStore
+
+
+def vc():
+    return VectorClock.zeros(2)
+
+
+def test_tombstone_blocks_late_reinsertion():
+    store = MultiVersionStore()
+    v0 = store.create("x", 0, vc())
+    store.vas_add(v0, 42)
+    assert v0.access_set == {42}
+
+    store.vas_remove_txn(42, now=1.0)
+    assert v0.access_set == set()
+
+    # A late commit tries to propagate the removed id: ignored.
+    v1 = store.install("x", 1, vc(), 0, 1)
+    store.vas_extend(v1, {42, 43})
+    assert v1.access_set == {43}
+
+
+def test_tombstones_expire_after_ttl():
+    store = MultiVersionStore(tombstone_ttl=1.0)
+    v0 = store.create("x", 0, vc())
+    store.vas_remove_txn(42, now=0.0)
+
+    # Within the TTL the id stays blocked.
+    store.vas_add(v0, 42)
+    assert v0.access_set == set()
+
+    # A later removal prunes expired tombstones; 42 becomes insertable
+    # again (its transaction would be long gone in practice).
+    store.vas_remove_txn(99, now=5.0)
+    store.vas_add(v0, 42)
+    assert v0.access_set == {42}
+
+
+def test_remove_is_idempotent():
+    store = MultiVersionStore()
+    v0 = store.create("x", 0, vc())
+    store.vas_add(v0, 7)
+    assert store.vas_remove_txn(7, now=0.0) == 1
+    assert store.vas_remove_txn(7, now=0.0) == 0
+    assert len(store._tombstone_queue) == 1, "no duplicate tombstones"

@@ -1,0 +1,75 @@
+"""Unit tests for key-selection distributions."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.workloads import UniformChooser, ZipfianChooser
+
+
+def test_uniform_covers_range():
+    chooser = UniformChooser(10)
+    rng = random.Random(1)
+    seen = {chooser.next(rng) for _ in range(500)}
+    assert seen == set(range(10))
+
+
+def test_uniform_sample_distinct():
+    chooser = UniformChooser(100)
+    rng = random.Random(2)
+    sample = chooser.sample(rng, 10)
+    assert len(sample) == len(set(sample)) == 10
+    assert all(0 <= item < 100 for item in sample)
+
+
+def test_uniform_sample_too_many_rejected():
+    with pytest.raises(ValueError):
+        UniformChooser(3).sample(random.Random(0), 4)
+
+
+def test_uniform_validates_size():
+    with pytest.raises(ValueError):
+        UniformChooser(0)
+
+
+def test_uniform_roughly_flat():
+    chooser = UniformChooser(10)
+    rng = random.Random(3)
+    counts = Counter(chooser.next(rng) for _ in range(20_000))
+    assert max(counts.values()) / min(counts.values()) < 1.3
+
+
+def test_zipfian_is_skewed():
+    chooser = ZipfianChooser(1000, theta=0.99)
+    rng = random.Random(4)
+    counts = Counter(chooser.next(rng) for _ in range(20_000))
+    top_share = sum(count for _item, count in counts.most_common(20)) / 20_000
+    assert top_share > 0.3, "top 2% of items should absorb >30% of accesses"
+
+
+def test_zipfian_stays_in_range():
+    chooser = ZipfianChooser(50, theta=0.8)
+    rng = random.Random(5)
+    assert all(0 <= chooser.next(rng) < 50 for _ in range(2000))
+
+
+def test_zipfian_sample_distinct():
+    chooser = ZipfianChooser(100, theta=0.9)
+    sample = chooser.sample(random.Random(6), 5)
+    assert len(set(sample)) == 5
+
+
+def test_zipfian_validates_arguments():
+    with pytest.raises(ValueError):
+        ZipfianChooser(0)
+    with pytest.raises(ValueError):
+        ZipfianChooser(10, theta=1.5)
+    with pytest.raises(ValueError):
+        ZipfianChooser(3).sample(random.Random(0), 4)
+
+
+def test_deterministic_given_seed():
+    a = [ZipfianChooser(100).next(random.Random(7)) for _ in range(1)]
+    b = [ZipfianChooser(100).next(random.Random(7)) for _ in range(1)]
+    assert a == b

@@ -1,0 +1,154 @@
+"""Unit tests for the TPC-C port: schema, loader, generator, placement."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.workloads import TPCCConfig, TPCCWorkload
+from repro.workloads.tpcc import schema, tpcc_directory
+from repro.workloads.tpcc.loader import load_items
+from repro.workloads.tpcc.transactions import (
+    DELIVERY,
+    NEW_ORDER,
+    ORDER_STATUS,
+    PAYMENT,
+    READ_ONLY_PROFILES,
+    STOCK_LEVEL,
+    UPDATE_PROFILES,
+)
+
+SMALL = TPCCConfig(
+    num_warehouses=4,
+    districts_per_warehouse=2,
+    customers_per_district=10,
+    num_items=20,
+    initial_orders_per_district=3,
+)
+
+
+def test_schema_key_shapes_and_ownership():
+    assert schema.warehouse_key(3) == ("w", 3)
+    assert schema.owning_warehouse(schema.customer_key(2, 1, 7)) == 2
+    assert schema.owning_warehouse(schema.order_line_key(5, 1, 9, 0)) == 5
+    with pytest.raises(ValueError):
+        schema.owning_warehouse(schema.item_key(4))
+
+
+def test_loader_populates_expected_tables():
+    items = dict(load_items(SMALL))
+    # Warehouses, districts, cursors.
+    for w in range(4):
+        assert schema.warehouse_key(w) in items
+        for d in range(2):
+            district = items[schema.district_key(w, d)]
+            assert district["next_o_id"] == 4  # 3 initial orders
+            assert items[schema.delivery_cursor_key(w, d)] == {"next": 1}
+    # Item catalog and per-warehouse stock.
+    assert sum(1 for k in items if k[0] == schema.ITEM) == 20
+    assert sum(1 for k in items if k[0] == schema.STOCK) == 4 * 20
+    # Initial orders exist, belong to customer k, and have matching lines.
+    order = items[schema.order_key(0, 0, 1)]
+    assert order["customer"] == 1
+    for line in range(order["line_count"]):
+        assert schema.order_line_key(0, 0, 1, line) in items
+    # Customer last-order pointers cover the preloaded orders.
+    assert items[schema.customer_last_order_key(0, 0, 1)] == {"order": 1}
+    assert items[schema.customer_last_order_key(0, 0, 9)] == {"order": 0}
+
+
+def test_total_keys_estimate_close_to_actual():
+    actual = len(list(load_items(SMALL)))
+    estimate = SMALL.total_keys
+    assert abs(actual - estimate) / actual < 0.25
+
+
+def test_directory_places_warehouse_tree_together():
+    directory = tpcc_directory(4)
+    for w in range(8):
+        site = directory.site(schema.warehouse_key(w))
+        assert site == w % 4
+        assert directory.site(schema.district_key(w, 3)) == site
+        assert directory.site(schema.customer_key(w, 1, 5)) == site
+        assert directory.site(schema.stock_key(w, 17)) == site
+        assert directory.site(schema.new_order_key(w, 0, 2)) == site
+    with pytest.raises(ValueError):
+        directory.site(("bogus", 1))
+
+
+def test_generator_profile_mix():
+    config = TPCCConfig(num_warehouses=4, read_only_fraction=0.5)
+    workload = TPCCWorkload(config, num_nodes=4)
+    rng = random.Random(1)
+    profiles = Counter(
+        workload.generate(rng, node_id=0).profile for _ in range(4000)
+    )
+    total = sum(profiles.values())
+    ro_share = (profiles[ORDER_STATUS] + profiles[STOCK_LEVEL]) / total
+    assert 0.46 < ro_share < 0.54
+    # Standard mix among update profiles: NewOrder ~ Payment >> Delivery.
+    assert profiles[NEW_ORDER] > profiles[DELIVERY]
+    assert profiles[PAYMENT] > profiles[DELIVERY]
+
+
+def test_generator_read_only_flags():
+    workload = TPCCWorkload(TPCCConfig(num_warehouses=2), num_nodes=2)
+    rng = random.Random(2)
+    for _ in range(200):
+        program = workload.generate(rng, 0)
+        if program.profile in READ_ONLY_PROFILES:
+            assert program.is_read_only
+        else:
+            assert program.profile in UPDATE_PROFILES
+            assert not program.is_read_only
+
+
+def test_local_warehouse_selection_stays_on_node():
+    config = TPCCConfig(num_warehouses=8, warehouse_selection="local")
+    workload = TPCCWorkload(config, num_nodes=4)
+    assert workload._warehouses_by_node[1] == [1, 5]
+
+
+def test_uniform_warehouse_selection_covers_all():
+    config = TPCCConfig(num_warehouses=8, warehouse_selection="uniform",
+                        read_only_fraction=0.0)
+    workload = TPCCWorkload(config, num_nodes=4)
+    rng = random.Random(3)
+    # Drive NewOrder programs and observe which warehouse key is read first.
+    seen = set()
+    for _ in range(300):
+        program = workload.generate(rng, node_id=0)
+        first_key = {}
+
+        class Probe:
+            def read(self, key):
+                first_key.setdefault("key", key)
+                raise StopIteration  # abort the program after first read
+                yield  # pragma: no cover
+
+            def write(self, key, value):  # pragma: no cover
+                pass
+
+        try:
+            list(program.run(Probe()) or [])
+        except (StopIteration, RuntimeError):
+            pass
+        if "key" in first_key:
+            seen.add(first_key["key"][1])
+    assert len(seen) == 8, f"uniform selection should hit all warehouses: {seen}"
+
+
+def test_requires_warehouse_per_node():
+    with pytest.raises(ValueError):
+        TPCCWorkload(TPCCConfig(num_warehouses=2), num_nodes=4)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        TPCCConfig(num_warehouses=0)
+    with pytest.raises(ValueError):
+        TPCCConfig(num_warehouses=1, read_only_fraction=2.0)
+    with pytest.raises(ValueError):
+        TPCCConfig(num_warehouses=1, min_order_lines=9, max_order_lines=3)
+    with pytest.raises(ValueError):
+        TPCCConfig(num_warehouses=1, warehouse_selection="nearest")

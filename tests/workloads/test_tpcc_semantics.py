@@ -1,0 +1,150 @@
+"""TPC-C profile semantics executed against a live cluster.
+
+Beyond generator-level unit tests: each profile's business effects must
+hold after running through the real protocol stack.
+"""
+
+import pytest
+
+from repro import Cluster, ClusterConfig
+from repro.workloads import TPCCConfig, TPCCWorkload
+from repro.workloads.base import TxnContext
+from repro.workloads.tpcc import schema, tpcc_directory
+from repro.workloads.tpcc.transactions import (
+    delivery_body,
+    new_order_body,
+    order_status_body,
+    payment_body,
+    stock_level_body,
+)
+
+SIZING = TPCCConfig(
+    num_warehouses=2,
+    districts_per_warehouse=2,
+    customers_per_district=10,
+    num_items=20,
+    initial_orders_per_district=2,
+)
+
+
+@pytest.fixture()
+def cluster():
+    built = Cluster(
+        "fwkv",
+        ClusterConfig(num_nodes=2, seed=3),
+        directory=tpcc_directory(2),
+    )
+    workload = TPCCWorkload(SIZING, num_nodes=2, seed=3)
+    built.load_many(workload.load_items())
+    return built
+
+
+def run_profile(cluster, node_id, body, *, read_only=False, profile="test"):
+    node = cluster.node(node_id)
+
+    def proc():
+        txn = node.begin(is_read_only=read_only, profile=profile)
+        result = yield from body(TxnContext(node, txn))
+        ok = yield from node.commit(txn)
+        return ok, result
+
+    return cluster.run_process(proc())
+
+
+def read_record(cluster, key):
+    return cluster.node(cluster.directory.site(key)).store.chain(key).latest.value
+
+
+def test_new_order_effects(cluster):
+    lines = [(5, 0, 3), (7, 0, 2)]
+    ok, o_id = run_profile(cluster, 0, new_order_body(0, 1, c=4, lines=lines))
+    assert ok
+    assert o_id == 3  # two initial orders preloaded
+
+    district = read_record(cluster, schema.district_key(0, 1))
+    assert district["next_o_id"] == 4
+
+    order = read_record(cluster, schema.order_key(0, 1, o_id))
+    assert order["customer"] == 4
+    assert order["line_count"] == 2
+
+    stock = read_record(cluster, schema.stock_key(0, 5))
+    assert stock["order_cnt"] == 1 and stock["ytd"] == 3
+
+    marker = read_record(cluster, schema.new_order_key(0, 1, o_id))
+    assert marker == {"delivered": False}
+    pointer = read_record(cluster, schema.customer_last_order_key(0, 1, 4))
+    assert pointer == {"order": o_id}
+
+
+def test_payment_effects_including_remote_customer(cluster):
+    before_w = read_record(cluster, schema.warehouse_key(0))["ytd"]
+    before_c = read_record(cluster, schema.customer_key(1, 0, 2))["balance"]
+
+    ok, _ = run_profile(
+        cluster, 0, payment_body(0, 0, cw=1, cd=0, c=2, amount=50.0, nonce=99)
+    )
+    assert ok
+    assert read_record(cluster, schema.warehouse_key(0))["ytd"] == before_w + 50.0
+    customer = read_record(cluster, schema.customer_key(1, 0, 2))
+    assert customer["balance"] == before_c - 50.0
+    assert customer["payment_cnt"] == 2
+    assert read_record(cluster, schema.history_key(0, 0, 99))["amount"] == 50.0
+
+
+def test_delivery_effects_and_cursor_advance(cluster):
+    ok, delivered = run_profile(cluster, 0, delivery_body(0, 0, carrier=7))
+    assert ok
+    assert delivered == 1  # oldest undelivered order
+    assert read_record(cluster, schema.new_order_key(0, 0, 1))["delivered"]
+    assert read_record(cluster, schema.order_key(0, 0, 1))["carrier"] == 7
+    assert read_record(cluster, schema.delivery_cursor_key(0, 0)) == {"next": 2}
+
+    # Second delivery takes the next order.
+    ok, delivered = run_profile(cluster, 0, delivery_body(0, 0, carrier=8))
+    assert ok and delivered == 2
+
+    # Third: nothing left; commits with no writes.
+    ok, delivered = run_profile(cluster, 0, delivery_body(0, 0, carrier=9))
+    assert ok and delivered is None
+    assert read_record(cluster, schema.delivery_cursor_key(0, 0)) == {"next": 3}
+
+
+def test_order_status_reflects_latest_order(cluster):
+    lines = [(3, 0, 1)]
+    ok, o_id = run_profile(cluster, 0, new_order_body(0, 0, c=5, lines=lines))
+    assert ok
+
+    ok, status = run_profile(
+        cluster, 1, order_status_body(0, 0, 5), read_only=True
+    )
+    assert ok
+    assert status["order"]["id"] == o_id
+    assert len(status["lines"]) == 1
+    assert status["lines"][0]["item"] == 3
+
+
+def test_order_status_for_customer_without_orders(cluster):
+    ok, status = run_profile(
+        cluster, 1, order_status_body(0, 0, 9), read_only=True
+    )
+    assert ok
+    assert status["order"] is None
+
+
+def test_stock_level_counts_low_stock(cluster):
+    ok, low = run_profile(
+        cluster, 1,
+        stock_level_body(0, 0, threshold=1000, orders_to_scan=2),
+        read_only=True,
+    )
+    assert ok
+    assert low > 0, "with threshold 1000 every scanned item counts as low"
+
+    ok, none_low = run_profile(
+        cluster, 1,
+        stock_level_body(0, 0, threshold=0, orders_to_scan=2),
+        read_only=True,
+    )
+    assert ok
+    assert none_low == 0

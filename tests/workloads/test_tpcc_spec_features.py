@@ -1,0 +1,147 @@
+"""Tests for TPC-C spec features: by-last-name lookup and 1% rollbacks."""
+
+import pytest
+
+from repro import Cluster, ClusterConfig, RunConfig
+from repro.harness import run_experiment
+from repro.workloads import TPCCConfig, TPCCWorkload
+from repro.workloads.base import Rollback, TxnContext
+from repro.workloads.tpcc import schema, tpcc_directory
+from repro.workloads.tpcc.loader import load_items
+from repro.workloads.tpcc.transactions import (
+    new_order_body,
+    order_status_by_name_body,
+    payment_by_name_body,
+)
+
+SIZING = TPCCConfig(
+    num_warehouses=2,
+    districts_per_warehouse=2,
+    customers_per_district=12,
+    num_items=20,
+    initial_orders_per_district=2,
+)
+
+
+def test_last_name_follows_spec_syllables():
+    assert schema.last_name(0) == "BARBARBAR"
+    assert schema.last_name(999) == "EINGEINGEING"
+    assert schema.last_name(371) == "PRICALLYOUGHT"
+    with pytest.raises(ValueError):
+        schema.last_name(1000)
+
+
+def test_customer_last_name_is_deterministic_and_many_to_few():
+    names = {schema.customer_last_name(c) for c in range(1, 2000)}
+    assert len(names) <= 1000
+    assert schema.customer_last_name(5) == schema.customer_last_name(5)
+
+
+def test_loader_builds_consistent_name_index():
+    items = dict(load_items(SIZING))
+    index_entries = {
+        key: value for key, value in items.items()
+        if key[0] == schema.CUSTOMER_NAME_INDEX
+    }
+    assert index_entries, "loader must emit name-index keys"
+    # Every customer appears in exactly the index bucket of its name.
+    for (tag, w, d, name), entry in index_entries.items():
+        for c in entry["ids"]:
+            assert schema.customer_last_name(c) == name
+    ids_in_index = sorted(
+        c
+        for (tag, w, d, _name), entry in index_entries.items()
+        for c in entry["ids"]
+        if (w, d) == (0, 0)
+    )
+    assert ids_in_index == list(range(1, SIZING.customers_per_district + 1))
+
+
+@pytest.fixture()
+def cluster():
+    built = Cluster(
+        "fwkv", ClusterConfig(num_nodes=2, seed=5), directory=tpcc_directory(2)
+    )
+    built.load_many(TPCCWorkload(SIZING, num_nodes=2, seed=5).load_items())
+    return built
+
+
+def run_body(cluster, node_id, body, *, read_only=False):
+    node = cluster.node(node_id)
+
+    def proc():
+        txn = node.begin(is_read_only=read_only)
+        try:
+            result = yield from body(TxnContext(node, txn))
+        except Rollback:
+            node.abort(txn)
+            return "rolled-back", None
+        ok = yield from node.commit(txn)
+        return ok, result
+
+    return cluster.run_process(proc())
+
+
+def test_payment_by_name_debits_midpoint_customer(cluster):
+    name = schema.customer_last_name(3)
+    ok, paid_customer = run_body(
+        cluster, 0,
+        payment_by_name_body(0, 0, 0, 0, name, amount=25.0, nonce=1),
+    )
+    assert ok is True
+    assert schema.customer_last_name(paid_customer) == name
+    site = cluster.directory.site(schema.customer_key(0, 0, paid_customer))
+    record = (
+        cluster.node(site).store.chain(schema.customer_key(0, 0, paid_customer))
+        .latest.value
+    )
+    assert record["balance"] == pytest.approx(-35.0)  # -10 initial - 25
+
+
+def test_order_status_by_name_resolves(cluster):
+    name = schema.customer_last_name(1)
+    ok, status = run_body(
+        cluster, 1, order_status_by_name_body(0, 0, name), read_only=True
+    )
+    assert ok is True
+    assert schema.customer_last_name(status["customer"]["id"]) == name
+
+
+def test_invalid_new_order_rolls_back_cleanly(cluster):
+    before = (
+        cluster.node(0).store.chain(schema.district_key(0, 0)).latest.value
+    )
+    outcome, _ = run_body(
+        cluster, 0,
+        new_order_body(0, 0, c=2, lines=[(1, 0, 1)], invalid_item=True),
+    )
+    assert outcome == "rolled-back"
+    after = cluster.node(0).store.chain(schema.district_key(0, 0)).latest.value
+    assert after == before, "a rolled-back NewOrder must leave no trace"
+    assert cluster.metrics.rollbacks == 1
+    assert cluster.metrics.commits == 0
+    assert not cluster.any_locks_held()
+    cluster.run()
+    assert cluster.total_vas_entries() == 0
+
+
+def test_harness_handles_rollbacks_end_to_end():
+    sizing = TPCCConfig(
+        num_warehouses=2,
+        districts_per_warehouse=2,
+        customers_per_district=12,
+        num_items=20,
+        initial_orders_per_district=2,
+        read_only_fraction=0.0,
+        new_order_rollback_prob=0.5,  # exaggerated so a short run sees them
+    )
+    workload = TPCCWorkload(sizing, num_nodes=2, seed=6)
+    result = run_experiment(
+        "fwkv",
+        workload,
+        ClusterConfig(num_nodes=2, clients_per_node=2, seed=6),
+        RunConfig(duration=0.02, warmup=0.0),
+        directory=tpcc_directory(2),
+    )
+    assert result.metrics["rollbacks"] > 0
+    assert result.metrics["commits"] > 0
