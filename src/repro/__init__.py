@@ -26,7 +26,13 @@ Quickstart::
     assert cluster.run_process(transfer())
 """
 
-from repro.config import ClusterConfig, CostModel, NetworkConfig, RunConfig
+from repro.config import (
+    ClusterConfig,
+    CostModel,
+    NetworkConfig,
+    RpcConfig,
+    RunConfig,
+)
 from repro.system import PROTOCOLS, Cluster
 
 __version__ = "1.0.0"
@@ -37,6 +43,7 @@ __all__ = [
     "CostModel",
     "NetworkConfig",
     "PROTOCOLS",
+    "RpcConfig",
     "RunConfig",
     "__version__",
 ]

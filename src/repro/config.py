@@ -19,6 +19,32 @@ PROPAGATE = "Propagate"
 
 
 @dataclass
+class RpcConfig:
+    """Timeout/retry policy for request/reply RPCs.
+
+    The defaults (``request_timeout=None``) reproduce the paper's system
+    model of reliable asynchronous channels: a request waits forever for
+    its reply.  Setting a timeout departs from that model -- see DESIGN.md
+    "Failure model & recovery" -- and arms the full retry machinery:
+    seeded-deterministic exponential backoff with jitter, capped attempts,
+    and stale-reply dropping at the endpoint.
+    """
+
+    #: Per-attempt reply deadline; ``None`` waits forever (paper model).
+    request_timeout: Optional[float] = None
+    #: Total attempts (first try plus retries) before the caller gives up
+    #: with :class:`~repro.net.rpc.RpcTimeoutError`.
+    max_attempts: int = 3
+    #: Backoff before retry ``n`` is ``backoff_base * backoff_factor**(n-1)``
+    #: capped at ``backoff_cap``, plus up to ``backoff_jitter`` of itself
+    #: drawn from the endpoint's seeded RNG (deterministic per seed).
+    backoff_base: float = 100e-6
+    backoff_factor: float = 2.0
+    backoff_cap: float = 2e-3
+    backoff_jitter: float = 0.5
+
+
+@dataclass
 class NetworkConfig:
     """Latency model for the simulated message fabric.
 
@@ -27,12 +53,22 @@ class NetworkConfig:
     message type to extra one-way delay, the mechanism behind the paper's
     delayed-propagation experiments (Figures 7 and 9a add 1 ms to Propagate
     messages, "around 5x slowdown of network delay ... due to congestion").
+
+    ``loss_rate``/``duplicate_rate`` inject probabilistic message loss and
+    duplication (seeded, non-loopback traffic only); directed partitions are
+    driven at runtime via :meth:`repro.net.network.Network.partition`.
     """
 
     base_latency: float = 20e-6
     jitter: float = 2e-6
     self_latency: float = 1e-6
     message_delays: Dict[str, float] = field(default_factory=dict)
+    #: Probability a non-loopback message is silently dropped in flight.
+    loss_rate: float = 0.0
+    #: Probability a delivered non-loopback message arrives a second time.
+    duplicate_rate: float = 0.0
+    #: Request/reply timeout and retry policy for every node's endpoint.
+    rpc: RpcConfig = field(default_factory=RpcConfig)
 
     def with_propagate_delay(self, delay: float) -> "NetworkConfig":
         """A copy of this config with ``delay`` added to Propagate messages."""
@@ -124,6 +160,16 @@ class ClusterConfig:
     gc_keep_versions: int = 16
     gc_trigger_length: int = 32
     gc_min_age: float = 0.05
+    #: Presumed-abort lease on prepared write locks.  A participant that
+    #: voted yes normally holds its locks until the coordinator's Decide
+    #: arrives; if the coordinator crashes first, those locks would be held
+    #: forever.  With a lease, a participant that hears nothing for this
+    #: long unilaterally aborts the prepared transaction and releases its
+    #: locks.  Must comfortably exceed the worst-case prepare-to-decide
+    #: latency (RPC round trips plus retry backoff) so a live coordinator
+    #: never races its own participants.  ``None`` (default) disables the
+    #: lease, reproducing the paper's reliable-channel assumption.
+    prepared_lease: Optional[float] = None
     network: NetworkConfig = field(default_factory=NetworkConfig)
     costs: CostModel = field(default_factory=CostModel)
 

@@ -36,11 +36,16 @@ from repro.storage.version import Version
 class _PreparedTxn:
     """Participant-side state between a yes-vote and the Decide message."""
 
-    __slots__ = ("writes", "locked_keys")
+    __slots__ = ("writes", "locked_keys", "vote")
 
-    def __init__(self, writes: Dict[Hashable, object], locked_keys) -> None:
+    def __init__(
+        self, writes: Dict[Hashable, object], locked_keys, vote
+    ) -> None:
         self.writes = writes
         self.locked_keys = list(locked_keys)
+        #: The vote returned for this prepare, replayed verbatim if a
+        #: retried/duplicated Prepare arrives again (idempotency).
+        self.vote = vote
 
 
 class MVCCNode(BaseProtocolNode):
@@ -59,6 +64,14 @@ class MVCCNode(BaseProtocolNode):
         self.store = MultiVersionStore()
         self.locks = LockTable(self.sim)
         self._prepared: Dict[int, _PreparedTxn] = {}
+        #: Transactions whose prepare handler is currently between lock
+        #: acquisition and voting; duplicates racing that window vote no
+        #: instead of double-acquiring the same owner's locks.
+        self._preparing: Set[int] = set()
+        #: Retried/duplicated read requests spawn concurrent handlers for
+        #: the same transaction; a per-invocation token keeps their shared
+        #: lock acquisitions independent of each other.
+        self._read_token = 0
 
         node.on(MessageType.READ_REQUEST, self.on_read_request)
         node.on(MessageType.PREPARE, self.on_prepare)
@@ -90,7 +103,7 @@ class MVCCNode(BaseProtocolNode):
             return txn.read_cache[key]
 
         target = self.directory.site(key)
-        reply: ReadReturnBody = yield self.node.rpc.request(
+        reply: ReadReturnBody = yield from self.node.rpc.call(
             target,
             MessageType.READ_REQUEST,
             ReadRequestBody(
@@ -143,17 +156,23 @@ class MVCCNode(BaseProtocolNode):
             if found or key in txn.read_cache:
                 pending.append(None)
                 continue
+            # Spawned (not bare-event) so per-request timeouts and retries
+            # apply; a call that exhausts retries fails the AllOf below
+            # with RpcTimeoutError, which propagates to the client.
             pending.append(
-                self.node.rpc.request(
-                    self.directory.site(key),
-                    MessageType.READ_REQUEST,
-                    ReadRequestBody(
-                        txn_id=txn.txn_id,
-                        is_read_only=True,
-                        key=key,
-                        vc=txn.vc.to_tuple(),
-                        has_read=tuple(txn.has_read),
+                self.sim.spawn(
+                    self.node.rpc.call(
+                        self.directory.site(key),
+                        MessageType.READ_REQUEST,
+                        ReadRequestBody(
+                            txn_id=txn.txn_id,
+                            is_read_only=True,
+                            key=key,
+                            vc=txn.vc.to_tuple(),
+                            has_read=tuple(txn.has_read),
+                        ),
                     ),
+                    name=f"read-many-{txn.txn_id}",
                 )
             )
         replies = yield AllOf(
@@ -212,6 +231,7 @@ class MVCCNode(BaseProtocolNode):
                 },
             )
 
+        timed_out = False
         if set(by_site) == {self.node_id}:
             # Fast path: every written key is local -- the point of the
             # preferred-site design ("Walter can quickly commit these
@@ -222,15 +242,20 @@ class MVCCNode(BaseProtocolNode):
             )
             votes: List[VoteBody] = [vote]
         else:
-            vote_events = [
-                self.node.rpc.request(
+            # Each prepare is an independently-retried call; a site whose
+            # retries are exhausted settles as (False, None) rather than
+            # hanging the coordinator forever on a crashed peer.
+            settles = [
+                self.node.rpc.spawn_call(
                     site, MessageType.PREPARE, prepare_body(writes)
                 )
                 for site, writes in by_site.items()
             ]
-            votes = yield AllOf(self.sim, vote_events)
+            results = yield AllOf(self.sim, settles)
+            votes = [vote for ok, vote in results if ok]
+            timed_out = len(votes) < len(results)
 
-        outcome = all(vote.ok for vote in votes)
+        outcome = not timed_out and all(vote.ok for vote in votes)
         for vote in votes:
             txn.collected_set |= vote.collected  # Alg. 4 line 19
 
@@ -267,9 +292,15 @@ class MVCCNode(BaseProtocolNode):
                 self.node_id, "commit", txn=txn.txn_id, seq=txn.seq_no
             )
         else:
+            # Presumed abort: the Decide(outcome=False) sent above is
+            # best-effort -- a participant that never hears it releases
+            # its prepared locks when its lease expires.
             txn.mark_aborted(self.sim.now)
-            reasons = [vote.reason for vote in votes if not vote.ok]
-            reason = reasons[0] if reasons else AbortReason.VOTE_NO
+            if timed_out:
+                reason = AbortReason.RPC_TIMEOUT
+            else:
+                reasons = [vote.reason for vote in votes if not vote.ok]
+                reason = reasons[0] if reasons else AbortReason.VOTE_NO
             self.metrics.on_abort(txn, reason)
             self.tracer.emit(
                 self.node_id, "abort", txn=txn.txn_id, reason=reason
@@ -373,8 +404,10 @@ class MVCCNode(BaseProtocolNode):
         if needs_lock:
             # Shared mode: concurrent read handlers proceed together, but
             # conflicting update commits (write lockers) are excluded.
+            self._read_token += 1
+            lock_owner = ("read", request.txn_id, self._read_token)
             granted = yield self.locks.acquire_read(
-                lock_key, owner=("read", request.txn_id), timeout=None
+                lock_key, owner=lock_owner, timeout=None
             )
             assert granted, "untimed lock acquisition cannot fail"
             cost += self.costs.lock_op
@@ -393,7 +426,7 @@ class MVCCNode(BaseProtocolNode):
         latest_vid = chain.latest.vid
 
         if needs_lock:
-            self.locks.release_read(lock_key, owner=("read", request.txn_id))
+            self.locks.release_read(lock_key, owner=lock_owner)
 
         self.node.rpc.reply(
             envelope,
@@ -407,30 +440,67 @@ class MVCCNode(BaseProtocolNode):
         self.node.rpc.reply(envelope, vote)
 
     def _handle_prepare(self, request: PrepareBody):
-        """The prepare logic itself, callable inline for local commits."""
-        keys = list(request.writes)
-        timeout = self.shared.config.lock_timeout
-        granted = yield from self.locks.acquire_write_all(
-            keys, owner=request.txn_id, timeout=timeout
-        )
-        if not granted:
-            yield from self.cpu.consume(self.costs.lock_op * len(keys))
-            return VoteBody(False, reason=AbortReason.LOCK_TIMEOUT)
+        """The prepare logic itself, callable inline for local commits.
 
-        yield from self.cpu.consume(
-            (self.costs.lock_op + self.costs.prepare_key) * len(keys)
-        )
-        if not self._validate(request):
-            self.locks.release_write_all(keys, owner=request.txn_id)
-            return VoteBody(False, reason=AbortReason.VALIDATION)
+        Idempotent under retries: a duplicated Prepare for an
+        already-prepared transaction replays the recorded vote instead of
+        re-acquiring (and then leaking) the same owner's locks, and a
+        duplicate racing the original through its lock wait votes no.
+        """
+        existing = self._prepared.get(request.txn_id)
+        if existing is not None:
+            return existing.vote
+        if request.txn_id in self._preparing:
+            return VoteBody(False, reason=AbortReason.VOTE_NO)
+        self._preparing.add(request.txn_id)
+        try:
+            keys = list(request.writes)
+            timeout = self.shared.config.lock_timeout
+            granted = yield from self.locks.acquire_write_all(
+                keys, owner=request.txn_id, timeout=timeout
+            )
+            if not granted:
+                yield from self.cpu.consume(self.costs.lock_op * len(keys))
+                return VoteBody(False, reason=AbortReason.LOCK_TIMEOUT)
 
-        collected = yield from self._collect_antideps(keys)
-        self._prepared[request.txn_id] = _PreparedTxn(request.writes, keys)
-        self.tracer.emit(
-            self.node_id, "prepare", txn=request.txn_id,
-            keys=len(keys), collected=len(collected),
-        )
-        return VoteBody(True, collected)
+            yield from self.cpu.consume(
+                (self.costs.lock_op + self.costs.prepare_key) * len(keys)
+            )
+            if not self._validate(request):
+                self.locks.release_write_all(keys, owner=request.txn_id)
+                return VoteBody(False, reason=AbortReason.VALIDATION)
+
+            collected = yield from self._collect_antideps(keys)
+            vote = VoteBody(True, collected)
+            entry = _PreparedTxn(request.writes, keys, vote)
+            self._prepared[request.txn_id] = entry
+            lease = self.shared.config.prepared_lease
+            if lease is not None:
+                self.sim.call_later(
+                    lease, self._expire_prepared, request.txn_id, entry
+                )
+            self.tracer.emit(
+                self.node_id, "prepare", txn=request.txn_id,
+                keys=len(keys), collected=len(collected),
+            )
+            return vote
+        finally:
+            self._preparing.discard(request.txn_id)
+
+    def _expire_prepared(self, txn_id: int, entry: _PreparedTxn) -> None:
+        """Presumed abort after coordinator silence: drop a prepared txn.
+
+        Fires ``prepared_lease`` after the yes-vote.  If the Decide arrived
+        in time the entry was already popped (or replaced) and this is a
+        no-op; otherwise the coordinator is presumed dead and the write
+        locks are released so one crash never wedges a key forever.
+        """
+        if self._prepared.get(txn_id) is not entry:
+            return
+        del self._prepared[txn_id]
+        self.locks.release_write_all(entry.locked_keys, owner=txn_id)
+        self.metrics.on_lease_expired()
+        self.tracer.emit(self.node_id, "lease_expire", txn=txn_id)
 
     def _validate(self, request: PrepareBody) -> bool:
         """First-committer-wins validation of the written keys.
@@ -462,8 +532,8 @@ class MVCCNode(BaseProtocolNode):
     def on_decide(self, envelope: Envelope):
         """Alg. 5 lines 14-26: ordered application of a decided commit."""
         body: DecideBody = envelope.payload
-        prepared = self._prepared.pop(body.txn_id, None)
         if not body.outcome:
+            prepared = self._prepared.pop(body.txn_id, None)
             if prepared is not None:
                 self.locks.release_write_all(
                     prepared.locked_keys, owner=body.txn_id
@@ -472,10 +542,15 @@ class MVCCNode(BaseProtocolNode):
 
         assert body.seq_no is not None and body.commit_vc is not None
         # Alg. 5 line 16: apply commits from one origin in sequence order.
+        # The prepared entry stays in the table across this wait so the
+        # lease can still reclaim its locks: if a predecessor Decide was
+        # lost to a crash, this wait never completes and would otherwise
+        # pin the locks forever.
         yield from wait_until(
             self.site_vc_changed,
             lambda: self.site_vc[body.origin] >= body.seq_no - 1,
         )
+        prepared = self._prepared.pop(body.txn_id, None)
         if self.site_vc[body.origin] < body.seq_no:
             writes = prepared.writes if prepared is not None else {}
             if writes:

@@ -31,12 +31,14 @@ from repro.storage.simple_store import SimpleStore
 
 
 class _PreparedTxn:
-    __slots__ = ("read_held", "write_held", "writes")
+    __slots__ = ("read_held", "write_held", "writes", "vote")
 
-    def __init__(self, read_held, write_held, writes) -> None:
+    def __init__(self, read_held, write_held, writes, vote) -> None:
         self.read_held = list(read_held)
         self.write_held = list(write_held)
         self.writes = writes
+        #: Replayed verbatim for retried/duplicated Prepares (idempotency).
+        self.vote = vote
 
 
 class TwoPCNode(BaseProtocolNode):
@@ -49,6 +51,9 @@ class TwoPCNode(BaseProtocolNode):
         self.store = SimpleStore()
         self.locks = LockTable(self.sim)
         self._prepared: Dict[int, _PreparedTxn] = {}
+        #: Prepares currently between lock acquisition and voting;
+        #: duplicates racing that window vote no (see MVCCNode).
+        self._preparing: set = set()
         #: (key, version) -> (origin, seq, writer txn id) for the history
         #: checker; origin/seq carry no meaning under 2PC and stay 0.
         self.catalog: Dict[Tuple[Hashable, int], Tuple[int, int, Optional[int]]] = {}
@@ -75,7 +80,7 @@ class TwoPCNode(BaseProtocolNode):
             return txn.read_cache[key]
 
         target = self.directory.site(key)
-        reply: SimpleReadReturnBody = yield self.node.rpc.request(
+        reply: SimpleReadReturnBody = yield from self.node.rpc.call(
             target,
             MessageType.READ_REQUEST,
             SimpleReadRequestBody(txn.txn_id, key),
@@ -103,34 +108,49 @@ class TwoPCNode(BaseProtocolNode):
             body = by_site.setdefault(site, SimplePrepareBody(txn.txn_id, {}, {}))
             body.writes[key] = value
 
-        vote_events = [
-            self.node.rpc.request(site, MessageType.PREPARE, body)
-            for site, body in by_site.items()
+        sites = sorted(by_site)
+        vote_settles = [
+            self.node.rpc.spawn_call(site, MessageType.PREPARE, by_site[site])
+            for site in sites
         ]
-        votes: List[SimpleVoteBody] = yield AllOf(self.sim, vote_events)
-        outcome = all(vote.ok for vote in votes)
+        vote_results: List = yield AllOf(self.sim, vote_settles)
+        votes: List[SimpleVoteBody] = [v for ok, v in vote_results if ok]
+        timed_out = len(votes) < len(vote_results)
+        outcome = not timed_out and all(vote.ok for vote in votes)
 
         # Full two-phase commit: the coordinator only answers the client
         # after every participant acknowledged the decision (this is the
         # "expensive commit phase" the paper contrasts with the PSI
-        # protocols' asynchronous one-way Decide).
+        # protocols' asynchronous one-way Decide).  Acks are best-effort
+        # under faults: a participant whose ack never arrives is presumed
+        # to clean up via its prepared-lock lease.
         decide = SimpleDecideBody(txn.txn_id, outcome)
-        ack_events = [
-            self.node.rpc.request(site, MessageType.DECIDE, decide)
-            for site in sorted(by_site)
+        ack_settles = [
+            self.node.rpc.spawn_call(site, MessageType.DECIDE, decide)
+            for site in sites
         ]
-        yield AllOf(self.sim, ack_events)
+        ack_results: List = yield AllOf(self.sim, ack_settles)
 
         if outcome:
-            for vote in votes:
+            # Record a site's installed versions only once its ack confirms
+            # the decide was applied; an un-acked site's state is unknown
+            # (its lease may have presumed abort), so claiming its writes
+            # in the history would over-constrain the offline checkers.
+            for (vote_ok, vote), (ack_ok, _ack) in zip(vote_results, ack_results):
+                if not (vote_ok and ack_ok):
+                    continue
                 for key, version in vote.install_versions.items():
                     txn.ops.append(("w", key, version, version))
             txn.mark_committed(self.sim.now)
             self._record_commit(txn)
         else:
             txn.mark_aborted(self.sim.now)
-            reasons = [vote.reason for vote in votes if not vote.ok]
-            self.metrics.on_abort(txn, reasons[0] if reasons else AbortReason.VOTE_NO)
+            if timed_out:
+                reason = AbortReason.RPC_TIMEOUT
+            else:
+                reasons = [vote.reason for vote in votes if not vote.ok]
+                reason = reasons[0] if reasons else AbortReason.VOTE_NO
+            self.metrics.on_abort(txn, reason)
         return outcome
 
     # ------------------------------------------------------------------
@@ -146,6 +166,26 @@ class TwoPCNode(BaseProtocolNode):
 
     def on_prepare(self, envelope: Envelope):
         request: SimplePrepareBody = self.node.rpc.body_of(envelope)
+        # Idempotency under RPC retries/duplication: replay the recorded
+        # vote for an already-prepared transaction, vote no on a duplicate
+        # racing the original through its lock wait (see MVCCNode).
+        existing = self._prepared.get(request.txn_id)
+        if existing is not None:
+            self.node.rpc.reply(envelope, existing.vote)
+            return
+        if request.txn_id in self._preparing:
+            self.node.rpc.reply(
+                envelope, SimpleVoteBody(False, reason=AbortReason.VOTE_NO)
+            )
+            return
+        self._preparing.add(request.txn_id)
+        try:
+            vote = yield from self._handle_prepare(request)
+        finally:
+            self._preparing.discard(request.txn_id)
+        self.node.rpc.reply(envelope, vote)
+
+    def _handle_prepare(self, request: SimplePrepareBody):
         timeout = self.shared.config.lock_timeout
         ok, read_held, write_held = yield from self.locks.acquire_mixed(
             request.reads, request.writes, request.txn_id, timeout
@@ -153,10 +193,7 @@ class TwoPCNode(BaseProtocolNode):
         total_keys = len(set(request.reads) | set(request.writes))
         if not ok:
             yield from self.cpu.consume(self.costs.lock_op * total_keys)
-            self.node.rpc.reply(
-                envelope, SimpleVoteBody(False, reason=AbortReason.LOCK_TIMEOUT)
-            )
-            return
+            return SimpleVoteBody(False, reason=AbortReason.LOCK_TIMEOUT)
 
         # Validation re-reads every read key's current state, so the
         # baseline pays read-handler work per validated key on top of the
@@ -169,19 +206,31 @@ class TwoPCNode(BaseProtocolNode):
             if self.store.read(key).version != version:
                 self.locks.release_keys(read_held, request.txn_id)
                 self.locks.release_keys(write_held, request.txn_id)
-                self.node.rpc.reply(
-                    envelope, SimpleVoteBody(False, reason=AbortReason.VALIDATION)
-                )
-                return
+                return SimpleVoteBody(False, reason=AbortReason.VALIDATION)
 
         install_versions = {
             key: (self.store.read(key).version + 1 if key in self.store else 0)
             for key in request.writes
         }
-        self._prepared[request.txn_id] = _PreparedTxn(
-            read_held, write_held, dict(request.writes)
-        )
-        self.node.rpc.reply(envelope, SimpleVoteBody(True, install_versions))
+        vote = SimpleVoteBody(True, install_versions)
+        entry = _PreparedTxn(read_held, write_held, dict(request.writes), vote)
+        self._prepared[request.txn_id] = entry
+        lease = self.shared.config.prepared_lease
+        if lease is not None:
+            self.sim.call_later(
+                lease, self._expire_prepared, request.txn_id, entry
+            )
+        return vote
+
+    def _expire_prepared(self, txn_id: int, entry: _PreparedTxn) -> None:
+        """Presumed abort after coordinator silence (see MVCCNode)."""
+        if self._prepared.get(txn_id) is not entry:
+            return
+        del self._prepared[txn_id]
+        self.locks.release_keys(entry.read_held, txn_id)
+        self.locks.release_keys(entry.write_held, txn_id)
+        self.metrics.on_lease_expired()
+        self.tracer.emit(self.node_id, "lease_expire", txn=txn_id)
 
     def on_decide(self, envelope: Envelope):
         body: SimpleDecideBody = self.node.rpc.body_of(envelope)

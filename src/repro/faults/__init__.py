@@ -1,0 +1,29 @@
+"""Fault injection: nemesis process and declarative fault schedules."""
+
+from repro.faults.nemesis import Nemesis
+from repro.faults.schedules import (
+    CRASH,
+    HEAL,
+    PARTITION,
+    RESTART,
+    FaultEvent,
+    crash_cycle,
+    ordered,
+    partition_cycle,
+    random_schedule,
+    staggered_crashes,
+)
+
+__all__ = [
+    "Nemesis",
+    "FaultEvent",
+    "CRASH",
+    "RESTART",
+    "PARTITION",
+    "HEAL",
+    "crash_cycle",
+    "partition_cycle",
+    "staggered_crashes",
+    "random_schedule",
+    "ordered",
+]

@@ -1,0 +1,70 @@
+"""The nemesis: a simulated process that injects faults on schedule.
+
+Named after Jepsen's fault-injecting actor, the nemesis runs *inside* the
+simulation as an ordinary process, so fault timing composes with virtual
+time exactly like client and protocol activity -- same seed, same faults,
+same interleaving, every run.
+
+Usage::
+
+    cluster = Cluster("fwkv", config)
+    nemesis = Nemesis(cluster)
+    nemesis.start(crash_cycle(node=1, at=2e-3, down_for=4e-3))
+    ...spawn clients...
+    cluster.run(until=stop_time)
+
+Crash semantics are network-level (see ``Network.crash``): a crashed
+node's in-flight and future traffic drops, modelling a crash-stop with
+loss of volatile connectivity.  Restart reconnects the node with its
+state intact; durable state loss / recovery is a roadmap item.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.faults.schedules import (
+    CRASH,
+    HEAL,
+    PARTITION,
+    RESTART,
+    FaultEvent,
+    ordered,
+)
+
+
+class Nemesis:
+    """Applies a :class:`FaultEvent` schedule to a cluster's network."""
+
+    def __init__(self, cluster) -> None:
+        self.cluster = cluster
+        self.network = cluster.network
+        self.sim = cluster.sim
+        self.tracer = cluster.tracer
+        #: Events already applied, in application order (for assertions).
+        self.applied: List[FaultEvent] = []
+
+    def start(self, events: Iterable[FaultEvent]):
+        """Spawn the nemesis process driving ``events``; returns it."""
+        return self.cluster.spawn(self._run(ordered(events)), name="nemesis")
+
+    def _run(self, events: List[FaultEvent]):
+        for event in events:
+            if event.at > self.sim.now:
+                yield self.sim.timeout(event.at - self.sim.now)
+            self.apply(event)
+
+    def apply(self, event: FaultEvent) -> None:
+        """Apply one fault transition immediately (also usable directly)."""
+        if event.kind == CRASH:
+            self.network.crash(event.a)
+        elif event.kind == RESTART:
+            self.network.restart(event.a)
+        elif event.kind == PARTITION:
+            self.network.partition(event.a, event.b)
+        elif event.kind == HEAL:
+            self.network.heal(event.a, event.b)
+        else:  # pragma: no cover - FaultEvent validates kinds
+            raise ValueError(f"unknown fault kind {event.kind!r}")
+        self.applied.append(event)
+        self.tracer.emit(event.a, f"nemesis_{event.kind}", peer=event.b)

@@ -1,0 +1,149 @@
+"""Declarative fault schedules for the nemesis.
+
+A schedule is a plain list of :class:`FaultEvent` records, each naming a
+virtual time and a primitive fault transition.  Builders below compose the
+common shapes (crash/restart cycles, partition/heal windows, seeded random
+mixes); tests can also hand-write event lists for precisely-timed
+scenarios such as crash-during-prepare.
+
+Everything is deterministic: builders that randomise draw from a seeded
+stream (:func:`repro.sim.rng.make_rng`), so a schedule -- and therefore an
+entire faulty run -- is a pure function of its seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from repro.sim.rng import make_rng
+
+#: Primitive fault transitions the nemesis knows how to apply.
+CRASH = "crash"
+RESTART = "restart"
+PARTITION = "partition"
+HEAL = "heal"
+
+KINDS = frozenset({CRASH, RESTART, PARTITION, HEAL})
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault transition at a point in virtual time.
+
+    ``kind`` is one of :data:`CRASH`/:data:`RESTART` (``a`` is the node)
+    or :data:`PARTITION`/:data:`HEAL` (the *directed* link ``a -> b``).
+    Builders emit both directions for symmetric splits.
+    """
+
+    at: float
+    kind: str
+    a: int
+    b: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.kind in (PARTITION, HEAL) and self.b is None:
+            raise ValueError(f"{self.kind} events need both link endpoints")
+        if self.at < 0:
+            raise ValueError(f"fault time must be non-negative, got {self.at}")
+
+
+def ordered(events: Iterable[FaultEvent]) -> List[FaultEvent]:
+    """Events sorted by time (ties keep kind/endpoint order for stability)."""
+    return sorted(events, key=lambda ev: (ev.at, ev.kind, ev.a, ev.b or -1))
+
+
+# ----------------------------------------------------------------------
+# Builders
+# ----------------------------------------------------------------------
+def crash_cycle(node: int, at: float, down_for: float) -> List[FaultEvent]:
+    """Crash ``node`` at ``at`` and restart it ``down_for`` later."""
+    if down_for <= 0:
+        raise ValueError("down_for must be positive")
+    return [
+        FaultEvent(at, CRASH, node),
+        FaultEvent(at + down_for, RESTART, node),
+    ]
+
+
+def partition_cycle(
+    a: int,
+    b: int,
+    at: float,
+    duration: float,
+    symmetric: bool = True,
+) -> List[FaultEvent]:
+    """Cut the ``a``/``b`` link at ``at`` and heal it ``duration`` later.
+
+    ``symmetric`` (default) cuts both directions; otherwise only
+    ``a -> b`` drops, leaving the reverse path up (an asymmetric fault the
+    reliable-channel model cannot express at all).
+    """
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    events = [
+        FaultEvent(at, PARTITION, a, b),
+        FaultEvent(at + duration, HEAL, a, b),
+    ]
+    if symmetric:
+        events += [
+            FaultEvent(at, PARTITION, b, a),
+            FaultEvent(at + duration, HEAL, b, a),
+        ]
+    return ordered(events)
+
+
+def staggered_crashes(
+    node_ids: Sequence[int],
+    start: float,
+    down_for: float,
+    gap: float,
+) -> List[FaultEvent]:
+    """One crash/restart cycle per node, ``gap`` apart, never overlapping.
+
+    ``gap`` must exceed ``down_for`` so at most one node is down at a time
+    (a minority-failure schedule).
+    """
+    if gap <= down_for:
+        raise ValueError("gap must exceed down_for (one node down at a time)")
+    events: List[FaultEvent] = []
+    for index, node in enumerate(node_ids):
+        events += crash_cycle(node, start + index * gap, down_for)
+    return ordered(events)
+
+
+def random_schedule(
+    seed: int,
+    node_ids: Sequence[int],
+    start: float,
+    end: float,
+    mean_gap: float,
+    down_for: float,
+    partition_fraction: float = 0.5,
+) -> List[FaultEvent]:
+    """A seeded random mix of crash cycles and symmetric partition windows.
+
+    Fault injections arrive with exponentially-distributed gaps of mean
+    ``mean_gap`` between ``start`` and ``end``; each is a crash/restart of
+    a random node, or (with probability ``partition_fraction``) a
+    partition/heal of a random node pair.  Every fault heals after
+    ``down_for``, and the returned schedule always ends fully healed.
+    """
+    if len(node_ids) < 2:
+        raise ValueError("random_schedule needs at least two nodes")
+    rng = make_rng(seed, "nemesis-schedule")
+    events: List[FaultEvent] = []
+    at = start
+    while True:
+        at += rng.expovariate(1.0 / mean_gap)
+        if at >= end:
+            break
+        if rng.random() < partition_fraction:
+            a, b = rng.sample(list(node_ids), 2)
+            events += partition_cycle(a, b, at, down_for)
+        else:
+            node = rng.choice(list(node_ids))
+            events += crash_cycle(node, at, down_for)
+    return ordered(events)

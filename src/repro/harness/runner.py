@@ -15,6 +15,7 @@ from typing import Dict, Optional
 
 from repro.cluster.directory import Directory
 from repro.config import ClusterConfig, RunConfig
+from repro.net.rpc import RpcTimeoutError
 from repro.sim.rng import make_rng
 from repro.system import Cluster
 from repro.workloads.base import Rollback, TxnContext, Workload
@@ -77,10 +78,16 @@ def client_loop(
                 yield sim.timeout(costs.client_overhead)
             try:
                 yield from program.run(ctx)
+                ok = yield from node.commit(txn)
             except Rollback:
                 node.abort(txn)
                 break  # intended outcome; no retry
-            ok = yield from node.commit(txn)
+            except RpcTimeoutError:
+                # A read (or commit-path) RPC exhausted its retries --
+                # the peer is crashed or partitioned.  Roll back and retry
+                # the whole transaction like any other aborted attempt.
+                node.abort(txn)
+                ok = False
             if ok:
                 cluster.metrics.on_commit(
                     txn, sim.now - first_attempt_started, attempts

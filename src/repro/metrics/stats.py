@@ -14,6 +14,9 @@ class AbortReason:
     LOCK_TIMEOUT = "lock_timeout"
     VALIDATION = "validation"
     VOTE_NO = "vote_no"
+    #: The coordinator's prepare/commit RPC exhausted its retries and the
+    #: transaction was presumed-aborted (crash, partition, or loss).
+    RPC_TIMEOUT = "rpc_timeout"
 
 
 class RunningStat:
@@ -151,6 +154,14 @@ class MetricsRecorder:
         #: Old versions reclaimed by the MVCC garbage collector.
         self.versions_reclaimed = 0
 
+        #: Presumed-abort accounting (not window-gated: a wedged lock or a
+        #: leaked prepared transaction matters whenever it happens).
+        #: Coordinator-side aborts caused by exhausted RPC retries.
+        self.aborted_timeout = 0
+        #: Participant-side prepared-lock leases that expired because the
+        #: coordinator went silent past the configured lease.
+        self.lease_expirations = 0
+
     # ------------------------------------------------------------------
     # Window control
     # ------------------------------------------------------------------
@@ -190,6 +201,8 @@ class MetricsRecorder:
 
     def on_abort(self, txn, reason: str) -> None:
         """Record one aborted commit attempt with its reason."""
+        if reason == AbortReason.RPC_TIMEOUT:
+            self.aborted_timeout += 1
         if not self.in_window():
             return
         self.aborts += 1
@@ -246,6 +259,10 @@ class MetricsRecorder:
         # GC accounting is not window-gated: occupancy matters run-wide.
         self.versions_reclaimed += count
 
+    def on_lease_expired(self) -> None:
+        """A participant's prepared-lock lease fired (presumed abort)."""
+        self.lease_expirations += 1
+
     @property
     def stale_read_fraction(self) -> float:
         return self.ro_stale_reads / self.ro_reads if self.ro_reads else 0.0
@@ -276,4 +293,6 @@ class MetricsRecorder:
             "read_stalls": self.read_stalls,
             "read_stall_time": self.read_stall_time.as_dict(),
             "versions_reclaimed": self.versions_reclaimed,
+            "aborted_timeout": self.aborted_timeout,
+            "lease_expirations": self.lease_expirations,
         }

@@ -2,6 +2,13 @@
 
 from repro.net.message import Envelope, MessageType
 from repro.net.network import Network, NetworkStats
-from repro.net.rpc import RpcEndpoint
+from repro.net.rpc import RpcEndpoint, RpcTimeoutError
 
-__all__ = ["Envelope", "MessageType", "Network", "NetworkStats", "RpcEndpoint"]
+__all__ = [
+    "Envelope",
+    "MessageType",
+    "Network",
+    "NetworkStats",
+    "RpcEndpoint",
+    "RpcTimeoutError",
+]

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Set, Tuple
 
 from repro.config import NetworkConfig
 from repro.net.message import Envelope, MessageType
@@ -12,6 +12,12 @@ from repro.sim import Simulator
 from repro.sim.rng import make_rng
 
 DeliverFn = Callable[[Envelope], None]
+
+#: Drop-reason labels used in :attr:`NetworkStats.drops_by_reason`.
+DROP_CRASH = "crash"
+DROP_PARTITION = "partition"
+DROP_LOSS = "loss"
+DROP_UNKNOWN_DST = "unknown_dst"
 
 
 @dataclass
@@ -21,15 +27,28 @@ class NetworkStats:
     messages_sent: int = 0
     messages_by_type: Counter = field(default_factory=Counter)
     messages_dropped: int = 0
+    #: ``messages_dropped`` broken out by cause: "crash" (either endpoint
+    #: crash-stopped), "partition" (directed link cut), "loss" (random
+    #: in-flight loss), "unknown_dst" (destination never registered).
+    drops_by_reason: Counter = field(default_factory=Counter)
+    #: Extra copies injected by random duplication.
+    messages_duplicated: int = 0
+    #: Replies that arrived for no pending request (late after a timeout
+    #: retired the slot, duplicated, or racing a restart).
+    stale_replies: int = 0
+    #: RPC attempts that hit their per-request deadline.
+    rpc_timeouts: int = 0
+    #: Timed-out attempts that were retried (timeouts minus give-ups).
+    rpc_retries: int = 0
     bytes_hint: int = 0
 
 
 class Network:
-    """Reliable asynchronous channels between registered nodes.
+    """Message channels between registered nodes, with injectable faults.
 
-    Matches the paper's system model (Section 2.1): "nodes communicate
-    through message passing over reliable asynchronous channels" with no
-    synchrony assumption.  Concretely:
+    The default configuration matches the paper's system model (Section
+    2.1): "nodes communicate through message passing over reliable
+    asynchronous channels" with no synchrony assumption.  Concretely:
 
     * every message is delivered after ``base_latency`` plus deterministic
       seeded jitter, plus any per-type injected delay (the congestion knob
@@ -40,6 +59,20 @@ class Network:
       propagation delay does not stall the commit critical path;
     * messages a node sends to itself are delivered after ``self_latency``
       (loopback dispatch, not the network fabric).
+
+    On top of that baseline, the fault-injection surface deliberately
+    breaks the reliable-channel assumption (see DESIGN.md "Failure model &
+    recovery"):
+
+    * :meth:`crash` / :meth:`restart` -- crash-stop a node; its in-flight
+      and future traffic drops until restart;
+    * :meth:`partition` / :meth:`heal` -- cut or restore one *directed*
+      link, dropping traffic (including in-flight) from ``a`` to ``b``;
+    * ``loss_rate`` / ``duplicate_rate`` -- seeded probabilistic loss and
+      duplication of non-loopback messages.
+
+    All randomness comes from RNG streams derived from the run seed, so a
+    faulty run is exactly as reproducible as a fault-free one.
     """
 
     def __init__(
@@ -50,8 +83,12 @@ class Network:
     ) -> None:
         self.sim = sim
         self.config = config or NetworkConfig()
+        self.seed = seed
         self.stats = NetworkStats()
         self._rng = make_rng(seed, "network")
+        # Loss/duplication draws come from their own stream so enabling
+        # them never perturbs the latency jitter of surviving messages.
+        self._fault_rng = make_rng(seed, "network", "faults")
         #: Optional hook adding extra delay per envelope; scenario tests use
         #: it for asymmetric congestion (e.g. delaying Propagate on one
         #: link only, the Figure 1 long-fork setup).
@@ -61,6 +98,7 @@ class Network:
         self._fifo_horizon: Dict[Tuple[int, int, str], float] = defaultdict(float)
         self._next_msg_id = 0
         self._crashed: set = set()
+        self._partitioned: Set[Tuple[int, int]] = set()
 
     def register(self, node_id: int, deliver: DeliverFn) -> None:
         """Attach a node's delivery callback."""
@@ -72,9 +110,12 @@ class Network:
     # Sending
     # ------------------------------------------------------------------
     def send(self, src: int, dst: int, msg_type: str, payload) -> Envelope:
-        """Send a message; returns the (already scheduled) envelope."""
-        if dst not in self._nodes:
-            raise KeyError(f"unknown destination node {dst}")
+        """Send a message; returns the (possibly dropped) envelope.
+
+        A destination that was never registered degrades like the crash
+        path -- the message counts as dropped -- so retries against a
+        removed node degrade instead of crashing the sender.
+        """
         envelope = Envelope(
             msg_type=msg_type,
             src=src,
@@ -84,6 +125,19 @@ class Network:
             msg_id=self._next_msg_id,
         )
         self._next_msg_id += 1
+        self.stats.messages_sent += 1
+        self.stats.messages_by_type[msg_type] += 1
+
+        if dst not in self._nodes:
+            self._drop(DROP_UNKNOWN_DST)
+            return envelope
+        if (
+            src != dst
+            and self.config.loss_rate > 0
+            and self._fault_rng.random() < self.config.loss_rate
+        ):
+            self._drop(DROP_LOSS)
+            return envelope
 
         delay = self._latency(envelope)
         channel = "bg" if msg_type in MessageType.BACKGROUND else "fg"
@@ -92,10 +146,18 @@ class Network:
         self._fifo_horizon[key] = deliver_at
         envelope.deliver_time = deliver_at
 
-        self.stats.messages_sent += 1
-        self.stats.messages_by_type[msg_type] += 1
-
         self.sim.call_at(deliver_at, self._deliver, envelope)
+        if (
+            src != dst
+            and self.config.duplicate_rate > 0
+            and self._fault_rng.random() < self.config.duplicate_rate
+        ):
+            # The copy trails the original by a fresh latency-scale offset;
+            # duplicates may reorder (they skip the FIFO horizon), which is
+            # exactly the adversity handlers must tolerate.
+            offset = self._fault_rng.uniform(0.0, self.config.base_latency)
+            self.stats.messages_duplicated += 1
+            self.sim.call_at(deliver_at + offset, self._deliver, envelope)
         return envelope
 
     def _latency(self, envelope: Envelope) -> float:
@@ -113,12 +175,19 @@ class Network:
 
     def _deliver(self, envelope: Envelope) -> None:
         if envelope.src in self._crashed or envelope.dst in self._crashed:
-            self.stats.messages_dropped += 1
+            self._drop(DROP_CRASH)
+            return
+        if (envelope.src, envelope.dst) in self._partitioned:
+            self._drop(DROP_PARTITION)
             return
         self._nodes[envelope.dst](envelope)
 
+    def _drop(self, reason: str) -> None:
+        self.stats.messages_dropped += 1
+        self.stats.drops_by_reason[reason] += 1
+
     # ------------------------------------------------------------------
-    # Fault injection (crash-stop)
+    # Fault injection
     # ------------------------------------------------------------------
     def crash(self, node_id: int) -> None:
         """Crash-stop a node: all its in-flight and future traffic drops."""
@@ -131,3 +200,24 @@ class Network:
     def is_crashed(self, node_id: int) -> bool:
         """Whether the node is currently crash-stopped."""
         return node_id in self._crashed
+
+    def partition(self, a: int, b: int) -> None:
+        """Cut the directed link ``a -> b``: traffic drops until healed.
+
+        Directed so tests can build asymmetric partitions; cut both
+        directions for a symmetric split.  Messages already in flight on
+        the link drop at delivery time, like the crash path.
+        """
+        self._partitioned.add((a, b))
+
+    def heal(self, a: int, b: int) -> None:
+        """Restore the directed link ``a -> b``."""
+        self._partitioned.discard((a, b))
+
+    def heal_all(self) -> None:
+        """Remove every partition (not crashes)."""
+        self._partitioned.clear()
+
+    def is_partitioned(self, a: int, b: int) -> bool:
+        """Whether the directed link ``a -> b`` is currently cut."""
+        return (a, b) in self._partitioned

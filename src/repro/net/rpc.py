@@ -1,13 +1,45 @@
-"""Request/reply matching on top of the simulated network."""
+"""Request/reply matching on top of the simulated network.
+
+The endpoint offers two calling conventions:
+
+* :meth:`RpcEndpoint.request` returns a bare event that resolves with the
+  reply body -- the original reliable-channel primitive.  If the peer
+  crashes the event never resolves.
+* :meth:`RpcEndpoint.call` is a generator subroutine (``yield from``) that
+  layers per-attempt timeouts, seeded exponential backoff with jitter, and
+  capped retries on top, raising :class:`RpcTimeoutError` once attempts are
+  exhausted.  With the default :class:`~repro.config.RpcConfig`
+  (``request_timeout=None``) it degenerates to a single reliable request,
+  so protocols pay nothing until faults are configured.
+
+Late or duplicate replies -- a reply racing a timeout-triggered retry, or
+a duplicated ``RpcReply`` envelope -- are dropped and counted in
+``NetworkStats.stale_replies`` rather than raised.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict
+from typing import Any, Dict, Optional, Tuple
 
+from repro.config import RpcConfig
 from repro.net.message import Envelope, MessageType
 from repro.net.network import Network
-from repro.sim import Event, Simulator
+from repro.sim import AnyOf, Event, Simulator
+from repro.sim.rng import make_rng
+
+
+class RpcTimeoutError(Exception):
+    """A request exhausted its retry budget without hearing a reply."""
+
+    def __init__(self, dst: int, msg_type: str, attempts: int) -> None:
+        super().__init__(
+            f"rpc {msg_type!r} to node {dst} timed out after "
+            f"{attempts} attempt{'s' if attempts != 1 else ''}"
+        )
+        self.dst = dst
+        self.msg_type = msg_type
+        self.attempts = attempts
 
 
 @dataclass
@@ -36,15 +68,31 @@ class RpcEndpoint:
     foreground channel and resolve the waiting event with the reply body.
     """
 
-    def __init__(self, sim: Simulator, network: Network, node_id: int) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        node_id: int,
+        config: Optional[RpcConfig] = None,
+    ) -> None:
         self.sim = sim
         self.network = network
         self.node_id = node_id
+        self.config = config if config is not None else network.config.rpc
         self._next_request_id = 0
         self._pending: Dict[int, Event] = {}
+        # Retry backoff jitter; derived per node so endpoints stay
+        # independent of each other and of the network's own streams.
+        self._rng = make_rng(network.seed, "rpc", node_id)
 
     def request(self, dst: int, msg_type: str, body: Any) -> Event:
         """Send a request; the returned event delivers the reply body."""
+        _request_id, event = self._send_request(dst, msg_type, body)
+        return event
+
+    def _send_request(
+        self, dst: int, msg_type: str, body: Any
+    ) -> Tuple[int, Event]:
         request_id = self._next_request_id
         self._next_request_id += 1
         event = self.sim.event(name=f"rpc-{msg_type}-{request_id}")
@@ -52,7 +100,81 @@ class RpcEndpoint:
         self.network.send(
             self.node_id, dst, msg_type, _Request(request_id, msg_type, body)
         )
-        return event
+        return request_id, event
+
+    def call(
+        self,
+        dst: int,
+        msg_type: str,
+        body: Any,
+        config: Optional[RpcConfig] = None,
+    ):
+        """Generator subroutine: request with timeout, backoff, and retries.
+
+        Use as ``reply = yield from endpoint.call(dst, t, body)``.  Raises
+        :class:`RpcTimeoutError` once ``max_attempts`` attempts have each
+        waited ``request_timeout`` without a reply.  A timed-out attempt's
+        pending slot is retired immediately, so its reply -- should it
+        still arrive -- is dropped as stale instead of resolving a request
+        the caller already gave up on.
+        """
+        cfg = config if config is not None else self.config
+        if cfg.request_timeout is None:
+            reply = yield self.request(dst, msg_type, body)
+            return reply
+        attempt = 0
+        while True:
+            attempt += 1
+            request_id, event = self._send_request(dst, msg_type, body)
+            deadline = self.sim.timeout(cfg.request_timeout)
+            index, value = yield AnyOf(self.sim, [event, deadline])
+            if index == 0:
+                return value
+            # Timed out: retire the slot so a late reply counts as stale.
+            self._pending.pop(request_id, None)
+            self.network.stats.rpc_timeouts += 1
+            if attempt >= cfg.max_attempts:
+                raise RpcTimeoutError(dst, msg_type, attempt)
+            self.network.stats.rpc_retries += 1
+            delay = min(
+                cfg.backoff_base * cfg.backoff_factor ** (attempt - 1),
+                cfg.backoff_cap,
+            )
+            if cfg.backoff_jitter > 0:
+                delay += self._rng.uniform(0.0, cfg.backoff_jitter * delay)
+            yield self.sim.timeout(delay)
+
+    def call_settled(
+        self,
+        dst: int,
+        msg_type: str,
+        body: Any,
+        config: Optional[RpcConfig] = None,
+    ):
+        """Like :meth:`call` but returns ``(ok, reply)`` instead of raising.
+
+        ``(True, reply_body)`` on success, ``(False, None)`` on exhausted
+        retries.  Meant for fan-out: spawn one process per destination and
+        gather them with ``AllOf`` without one timeout failing the batch.
+        """
+        try:
+            reply = yield from self.call(dst, msg_type, body, config)
+        except RpcTimeoutError:
+            return False, None
+        return True, reply
+
+    def spawn_call(
+        self,
+        dst: int,
+        msg_type: str,
+        body: Any,
+        config: Optional[RpcConfig] = None,
+    ):
+        """Spawn :meth:`call_settled` as a process (itself a yieldable event)."""
+        return self.sim.spawn(
+            self.call_settled(dst, msg_type, body, config),
+            name=f"rpc-call-{msg_type}-n{self.node_id}-to{dst}",
+        )
 
     def reply(self, request_envelope: Envelope, body: Any) -> None:
         """Answer a request previously delivered to this node."""
@@ -69,11 +191,18 @@ class RpcEndpoint:
         )
 
     def handle_reply(self, envelope: Envelope) -> None:
-        """Dispatch an ``RpcReply`` envelope to its waiting event."""
+        """Dispatch an ``RpcReply`` envelope to its waiting event.
+
+        Replies with no pending request -- late arrivals after a timeout
+        retired the slot, duplicated envelopes, or replies racing a node
+        restart -- are dropped and counted, never raised: a stale reply
+        must not kill the node's dispatch loop.
+        """
         reply = envelope.payload
         event = self._pending.pop(reply.request_id, None)
         if event is None:
-            raise KeyError(f"no pending request {reply.request_id} at node {self.node_id}")
+            self.network.stats.stale_replies += 1
+            return
         event.succeed(reply.body)
 
     @staticmethod

@@ -46,6 +46,11 @@ class Tracer:
             "propagate",
             "remove",
             "stall",
+            "lease_expire",
+            "nemesis_crash",
+            "nemesis_restart",
+            "nemesis_partition",
+            "nemesis_heal",
         }
     )
 

@@ -1,0 +1,202 @@
+"""Chaos suite: nemesis-driven crashes and partitions, safety must hold.
+
+These tests deliberately break the paper's reliable-channel assumption
+(Section 2.1) and check graceful degradation instead of liveness: under
+crash-during-prepare, coordinator-crash, and partition-then-heal
+schedules, transactions may abort or lose updates, but
+
+* no history ever shows a fractured read or a per-origin order violation,
+* the cluster quiesces with no lock held anywhere,
+* no RPC endpoint leaks a pending request slot,
+
+for all three protocols.  A final test pins down that a faulty run is a
+pure function of its seed -- identical seeds give identical histories and
+network statistics even with random loss and duplication enabled.
+"""
+
+import pytest
+
+from repro import Cluster, ClusterConfig, NetworkConfig, RpcConfig
+from repro.cluster import ModuloDirectory
+from repro.faults import Nemesis, crash_cycle, partition_cycle
+from repro.metrics import check_no_read_skew, check_site_order
+from repro.net.rpc import RpcTimeoutError
+from repro.sim.rng import make_rng
+
+NUM_NODES = 4
+NUM_KEYS = 16
+CLIENTS_PER_NODE = 2
+TXNS_PER_CLIENT = 20
+#: A client abandons a transaction after this many timed-out/aborted
+#: attempts; under a long-lived fault giving up is the only way to finish.
+MAX_TXN_ATTEMPTS = 6
+
+#: Faults strike while the workload is in full swing and heal well before
+#: the (bounded) clients run out of transactions to inject.
+FAULT_AT = 3e-3
+FAULT_DURATION = 5e-3
+
+SCHEDULES = {
+    "participant_crash": crash_cycle(1, FAULT_AT, FAULT_DURATION),
+    "coordinator_crash": crash_cycle(0, FAULT_AT, FAULT_DURATION),
+    "partition_heal": partition_cycle(0, 2, FAULT_AT, FAULT_DURATION),
+}
+
+PROTOCOLS = ("fwkv", "walter", "2pc")
+
+
+def build(protocol, seed, loss_rate=0.0, duplicate_rate=0.0):
+    config = ClusterConfig(
+        num_nodes=NUM_NODES,
+        seed=seed,
+        prepared_lease=5e-3,
+        network=NetworkConfig(
+            jitter=5e-6,
+            loss_rate=loss_rate,
+            duplicate_rate=duplicate_rate,
+            rpc=RpcConfig(request_timeout=1.5e-3, max_attempts=3),
+        ),
+    )
+    cluster = Cluster(
+        protocol, config, directory=ModuloDirectory(NUM_NODES),
+        record_history=True,
+    )
+    for i in range(NUM_KEYS):
+        cluster.load(f"k{i}", 0)
+    return cluster
+
+
+def chaos_client(cluster, node_id, client_id, seed, txns=TXNS_PER_CLIENT):
+    """A closed-loop client that survives fault-induced RPC timeouts.
+
+    Unlike the fault-free nemesis client, every attempt is bounded: a read
+    or commit whose retries are exhausted raises RpcTimeoutError, the
+    transaction is rolled back, and after MAX_TXN_ATTEMPTS the client
+    abandons the transaction entirely so the run always quiesces.
+    """
+    rng = make_rng(seed, "chaos-client", node_id, client_id)
+    node = cluster.node(node_id)
+    keys = [f"k{i}" for i in range(NUM_KEYS)]
+    for _ in range(txns):
+        chosen = rng.sample(keys, 2)
+        read_only = rng.random() < 0.4
+        for _attempt in range(MAX_TXN_ATTEMPTS):
+            txn = node.begin(is_read_only=read_only)
+            try:
+                values = []
+                for key in chosen:
+                    value = yield from node.read(txn, key)
+                    values.append(value)
+                if not read_only:
+                    for key, value in zip(chosen, values):
+                        node.write(txn, key, value + 1)
+                ok = yield from node.commit(txn)
+            except RpcTimeoutError:
+                node.abort(txn)
+                ok = False
+            if ok:
+                break
+            yield cluster.sim.timeout(rng.uniform(50e-6, 250e-6))
+        yield cluster.sim.timeout(rng.uniform(0, 100e-6))
+
+
+def run_chaos(protocol, schedule, seed, loss_rate=0.0, duplicate_rate=0.0):
+    cluster = build(
+        protocol, seed, loss_rate=loss_rate, duplicate_rate=duplicate_rate
+    )
+    nemesis = Nemesis(cluster)
+    nemesis.start(schedule)
+    for node_id in range(NUM_NODES):
+        for client_id in range(CLIENTS_PER_NODE):
+            cluster.spawn(
+                chaos_client(cluster, node_id, client_id, seed),
+                name=f"chaos-client-{node_id}-{client_id}",
+            )
+    cluster.run()
+    assert len(nemesis.applied) == len(schedule)
+    return cluster
+
+
+def assert_safe_and_quiescent(cluster):
+    """The graceful-degradation contract every chaotic run must honour."""
+    # No lock survives quiescence: coordinator presumed-abort plus the
+    # participant prepared-lock lease must have reclaimed everything.
+    assert not cluster.any_locks_held()
+    # No RPC endpoint leaks pending request slots (timeouts retire them,
+    # stale replies are dropped rather than matched).
+    for protocol_node in cluster.nodes:
+        assert protocol_node.node.rpc.pending_count == 0
+    history = cluster.finalized_history()
+    # The fault window must not have starved the run entirely.
+    assert len(history) > NUM_NODES * CLIENTS_PER_NODE
+    skew = check_no_read_skew(history)
+    assert skew.ok, skew.violations[:3]
+    order = check_site_order(history, cluster.version_catalog())
+    assert order.ok, order.violations[:3]
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+@pytest.mark.parametrize("schedule_name", sorted(SCHEDULES))
+def test_chaos_safety(protocol, schedule_name):
+    cluster = run_chaos(protocol, SCHEDULES[schedule_name], seed=31)
+    assert_safe_and_quiescent(cluster)
+
+
+@pytest.mark.chaos
+def test_crash_produces_timeout_aborts():
+    """A mid-run crash surfaces as presumed-abort accounting, not wedging."""
+    cluster = run_chaos("fwkv", SCHEDULES["participant_crash"], seed=32)
+    assert_safe_and_quiescent(cluster)
+    stats = cluster.network.stats
+    assert stats.drops_by_reason["crash"] > 0
+    assert stats.rpc_timeouts > 0
+    assert cluster.metrics.aborted_timeout > 0
+
+
+@pytest.mark.chaos
+def test_partition_drops_then_heals():
+    cluster = run_chaos("fwkv", SCHEDULES["partition_heal"], seed=33)
+    assert_safe_and_quiescent(cluster)
+    assert cluster.network.stats.drops_by_reason["partition"] > 0
+    # Healed: no directed link is cut at the end of the run.
+    for a in range(NUM_NODES):
+        for b in range(NUM_NODES):
+            assert not cluster.network.is_partitioned(a, b)
+
+
+def history_fingerprint(cluster):
+    return [
+        (
+            record.txn_id,
+            record.node_id,
+            record.is_read_only,
+            record.start_time,
+            record.end_time,
+            [(op.kind, op.key, op.vid, op.latest_vid_at_read)
+             for op in record.ops],
+        )
+        for record in cluster.finalized_history()
+    ]
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_chaos_runs_are_deterministic(protocol):
+    """Same seed, same faults, same history -- loss and duplication too."""
+    runs = [
+        run_chaos(
+            protocol,
+            SCHEDULES["partition_heal"],
+            seed=34,
+            loss_rate=0.02,
+            duplicate_rate=0.02,
+        )
+        for _ in range(2)
+    ]
+    first, second = runs
+    assert history_fingerprint(first) == history_fingerprint(second)
+    assert first.network.stats == second.network.stats
+    assert first.metrics.summary() == second.metrics.summary()
+    assert first.network.stats.drops_by_reason["loss"] > 0
+    assert first.network.stats.messages_duplicated > 0

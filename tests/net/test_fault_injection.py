@@ -1,13 +1,13 @@
-"""Tests for crash-stop fault injection in the network."""
+"""Tests for fault injection in the network: crashes, partitions, loss."""
 
 from repro.config import NetworkConfig
 from repro.net import Network
 from repro.sim import Simulator
 
 
-def build():
+def build(config=None, seed=0):
     sim = Simulator()
-    net = Network(sim, NetworkConfig(jitter=0.0))
+    net = Network(sim, config or NetworkConfig(jitter=0.0), seed=seed)
     received = []
     net.register(0, lambda env: received.append((0, env.payload)))
     net.register(1, lambda env: received.append((1, env.payload)))
@@ -59,3 +59,105 @@ def test_crash_is_idempotent():
     net.restart(1)
     net.restart(1)
     assert not net.is_crashed(1)
+
+
+def test_crash_drops_count_by_reason():
+    sim, net, received = build()
+    net.crash(1)
+    net.send(0, 1, "Ping", "lost")
+    sim.run()
+    assert net.stats.drops_by_reason["crash"] == 1
+
+
+# ----------------------------------------------------------------------
+# Partitions
+# ----------------------------------------------------------------------
+def test_partition_is_directed():
+    sim, net, received = build()
+    net.partition(0, 1)
+    net.send(0, 1, "Ping", "cut")
+    net.send(1, 0, "Ping", "open")
+    sim.run()
+    assert received == [(0, "open")]
+    assert net.stats.drops_by_reason["partition"] == 1
+    assert net.is_partitioned(0, 1)
+    assert not net.is_partitioned(1, 0)
+
+
+def test_in_flight_messages_drop_on_partition():
+    sim, net, received = build()
+    net.send(0, 1, "Ping", "in-flight")
+    net.partition(0, 1)  # cut after send, before delivery
+    sim.run()
+    assert received == []
+
+
+def test_heal_restores_directed_link():
+    sim, net, received = build()
+    net.partition(0, 1)
+    net.send(0, 1, "Ping", "lost")
+    sim.run()
+    net.heal(0, 1)
+    net.send(0, 1, "Ping", "delivered")
+    sim.run()
+    assert received == [(1, "delivered")]
+
+
+def test_heal_all_clears_every_partition_but_not_crashes():
+    sim, net, _received = build()
+    net.partition(0, 1)
+    net.partition(1, 0)
+    net.crash(0)
+    net.heal_all()
+    assert not net.is_partitioned(0, 1)
+    assert not net.is_partitioned(1, 0)
+    assert net.is_crashed(0)
+
+
+# ----------------------------------------------------------------------
+# Probabilistic loss and duplication
+# ----------------------------------------------------------------------
+def test_certain_loss_drops_everything():
+    sim, net, received = build(NetworkConfig(jitter=0.0, loss_rate=1.0))
+    for i in range(5):
+        net.send(0, 1, "Ping", i)
+    sim.run()
+    assert received == []
+    assert net.stats.messages_dropped == 5
+    assert net.stats.drops_by_reason["loss"] == 5
+
+
+def test_loss_spares_loopback_messages():
+    sim, net, received = build(NetworkConfig(jitter=0.0, loss_rate=1.0))
+    net.send(0, 0, "Ping", "self")
+    sim.run()
+    assert received == [(0, "self")]
+
+
+def test_certain_duplication_delivers_twice():
+    sim, net, received = build(NetworkConfig(jitter=0.0, duplicate_rate=1.0))
+    net.send(0, 1, "Ping", "echo")
+    sim.run()
+    assert received == [(1, "echo"), (1, "echo")]
+    assert net.stats.messages_duplicated == 1
+
+
+def delivery_trace(seed, loss_rate=0.5):
+    sim = Simulator()
+    net = Network(sim, NetworkConfig(jitter=5e-6, loss_rate=loss_rate), seed=seed)
+    received = []
+    net.register(0, lambda env: received.append(env.payload))
+    net.register(1, lambda env: received.append((env.payload, sim.now)))
+    for i in range(40):
+        net.send(0, 1, "Ping", i)
+    sim.run()
+    return received, net.stats.messages_dropped
+
+
+def test_probabilistic_loss_is_seed_deterministic():
+    first = delivery_trace(seed=11)
+    second = delivery_trace(seed=11)
+    assert first == second
+    assert 0 < first[1] < 40  # some but not all messages dropped
+    # A different seed draws a different loss pattern.
+    assert delivery_trace(seed=12) != first

@@ -35,12 +35,17 @@ def test_self_messages_use_loopback_latency():
     assert received == [pytest.approx(1e-6)]
 
 
-def test_unknown_destination_rejected():
+def test_unknown_destination_degrades_to_drop():
+    # Consistent with the crash path: a retry against a node that was
+    # never registered (or has been removed) must not crash the sender.
     sim = Simulator()
     net = make_network(sim)
     net.register(0, lambda env: None)
-    with pytest.raises(KeyError):
-        net.send(0, 5, "Ping", None)
+    envelope = net.send(0, 5, "Ping", None)
+    sim.run()
+    assert envelope.msg_type == "Ping"
+    assert net.stats.messages_dropped == 1
+    assert net.stats.drops_by_reason["unknown_dst"] == 1
 
 
 def test_duplicate_registration_rejected():
