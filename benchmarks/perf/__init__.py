@@ -1,0 +1,1 @@
+"""Microbenchmarks for the simulator and PSI hot paths (marker: perf)."""

@@ -1,0 +1,63 @@
+"""Tiny timing helpers for the perf microbenchmarks.
+
+Deliberately dependency-free: a benchmark is a closure run in a calibrated
+loop, reported as nanoseconds per operation and operations per second.
+Results are printed and appended to ``benchmarks/results/MICRO_<suite>.json``
+so CI can upload them as an artifact next to the ``BENCH_*.json`` trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Callable, Dict
+
+RESULTS_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "results"
+)
+
+
+def bench(fn: Callable[[int], None], *, min_time: float = 0.2) -> Dict[str, float]:
+    """Time ``fn(n)`` (which must run its workload ``n`` times).
+
+    The loop count is grown geometrically until one timed batch exceeds
+    ``min_time`` wall seconds, then the best of three batches is reported
+    (best-of-N damps scheduler noise without hiding real regressions).
+    """
+    n = 64
+    while True:
+        started = time.perf_counter()
+        fn(n)
+        elapsed = time.perf_counter() - started
+        if elapsed >= min_time or n >= 1 << 24:
+            break
+        n *= 4
+    best = elapsed
+    for _ in range(2):
+        started = time.perf_counter()
+        fn(n)
+        best = min(best, time.perf_counter() - started)
+    per_op = best / n
+    return {
+        "iterations": n,
+        "ns_per_op": per_op * 1e9,
+        "ops_per_second": 1.0 / per_op if per_op > 0 else float("inf"),
+    }
+
+
+def report(suite: str, results: Dict[str, Dict[str, float]]) -> None:
+    """Print a suite's results and persist them as JSON."""
+    width = max(len(name) for name in results)
+    print()
+    print(f"[{suite}]")
+    for name, row in results.items():
+        print(
+            f"  {name:<{width}}  {row['ns_per_op']:>12.1f} ns/op"
+            f"  {row['ops_per_second']:>14.0f} ops/s"
+        )
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"MICRO_{suite}.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump({"suite": suite, "results": results}, fh, indent=2)
+        fh.write("\n")

@@ -1,0 +1,91 @@
+"""Microbenchmarks for version-chain scans and lookups."""
+
+import pytest
+
+from repro.core.fwkv.visibility import (
+    select_read_only_version,
+    select_update_version,
+)
+from repro.core.walter.visibility import select_walter_version
+from repro.core.vector_clock import VectorClock
+from repro.storage.chain import VersionChain
+
+from perf.microbench import bench, report
+
+pytestmark = pytest.mark.perf
+
+SITES = 10
+DEPTH = 64
+
+
+def _chain():
+    """A chain of DEPTH versions, all committed by origin 0 in sequence."""
+    chain = VersionChain("k")
+    for seq in range(DEPTH):
+        vc = VectorClock.zeros(SITES)
+        vc[0] = seq
+        chain.install(value=seq, vc=vc, origin=0, seq=seq)
+    return chain
+
+
+def test_chain_micro():
+    chain = _chain()
+    # A transaction that has read everything and sits at the newest seq:
+    # selection should take the latest-version fast path.
+    fresh_vc = tuple([DEPTH] + [0] * (SITES - 1))
+    # A transaction pinned far in the past: selection walks the chain.
+    stale_vc = tuple([DEPTH // 2] + [0] * (SITES - 1))
+    has_read = tuple([True] + [False] * (SITES - 1))
+
+    def run_select_ro_fresh(n):
+        for _ in range(n):
+            select_read_only_version(chain, fresh_vc, has_read, txn_id=10**9)
+
+    def run_select_ro_stale(n):
+        for _ in range(n):
+            select_read_only_version(chain, stale_vc, has_read, txn_id=10**9)
+
+    def run_select_update_fresh(n):
+        for _ in range(n):
+            select_update_version(chain, fresh_vc, has_read)
+
+    def run_select_walter_stale(n):
+        for _ in range(n):
+            select_walter_version(chain, stale_vc)
+
+    def run_by_vid(n):
+        by_vid = chain.by_vid
+        for _ in range(n):
+            by_vid(0)
+            by_vid(DEPTH // 2)
+            by_vid(DEPTH - 1)
+
+    def run_latest(n):
+        for _ in range(n):
+            chain.latest
+
+    results = {
+        "select_ro(fresh)": bench(run_select_ro_fresh),
+        "select_ro(stale)": bench(run_select_ro_stale),
+        "select_update(fresh)": bench(run_select_update_fresh),
+        "select_walter(stale)": bench(run_select_walter_stale),
+        "by_vid(x3)": bench(run_by_vid),
+        "latest": bench(run_latest),
+    }
+    report("chain", results)
+    assert all(row["ops_per_second"] > 0 for row in results.values())
+
+
+def test_by_vid_after_gc_semantics():
+    """by_vid must stay correct (and O(1)) across garbage collection."""
+    chain = _chain()
+    dropped = chain.truncate_older_than(keep_last=DEPTH // 4)
+    assert dropped == DEPTH - DEPTH // 4
+    first_kept = DEPTH - DEPTH // 4
+    assert chain.by_vid(first_kept).vid == first_kept
+    assert chain.by_vid(DEPTH - 1).vid == DEPTH - 1
+    for reclaimed in (0, first_kept - 1):
+        with pytest.raises(LookupError):
+            chain.by_vid(reclaimed)
+    with pytest.raises(LookupError):
+        chain.by_vid(DEPTH)

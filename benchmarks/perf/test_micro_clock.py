@@ -1,0 +1,63 @@
+"""Microbenchmarks for vector-clock algebra (the per-message hot path)."""
+
+import pytest
+
+from repro.core.vector_clock import VectorClock
+
+from perf.microbench import bench, report
+
+pytestmark = pytest.mark.perf
+
+SIZE = 20  # the paper's largest cluster
+
+
+def _clocks():
+    a = VectorClock(range(7, 7 + SIZE))
+    b = VectorClock(range(SIZE, 0, -1))
+    dominated = VectorClock([0] * SIZE)
+    positions = tuple(i % 2 == 0 for i in range(SIZE))
+    return a, b, dominated, positions
+
+
+def test_clock_algebra_micro():
+    a, b, dominated, positions = _clocks()
+
+    def run_copy(n):
+        copy = a.copy
+        for _ in range(n):
+            copy()
+
+    def run_merge(n):
+        for _ in range(n):
+            a.copy().merge(b)
+
+    def run_merge_dominated(n):
+        # The dominance-early-exit case: merging a clock we already cover.
+        for _ in range(n):
+            a.merge(dominated)
+
+    def run_leq(n):
+        leq = a.leq
+        for _ in range(n):
+            leq(b)
+
+    def run_leq_on(n):
+        leq_on = a.leq_on
+        for _ in range(n):
+            leq_on(b, positions)
+
+    def run_zeros(n):
+        zeros = VectorClock.zeros
+        for _ in range(n):
+            zeros(SIZE)
+
+    results = {
+        "copy": bench(run_copy),
+        "merge(copy+merge)": bench(run_merge),
+        "merge(dominated)": bench(run_merge_dominated),
+        "leq": bench(run_leq),
+        "leq_on": bench(run_leq_on),
+        "zeros": bench(run_zeros),
+    }
+    report("clock", results)
+    assert all(row["ops_per_second"] > 0 for row in results.values())

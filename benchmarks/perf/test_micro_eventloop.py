@@ -1,0 +1,60 @@
+"""Microbenchmarks for the discrete-event simulator core."""
+
+import pytest
+
+from repro.sim.simulator import Simulator
+
+from perf.microbench import bench, report
+
+pytestmark = pytest.mark.perf
+
+
+def test_eventloop_micro():
+    def run_call_soon_storm(n):
+        # The dominant pattern in protocol runs: bursts of same-time
+        # callbacks (event dispatch, process wake-ups).
+        sim = Simulator()
+        noop = lambda: None  # noqa: E731
+        for _ in range(n):
+            sim.call_soon(noop)
+        sim.run()
+
+    def run_timer_ladder(n):
+        # Strictly increasing deadlines: the heap-ordered path.
+        sim = Simulator()
+        noop = lambda: None  # noqa: E731
+        for i in range(n):
+            sim.call_at(float(i), noop)
+        sim.run()
+
+    def run_cancelled_timers(n):
+        # Schedule far-future timers and cancel them all, like retried
+        # RPC deadlines; the loop must not drag the dead entries along.
+        sim = Simulator()
+        noop = lambda: None  # noqa: E731
+        timers = [sim.call_at(1e9 + i, noop) for i in range(n)]
+        for timer in timers:
+            timer.cancel()
+        sim.call_soon(noop)
+        sim.run()
+
+    results = {
+        "call_soon storm": bench(run_call_soon_storm),
+        "timer ladder": bench(run_timer_ladder),
+        "cancel storm": bench(run_cancelled_timers),
+    }
+    report("eventloop", results)
+    assert all(row["ops_per_second"] > 0 for row in results.values())
+
+
+def test_cancelled_timers_leave_heap():
+    """Cancelled entries must be compacted out well before their deadline."""
+    sim = Simulator()
+    noop = lambda: None  # noqa: E731
+    timers = [sim.call_at(1e9 + i, noop) for i in range(1024)]
+    for timer in timers:
+        timer.cancel()
+    # A single live callback triggers lazy compaction bookkeeping.
+    sim.call_soon(noop)
+    sim.run()
+    assert sim.pending_count < 1024

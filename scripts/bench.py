@@ -1,0 +1,201 @@
+#!/usr/bin/env python
+"""Wall-clock benchmark driver: the repo's perf trajectory, one JSON entry
+per run.
+
+Runs a mid-scale Figure-5 YCSB configuration (the same shape the benchmark
+suite regenerates) and records *wall-clock* efficiency numbers -- committed
+transactions per wall-second, simulator events per wall-second, and peak
+heap -- as one labelled entry appended to a ``BENCH_<name>.json`` file.
+Committing the file after each significant perf change builds the repo's
+perf trajectory: the first entry is the pre-optimization baseline, later
+entries show what each change bought.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench.py --label pre_opt
+    PYTHONPATH=src python scripts/bench.py --label post_opt
+    PYTHONPATH=src python scripts/bench.py --scale smoke --no-heap
+
+The default output file is ``benchmarks/results/BENCH_fig5_midscale.json``
+(``BENCH_fig5_smoke.json`` for ``--scale smoke``).  The driver prints a
+comparison of every recorded entry against the first (baseline) entry.
+
+Methodology notes:
+
+* the timed run executes without any profiler or tracer attached;
+* peak heap is measured by ``tracemalloc`` on a *separate* identical run
+  (tracemalloc roughly doubles wall time, which would contaminate the
+  throughput numbers if measured together); disable with ``--no-heap``;
+* virtual-clock results (commits, throughput) are deterministic per seed,
+  so only the wall-clock figures vary between machines and runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.config import BatchingConfig, ClusterConfig, RunConfig  # noqa: E402
+from repro.harness.runner import run_experiment  # noqa: E402
+from repro.workloads.ycsb import YCSBConfig, YCSBWorkload  # noqa: E402
+
+#: The benchmarked configurations.  ``mid`` is the mid-scale Figure-5 point
+#: (10 nodes, 100k keys, 50% read-only -- the middle of the paper's grid);
+#: ``smoke`` is a CI-sized reduction of the same shape.
+SCALES = {
+    "mid": dict(
+        num_nodes=10,
+        clients_per_node=5,
+        num_keys=100_000,
+        read_only_fraction=0.5,
+        duration=0.03,
+        warmup=0.01,
+        seed=7,
+    ),
+    "smoke": dict(
+        num_nodes=6,
+        clients_per_node=4,
+        num_keys=10_000,
+        read_only_fraction=0.5,
+        duration=0.01,
+        warmup=0.003,
+        seed=7,
+    ),
+}
+
+
+def build_and_run(params: dict, protocol: str, batching: BatchingConfig):
+    workload = YCSBWorkload(
+        YCSBConfig(
+            num_keys=params["num_keys"],
+            read_only_fraction=params["read_only_fraction"],
+        )
+    )
+    cluster_config = ClusterConfig(
+        num_nodes=params["num_nodes"],
+        clients_per_node=params["clients_per_node"],
+        seed=params["seed"],
+        batching=batching or BatchingConfig(),
+    )
+    run_config = RunConfig(
+        duration=params["duration"], warmup=params["warmup"]
+    )
+    return run_experiment(protocol, workload, cluster_config, run_config)
+
+
+def measure(params: dict, protocol: str, batching: BatchingConfig,
+            with_heap: bool) -> dict:
+    """One timed run (plus an optional tracemalloc run for peak heap)."""
+    started = time.perf_counter()
+    result = build_and_run(params, protocol, batching)
+    wall = time.perf_counter() - started
+
+    sim = result.cluster.sim
+    commits = result.metrics["commits"]
+    entry = {
+        "wall_seconds_total": wall,
+        "wall_seconds_run": result.wall_seconds,
+        "virtual_seconds": sim.now,
+        "committed_txns": commits,
+        "committed_per_wall_second": commits / wall if wall > 0 else 0.0,
+        "events_executed": sim.executed_count,
+        "events_per_second": sim.executed_count / wall if wall > 0 else 0.0,
+        "throughput_ktps_virtual": result.throughput_ktps,
+        "abort_rate": result.abort_rate,
+    }
+
+    if with_heap:
+        import tracemalloc
+
+        tracemalloc.start()
+        build_and_run(params, protocol, batching)
+        _current, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        entry["peak_heap_bytes"] = peak
+    return entry
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--label", default="run",
+                        help="name of this perf point (e.g. pre_opt)")
+    parser.add_argument("--scale", choices=sorted(SCALES), default="mid")
+    parser.add_argument("--protocol", default="fwkv")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="override the scale's default seed")
+    parser.add_argument("--propagate-window", type=float, default=0.0,
+                        help="BatchingConfig.propagate_window (0 = off)")
+    parser.add_argument("--no-heap", action="store_true",
+                        help="skip the tracemalloc peak-heap run")
+    parser.add_argument("--out", default=None,
+                        help="JSON file to append the entry to")
+    args = parser.parse_args(argv)
+
+    params = dict(SCALES[args.scale])
+    if args.seed is not None:
+        params["seed"] = args.seed
+    batching = BatchingConfig(propagate_window=args.propagate_window)
+
+    out = args.out or os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "..", "benchmarks",
+        "results",
+        "BENCH_fig5_midscale.json" if args.scale == "mid"
+        else f"BENCH_fig5_{args.scale}.json",
+    )
+    out = os.path.normpath(out)
+
+    entry = measure(params, args.protocol, batching, with_heap=not args.no_heap)
+    entry.update(
+        label=args.label,
+        protocol=args.protocol,
+        python=platform.python_version(),
+        platform=platform.platform(),
+        propagate_window=args.propagate_window,
+    )
+
+    if os.path.exists(out):
+        with open(out, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    else:
+        doc = {"benchmark": f"fig5_ycsb_{args.scale}", "config": params,
+               "entries": []}
+    doc["entries"].append(entry)
+    os.makedirs(os.path.dirname(out), exist_ok=True)
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+
+    print(f"recorded {args.label!r} -> {out}")
+    base = doc["entries"][0]
+    header = (
+        f"{'label':<16} {'txns/wall-s':>12} {'events/s':>12} "
+        f"{'wall s':>8} {'peak heap MB':>13} {'speedup':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+    for row in doc["entries"]:
+        speedup = (
+            row["committed_per_wall_second"] / base["committed_per_wall_second"]
+            if base["committed_per_wall_second"] else float("nan")
+        )
+        heap = row.get("peak_heap_bytes")
+        heap_mb = f"{heap / 1e6:.1f}" if heap is not None else "-"
+        print(
+            f"{row['label']:<16} {row['committed_per_wall_second']:>12.0f} "
+            f"{row['events_per_second']:>12.0f} "
+            f"{row['wall_seconds_total']:>8.2f} {heap_mb:>13} "
+            f"{speedup:>7.2f}x"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

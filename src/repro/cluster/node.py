@@ -30,8 +30,8 @@ class Node:
         self.node_id = node_id
         self.network = network
         self.rpc = RpcEndpoint(sim, network, node_id)
-        # msg_type -> (handler, spawn_as_process); the generator check is
-        # done once at registration, not per delivery.
+        # msg_type -> (handler, spawn_as_process, process_name); the
+        # generator check is done once at registration, not per delivery.
         self._handlers: Dict[str, tuple] = {}
         network.register(node_id, self.deliver)
         self.on(MessageType.RPC_REPLY, self.rpc.handle_reply)
@@ -40,7 +40,13 @@ class Node:
         """Register the handler for a message type (one per type)."""
         if msg_type in self._handlers:
             raise ValueError(f"handler for {msg_type!r} already registered")
-        self._handlers[msg_type] = (handler, inspect.isgeneratorfunction(handler))
+        # Handler-process names are per (node, type), so build them once at
+        # registration instead of formatting one per delivery.
+        self._handlers[msg_type] = (
+            handler,
+            inspect.isgeneratorfunction(handler),
+            f"n{self.node_id}:{msg_type}",
+        )
 
     def deliver(self, envelope: Envelope) -> None:
         """Network delivery entry point."""
@@ -49,12 +55,9 @@ class Node:
             raise KeyError(
                 f"node {self.node_id} has no handler for {envelope.msg_type!r}"
             )
-        handler, spawn = entry
+        handler, spawn, name = entry
         if spawn:
-            self.sim.spawn(
-                handler(envelope),
-                name=f"n{self.node_id}:{envelope.msg_type}",
-            )
+            self.sim.spawn(handler(envelope), name=name)
         else:
             handler(envelope)
 

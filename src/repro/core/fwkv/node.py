@@ -140,7 +140,8 @@ class FWKVNode(MVCCNode):
         if not self._remove_flush_scheduled:
             self._remove_flush_scheduled = True
             self.sim.call_later(
-                self.shared.config.remove_flush_interval, self._flush_removes
+                self.shared.config.effective_remove_flush_interval,
+                self._flush_removes,
             )
 
     def _on_client_abort(self, txn: Transaction) -> None:

@@ -77,6 +77,14 @@ class BaseProtocolNode(ABC):
     def load(self, key: Hashable, value: object) -> None:
         """Install initial data for a key whose preferred site is here."""
 
+    def load_many(self, items) -> int:
+        """Bulk :meth:`load`; protocols may override with a faster path."""
+        count = 0
+        for key, value in items:
+            self.load(key, value)
+            count += 1
+        return count
+
     # ------------------------------------------------------------------
     # Coordinator API
     # ------------------------------------------------------------------
@@ -92,8 +100,9 @@ class BaseProtocolNode(ABC):
             profile=profile,
         )
         self._on_begin(txn)
-        self.tracer.emit(self.node_id, "begin", txn=txn.txn_id,
-                         ro=is_read_only, profile=profile)
+        if self.tracer._enabled:
+            self.tracer.emit(self.node_id, "begin", txn=txn.txn_id,
+                             ro=is_read_only, profile=profile)
         return txn
 
     def _on_begin(self, txn: Transaction) -> None:

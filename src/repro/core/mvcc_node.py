@@ -72,6 +72,9 @@ class MVCCNode(BaseProtocolNode):
         #: the same transaction; a per-invocation token keeps their shared
         #: lock acquisitions independent of each other.
         self._read_token = 0
+        #: destination -> commit sequence numbers awaiting a coalesced
+        #: Propagate (only used when ``batching.propagate_window > 0``).
+        self._propagate_buffer: Dict[int, List[int]] = {}
 
         node.on(MessageType.READ_REQUEST, self.on_read_request)
         node.on(MessageType.PREPARE, self.on_prepare)
@@ -82,7 +85,13 @@ class MVCCNode(BaseProtocolNode):
     # Loading
     # ------------------------------------------------------------------
     def load(self, key: Hashable, value: object) -> None:
-        self.store.create(key, value, VectorClock.zeros(self.shared.num_nodes))
+        self.store.create(key, value, VectorClock.zero(self.shared.num_nodes))
+
+    def load_many(self, items: Iterable[Tuple[Hashable, object]]) -> int:
+        """Bulk-install initial versions (all share the interned zero VC)."""
+        return self.store.create_many(
+            items, VectorClock.zero(self.shared.num_nodes)
+        )
 
     # ------------------------------------------------------------------
     # Coordinator API
@@ -115,7 +124,7 @@ class MVCCNode(BaseProtocolNode):
             ),
         )
         if reply.max_vc is not None:
-            txn.vc.merge(VectorClock(reply.max_vc))  # Alg. 2 line 9
+            txn.vc.merge_seq(reply.max_vc)  # Alg. 2 line 9
         first_contact = not txn.has_read[target]
         txn.has_read[target] = True  # Alg. 2 line 8
         if txn.is_read_only:
@@ -126,10 +135,11 @@ class MVCCNode(BaseProtocolNode):
             )
         txn.read_cache[key] = reply.value
         txn.read_versions[key] = reply.vid
-        self.tracer.emit(
-            self.node_id, "read", txn=txn.txn_id, key=key, vid=reply.vid,
-            latest=reply.latest_vid, site=target,
-        )
+        if self.tracer._enabled:
+            self.tracer.emit(
+                self.node_id, "read", txn=txn.txn_id, key=key, vid=reply.vid,
+                latest=reply.latest_vid, site=target,
+            )
         self._record_read(txn, key, reply.vid, reply.latest_vid)
         return reply.value
 
@@ -187,7 +197,7 @@ class MVCCNode(BaseProtocolNode):
             reply: ReadReturnBody = next(replies_iter)
             target = self.directory.site(key)
             if reply.max_vc is not None:
-                txn.vc.merge(VectorClock(reply.max_vc))
+                txn.vc.merge_seq(reply.max_vc)
             first_contact = not txn.has_read[target]
             txn.has_read[target] = True
             txn.read_keys.add(key)
@@ -211,7 +221,8 @@ class MVCCNode(BaseProtocolNode):
             self._commit_read_only(txn)
             txn.mark_committed(self.sim.now)
             self._record_commit(txn)
-            self.tracer.emit(self.node_id, "commit", txn=txn.txn_id, ro=True)
+            if self.tracer._enabled:
+                self.tracer.emit(self.node_id, "commit", txn=txn.txn_id, ro=True)
             return True
 
         yield from self.cpu.consume(self.costs.commit_base)
@@ -282,15 +293,13 @@ class MVCCNode(BaseProtocolNode):
             self.node.send(site, MessageType.DECIDE, decide)
         if outcome:
             # Alg. 4 line 27: asynchronous propagation to everyone else.
-            propagate = PropagateBody(self.node_id, txn.seq_no)
-            for site in self.shared.config.node_ids:
-                if site not in participant_sites and site != self.node_id:
-                    self.node.send(site, MessageType.PROPAGATE, propagate)
+            self._send_propagate(participant_sites, txn.seq_no)
             txn.mark_committed(self.sim.now)
             self._record_commit(txn)
-            self.tracer.emit(
-                self.node_id, "commit", txn=txn.txn_id, seq=txn.seq_no
-            )
+            if self.tracer._enabled:
+                self.tracer.emit(
+                    self.node_id, "commit", txn=txn.txn_id, seq=txn.seq_no
+                )
         else:
             # Presumed abort: the Decide(outcome=False) sent above is
             # best-effort -- a participant that never hears it releases
@@ -306,6 +315,48 @@ class MVCCNode(BaseProtocolNode):
                 self.node_id, "abort", txn=txn.txn_id, reason=reason
             )
         return outcome
+
+    def _send_propagate(self, participant_sites: Set[int], seq_no: int) -> None:
+        """Alg. 4 line 27 fan-out, optionally coalesced per destination.
+
+        With ``batching.propagate_window == 0`` (default) every uninvolved
+        site gets its own Propagate immediately -- the paper's behaviour,
+        message for message.  With a positive window, this origin buffers
+        the window's sequence numbers per destination and flushes them as
+        one Propagate carrying ``seq_nos``; commits within a window reach
+        uninvolved nodes at most one window late, which only delays
+        snapshot freshness (PSI allows arbitrarily stale reads), never
+        correctness.  Buffering is per destination because each commit has
+        its own participant set.
+        """
+        window = self.shared.config.batching.propagate_window
+        node_id = self.node_id
+        if window <= 0:
+            propagate = PropagateBody(node_id, seq_no)
+            for site in self.shared.config.node_ids:
+                if site not in participant_sites and site != node_id:
+                    self.node.send(site, MessageType.PROPAGATE, propagate)
+            return
+        buffer = self._propagate_buffer
+        for site in self.shared.config.node_ids:
+            if site not in participant_sites and site != node_id:
+                pending = buffer.get(site)
+                if pending is None:
+                    # First commit of this destination's window opens it.
+                    buffer[site] = [seq_no]
+                    self.sim.call_later(window, self._flush_propagate, site)
+                else:
+                    pending.append(seq_no)
+
+    def _flush_propagate(self, site: int) -> None:
+        """Close a destination's Propagate window and send the batch."""
+        seq_nos = self._propagate_buffer.pop(site, None)
+        if seq_nos:
+            self.node.send(
+                site,
+                MessageType.PROPAGATE,
+                PropagateBody(self.node_id, seq_nos[-1], tuple(seq_nos)),
+            )
 
     def _group_writes_by_site(
         self, txn: Transaction
@@ -384,13 +435,17 @@ class MVCCNode(BaseProtocolNode):
         # almost always vacuous.
         txn_vc = request.vc
         site_vc = self.site_vc
-        if any(site_vc[j] < txn_vc[j] for j in range(len(txn_vc))):
+        site_entries = site_vc.entries
+        behind = False
+        for s, t in zip(site_entries, txn_vc):
+            if s < t:
+                behind = True
+                break
+        if behind:
             stall_started = self.sim.now
             yield from wait_until(
                 self.site_vc_changed,
-                lambda: all(
-                    site_vc[j] >= txn_vc[j] for j in range(len(txn_vc))
-                ),
+                lambda: all(s >= t for s, t in zip(site_entries, txn_vc)),
             )
             self.metrics.on_read_stall(self.sim.now - stall_started)
             self.tracer.emit(
@@ -572,10 +627,11 @@ class MVCCNode(BaseProtocolNode):
             yield from self._on_versions_installed(installed, body.collected)
             self.site_vc[body.origin] = body.seq_no  # Alg. 5 line 21
             self.site_vc_changed.notify_all()
-            self.tracer.emit(
-                self.node_id, "decide", txn=body.txn_id,
-                origin=body.origin, seq=body.seq_no,
-            )
+            if self.tracer._enabled:
+                self.tracer.emit(
+                    self.node_id, "decide", txn=body.txn_id,
+                    origin=body.origin, seq=body.seq_no,
+                )
         if prepared is not None:
             self.locks.release_write_all(prepared.locked_keys, owner=body.txn_id)
 
@@ -592,16 +648,51 @@ class MVCCNode(BaseProtocolNode):
             if dropped:
                 self.metrics.on_versions_reclaimed(dropped)
 
-    def on_propagate(self, envelope: Envelope):
-        """Alg. 6 lines 1-4: ordered snapshot advance at uninvolved nodes."""
+    def on_propagate(self, envelope: Envelope) -> None:
+        """Alg. 6 lines 1-4: ordered snapshot advance at uninvolved nodes.
+
+        A batched Propagate replays the window's sequence numbers one by
+        one, each with the same in-order wait as a single message, so the
+        per-origin apply order -- and therefore every siteVC transition --
+        is identical to the unbatched schedule.
+
+        Registered as a plain handler: the overwhelmingly common case (the
+        next expected sequence number, or a duplicate) applies inline at
+        delivery time; only an out-of-order arrival -- one that must wait
+        for a predecessor -- pays for a spawned process.
+        """
         body: PropagateBody = envelope.payload
-        yield from wait_until(
-            self.site_vc_changed,
-            lambda: self.site_vc[body.origin] >= body.seq_no - 1,
-        )
-        if self.site_vc[body.origin] < body.seq_no:
-            self.site_vc[body.origin] = body.seq_no
-            self.site_vc_changed.notify_all()
-            self.tracer.emit(
-                self.node_id, "propagate", origin=body.origin, seq=body.seq_no
+        origin = body.origin
+        seq_nos = body.seq_nos if body.seq_nos is not None else (body.seq_no,)
+        site_vc = self.site_vc
+        for index, seq_no in enumerate(seq_nos):
+            current = site_vc[origin]
+            if current >= seq_no:
+                continue
+            if current == seq_no - 1:
+                site_vc[origin] = seq_no
+                self.site_vc_changed.notify_all()
+                if self.tracer._enabled:
+                    self.tracer.emit(
+                        self.node_id, "propagate", origin=origin, seq=seq_no
+                    )
+            else:
+                self.sim.spawn(
+                    self._apply_propagate(origin, seq_nos[index:]),
+                    name="Propagate",
+                )
+                return
+
+    def _apply_propagate(self, origin: int, seq_nos: Tuple[int, ...]):
+        """Slow path: wait out the in-order gap, then apply the rest."""
+        for seq_no in seq_nos:
+            yield from wait_until(
+                self.site_vc_changed,
+                lambda bound=seq_no - 1: self.site_vc[origin] >= bound,
             )
+            if self.site_vc[origin] < seq_no:
+                self.site_vc[origin] = seq_no
+                self.site_vc_changed.notify_all()
+                self.tracer.emit(
+                    self.node_id, "propagate", origin=origin, seq=seq_no
+                )

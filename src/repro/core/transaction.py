@@ -59,7 +59,9 @@ class Transaction:
         self.txn_id = txn_id
         self.node_id = node_id
         self.is_read_only = is_read_only
-        self.vc = VectorClock.zeros(num_sites)
+        # Interned: every MVCC protocol replaces this with a snapshot copy
+        # in its begin hook, and the interned instance rejects mutation.
+        self.vc = VectorClock.zero(num_sites)
         self.has_read: List[bool] = [False] * num_sites
         self.writeset: Dict[Hashable, object] = {}
         self.read_keys: Set[Hashable] = set()

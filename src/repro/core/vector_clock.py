@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
 
 
 class VectorClock:
@@ -11,6 +11,13 @@ class VectorClock:
     Entry ``j`` of a node's clock is "the last transaction from node ``N_j``
     that was committed at this site" (paper Section 4.1).  Transaction and
     version clocks are snapshots of node clocks, so they share this type.
+
+    Clock algebra runs on every message a node serves, so the methods below
+    are written for the CPython fast path: plain index loops with early
+    exits, no intermediate list allocations, and direct ``_entries`` access
+    instead of the container protocol.  Hot callers may read
+    :attr:`entries` to bind the underlying list locally; they must never
+    mutate it.
     """
 
     __slots__ = ("_entries",)
@@ -22,7 +29,28 @@ class VectorClock:
     def zeros(cls, size: int) -> "VectorClock":
         if size <= 0:
             raise ValueError("vector clock size must be positive")
-        return cls([0] * size)
+        vc = cls.__new__(cls)
+        vc._entries = [0] * size
+        return vc
+
+    @classmethod
+    def zero(cls, size: int) -> "VectorClock":
+        """The interned all-zero clock of ``size`` entries.
+
+        Initial-data loads stamp every seeded version with the zero clock;
+        interning one immutable instance per size turns millions of list
+        allocations into dictionary hits.  The returned clock rejects
+        mutation -- callers that need a private zero clock must use
+        :meth:`zeros` (or :meth:`copy` the interned one).
+        """
+        clock = _ZERO_CACHE.get(size)
+        if clock is None:
+            if size <= 0:
+                raise ValueError("vector clock size must be positive")
+            clock = _ImmutableVectorClock.__new__(_ImmutableVectorClock)
+            clock._entries = [0] * size
+            _ZERO_CACHE[size] = clock
+        return clock
 
     # ------------------------------------------------------------------
     # Container protocol
@@ -50,16 +78,55 @@ class VectorClock:
     def __repr__(self) -> str:
         return f"VC<{','.join(str(e) for e in self._entries)}>"
 
+    @property
+    def entries(self) -> Sequence[int]:
+        """The underlying entry list, for read-only hot-path iteration."""
+        return self._entries
+
     # ------------------------------------------------------------------
     # Clock algebra
     # ------------------------------------------------------------------
     def copy(self) -> "VectorClock":
-        return VectorClock(self._entries)
+        vc = VectorClock.__new__(VectorClock)
+        vc._entries = self._entries.copy()
+        return vc
 
     def merge(self, other: "VectorClock") -> None:
-        """Entry-wise maximum, in place (Alg. 2 line 9)."""
-        self._check_size(other)
-        self._entries = [max(a, b) for a, b in zip(self._entries, other._entries)]
+        """Entry-wise maximum, in place (Alg. 2 line 9).
+
+        Allocation-free: the loop is a fused dominance check -- entries we
+        already dominate are skipped without a write, and merging a clock
+        we fully dominate (the common case once a snapshot has caught up)
+        touches nothing.
+        """
+        mine = self._entries
+        theirs = other._entries
+        if theirs is mine:
+            return
+        if len(theirs) != len(mine):
+            self._check_size(other)
+        index = 0
+        for value in theirs:
+            if value > mine[index]:
+                mine[index] = value
+            index += 1
+
+    def merge_seq(self, values: Sequence[int]) -> None:
+        """:meth:`merge` against a raw entry sequence (no wrapper clock).
+
+        Wire messages carry clocks as plain tuples; merging them directly
+        saves one :class:`VectorClock` allocation per message.
+        """
+        mine = self._entries
+        if len(values) != len(mine):
+            raise ValueError(
+                f"vector clock size mismatch: {len(mine)} vs {len(values)}"
+            )
+        index = 0
+        for value in values:
+            if value > mine[index]:
+                mine[index] = value
+            index += 1
 
     def merged(self, other: "VectorClock") -> "VectorClock":
         """Entry-wise maximum, as a new clock."""
@@ -69,8 +136,14 @@ class VectorClock:
 
     def leq(self, other: "VectorClock") -> bool:
         """True when every entry is <= the corresponding entry of ``other``."""
-        self._check_size(other)
-        return all(a <= b for a, b in zip(self._entries, other._entries))
+        mine = self._entries
+        theirs = other._entries
+        if len(theirs) != len(mine):
+            self._check_size(other)
+        for a, b in zip(mine, theirs):
+            if a > b:
+                return False
+        return True
 
     def dominates(self, other: "VectorClock") -> bool:
         """True when every entry is >= the corresponding entry of ``other``."""
@@ -81,13 +154,17 @@ class VectorClock:
 
         This is the FW-KV visibility test (Alg. 3 line 4): a version clock
         must not exceed the transaction clock at any *already-read* site.
+        No-copy: iterates the raw entries with an early exit on the first
+        violated position.
         """
-        self._check_size(other)
-        return all(
-            a <= b
-            for a, b, active in zip(self._entries, other._entries, positions)
-            if active
-        )
+        mine = self._entries
+        theirs = other._entries
+        if len(theirs) != len(mine):
+            self._check_size(other)
+        for a, b, active in zip(mine, theirs, positions):
+            if active and a > b:
+                return False
+        return True
 
     def to_tuple(self) -> Tuple[int, ...]:
         return tuple(self._entries)
@@ -98,3 +175,30 @@ class VectorClock:
                 f"vector clock size mismatch: {len(self._entries)} vs "
                 f"{len(other._entries)}"
             )
+
+
+class _ImmutableVectorClock(VectorClock):
+    """An interned clock that refuses in-place mutation (see ``zero``)."""
+
+    __slots__ = ()
+
+    def __setitem__(self, index: int, value: int) -> None:
+        raise TypeError(
+            "interned zero clock is immutable; use VectorClock.zeros() or "
+            "copy() for a private instance"
+        )
+
+    def merge(self, other: "VectorClock") -> None:
+        raise TypeError(
+            "interned zero clock is immutable; use VectorClock.zeros() or "
+            "copy() for a private instance"
+        )
+
+    def merge_seq(self, values: Sequence[int]) -> None:
+        raise TypeError(
+            "interned zero clock is immutable; use VectorClock.zeros() or "
+            "copy() for a private instance"
+        )
+
+
+_ZERO_CACHE: Dict[int, VectorClock] = {}

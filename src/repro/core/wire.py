@@ -11,7 +11,7 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Hashable, Optional, Tuple
 
 
-@dataclass
+@dataclass(slots=True)
 class ReadRequestBody:
     """Coordinator -> storage node, one key (FW-KV and Walter)."""
 
@@ -22,7 +22,7 @@ class ReadRequestBody:
     has_read: Tuple[bool, ...]
 
 
-@dataclass
+@dataclass(slots=True)
 class ReadReturnBody:
     """Storage node -> coordinator reply."""
 
@@ -36,7 +36,7 @@ class ReadReturnBody:
     latest_vid: int
 
 
-@dataclass
+@dataclass(slots=True)
 class PrepareBody:
     """2PC phase one: the writes this participant must lock and validate."""
 
@@ -53,7 +53,7 @@ class PrepareBody:
     read_vids: Dict[Hashable, int] = field(default_factory=dict)
 
 
-@dataclass
+@dataclass(slots=True)
 class VoteBody:
     """2PC phase one reply."""
 
@@ -64,7 +64,7 @@ class VoteBody:
     reason: Optional[str] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class DecideBody:
     """2PC phase two (one-way)."""
 
@@ -78,15 +78,26 @@ class DecideBody:
     collected: FrozenSet[int] = frozenset()
 
 
-@dataclass
+@dataclass(slots=True)
 class PropagateBody:
-    """Asynchronous commit propagation to uninvolved nodes (Alg. 6)."""
+    """Asynchronous commit propagation to uninvolved nodes (Alg. 6).
+
+    With :class:`~repro.config.BatchingConfig` windows enabled the origin
+    coalesces a commit window into one message per destination:
+    ``seq_nos`` lists every sequence number in the window, in commit
+    order.  The handler applies them one by one with the same in-order
+    wait as the unbatched path -- a plain ``max`` would deadlock the
+    destination on windows with gaps (sequence numbers it participated in
+    via Decide but has not applied yet).  ``seq_nos is None`` is the
+    unbatched wire format carrying the single ``seq_no``.
+    """
 
     origin: int
     seq_no: int
+    seq_nos: Optional[Tuple[int, ...]] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class RemoveBody:
     """FW-KV read-only cleanup (Alg. 6 lines 5-10).
 
@@ -105,19 +116,19 @@ class RemoveBody:
 # ----------------------------------------------------------------------
 
 
-@dataclass
+@dataclass(slots=True)
 class SimpleReadRequestBody:
     txn_id: int
     key: Hashable
 
 
-@dataclass
+@dataclass(slots=True)
 class SimpleReadReturnBody:
     value: object
     version: int
 
 
-@dataclass
+@dataclass(slots=True)
 class SimplePrepareBody:
     """Read validation plus write intent for one participant."""
 
@@ -127,7 +138,7 @@ class SimplePrepareBody:
     writes: Dict[Hashable, object]
 
 
-@dataclass
+@dataclass(slots=True)
 class SimpleVoteBody:
     ok: bool
     #: Version each written key will receive if the commit decides yes
@@ -136,7 +147,7 @@ class SimpleVoteBody:
     reason: Optional[str] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class SimpleDecideBody:
     txn_id: int
     outcome: bool

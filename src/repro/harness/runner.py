@@ -9,6 +9,7 @@ after a warmup period.
 
 from __future__ import annotations
 
+import gc
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional
@@ -75,7 +76,7 @@ def client_loop(
             txn = node.begin(program.is_read_only, program.profile)
             ctx = TxnContext(node, txn)
             if costs.client_overhead:
-                yield sim.timeout(costs.client_overhead)
+                yield sim.sleep(costs.client_overhead)
             try:
                 yield from program.run(ctx)
                 ok = yield from node.commit(txn)
@@ -95,9 +96,9 @@ def client_loop(
                 break
             if max_retries is not None and attempts > max_retries:
                 break
-            yield sim.timeout(backoff * (1.0 + rng.random()))
+            yield sim.sleep(backoff * (1.0 + rng.random()))
         if costs.client_think:
-            yield sim.timeout(costs.client_think)
+            yield sim.sleep(costs.client_think)
 
 
 def run_experiment(
@@ -134,7 +135,15 @@ def run_experiment(
             )
 
     started = time.perf_counter()
-    cluster.run(until=stop_time)
+    # The loaded keyspace and cluster wiring stay live for the whole run;
+    # freezing them keeps the cyclic collector from rescanning hundreds of
+    # thousands of static objects on every oldest-generation pass.  Unfreeze
+    # afterwards so repeated experiments in one process still collect them.
+    gc.freeze()
+    try:
+        cluster.run(until=stop_time)
+    finally:
+        gc.unfreeze()
     wall = time.perf_counter() - started
 
     metrics = cluster.metrics.summary()

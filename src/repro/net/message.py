@@ -29,7 +29,7 @@ class MessageType:
     BACKGROUND = frozenset({PROPAGATE, REMOVE})
 
 
-@dataclass
+@dataclass(slots=True)
 class Envelope:
     """One message in flight between two nodes."""
 

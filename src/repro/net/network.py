@@ -99,6 +99,8 @@ class Network:
         self._next_msg_id = 0
         self._crashed: set = set()
         self._partitioned: Set[Tuple[int, int]] = set()
+        #: True whenever any crash or partition is active (delivery fast path).
+        self._faulty = False
 
     def register(self, node_id: int, deliver: DeliverFn) -> None:
         """Attach a node's delivery callback."""
@@ -116,41 +118,55 @@ class Network:
         path -- the message counts as dropped -- so retries against a
         removed node degrade instead of crashing the sender.
         """
-        envelope = Envelope(
-            msg_type=msg_type,
-            src=src,
-            dst=dst,
-            payload=payload,
-            send_time=self.sim.now,
-            msg_id=self._next_msg_id,
-        )
+        sim = self.sim
+        now = sim.now
+        stats = self.stats
+        envelope = Envelope(msg_type, src, dst, payload, now, 0.0, self._next_msg_id)
         self._next_msg_id += 1
-        self.stats.messages_sent += 1
-        self.stats.messages_by_type[msg_type] += 1
+        stats.messages_sent += 1
+        stats.messages_by_type[msg_type] += 1
 
         if dst not in self._nodes:
             self._drop(DROP_UNKNOWN_DST)
             return envelope
+        cfg = self.config
         if (
             src != dst
-            and self.config.loss_rate > 0
-            and self._fault_rng.random() < self.config.loss_rate
+            and cfg.loss_rate > 0
+            and self._fault_rng.random() < cfg.loss_rate
         ):
             self._drop(DROP_LOSS)
             return envelope
 
-        delay = self._latency(envelope)
+        # Latency computation inlined from _latency: send() runs once per
+        # message and the extra call shows up at benchmark scale.
+        if src == dst:
+            delay = cfg.self_latency
+        else:
+            delay = cfg.base_latency
+            if cfg.jitter > 0:
+                delay += self._rng.uniform(0.0, cfg.jitter)
+        delays = cfg.message_delays
+        if delays:
+            delay += delays.get(msg_type, 0.0)
+        if self.delay_policy is not None:
+            delay += self.delay_policy(envelope)
         channel = "bg" if msg_type in MessageType.BACKGROUND else "fg"
         key = (src, dst, channel)
-        deliver_at = max(self.sim.now + delay, self._fifo_horizon[key])
+        deliver_at = now + delay
+        horizon = self._fifo_horizon[key]
+        if horizon > deliver_at:
+            deliver_at = horizon
         self._fifo_horizon[key] = deliver_at
         envelope.deliver_time = deliver_at
 
-        self.sim.call_at(deliver_at, self._deliver, envelope)
+        # Deliveries are never cancelled; the no-handle form skips a Timer
+        # allocation per message.
+        sim._post_at(deliver_at, self._deliver, envelope)
         if (
             src != dst
-            and self.config.duplicate_rate > 0
-            and self._fault_rng.random() < self.config.duplicate_rate
+            and cfg.duplicate_rate > 0
+            and self._fault_rng.random() < cfg.duplicate_rate
         ):
             # The copy trails the original by a fresh latency-scale offset;
             # duplicates may reorder (they skip the FIFO horizon), which is
@@ -168,18 +184,23 @@ class Network:
             base = cfg.base_latency
             if cfg.jitter > 0:
                 base += self._rng.uniform(0.0, cfg.jitter)
-        base += cfg.message_delays.get(envelope.msg_type, 0.0)
+        delays = cfg.message_delays
+        if delays:
+            base += delays.get(envelope.msg_type, 0.0)
         if self.delay_policy is not None:
             base += self.delay_policy(envelope)
         return base
 
     def _deliver(self, envelope: Envelope) -> None:
-        if envelope.src in self._crashed or envelope.dst in self._crashed:
-            self._drop(DROP_CRASH)
-            return
-        if (envelope.src, envelope.dst) in self._partitioned:
-            self._drop(DROP_PARTITION)
-            return
+        # _faulty is False in healthy runs, collapsing delivery to one
+        # check plus the handler call; it is maintained by crash/partition.
+        if self._faulty:
+            if envelope.src in self._crashed or envelope.dst in self._crashed:
+                self._drop(DROP_CRASH)
+                return
+            if (envelope.src, envelope.dst) in self._partitioned:
+                self._drop(DROP_PARTITION)
+                return
         self._nodes[envelope.dst](envelope)
 
     def _drop(self, reason: str) -> None:
@@ -192,10 +213,12 @@ class Network:
     def crash(self, node_id: int) -> None:
         """Crash-stop a node: all its in-flight and future traffic drops."""
         self._crashed.add(node_id)
+        self._faulty = True
 
     def restart(self, node_id: int) -> None:
         """Reconnect a crashed node (its volatile state is its own concern)."""
         self._crashed.discard(node_id)
+        self._faulty = bool(self._crashed or self._partitioned)
 
     def is_crashed(self, node_id: int) -> bool:
         """Whether the node is currently crash-stopped."""
@@ -209,14 +232,17 @@ class Network:
         the link drop at delivery time, like the crash path.
         """
         self._partitioned.add((a, b))
+        self._faulty = True
 
     def heal(self, a: int, b: int) -> None:
         """Restore the directed link ``a -> b``."""
         self._partitioned.discard((a, b))
+        self._faulty = bool(self._crashed or self._partitioned)
 
     def heal_all(self) -> None:
         """Remove every partition (not crashes)."""
         self._partitioned.clear()
+        self._faulty = bool(self._crashed)
 
     def is_partitioned(self, a: int, b: int) -> bool:
         """Whether the directed link ``a -> b`` is currently cut."""

@@ -25,7 +25,7 @@ from typing import Any, Dict, Optional, Tuple
 from repro.config import RpcConfig
 from repro.net.message import Envelope, MessageType
 from repro.net.network import Network
-from repro.sim import AnyOf, Event, Simulator
+from repro.sim import Event, Simulator
 from repro.sim.rng import make_rng
 
 
@@ -42,7 +42,7 @@ class RpcTimeoutError(Exception):
         self.attempts = attempts
 
 
-@dataclass
+@dataclass(slots=True)
 class _Request:
     """Wire format of an RPC request payload."""
 
@@ -51,12 +51,39 @@ class _Request:
     body: Any
 
 
-@dataclass
+@dataclass(slots=True)
 class _Reply:
     """Wire format of an RPC reply payload."""
 
     request_id: int
     body: Any
+
+
+class _Race(Event):
+    """Two-way ``AnyOf`` specialised for the reply-vs-deadline race.
+
+    Same trigger semantics and callback ordering as ``AnyOf`` over two
+    events, but one bound-method callback replaces the per-child closure
+    allocations -- this sits on the path of every remote read and 2PC
+    round at benchmark scale.
+    """
+
+    __slots__ = ("_first",)
+
+    def __init__(self, sim: Simulator, first: Event, second: Event) -> None:
+        super().__init__(sim, name="race")
+        self._first = first
+        first.add_callback(self._on_child)
+        second.add_callback(self._on_child)
+
+    def _on_child(self, child: Event) -> None:
+        if self.triggered:
+            return
+        if child.ok:
+            self.succeed((0 if child is self._first else 1, child._value))
+        else:
+            assert child.exception is not None
+            self.fail(child.exception)
 
 
 class RpcEndpoint:
@@ -95,7 +122,9 @@ class RpcEndpoint:
     ) -> Tuple[int, Event]:
         request_id = self._next_request_id
         self._next_request_id += 1
-        event = self.sim.event(name=f"rpc-{msg_type}-{request_id}")
+        # The static type label is enough for debugging; formatting a
+        # per-request name would be the costliest part of sending.
+        event = self.sim.event(name=msg_type)
         self._pending[request_id] = event
         self.network.send(
             self.node_id, dst, msg_type, _Request(request_id, msg_type, body)
@@ -127,8 +156,11 @@ class RpcEndpoint:
             attempt += 1
             request_id, event = self._send_request(dst, msg_type, body)
             deadline = self.sim.timeout(cfg.request_timeout)
-            index, value = yield AnyOf(self.sim, [event, deadline])
+            index, value = yield _Race(self.sim, event, deadline)
             if index == 0:
+                # Reply won the race: cancel the deadline so it does not
+                # linger in the scheduler until its far-future due time.
+                deadline.cancel()
                 return value
             # Timed out: retire the slot so a late reply counts as stale.
             self._pending.pop(request_id, None)
@@ -173,7 +205,7 @@ class RpcEndpoint:
         """Spawn :meth:`call_settled` as a process (itself a yieldable event)."""
         return self.sim.spawn(
             self.call_settled(dst, msg_type, body, config),
-            name=f"rpc-call-{msg_type}-n{self.node_id}-to{dst}",
+            name=msg_type,
         )
 
     def reply(self, request_envelope: Envelope, body: Any) -> None:

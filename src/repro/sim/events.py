@@ -17,6 +17,11 @@ class EventState(enum.Enum):
     FAILED = "failed"
 
 
+_PENDING = EventState.PENDING
+_SUCCEEDED = EventState.SUCCEEDED
+_FAILED = EventState.FAILED
+
+
 class Event:
     """A one-shot waitable value.
 
@@ -33,10 +38,12 @@ class Event:
     def __init__(self, sim: "Simulator", name: Optional[str] = None) -> None:
         self.sim = sim
         self.name = name
-        self._state = EventState.PENDING
+        self._state = _PENDING
         self._value: Any = None
         self._exc: Optional[BaseException] = None
-        self._callbacks: List[Callable[["Event"], None]] = []
+        # Lazily allocated: most events trigger with zero or one waiter,
+        # and event creation is one of the hottest allocation sites.
+        self._callbacks: Optional[List[Callable[["Event"], None]]] = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -73,28 +80,33 @@ class Event:
     # ------------------------------------------------------------------
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully, delivering ``value`` to waiters."""
-        if self.triggered:
+        if self._state is not _PENDING:
             raise RuntimeError(f"event {self!r} already triggered")
-        self._state = EventState.SUCCEEDED
+        self._state = _SUCCEEDED
         self._value = value
-        self._dispatch()
+        callbacks = self._callbacks
+        if callbacks:
+            self._callbacks = None
+            post = self.sim._post_soon
+            for callback in callbacks:
+                post(callback, self)
         return self
 
     def fail(self, exc: BaseException) -> "Event":
         """Trigger the event with an exception, re-raised in waiters."""
-        if self.triggered:
+        if self._state is not _PENDING:
             raise RuntimeError(f"event {self!r} already triggered")
         if not isinstance(exc, BaseException):
             raise TypeError("fail() requires an exception instance")
-        self._state = EventState.FAILED
+        self._state = _FAILED
         self._exc = exc
         self._dispatch()
         return self
 
     def _dispatch(self) -> None:
-        callbacks, self._callbacks = self._callbacks, []
-        for callback in callbacks:
-            self.sim.call_soon(callback, self)
+        callbacks, self._callbacks = self._callbacks, None
+        for callback in callbacks or ():
+            self.sim._post_soon(callback, self)
 
     # ------------------------------------------------------------------
     # Waiting
@@ -105,14 +117,35 @@ class Event:
         If the event already triggered, the callback is scheduled for the
         current timestep rather than invoked synchronously.
         """
-        if self.triggered:
-            self.sim.call_soon(callback, self)
+        if self._state is _PENDING:
+            callbacks = self._callbacks
+            if callbacks is None:
+                self._callbacks = [callback]
+            else:
+                callbacks.append(callback)
         else:
-            self._callbacks.append(callback)
+            self.sim._post_soon(callback, self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         label = self.name or self.__class__.__name__
         return f"<{label} {self._state.value} at t={self.sim.now:.6f}>"
+
+
+class Timeout(Event):
+    """An event scheduled to succeed after a delay (``Simulator.timeout``).
+
+    Carries its scheduling :class:`~repro.sim.simulator.Timer` so a caller
+    whose race the timeout *lost* can :meth:`cancel` it instead of leaving
+    a doomed-to-fire entry in the scheduler (RPC deadlines outnumber actual
+    timeouts by orders of magnitude).
+    """
+
+    __slots__ = ("timer",)
+
+    def cancel(self) -> None:
+        """Cancel the pending timer; a no-op once the event triggered."""
+        if self._state is EventState.PENDING:
+            self.timer.cancel()
 
 
 class AllOf(Event):

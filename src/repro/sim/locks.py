@@ -84,7 +84,7 @@ class RWLock:
         return self._acquire(owner, _WRITE, timeout)
 
     def _acquire(self, owner: Owner, kind: str, timeout: Optional[float]) -> Event:
-        event = Event(self.sim, name=f"lock-{kind}")
+        event = Event(self.sim, name="lock-w" if kind is _WRITE else "lock-r")
         entry = self._holders.get(owner)
         if entry is not None:
             if entry[0] != kind:

@@ -4,7 +4,10 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
-from repro.sim.events import Event
+from repro.sim.events import Event, EventState
+
+_PENDING = EventState.PENDING
+_SUCCEEDED = EventState.SUCCEEDED
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.simulator import Simulator
@@ -42,20 +45,21 @@ class Process(Event):
                 "did you call a plain function instead of a generator function?"
             )
         self._gen = gen
-        sim.call_soon(self._step, None)
+        sim._post_soon(self._step, None)
 
     def _step(self, triggered: Optional[Event]) -> None:
         """Advance the generator by one yield."""
+        gen = self._gen
         while True:
             try:
                 if triggered is None:
-                    target = next(self._gen)
-                elif triggered.ok:
-                    target = self._gen.send(triggered.value)
+                    target = next(gen)
+                elif triggered._state is _SUCCEEDED:
+                    target = gen.send(triggered._value)
                 else:
                     exc = triggered.exception
                     assert exc is not None
-                    target = self._gen.throw(exc)
+                    target = gen.throw(exc)
             except StopIteration as stop:
                 self.succeed(stop.value)
                 return
@@ -68,11 +72,11 @@ class Process(Event):
                     f"process {self.name!r} yielded {target!r}; "
                     "processes may only yield Event instances"
                 )
-                self._gen.close()
+                gen.close()
                 self._fail_process(exc)
                 return
 
-            if target.triggered:
+            if target._state is not _PENDING:
                 # Fast path: already-triggered events resume inline, which
                 # keeps zero-delay protocol steps from round-tripping through
                 # the scheduler and bloating the heap.

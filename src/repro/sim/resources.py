@@ -44,7 +44,7 @@ class CpuResource:
             return
         self.busy_time += cost
         if self.cores is None:
-            yield self.sim.timeout(cost)
+            yield self.sim.sleep(cost)
             return
         if self._busy < self.cores:
             self._busy += 1
@@ -53,7 +53,7 @@ class CpuResource:
             self._queue.append(gate)
             yield gate  # a finishing job hands its core over directly
         try:
-            yield self.sim.timeout(cost)
+            yield self.sim.sleep(cost)
         finally:
             if self._queue:
                 self._queue.popleft().succeed(None)

@@ -3,9 +3,10 @@
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional, Tuple
+from collections import deque
+from typing import Any, Callable, Deque, List, Optional, Tuple
 
-from repro.sim.events import Event
+from repro.sim.events import Event, Timeout
 from repro.sim.process import Process, ProcessGenerator
 
 
@@ -16,18 +17,30 @@ class SimulationCrash(RuntimeError):
 class Timer:
     """Handle for a scheduled callback; :meth:`cancel` prevents it firing."""
 
-    __slots__ = ("when", "_cancelled")
+    __slots__ = ("when", "_cancelled", "_sim")
 
-    def __init__(self, when: float) -> None:
+    def __init__(self, when: float, sim: "Optional[Simulator]" = None) -> None:
         self.when = when
         self._cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
-        self._cancelled = True
+        if not self._cancelled:
+            self._cancelled = True
+            sim = self._sim
+            if sim is not None:
+                sim._note_cancel()
 
     @property
     def cancelled(self) -> bool:
         return self._cancelled
+
+
+#: Shared marker for schedule entries nobody can cancel (event dispatch,
+#: message delivery, process starts).  Those are the bulk of all entries;
+#: sharing one inert Timer instead of allocating one per entry keeps the
+#: scheduler's hot path allocation-light.
+_NEVER_CANCELLED = Timer(0.0)
 
 
 class Simulator:
@@ -37,24 +50,48 @@ class Simulator:
     a global insertion counter, so same-time callbacks run in the order they
     were scheduled.  This makes whole-system runs reproducible for a fixed
     seed and program.
+
+    Two structures back the schedule without changing that total order:
+
+    * ``_ready`` is a FIFO of entries scheduled *at the current time*
+      (``call_soon`` and same-time ``call_at``).  Because ``now`` never
+      decreases and the sequence counter is global, appends keep the deque
+      sorted by ``(when, sequence)``, so the head is its minimum and a
+      ``call_soon`` storm bypasses ``heapq`` entirely.
+    * ``_heap`` holds future-time entries.  Cancelled timers are counted
+      and lazily compacted out once they outnumber live entries (retried
+      RPCs and condition-variable waits cancel far-future deadlines by the
+      thousands; without compaction they dominate the heap).
     """
+
+    #: Compact only past this size -- rebuilding tiny heaps isn't worth it.
+    _COMPACT_MIN = 64
 
     def __init__(self) -> None:
         self.now: float = 0.0
         self._heap: List[Tuple[float, int, Timer, Callable[..., None], tuple]] = []
+        self._ready: Deque[Tuple[float, int, Timer, Callable[..., None], tuple]] = deque()
         self._sequence = 0
+        self._cancelled_count = 0
         self._crashes: List[Tuple[Process, BaseException]] = []
+        #: Callbacks executed so far (perf harness: events per wall-second).
+        self.executed_count = 0
 
     # ------------------------------------------------------------------
     # Scheduling primitives
     # ------------------------------------------------------------------
     def call_at(self, when: float, fn: Callable[..., None], *args: Any) -> Timer:
         """Run ``fn(*args)`` at virtual time ``when``."""
-        if when < self.now:
-            raise ValueError(f"cannot schedule in the past ({when} < {self.now})")
-        timer = Timer(when)
-        heapq.heappush(self._heap, (when, self._sequence, timer, fn, args))
+        now = self.now
+        if when < now:
+            raise ValueError(f"cannot schedule in the past ({when} < {now})")
+        timer = Timer(when, self)
+        entry = (when, self._sequence, timer, fn, args)
         self._sequence += 1
+        if when == now:
+            self._ready.append(entry)
+        else:
+            heapq.heappush(self._heap, entry)
         return timer
 
     def call_later(self, delay: float, fn: Callable[..., None], *args: Any) -> Timer:
@@ -65,7 +102,35 @@ class Simulator:
 
     def call_soon(self, fn: Callable[..., None], *args: Any) -> Timer:
         """Run ``fn(*args)`` at the current virtual time, after pending work."""
-        return self.call_at(self.now, fn, *args)
+        now = self.now
+        timer = Timer(now, self)
+        self._ready.append((now, self._sequence, timer, fn, args))
+        self._sequence += 1
+        return timer
+
+    # ------------------------------------------------------------------
+    # Internal no-handle scheduling (hot paths)
+    # ------------------------------------------------------------------
+    def _post_soon(self, fn: Callable[..., None], *args: Any) -> None:
+        """``call_soon`` without a cancellation handle.
+
+        For internal callers that never cancel (event dispatch, process
+        starts); skips the per-entry Timer allocation.  Ordering is
+        identical to ``call_soon`` -- same global sequence counter.
+        """
+        self._ready.append((self.now, self._sequence, _NEVER_CANCELLED, fn, args))
+        self._sequence += 1
+
+    def _post_at(self, when: float, fn: Callable[..., None], *args: Any) -> None:
+        """``call_at`` without a cancellation handle (same ordering)."""
+        assert when >= self.now, "cannot schedule in the past"
+        if when == self.now:
+            self._ready.append((when, self._sequence, _NEVER_CANCELLED, fn, args))
+        else:
+            heapq.heappush(
+                self._heap, (when, self._sequence, _NEVER_CANCELLED, fn, args)
+            )
+        self._sequence += 1
 
     # ------------------------------------------------------------------
     # Waitables
@@ -74,10 +139,25 @@ class Simulator:
         """Create a fresh pending event bound to this simulator."""
         return Event(self, name=name)
 
-    def timeout(self, delay: float, value: Any = None) -> Event:
-        """An event that succeeds with ``value`` after ``delay``."""
-        ev = Event(self, name=f"timeout({delay})")
-        self.call_later(delay, ev.succeed, value)
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that succeeds with ``value`` after ``delay``.
+
+        The returned :class:`Timeout` exposes ``cancel()`` for callers that
+        stop caring before it fires (e.g. an RPC whose reply won the race).
+        """
+        ev = Timeout(self, name="timeout")
+        ev.timer = self.call_later(delay, ev.succeed, value)
+        return ev
+
+    def sleep(self, delay: float, value: Any = None) -> Event:
+        """A non-cancellable :meth:`timeout`: same scheduling order, but no
+        :class:`Timer` handle is allocated.  For pure pauses (CPU charges,
+        client think time) that nobody ever cancels.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        ev = Event(self, name="sleep")
+        self._post_at(self.now + delay, ev.succeed, value)
         return ev
 
     def spawn(self, gen: ProcessGenerator, name: Optional[str] = None) -> Process:
@@ -88,33 +168,111 @@ class Simulator:
     # Execution
     # ------------------------------------------------------------------
     def step(self) -> bool:
-        """Execute the next scheduled callback; False when the heap is empty."""
-        while self._heap:
-            when, _seq, timer, fn, args = heapq.heappop(self._heap)
-            if timer.cancelled:
+        """Execute the next scheduled callback; False when nothing is pending.
+
+        The next callback is whichever of the ready-queue head and the live
+        heap top has the smaller ``(time, sequence)`` key -- the same total
+        order as a single heap, so seeded runs are bit-identical.
+        """
+        heap = self._heap
+        ready = self._ready
+        pop = heapq.heappop
+        while True:
+            # Drop cancelled entries at the heap top so the comparison
+            # below sees a live candidate.
+            while heap and heap[0][2]._cancelled:
+                pop(heap)
+                if self._cancelled_count:
+                    self._cancelled_count -= 1
+            if ready:
+                if heap:
+                    head = heap[0]
+                    first = ready[0]
+                    if head[0] < first[0] or (
+                        head[0] == first[0] and head[1] < first[1]
+                    ):
+                        entry = pop(heap)
+                    else:
+                        entry = ready.popleft()
+                else:
+                    entry = ready.popleft()
+            elif heap:
+                entry = pop(heap)
+            else:
+                return False
+            when, _seq, timer, fn, args = entry
+            if timer._cancelled:
                 continue
             assert when >= self.now, "time went backwards"
             self.now = when
+            self.executed_count += 1
             fn(*args)
             return True
-        return False
 
     def run(self, until: Optional[float] = None) -> float:
         """Run until the heap drains or the clock passes ``until``.
 
         Returns the final virtual time.  Raises :class:`SimulationCrash` if
         any process died unhandled during the run.
+
+        The bounded form inlines peek-and-step into one loop: each pending
+        entry's key is examined once, not once to peek and again to pop,
+        and the millions of per-event method calls of the two-call version
+        disappear from the profile.
         """
         if until is None:
             while self.step():
-                self._check_crashes()
+                if self._crashes:
+                    self._check_crashes()
         else:
-            while True:
-                next_time = self._peek_time()
-                if next_time is None or next_time > until:
-                    break
-                self.step()
-                self._check_crashes()
+            ready = self._ready
+            pop = heapq.heappop
+            popleft = ready.popleft
+            crashes = self._crashes
+            executed = 0
+            try:
+                while True:
+                    # _note_cancel may have rebuilt the heap during a
+                    # callback, so re-read the attribute each iteration.
+                    heap = self._heap
+                    while heap and heap[0][2]._cancelled:
+                        pop(heap)
+                        if self._cancelled_count:
+                            self._cancelled_count -= 1
+                    while ready and ready[0][2]._cancelled:
+                        popleft()
+                    if ready:
+                        first = ready[0]
+                        if heap:
+                            head = heap[0]
+                            if head[0] < first[0] or (
+                                head[0] == first[0] and head[1] < first[1]
+                            ):
+                                if head[0] > until:
+                                    break
+                                entry = pop(heap)
+                            else:
+                                if first[0] > until:
+                                    break
+                                entry = popleft()
+                        else:
+                            if first[0] > until:
+                                break
+                            entry = popleft()
+                    elif heap:
+                        if heap[0][0] > until:
+                            break
+                        entry = pop(heap)
+                    else:
+                        break
+                    when, _seq, _timer, fn, args = entry
+                    self.now = when
+                    executed += 1
+                    fn(*args)
+                    if crashes:
+                        self._check_crashes()
+            finally:
+                self.executed_count += executed
             self.now = max(self.now, until)
         self._check_crashes()
         return self.now
@@ -134,9 +292,37 @@ class Simulator:
 
     def _peek_time(self) -> Optional[float]:
         """Time of the next live entry, discarding cancelled timers."""
-        while self._heap and self._heap[0][2].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0][0] if self._heap else None
+        ready = self._ready
+        while ready and ready[0][2]._cancelled:
+            ready.popleft()
+        heap = self._heap
+        while heap and heap[0][2]._cancelled:
+            heapq.heappop(heap)
+            if self._cancelled_count:
+                self._cancelled_count -= 1
+        if ready:
+            if heap and heap[0][0] < ready[0][0]:
+                return heap[0][0]
+            return ready[0][0]
+        return heap[0][0] if heap else None
+
+    def _note_cancel(self) -> None:
+        """Timer-cancellation hook: lazily compact the heap.
+
+        Once cancelled entries outnumber live ones (and the heap is big
+        enough to matter), rebuild the heap with only live entries.  The
+        counter over-approximates -- cancelled ready-queue entries count
+        too -- which only makes compaction marginally more eager.
+        """
+        count = self._cancelled_count + 1
+        heap = self._heap
+        if count >= self._COMPACT_MIN and count * 2 > len(heap):
+            live = [entry for entry in heap if not entry[2]._cancelled]
+            heapq.heapify(live)
+            self._heap = live
+            self._cancelled_count = 0
+        else:
+            self._cancelled_count = count
 
     # ------------------------------------------------------------------
     # Crash accounting
@@ -153,5 +339,5 @@ class Simulator:
 
     @property
     def pending_count(self) -> int:
-        """Number of scheduled (possibly cancelled) heap entries."""
-        return len(self._heap)
+        """Number of scheduled (possibly cancelled) entries still held."""
+        return len(self._heap) + len(self._ready)

@@ -9,13 +9,26 @@ from repro.storage.version import Version
 
 
 class VersionChain:
-    """All committed versions of one key, ordered by ascending ``vid``."""
+    """All committed versions of one key, ordered by ascending ``vid``.
 
-    __slots__ = ("key", "_versions")
+    Because vids are assigned densely (``latest.vid + 1``) and garbage
+    collection only drops a contiguous prefix, a vid maps to the list
+    offset ``vid - _base_vid``; ``by_vid`` is O(1) regardless of chain
+    length.  ``latest`` is a cached pointer updated on install/GC so the
+    visibility fast path (the newest version is visible to most readers)
+    costs one attribute read.
+    """
+
+    __slots__ = ("key", "_versions", "_base_vid", "_latest")
 
     def __init__(self, key: Hashable) -> None:
         self.key = key
         self._versions: List[Version] = []
+        #: vid of ``_versions[0]``; advanced by GC as old versions drop.
+        self._base_vid = 0
+        #: Cached newest version (None until the first install); hot paths
+        #: read this directly, skipping the raising property.
+        self._latest: Optional[Version] = None
 
     def install(
         self,
@@ -27,18 +40,21 @@ class VersionChain:
         installed_at: float = 0.0,
     ) -> Version:
         """Append a new latest version and return it."""
-        vid = self._versions[-1].vid + 1 if self._versions else 0
+        versions = self._versions
+        vid = self._base_vid + len(versions)
         version = Version(
             self.key, value, vc, vid, origin, seq, writer_txn, installed_at
         )
-        self._versions.append(version)
+        versions.append(version)
+        self._latest = version
         return version
 
     @property
     def latest(self) -> Version:
-        if not self._versions:
+        version = self._latest
+        if version is None:
             raise LookupError(f"key {self.key!r} has no versions")
-        return self._versions[-1]
+        return version
 
     def __len__(self) -> int:
         return len(self._versions)
@@ -46,16 +62,20 @@ class VersionChain:
     def __iter__(self) -> Iterator[Version]:
         return iter(self._versions)
 
-    def newest_first(self) -> Iterator[Version]:
+    def newest_first(self):
         """Iterate versions from freshest to oldest (selection order)."""
         return reversed(self._versions)
 
     def by_vid(self, vid: int) -> Version:
-        """Fetch a specific version by identifier."""
-        for version in self.newest_first():
-            if version.vid == vid:
-                return version
-        raise LookupError(f"key {self.key!r} has no version #{vid}")
+        """Fetch a specific version by identifier, in O(1).
+
+        Raises :class:`LookupError` both for vids never issued and for
+        vids already reclaimed by garbage collection.
+        """
+        index = vid - self._base_vid
+        if index < 0 or index >= len(self._versions):
+            raise LookupError(f"key {self.key!r} has no version #{vid}")
+        return self._versions[index]
 
     def truncate_older_than(self, keep_last: int) -> int:
         """Garbage-collect all but the newest ``keep_last`` versions.
@@ -68,6 +88,7 @@ class VersionChain:
         drop = max(0, len(self._versions) - keep_last)
         if drop:
             self._versions = self._versions[drop:]
+            self._base_vid += drop
         return drop
 
     def collect_garbage(self, keep_last: int, min_age: float, now: float) -> int:
@@ -92,4 +113,5 @@ class VersionChain:
             reclaimable += 1
         if reclaimable:
             self._versions = self._versions[reclaimable:]
+            self._base_vid += reclaimable
         return reclaimable

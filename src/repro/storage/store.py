@@ -48,6 +48,29 @@ class MultiVersionStore:
         self._chains[key] = chain
         return chain.install(value, vc, origin=0, seq=0)
 
+    def create_many(self, items: Iterable[Tuple[Hashable, object]], vc: VectorClock) -> int:
+        """Bulk :meth:`create` for the initial data load.
+
+        Inlines the per-key chain setup (vid 0, origin/seq 0) so loading a
+        large keyspace doesn't pay three Python calls per key.
+        """
+        chains = self._chains
+        new_chain = VersionChain.__new__
+        chain_cls = VersionChain
+        count = 0
+        for key, value in items:
+            if key in chains:
+                raise KeyError(f"key {key!r} already exists")
+            version = Version(key, value, vc, 0, 0, 0)
+            chain = new_chain(chain_cls)
+            chain.key = key
+            chain._versions = [version]
+            chain._base_vid = 0
+            chain._latest = version
+            chains[key] = chain
+            count += 1
+        return count
+
     def chain(self, key: Hashable) -> VersionChain:
         try:
             return self._chains[key]

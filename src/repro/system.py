@@ -88,12 +88,25 @@ class Cluster:
         self.nodes[self.directory.site(key)].load(key, value)
 
     def load_many(self, items: Iterable[Tuple[Hashable, object]]) -> int:
-        """Install many (key, value) pairs; returns the count loaded."""
-        count = 0
-        for key, value in items:
-            self.load(key, value)
-            count += 1
-        return count
+        """Install many (key, value) pairs; returns the count loaded.
+
+        Items are bucketed by preferred site and handed to each node's
+        bulk loader, so a large keyspace pays one placement lookup per key
+        and nothing else per item at the Python-call level.
+        """
+        site = self.directory.site
+        buckets: Dict[int, list] = {}
+        for item in items:
+            owner = site(item[0])
+            bucket = buckets.get(owner)
+            if bucket is None:
+                buckets[owner] = [item]
+            else:
+                bucket.append(item)
+        nodes = self.nodes
+        return sum(
+            nodes[owner].load_many(bucket) for owner, bucket in buckets.items()
+        )
 
     # ------------------------------------------------------------------
     # Access
