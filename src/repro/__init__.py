@@ -29,6 +29,7 @@ Quickstart::
 from repro.config import (
     ClusterConfig,
     CostModel,
+    DurabilityConfig,
     NetworkConfig,
     RpcConfig,
     RunConfig,
@@ -41,6 +42,7 @@ __all__ = [
     "Cluster",
     "ClusterConfig",
     "CostModel",
+    "DurabilityConfig",
     "NetworkConfig",
     "PROTOCOLS",
     "RpcConfig",

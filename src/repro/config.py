@@ -105,6 +105,34 @@ class BatchingConfig:
 
 
 @dataclass
+class DurabilityConfig:
+    """Write-ahead logging and in-doubt termination (see DESIGN.md 5.5).
+
+    The defaults keep everything off: nodes stay volatile (a durable
+    crash would lose them entirely) and prepared-lock leases presume
+    abort exactly as before, reproducing the pre-recovery behaviour
+    bit for bit.
+    """
+
+    #: Per-node write-ahead log.  Every prepare vote, commit decision,
+    #: version install, and clock advance is logged *before* it becomes
+    #: externally visible, so a durable crash (``Nemesis`` kind
+    #: ``crash_durable``) can wipe the node's store, ``siteVC``, and
+    #: prepared table and rebuild them by replay at restart.
+    wal_enabled: bool = False
+    #: In-doubt termination protocol: a participant whose prepared-lock
+    #: lease expires *queries the coordinator* for the transaction's
+    #: outcome instead of presuming abort.  Closes the window where an
+    #: expired lease drops a committed transaction's writes at one site
+    #: (the ROADMAP termination-protocol item); the regression test is
+    #: ``tests/integration/test_chaos.py::test_indoubt_*``.
+    termination_query: bool = False
+    #: Bounded retries for a termination/recovery status query against
+    #: an unreachable coordinator before falling back to presumed abort.
+    termination_max_attempts: int = 5
+
+
+@dataclass
 class CostModel:
     """Virtual CPU seconds charged by protocol handlers.
 
@@ -199,6 +227,9 @@ class ClusterConfig:
     prepared_lease: Optional[float] = None
     #: Background-traffic batching; defaults preserve one-message-per-event.
     batching: BatchingConfig = field(default_factory=BatchingConfig)
+    #: Write-ahead logging, durable crash recovery, and in-doubt
+    #: termination; defaults keep all of it off (volatile nodes).
+    durability: DurabilityConfig = field(default_factory=DurabilityConfig)
     network: NetworkConfig = field(default_factory=NetworkConfig)
     costs: CostModel = field(default_factory=CostModel)
 

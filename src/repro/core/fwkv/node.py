@@ -45,6 +45,14 @@ class FWKVNode(MVCCNode):
         self._pending_removes: dict = {}
         self._remove_flush_scheduled = False
 
+    def _on_volatile_wiped(self) -> None:
+        # Pending Remove identifiers were never sent; they name VAS
+        # entries in stores that survived, but re-deriving them is not
+        # possible from the WAL -- dropping them only delays VAS cleanup
+        # (bounded growth, never a correctness issue).
+        self._pending_removes = {}
+        self._remove_flush_scheduled = False
+
     # ------------------------------------------------------------------
     # Read-side hooks
     # ------------------------------------------------------------------

@@ -23,6 +23,10 @@ from repro.core.wire import (
     ReadRequestBody,
     ReadReturnBody,
     RemoveBody,
+    SyncReplyBody,
+    SyncRequestBody,
+    TxnStatusReplyBody,
+    TxnStatusRequestBody,
     VoteBody,
 )
 from repro.metrics.stats import AbortReason
@@ -31,21 +35,34 @@ from repro.sim import AllOf, ConditionVariable, wait_until
 from repro.storage.locks import LockTable
 from repro.storage.store import MultiVersionStore
 from repro.storage.version import Version
+from repro.storage.wal import (
+    AbortRecord,
+    ApplyRecord,
+    DecisionRecord,
+    LoadRecord,
+    PrepareRecord,
+    PropagateRecord,
+    ReplayResult,
+    WriteAheadLog,
+    replay,
+)
 
 
 class _PreparedTxn:
     """Participant-side state between a yes-vote and the Decide message."""
 
-    __slots__ = ("writes", "locked_keys", "vote")
+    __slots__ = ("writes", "locked_keys", "vote", "coordinator")
 
     def __init__(
-        self, writes: Dict[Hashable, object], locked_keys, vote
+        self, writes: Dict[Hashable, object], locked_keys, vote, coordinator
     ) -> None:
         self.writes = writes
         self.locked_keys = list(locked_keys)
         #: The vote returned for this prepare, replayed verbatim if a
         #: retried/duplicated Prepare arrives again (idempotency).
         self.vote = vote
+        #: Who to ask when the in-doubt window must be terminated.
+        self.coordinator = coordinator
 
 
 class MVCCNode(BaseProtocolNode):
@@ -76,19 +93,53 @@ class MVCCNode(BaseProtocolNode):
         #: Propagate (only used when ``batching.propagate_window > 0``).
         self._propagate_buffer: Dict[int, List[int]] = {}
 
+        durability = shared.config.durability
+        #: The node's "disk": survives a durable crash (see repro.storage.wal).
+        self.wal: Optional[WriteAheadLog] = (
+            WriteAheadLog() if durability.wal_enabled else None
+        )
+        #: Coordinator-side commit outcomes, kept so TxnStatus queries can
+        #: be answered definitively.  Only maintained when some feature
+        #: needs it (WAL or termination queries); absent entry = aborted or
+        #: never decided, which presumed abort treats identically.
+        self._decisions: Dict[int, DecideBody] = {}
+        self._track_decisions = (
+            durability.wal_enabled or durability.termination_query
+        )
+        #: True from the durable-crash instant until recovery completes;
+        #: read and prepare handlers park behind ``_recovered_cv`` so no
+        #: request observes the half-rebuilt store.
+        self._recovering = False
+        self._recovered_cv = ConditionVariable(self.sim)
+        #: Bumped by every volatile wipe.  In-flight processes that carry
+        #: state across yields (decide appliers, propagate appliers,
+        #: recovery itself) re-check it before mutating the store or the
+        #: clock: a process from a wiped incarnation must not leak its
+        #: effects into the rebuilt one.
+        self._incarnation = 0
+        #: Completed recoveries at this node (asserted on by tests).
+        self.recoveries = 0
+
         node.on(MessageType.READ_REQUEST, self.on_read_request)
         node.on(MessageType.PREPARE, self.on_prepare)
         node.on(MessageType.DECIDE, self.on_decide)
         node.on(MessageType.PROPAGATE, self.on_propagate)
+        node.on(MessageType.TXN_STATUS, self.on_txn_status)
+        node.on(MessageType.SYNC, self.on_sync)
 
     # ------------------------------------------------------------------
     # Loading
     # ------------------------------------------------------------------
     def load(self, key: Hashable, value: object) -> None:
+        if self.wal is not None:
+            self.wal.append(LoadRecord(((key, value),)))
         self.store.create(key, value, VectorClock.zero(self.shared.num_nodes))
 
     def load_many(self, items: Iterable[Tuple[Hashable, object]]) -> int:
         """Bulk-install initial versions (all share the interned zero VC)."""
+        if self.wal is not None:
+            items = tuple(items)
+            self.wal.append(LoadRecord(items))
         return self.store.create_many(
             items, VectorClock.zero(self.shared.num_nodes)
         )
@@ -289,6 +340,17 @@ class MVCCNode(BaseProtocolNode):
             commit_vc=txn.commit_vc.to_tuple() if txn.commit_vc else None,
             collected=frozenset(txn.collected_set),
         )
+        if outcome:
+            # Presumed abort's commit rule: the decision is on record --
+            # durably, when the WAL is on -- before any Decide leaves the
+            # node, so an in-doubt participant asking after our crash and
+            # recovery gets the same answer its lost Decide carried.
+            if self._track_decisions:
+                self._decisions[txn.txn_id] = decide
+            if self.wal is not None:
+                self.wal.append(
+                    DecisionRecord(txn.txn_id, txn.seq_no, decide.commit_vc)
+                )
         for site in sorted(participant_sites | {self.node_id} if outcome else participant_sites):
             self.node.send(site, MessageType.DECIDE, decide)
         if outcome:
@@ -423,6 +485,11 @@ class MVCCNode(BaseProtocolNode):
         """Alg. 3: version selection at the storage node."""
         request: ReadRequestBody = self.node.rpc.body_of(envelope)
 
+        if self._recovering:
+            yield from wait_until(
+                self._recovered_cv, lambda: not self._recovering
+            )
+
         # Snapshot-completeness wait.  The requester's T.VC may run ahead
         # of this node (it can learn a commit through its own Decide
         # participation while our in-order apply is still pending); serving
@@ -456,12 +523,15 @@ class MVCCNode(BaseProtocolNode):
         lock_key = request.key
         needs_lock = self._read_needs_lock(request)
         cost = self.costs.read_handler
+        # Bound locally: a durable crash replaces ``self.locks`` mid-run,
+        # and a handler that acquired on the old table must release there.
+        locks = self.locks
         if needs_lock:
             # Shared mode: concurrent read handlers proceed together, but
             # conflicting update commits (write lockers) are excluded.
             self._read_token += 1
             lock_owner = ("read", request.txn_id, self._read_token)
-            granted = yield self.locks.acquire_read(
+            granted = yield locks.acquire_read(
                 lock_key, owner=lock_owner, timeout=None
             )
             assert granted, "untimed lock acquisition cannot fail"
@@ -481,7 +551,7 @@ class MVCCNode(BaseProtocolNode):
         latest_vid = chain.latest.vid
 
         if needs_lock:
-            self.locks.release_read(lock_key, owner=lock_owner)
+            locks.release_read(lock_key, owner=lock_owner)
 
         self.node.rpc.reply(
             envelope,
@@ -502,16 +572,23 @@ class MVCCNode(BaseProtocolNode):
         re-acquiring (and then leaking) the same owner's locks, and a
         duplicate racing the original through its lock wait votes no.
         """
+        if self._recovering:
+            yield from wait_until(
+                self._recovered_cv, lambda: not self._recovering
+            )
         existing = self._prepared.get(request.txn_id)
         if existing is not None:
             return existing.vote
         if request.txn_id in self._preparing:
             return VoteBody(False, reason=AbortReason.VOTE_NO)
         self._preparing.add(request.txn_id)
+        # Bound locally: a durable crash replaces ``self.locks`` mid-run,
+        # and locks acquired on the old table must be released there.
+        locks = self.locks
         try:
             keys = list(request.writes)
             timeout = self.shared.config.lock_timeout
-            granted = yield from self.locks.acquire_write_all(
+            granted = yield from locks.acquire_write_all(
                 keys, owner=request.txn_id, timeout=timeout
             )
             if not granted:
@@ -522,12 +599,33 @@ class MVCCNode(BaseProtocolNode):
                 (self.costs.lock_op + self.costs.prepare_key) * len(keys)
             )
             if not self._validate(request):
-                self.locks.release_write_all(keys, owner=request.txn_id)
+                locks.release_write_all(keys, owner=request.txn_id)
                 return VoteBody(False, reason=AbortReason.VALIDATION)
 
             collected = yield from self._collect_antideps(keys)
+            if self.locks is not locks:
+                # The node crashed durably while this prepare was in
+                # flight: its locks and validation belong to the wiped
+                # incarnation.  Unwind on the old table and vote no --
+                # the coordinator (whose RPC may still be live now that
+                # the node is back up) simply aborts.
+                locks.release_write_all(keys, owner=request.txn_id)
+                return VoteBody(False, reason=AbortReason.VOTE_NO)
             vote = VoteBody(True, collected)
-            entry = _PreparedTxn(request.writes, keys, vote)
+            entry = _PreparedTxn(
+                request.writes, keys, vote, request.coordinator
+            )
+            if self.wal is not None:
+                # Log-before-vote: once the yes-vote can reach the
+                # coordinator, a recovered replica must re-stage these
+                # writes (they may be committed without its knowledge).
+                self.wal.append(
+                    PrepareRecord(
+                        request.txn_id,
+                        request.coordinator,
+                        tuple(request.writes.items()),
+                    )
+                )
             self._prepared[request.txn_id] = entry
             lease = self.shared.config.prepared_lease
             if lease is not None:
@@ -543,17 +641,85 @@ class MVCCNode(BaseProtocolNode):
             self._preparing.discard(request.txn_id)
 
     def _expire_prepared(self, txn_id: int, entry: _PreparedTxn) -> None:
-        """Presumed abort after coordinator silence: drop a prepared txn.
+        """Prepared-lock lease fired: presume abort, or ask the coordinator.
 
         Fires ``prepared_lease`` after the yes-vote.  If the Decide arrived
         in time the entry was already popped (or replaced) and this is a
-        no-op; otherwise the coordinator is presumed dead and the write
-        locks are released so one crash never wedges a key forever.
+        no-op.  Otherwise the historical behaviour -- and the default --
+        presumes the coordinator dead and aborts unilaterally, which is
+        *wrong* when the coordinator committed and only the Decide was
+        lost: this site drops a committed transaction's writes (the
+        ROADMAP termination-protocol gap).  With
+        ``durability.termination_query`` on, the participant instead asks
+        the coordinator for the recorded outcome and applies it.
         """
         if self._prepared.get(txn_id) is not entry:
             return
+        durability = self.shared.config.durability
+        if durability.termination_query and entry.coordinator != self.node_id:
+            self.sim.spawn(
+                self._terminate_in_doubt(txn_id, entry),
+                name=f"n{self.node_id}:terminate-{txn_id}",
+            )
+            return
+        self._abort_prepared(txn_id, entry)
+        self.metrics.on_lease_expired()
+        self.tracer.emit(self.node_id, "lease_expire", txn=txn_id)
+
+    def _abort_prepared(self, txn_id: int, entry: _PreparedTxn) -> None:
+        """Resolve a prepared transaction as aborted and free its locks."""
         del self._prepared[txn_id]
+        if self.wal is not None:
+            self.wal.append(AbortRecord(txn_id))
         self.locks.release_write_all(entry.locked_keys, owner=txn_id)
+
+    def _terminate_in_doubt(self, txn_id: int, entry: _PreparedTxn):
+        """Ask the coordinator how an in-doubt prepare actually ended.
+
+        The coordinator logs commit decisions *before* sending any Decide,
+        so its answer is definitive: committed (apply exactly as the lost
+        Decide would have) or not-on-record (abort is safe).  Queries are
+        retried up to ``termination_max_attempts`` rounds -- the RPC layer
+        retries within each round -- and only when the coordinator stays
+        unreachable past the whole budget does the participant fall back
+        to the old presumed abort rather than hold the locks forever.
+        """
+        durability = self.shared.config.durability
+        round_wait = self.shared.config.prepared_lease or 1e-3
+        for attempt in range(durability.termination_max_attempts):
+            if self._prepared.get(txn_id) is not entry:
+                return  # the real Decide (or recovery) won the race
+            ok, reply = yield from self.node.rpc.call_settled(
+                entry.coordinator,
+                MessageType.TXN_STATUS,
+                TxnStatusRequestBody(txn_id),
+            )
+            if self._prepared.get(txn_id) is not entry:
+                return
+            if ok:
+                self.metrics.on_indoubt_resolved(reply.committed)
+                self.tracer.emit(
+                    self.node_id, "indoubt", txn=txn_id,
+                    committed=reply.committed, attempts=attempt + 1,
+                )
+                if reply.committed:
+                    yield from self._apply_committed_decide(
+                        DecideBody(
+                            txn_id=txn_id,
+                            outcome=True,
+                            origin=reply.origin,
+                            seq_no=reply.seq_no,
+                            commit_vc=reply.commit_vc,
+                            collected=reply.collected,
+                        )
+                    )
+                else:
+                    self._abort_prepared(txn_id, entry)
+                return
+            yield self.sim.timeout(round_wait)
+        if self._prepared.get(txn_id) is not entry:
+            return
+        self._abort_prepared(txn_id, entry)
         self.metrics.on_lease_expired()
         self.tracer.emit(self.node_id, "lease_expire", txn=txn_id)
 
@@ -590,11 +756,23 @@ class MVCCNode(BaseProtocolNode):
         if not body.outcome:
             prepared = self._prepared.pop(body.txn_id, None)
             if prepared is not None:
+                if self.wal is not None:
+                    self.wal.append(AbortRecord(body.txn_id))
                 self.locks.release_write_all(
                     prepared.locked_keys, owner=body.txn_id
                 )
             return
+        yield from self._apply_committed_decide(body)
 
+    def _apply_committed_decide(self, body: DecideBody):
+        """Apply one committed Decide: in-order install + clock advance.
+
+        Also the terminal step of in-doubt termination and recovery --
+        those paths synthesize the ``DecideBody`` from the coordinator's
+        recorded decision and funnel through here so the install, VAS
+        propagation, WAL apply record, and lock release stay identical to
+        a Decide that arrived on time.
+        """
         assert body.seq_no is not None and body.commit_vc is not None
         # Alg. 5 line 16: apply commits from one origin in sequence order.
         # The prepared entry stays in the table across this wait so the
@@ -606,10 +784,22 @@ class MVCCNode(BaseProtocolNode):
             lambda: self.site_vc[body.origin] >= body.seq_no - 1,
         )
         prepared = self._prepared.pop(body.txn_id, None)
+        # The entry popped (and the locks it holds) belong to the current
+        # incarnation; if a durable crash wipes the node across one of the
+        # yields below, this process must stop mutating the rebuilt state
+        # -- the WAL's in-doubt machinery re-applies the commit instead.
+        locks = self.locks
+        incarnation = self._incarnation
         if self.site_vc[body.origin] < body.seq_no:
             writes = prepared.writes if prepared is not None else {}
             if writes:
                 yield from self.cpu.consume(self.costs.install_key * len(writes))
+            if self._incarnation != incarnation:
+                if prepared is not None:
+                    locks.release_write_all(
+                        prepared.locked_keys, owner=body.txn_id
+                    )
+                return
             commit_vc = VectorClock(body.commit_vc)
             installed: List[Version] = []
             for key, value in writes.items():
@@ -625,6 +815,26 @@ class MVCCNode(BaseProtocolNode):
                 installed.append(version)
                 self._maybe_collect_garbage(key)
             yield from self._on_versions_installed(installed, body.collected)
+            if self._incarnation != incarnation:
+                if prepared is not None:
+                    locks.release_write_all(
+                        prepared.locked_keys, owner=body.txn_id
+                    )
+                return
+            if self.wal is not None:
+                # Logged atomically with the clock advance (no yields
+                # between): a crash before this point leaves the prepare
+                # in doubt and recovery re-applies it; a crash after has
+                # the full install on record.
+                self.wal.append(
+                    ApplyRecord(
+                        body.txn_id,
+                        body.origin,
+                        body.seq_no,
+                        body.commit_vc,
+                        tuple(writes.items()),
+                    )
+                )
             self.site_vc[body.origin] = body.seq_no  # Alg. 5 line 21
             self.site_vc_changed.notify_all()
             if self.tracer._enabled:
@@ -633,7 +843,7 @@ class MVCCNode(BaseProtocolNode):
                     origin=body.origin, seq=body.seq_no,
                 )
         if prepared is not None:
-            self.locks.release_write_all(prepared.locked_keys, owner=body.txn_id)
+            locks.release_write_all(prepared.locked_keys, owner=body.txn_id)
 
     def _maybe_collect_garbage(self, key: Hashable) -> None:
         """Reclaim cold versions once a chain outgrows the trigger length."""
@@ -670,6 +880,8 @@ class MVCCNode(BaseProtocolNode):
             if current >= seq_no:
                 continue
             if current == seq_no - 1:
+                if self.wal is not None:
+                    self.wal.append(PropagateRecord(origin, seq_no))
                 site_vc[origin] = seq_no
                 self.site_vc_changed.notify_all()
                 if self.tracer._enabled:
@@ -685,14 +897,344 @@ class MVCCNode(BaseProtocolNode):
 
     def _apply_propagate(self, origin: int, seq_nos: Tuple[int, ...]):
         """Slow path: wait out the in-order gap, then apply the rest."""
+        incarnation = self._incarnation
         for seq_no in seq_nos:
             yield from wait_until(
                 self.site_vc_changed,
                 lambda bound=seq_no - 1: self.site_vc[origin] >= bound,
             )
+            if self._incarnation != incarnation:
+                return  # a durable crash wiped the clock this was advancing
             if self.site_vc[origin] < seq_no:
+                if self.wal is not None:
+                    self.wal.append(PropagateRecord(origin, seq_no))
                 self.site_vc[origin] = seq_no
                 self.site_vc_changed.notify_all()
                 self.tracer.emit(
                     self.node_id, "propagate", origin=origin, seq=seq_no
                 )
+
+    # ------------------------------------------------------------------
+    # Recovery RPCs
+    # ------------------------------------------------------------------
+    def on_txn_status(self, envelope: Envelope) -> None:
+        """Answer an in-doubt termination query from our decision log.
+
+        No commit decision on record means no Decide was ever sent (the
+        decision is logged first), so ``committed=False`` is definitive --
+        the presumed-abort rule, now actually safe to act on.
+        """
+        request: TxnStatusRequestBody = self.node.rpc.body_of(envelope)
+        decision = self._decisions.get(request.txn_id)
+        if decision is not None:
+            reply = TxnStatusReplyBody(
+                txn_id=request.txn_id,
+                committed=True,
+                origin=decision.origin,
+                seq_no=decision.seq_no,
+                commit_vc=decision.commit_vc,
+                collected=decision.collected,
+            )
+        else:
+            reply = TxnStatusReplyBody(
+                txn_id=request.txn_id, committed=False, origin=self.node_id
+            )
+        self.node.rpc.reply(envelope, reply)
+
+    def on_sync(self, envelope: Envelope) -> None:
+        """Report this node's applied commit frontier (anti-entropy)."""
+        self.node.rpc.reply(envelope, SyncReplyBody(self.site_vc.to_tuple()))
+
+    # ------------------------------------------------------------------
+    # Durable crash & recovery
+    # ------------------------------------------------------------------
+    def crash_durably(self) -> None:
+        """Mark the durable-crash instant.
+
+        The network-level crash model leaves in-flight handler generators
+        running (their outputs are dropped); freezing the WAL here keeps
+        any of that zombie compute from becoming durable.  The volatile
+        wipe itself happens at restart, inside :meth:`begin_recovery`.
+        """
+        if self.wal is None:
+            raise RuntimeError(
+                "durable crash requires durability.wal_enabled"
+            )
+        self.wal.freeze()
+        self._recovering = True
+
+    def begin_recovery(self):
+        """Wipe volatile state and spawn the recovery process (at restart).
+
+        The wipe is synchronous -- from the first post-restart instant the
+        node presents empty-until-recovered state, and the read/prepare
+        fence (``_recovering``) parks incoming requests until the rebuild
+        finishes.  Returns the recovery :class:`~repro.sim.Process`.
+        """
+        if self.wal is None:
+            raise RuntimeError("recovery requires durability.wal_enabled")
+        self._recovering = True
+        records = self.wal.records()
+        self.wal.unfreeze()
+        result = replay(records, self.shared.num_nodes)
+        self._wipe_volatile()
+        self._install_replayed(result)
+        return self.sim.spawn(
+            self._recover(result), name=f"n{self.node_id}:recover"
+        )
+
+    def _wipe_volatile(self) -> None:
+        """Durable-state loss: everything but the WAL is gone.
+
+        ``site_vc`` is zeroed *in place* (never replaced): read handlers
+        blocked across the crash hold references to its entries list, and
+        a replacement object would let them satisfy their snapshot waits
+        against a stale clock.
+        """
+        self._incarnation += 1
+        self.store = MultiVersionStore()
+        self.locks = LockTable(self.sim)
+        self._prepared = {}
+        self._preparing = set()
+        self._propagate_buffer = {}
+        self._decisions = {}
+        site_vc = self.site_vc
+        for origin in range(self.shared.num_nodes):
+            site_vc[origin] = 0
+        self.curr_seq_no = 0
+        self._on_volatile_wiped()
+
+    def _on_volatile_wiped(self) -> None:
+        """Protocol hook: clear subclass volatile state (FW-KV Removes)."""
+
+    def _install_replayed(self, result: ReplayResult) -> None:
+        """Adopt the WAL-rebuilt store, clock, decisions and in-doubt set."""
+        self.store = result.store
+        site_vc = self.site_vc
+        for origin in range(self.shared.num_nodes):
+            site_vc[origin] = result.site_vc[origin]
+        # Never hand out a sequence number at or below one that escaped:
+        # every escaped seq has a DecisionRecord (logged before fan-out).
+        self.curr_seq_no = max(result.curr_seq_no, site_vc[self.node_id])
+        if self._track_decisions:
+            for txn_id, decision in result.decisions.items():
+                self._decisions[txn_id] = DecideBody(
+                    txn_id=txn_id,
+                    outcome=True,
+                    origin=self.node_id,
+                    seq_no=decision.seq_no,
+                    commit_vc=decision.commit_vc,
+                )
+        for txn_id, record in sorted(result.in_doubt.items()):
+            writes = dict(record.writes)
+            entry = _PreparedTxn(
+                writes, list(writes), VoteBody(True), record.coordinator
+            )
+            # Re-stage on the fresh lock table so whichever path resolves
+            # this entry (recovery's own termination, a late Decide, or a
+            # lease) releases locks it actually holds.  The table is
+            # brand-new, so the acquires are uncontended and synchronous.
+            for key in entry.locked_keys:
+                granted = self.locks.lock_for(key).acquire_write(txn_id)
+                assert granted.triggered, "fresh lock table cannot block"
+            self._prepared[txn_id] = entry
+
+    def _recover(self, result: ReplayResult):
+        """Rebuild from the WAL: terminate in-doubt prepares, catch up.
+
+        Runs with the ``_recovering`` fence up.  Steps:
+
+        1. Resolve every in-doubt prepare via the coordinator's decision
+           log (our own log, when this node coordinated).  Committed ones
+           are applied through :meth:`_apply_committed_decide` -- their
+           sequence numbers are *reserved* so step 3 leaves the clock
+           advance to the applier.
+        2. Anti-entropy SYNC: ask every peer for its ``siteVC``; the
+           element-wise max is the catch-up target.  Runs after step 1's
+           queries so a coordinator that just answered is included.
+        3. Per-origin catch-up to the target: sequence numbers whose
+           Propagate was lost while we were down carry no data for us
+           (anything with data had us as a 2PC participant, hence is in
+           the WAL), so the clock advance is safe.  Our *own* origin is
+           additionally caught up to ``curr_seq_no``: every assigned
+           sequence number has a durable decision record, but a commit
+           whose loopback Decide died with the crash never advanced our
+           own clock entry.
+        4. Re-announce our own origin to peers the SYNC replies showed
+           behind on it: a commit decided just before the crash may have
+           lost its entire Decide/Propagate fan-out, and nobody but this
+           node can ever tell uninvolved peers that sequence number
+           exists -- without this their in-order apply wedges behind the
+           gap forever.  The re-announcement is a full Decide rebuilt
+           from the WAL's decision records, never a clock-only
+           Propagate: a participant that still holds the prepared writes
+           must install them, and a bare clock advance past the sequence
+           number would make its apply path skip the install.
+        """
+        durability = self.shared.config.durability
+        incarnation = self._incarnation
+        waiters = []
+        reserved: Dict[int, Set[int]] = {}
+        for txn_id, record in sorted(result.in_doubt.items()):
+            if self._incarnation != incarnation:
+                return  # crashed again mid-recovery; a newer recovery owns it
+            entry = self._prepared.get(txn_id)
+            if entry is None:
+                continue
+            if record.coordinator == self.node_id:
+                decision = self._decisions.get(txn_id)
+                committed = decision is not None
+                body = decision
+            else:
+                committed = False
+                body = None
+                round_wait = self.shared.config.prepared_lease or 1e-3
+                for _attempt in range(durability.termination_max_attempts):
+                    ok, reply = yield from self.node.rpc.call_settled(
+                        record.coordinator,
+                        MessageType.TXN_STATUS,
+                        TxnStatusRequestBody(txn_id),
+                    )
+                    if ok:
+                        committed = reply.committed
+                        if committed:
+                            body = DecideBody(
+                                txn_id=txn_id,
+                                outcome=True,
+                                origin=reply.origin,
+                                seq_no=reply.seq_no,
+                                commit_vc=reply.commit_vc,
+                                collected=reply.collected,
+                            )
+                        break
+                    yield self.sim.timeout(round_wait)
+            if self._prepared.get(txn_id) is not entry:
+                continue  # resolved concurrently (e.g. a late Decide)
+            self.metrics.on_indoubt_resolved(committed)
+            self.tracer.emit(
+                self.node_id, "indoubt", txn=txn_id, committed=committed,
+                during_recovery=True,
+            )
+            if committed:
+                reserved.setdefault(body.origin, set()).add(body.seq_no)
+                waiters.append(
+                    self.sim.spawn(
+                        self._apply_committed_decide(body),
+                        name=f"n{self.node_id}:recover-apply-{txn_id}",
+                    )
+                )
+            else:
+                self._abort_prepared(txn_id, entry)
+
+        # Anti-entropy: learn the commit frontier we slept through.
+        settles = [
+            self.node.rpc.spawn_call(
+                peer, MessageType.SYNC, SyncRequestBody(self.node_id)
+            )
+            for peer in self.shared.config.node_ids
+            if peer != self.node_id
+        ]
+        replies = yield AllOf(self.sim, settles)
+        if self._incarnation != incarnation:
+            return
+        targets = [0] * self.shared.num_nodes
+        peers = [
+            peer for peer in self.shared.config.node_ids
+            if peer != self.node_id
+        ]
+        peer_frontiers: Dict[int, int] = {}
+        for peer, (ok, reply) in zip(peers, replies):
+            if not ok:
+                continue
+            peer_frontiers[peer] = reply.site_vc[self.node_id]
+            for origin, frontier in enumerate(reply.site_vc):
+                if frontier > targets[origin]:
+                    targets[origin] = frontier
+        if self.curr_seq_no > targets[self.node_id]:
+            targets[self.node_id] = self.curr_seq_no
+        for origin, target in enumerate(targets):
+            if target > self.site_vc[origin]:
+                waiters.append(
+                    self.sim.spawn(
+                        self._catch_up_origin(
+                            origin, target, reserved.get(origin, frozenset())
+                        ),
+                        name=f"n{self.node_id}:catchup-{origin}",
+                    )
+                )
+        if waiters:
+            yield AllOf(self.sim, waiters)
+        if self._incarnation != incarnation:
+            return
+
+        # Step 4: re-announce our own origin.  Duplicates are harmless
+        # (the apply path skips sequence numbers at or below the clock),
+        # and peers cannot have advanced past us on our own origin while
+        # the recovering fence blocked new commits here.
+        own_frontier = self.site_vc[self.node_id]
+        by_seq = {
+            decision.seq_no: (txn_id, decision.commit_vc)
+            for txn_id, decision in result.decisions.items()
+        }
+        for peer, frontier in sorted(peer_frontiers.items()):
+            for seq_no in range(frontier + 1, own_frontier + 1):
+                if seq_no not in by_seq:
+                    continue
+                txn_id, commit_vc = by_seq[seq_no]
+                self.node.send(
+                    peer,
+                    MessageType.DECIDE,
+                    DecideBody(
+                        txn_id=txn_id,
+                        outcome=True,
+                        origin=self.node_id,
+                        seq_no=seq_no,
+                        commit_vc=commit_vc,
+                    ),
+                )
+
+        self.recoveries += 1
+        self.metrics.on_recovery(
+            replayed=result.replayed, in_doubt=len(result.in_doubt)
+        )
+        self._recovering = False
+        self._recovered_cv.notify_all()
+        self.tracer.emit(
+            self.node_id, "recover", replayed=result.replayed,
+            in_doubt=len(result.in_doubt),
+        )
+
+    def _catch_up_origin(self, origin: int, target: int, reserved):
+        """Advance ``siteVC[origin]`` to ``target`` (lost Propagates).
+
+        Sequence numbers in ``reserved`` belong to recovery's in-doubt
+        commit appliers; this process waits for the applier to make that
+        transition instead of stealing it (the applier must install the
+        writes under the same clock tick).  Regular Propagate handlers
+        may race us harmlessly -- both sides re-check the clock before
+        each advance.
+        """
+        site_vc = self.site_vc
+        incarnation = self._incarnation
+        advanced = 0
+        while site_vc[origin] < target:
+            seq_no = site_vc[origin] + 1
+            if seq_no in reserved:
+                yield from wait_until(
+                    self.site_vc_changed,
+                    lambda bound=seq_no: site_vc[origin] >= bound,
+                )
+                if self._incarnation != incarnation:
+                    return
+                continue
+            if self.wal is not None:
+                self.wal.append(PropagateRecord(origin, seq_no))
+            site_vc[origin] = seq_no
+            advanced += 1
+            self.site_vc_changed.notify_all()
+        if advanced:
+            self.metrics.on_catchup(advanced)
+            self.tracer.emit(
+                self.node_id, "catchup", origin=origin, advanced=advanced,
+                target=target,
+            )

@@ -111,6 +111,57 @@ class RemoveBody:
     txn_ids: Tuple[int, ...]
 
 
+@dataclass(slots=True)
+class TxnStatusRequestBody:
+    """In-doubt termination query: participant -> coordinator.
+
+    Sent when a prepared-lock lease expires with the termination
+    protocol enabled, and during crash recovery for every in-doubt
+    prepare restored from the WAL.
+    """
+
+    txn_id: int
+
+
+@dataclass(slots=True)
+class TxnStatusReplyBody:
+    """Coordinator's definitive answer to a status query.
+
+    ``committed=False`` covers both a logged abort decision and a
+    transaction the coordinator has never decided: decisions are logged
+    (durably, when the WAL is on) *before* any Decide leaves the
+    coordinator, so "no commit decision on record" proves no participant
+    can have installed the transaction -- presumed abort is safe.
+    """
+
+    txn_id: int
+    committed: bool
+    origin: int
+    seq_no: Optional[int] = None
+    commit_vc: Optional[Tuple[int, ...]] = None
+    collected: FrozenSet[int] = frozenset()
+
+
+@dataclass(slots=True)
+class SyncRequestBody:
+    """Anti-entropy catch-up request from a recovering node."""
+
+    requester: int
+
+
+@dataclass(slots=True)
+class SyncReplyBody:
+    """A peer's current ``siteVC``: the per-origin commit frontier it has
+    applied.  The recovering node advances toward the element-wise max
+    over all replies -- every sequence number at or below a peer's entry
+    either had the recoverer as a 2PC participant (restored from its own
+    WAL and terminated explicitly) or carried no data for it (clock-only
+    Propagate), so the advance is always safe.
+    """
+
+    site_vc: Tuple[int, ...]
+
+
 # ----------------------------------------------------------------------
 # 2PC-baseline wire formats (single-version store)
 # ----------------------------------------------------------------------

@@ -1,13 +1,15 @@
 """Fault injection: nemesis process and declarative fault schedules."""
 
-from repro.faults.nemesis import Nemesis
+from repro.faults.nemesis import DownWindow, Nemesis
 from repro.faults.schedules import (
     CRASH,
+    CRASH_DURABLE,
     HEAL,
     PARTITION,
     RESTART,
     FaultEvent,
     crash_cycle,
+    durable_crash_cycle,
     ordered,
     partition_cycle,
     random_schedule,
@@ -16,12 +18,15 @@ from repro.faults.schedules import (
 
 __all__ = [
     "Nemesis",
+    "DownWindow",
     "FaultEvent",
     "CRASH",
+    "CRASH_DURABLE",
     "RESTART",
     "PARTITION",
     "HEAL",
     "crash_cycle",
+    "durable_crash_cycle",
     "partition_cycle",
     "staggered_crashes",
     "random_schedule",

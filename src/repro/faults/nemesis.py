@@ -13,24 +13,59 @@ Usage::
     ...spawn clients...
     cluster.run(until=stop_time)
 
-Crash semantics are network-level (see ``Network.crash``): a crashed
-node's in-flight and future traffic drops, modelling a crash-stop with
-loss of volatile connectivity.  Restart reconnects the node with its
-state intact; durable state loss / recovery is a roadmap item.
+Two crash flavours:
+
+* :data:`~repro.faults.schedules.CRASH` is network-level (see
+  ``Network.crash``): in-flight and future traffic drops, volatile state
+  survives, and the matching RESTART simply reconnects.
+* :data:`~repro.faults.schedules.CRASH_DURABLE` additionally freezes the
+  node's write-ahead log at the crash instant; the matching RESTART wipes
+  the node's volatile state (store, ``siteVC``, prepared table) and
+  spawns WAL replay + recovery (``durability.wal_enabled`` required).
+
+Every durable down window is accounted in a :class:`DownWindow`: which
+messages the fault destroyed, by drop reason and -- for Propagate traffic
+-- by exact ``(origin, seq_no)``, so tests can assert precisely which
+clock advances anti-entropy must repair.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.faults.schedules import (
     CRASH,
+    CRASH_DURABLE,
     HEAL,
     PARTITION,
     RESTART,
     FaultEvent,
     ordered,
 )
+from repro.net.message import MessageType
+
+
+@dataclass
+class DownWindow:
+    """Accounting for one durable crash's down window at one node."""
+
+    node: int
+    started_at: float
+    ended_at: Optional[float] = None
+    #: Drop-reason -> count for messages to/from the node while down.
+    drops_by_reason: Counter = field(default_factory=Counter)
+    #: origin -> sorted sequence numbers of Propagates the node missed.
+    lost_propagates: Dict[int, List[int]] = field(default_factory=dict)
+    #: The recovery process spawned at restart (join it to await rebuild).
+    recovery: Optional[object] = None
+    #: Index into the nemesis drop log where this window opened.
+    _log_start: int = 0
+
+    @property
+    def closed(self) -> bool:
+        return self.ended_at is not None
 
 
 class Nemesis:
@@ -43,6 +78,15 @@ class Nemesis:
         self.tracer = cluster.tracer
         #: Events already applied, in application order (for assertions).
         self.applied: List[FaultEvent] = []
+        #: RESTART events applied (both crash flavours).
+        self.restart_count = 0
+        #: One record per durable crash, in crash order.
+        self.down_windows: List[DownWindow] = []
+        #: node -> its currently-open durable window.
+        self._durable_down: Dict[int, DownWindow] = {}
+        #: Envelope drop feed, attached to the network while at least one
+        #: durable window is open.
+        self._drop_log: List[Tuple[str, object]] = []
 
     def start(self, events: Iterable[FaultEvent]):
         """Spawn the nemesis process driving ``events``; returns it."""
@@ -58,8 +102,10 @@ class Nemesis:
         """Apply one fault transition immediately (also usable directly)."""
         if event.kind == CRASH:
             self.network.crash(event.a)
+        elif event.kind == CRASH_DURABLE:
+            self._crash_durable(event.a)
         elif event.kind == RESTART:
-            self.network.restart(event.a)
+            self._restart(event.a)
         elif event.kind == PARTITION:
             self.network.partition(event.a, event.b)
         elif event.kind == HEAL:
@@ -68,3 +114,53 @@ class Nemesis:
             raise ValueError(f"unknown fault kind {event.kind!r}")
         self.applied.append(event)
         self.tracer.emit(event.a, f"nemesis_{event.kind}", peer=event.b)
+
+    # ------------------------------------------------------------------
+    # Durable crash machinery
+    # ------------------------------------------------------------------
+    def _crash_durable(self, node_id: int) -> None:
+        self.network.crash(node_id)
+        self.cluster.nodes[node_id].crash_durably()
+        if node_id not in self._durable_down:
+            if self.network.drop_log is None:
+                self.network.drop_log = self._drop_log
+            window = DownWindow(
+                node=node_id,
+                started_at=self.sim.now,
+                _log_start=len(self._drop_log),
+            )
+            self._durable_down[node_id] = window
+            self.down_windows.append(window)
+
+    def _restart(self, node_id: int) -> None:
+        self.network.restart(node_id)
+        self.restart_count += 1
+        window = self._durable_down.pop(node_id, None)
+        if window is None:
+            return  # plain (volatile-state-intact) restart
+        window.ended_at = self.sim.now
+        self._account_window(window)
+        if not self._durable_down and self.network.drop_log is self._drop_log:
+            self.network.drop_log = None
+        window.recovery = self.cluster.nodes[node_id].begin_recovery()
+
+    def _account_window(self, window: DownWindow) -> None:
+        """Summarise what the fault destroyed while ``window`` was open."""
+        node_id = window.node
+        for reason, envelope in self._drop_log[window._log_start:]:
+            if envelope.src != node_id and envelope.dst != node_id:
+                continue
+            window.drops_by_reason[reason] += 1
+            if (
+                envelope.dst == node_id
+                and envelope.msg_type == MessageType.PROPAGATE
+            ):
+                body = envelope.payload
+                seq_nos = (
+                    body.seq_nos if body.seq_nos is not None else (body.seq_no,)
+                )
+                window.lost_propagates.setdefault(body.origin, []).extend(
+                    seq_nos
+                )
+        for seq_nos in window.lost_propagates.values():
+            seq_nos.sort()

@@ -20,11 +20,15 @@ from repro.sim.rng import make_rng
 
 #: Primitive fault transitions the nemesis knows how to apply.
 CRASH = "crash"
+#: Crash with durable-state loss: the node's store, ``siteVC``, and
+#: prepared table are wiped, and the matching RESTART rebuilds them from
+#: the write-ahead log (requires ``durability.wal_enabled``).
+CRASH_DURABLE = "crash_durable"
 RESTART = "restart"
 PARTITION = "partition"
 HEAL = "heal"
 
-KINDS = frozenset({CRASH, RESTART, PARTITION, HEAL})
+KINDS = frozenset({CRASH, CRASH_DURABLE, RESTART, PARTITION, HEAL})
 
 
 @dataclass(frozen=True)
@@ -64,6 +68,23 @@ def crash_cycle(node: int, at: float, down_for: float) -> List[FaultEvent]:
         raise ValueError("down_for must be positive")
     return [
         FaultEvent(at, CRASH, node),
+        FaultEvent(at + down_for, RESTART, node),
+    ]
+
+
+def durable_crash_cycle(
+    node: int, at: float, down_for: float
+) -> List[FaultEvent]:
+    """Durably crash ``node`` at ``at`` and restart it ``down_for`` later.
+
+    Unlike :func:`crash_cycle` the node loses its volatile state; the
+    restart wipes it and rebuilds from the WAL (recovery runs after the
+    restart instant, so allow settle time before asserting on state).
+    """
+    if down_for <= 0:
+        raise ValueError("down_for must be positive")
+    return [
+        FaultEvent(at, CRASH_DURABLE, node),
         FaultEvent(at + down_for, RESTART, node),
     ]
 
@@ -122,6 +143,7 @@ def random_schedule(
     mean_gap: float,
     down_for: float,
     partition_fraction: float = 0.5,
+    durable_crashes: bool = False,
 ) -> List[FaultEvent]:
     """A seeded random mix of crash cycles and symmetric partition windows.
 
@@ -130,10 +152,13 @@ def random_schedule(
     a random node, or (with probability ``partition_fraction``) a
     partition/heal of a random node pair.  Every fault heals after
     ``down_for``, and the returned schedule always ends fully healed.
+    With ``durable_crashes`` the crashes wipe volatile state and recover
+    from the WAL (``durability.wal_enabled`` required).
     """
     if len(node_ids) < 2:
         raise ValueError("random_schedule needs at least two nodes")
     rng = make_rng(seed, "nemesis-schedule")
+    crash_builder = durable_crash_cycle if durable_crashes else crash_cycle
     events: List[FaultEvent] = []
     at = start
     while True:
@@ -145,5 +170,5 @@ def random_schedule(
             events += partition_cycle(a, b, at, down_for)
         else:
             node = rng.choice(list(node_ids))
-            events += crash_cycle(node, at, down_for)
+            events += crash_builder(node, at, down_for)
     return ordered(events)

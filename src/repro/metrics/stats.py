@@ -162,6 +162,18 @@ class MetricsRecorder:
         #: coordinator went silent past the configured lease.
         self.lease_expirations = 0
 
+        #: Durable-crash recovery accounting (run-wide, never window-gated).
+        #: Completed node recoveries and total WAL records replayed.
+        self.recoveries = 0
+        self.wal_records_replayed = 0
+        #: In-doubt prepares restored across all recoveries.
+        self.indoubt_recovered = 0
+        #: In-doubt terminations (lease- or recovery-driven) by outcome.
+        self.indoubt_committed = 0
+        self.indoubt_aborted = 0
+        #: siteVC slots advanced by anti-entropy catch-up (lost Propagates).
+        self.catchup_advances = 0
+
     # ------------------------------------------------------------------
     # Window control
     # ------------------------------------------------------------------
@@ -263,6 +275,24 @@ class MetricsRecorder:
         """A participant's prepared-lock lease fired (presumed abort)."""
         self.lease_expirations += 1
 
+    def on_indoubt_resolved(self, committed: bool) -> None:
+        """An in-doubt prepare was terminated via a coordinator query."""
+        if committed:
+            self.indoubt_committed += 1
+        else:
+            self.indoubt_aborted += 1
+
+    def on_recovery(self, replayed: int, in_doubt: int) -> None:
+        """One node finished rebuilding from its WAL."""
+        self.recoveries += 1
+        self.wal_records_replayed += replayed
+        self.indoubt_recovered += in_doubt
+
+    def on_catchup(self, advanced: int) -> None:
+        """Anti-entropy advanced a recovering node's clock past lost
+        Propagates."""
+        self.catchup_advances += advanced
+
     @property
     def stale_read_fraction(self) -> float:
         return self.ro_stale_reads / self.ro_reads if self.ro_reads else 0.0
@@ -295,4 +325,10 @@ class MetricsRecorder:
             "versions_reclaimed": self.versions_reclaimed,
             "aborted_timeout": self.aborted_timeout,
             "lease_expirations": self.lease_expirations,
+            "recoveries": self.recoveries,
+            "wal_records_replayed": self.wal_records_replayed,
+            "indoubt_recovered": self.indoubt_recovered,
+            "indoubt_committed": self.indoubt_committed,
+            "indoubt_aborted": self.indoubt_aborted,
+            "catchup_advances": self.catchup_advances,
         }

@@ -21,6 +21,10 @@ class MessageType:
     PROPAGATE = "Propagate"
     REMOVE = "Remove"
     RPC_REPLY = "RpcReply"
+    #: In-doubt termination query (participant -> coordinator RPC).
+    TXN_STATUS = "TxnStatus"
+    #: Anti-entropy catch-up exchange during crash recovery (RPC).
+    SYNC = "Sync"
 
     #: Message types delivered on the background channel.  Asynchronous
     #: traffic (commit propagation, VAS garbage collection) must not delay

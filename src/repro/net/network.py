@@ -101,6 +101,10 @@ class Network:
         self._partitioned: Set[Tuple[int, int]] = set()
         #: True whenever any crash or partition is active (delivery fast path).
         self._faulty = False
+        #: When set (e.g. by the nemesis during a down window), every
+        #: dropped envelope is appended as ``(reason, envelope)`` so tests
+        #: can account for exactly which messages a fault destroyed.
+        self.drop_log: Optional[list] = None
 
     def register(self, node_id: int, deliver: DeliverFn) -> None:
         """Attach a node's delivery callback."""
@@ -127,7 +131,7 @@ class Network:
         stats.messages_by_type[msg_type] += 1
 
         if dst not in self._nodes:
-            self._drop(DROP_UNKNOWN_DST)
+            self._drop(DROP_UNKNOWN_DST, envelope)
             return envelope
         cfg = self.config
         if (
@@ -135,7 +139,7 @@ class Network:
             and cfg.loss_rate > 0
             and self._fault_rng.random() < cfg.loss_rate
         ):
-            self._drop(DROP_LOSS)
+            self._drop(DROP_LOSS, envelope)
             return envelope
 
         # Latency computation inlined from _latency: send() runs once per
@@ -196,16 +200,18 @@ class Network:
         # check plus the handler call; it is maintained by crash/partition.
         if self._faulty:
             if envelope.src in self._crashed or envelope.dst in self._crashed:
-                self._drop(DROP_CRASH)
+                self._drop(DROP_CRASH, envelope)
                 return
             if (envelope.src, envelope.dst) in self._partitioned:
-                self._drop(DROP_PARTITION)
+                self._drop(DROP_PARTITION, envelope)
                 return
         self._nodes[envelope.dst](envelope)
 
-    def _drop(self, reason: str) -> None:
+    def _drop(self, reason: str, envelope: Envelope) -> None:
         self.stats.messages_dropped += 1
         self.stats.drops_by_reason[reason] += 1
+        if self.drop_log is not None:
+            self.drop_log.append((reason, envelope))
 
     # ------------------------------------------------------------------
     # Fault injection

@@ -17,7 +17,7 @@ Usage::
 
 from __future__ import annotations
 
-from typing import List, NamedTuple, Optional, Set
+from typing import Callable, List, NamedTuple, Optional, Set
 
 
 class TraceRecord(NamedTuple):
@@ -47,7 +47,11 @@ class Tracer:
             "remove",
             "stall",
             "lease_expire",
+            "indoubt",
+            "recover",
+            "catchup",
             "nemesis_crash",
+            "nemesis_crash_durable",
             "nemesis_restart",
             "nemesis_partition",
             "nemesis_heal",
@@ -59,6 +63,7 @@ class Tracer:
         self.max_records = max_records
         self.records: List[TraceRecord] = []
         self._enabled: Set[str] = set()
+        self._listeners: List[Callable[[TraceRecord], None]] = []
         self.dropped = 0
 
     # ------------------------------------------------------------------
@@ -82,16 +87,35 @@ class Tracer:
     def wants(self, kind: str) -> bool:
         return kind in self._enabled
 
+    def add_listener(self, listener: Callable[[TraceRecord], None]) -> None:
+        """Call ``listener(record)`` synchronously on every recorded emit.
+
+        Listeners fire at the emitting node's exact protocol point, which
+        is what the crash-recovery harness uses to crash a node *between*
+        two protocol steps deterministically.  Only emits that pass the
+        enabled-kind filter reach listeners, and hot protocol paths skip
+        ``emit`` entirely while tracing is off -- a harness must
+        ``enable()`` every kind it hooks.
+        """
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: Callable[[TraceRecord], None]) -> None:
+        self._listeners.remove(listener)
+
     # ------------------------------------------------------------------
     # Emission & inspection
     # ------------------------------------------------------------------
     def emit(self, node: int, kind: str, **details) -> None:
         if kind not in self._enabled:
             return
+        record = TraceRecord(self.sim.now, node, kind, details)
+        if self._listeners:
+            for listener in list(self._listeners):
+                listener(record)
         if len(self.records) >= self.max_records:
             self.dropped += 1
             return
-        self.records.append(TraceRecord(self.sim.now, node, kind, details))
+        self.records.append(record)
 
     def of_kind(self, kind: str) -> List[TraceRecord]:
         return [record for record in self.records if record.event == kind]

@@ -5,12 +5,36 @@ from repro.storage.chain import VersionChain
 from repro.storage.store import MultiVersionStore
 from repro.storage.simple_store import SimpleStore, SimpleRecord
 from repro.storage.locks import LockTable
+from repro.storage.wal import (
+    AbortRecord,
+    ApplyRecord,
+    DecisionRecord,
+    LoadRecord,
+    PrepareRecord,
+    PropagateRecord,
+    ReplayResult,
+    WriteAheadLog,
+    replay,
+    store_fingerprint,
+    version_set_fingerprint,
+)
 
 __all__ = [
+    "AbortRecord",
+    "ApplyRecord",
+    "DecisionRecord",
+    "LoadRecord",
     "LockTable",
     "MultiVersionStore",
     "SimpleRecord",
     "SimpleStore",
+    "PrepareRecord",
+    "PropagateRecord",
+    "ReplayResult",
     "Version",
     "VersionChain",
+    "WriteAheadLog",
+    "replay",
+    "store_fingerprint",
+    "version_set_fingerprint",
 ]

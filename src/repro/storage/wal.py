@@ -1,0 +1,296 @@
+"""Per-node write-ahead log and durable-state replay.
+
+The simulator models a node's memory (``MultiVersionStore``, ``siteVC``,
+the prepared table) as volatile: a durable crash (``Nemesis`` kind
+``crash_durable``) wipes all of it at restart.  The WAL is the node's
+"disk": an append-only record stream written *before* any externally
+visible effect of the logged step (vote sent, Decide fan-out, clock
+advance), so that :func:`replay` can rebuild exactly the state the rest
+of the cluster may have observed.
+
+Record vocabulary (one dataclass per protocol step, see DESIGN.md 5.5):
+
+==================  ====================================================
+``LoadRecord``      initial data load (the seed "checkpoint")
+``PrepareRecord``   participant voted yes; writes are locked and staged
+``DecisionRecord``  coordinator decided *commit* and assigned ``seq_no``
+                    (logged before the Decide fan-out -- the classic
+                    presumed-abort rule: no decision record, no Decide
+                    ever sent, so recovery may safely abort)
+``ApplyRecord``     a Decide installed versions and advanced ``siteVC``
+``PropagateRecord`` a Propagate advanced ``siteVC`` (clock-only)
+``AbortRecord``     a prepared transaction was resolved aborted
+==================  ====================================================
+
+Replay is **idempotent** and **order-insensitive within a sequence-number
+gap**: per-origin clock advances are buffered until contiguous, records
+at-or-below the rebuilt clock are skipped, and duplicated suffixes are
+no-ops -- the Hypothesis suite in ``tests/storage/test_wal_properties.py``
+pins both properties down.
+
+Crash semantics: :meth:`WriteAheadLog.freeze` marks the crash instant.
+Appends while frozen are discarded (and counted) -- the in-flight handler
+compute that the network-level crash model lets keep running must not
+become durable, since none of its messages escape the crashed node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+from repro.core.vector_clock import VectorClock
+from repro.storage.store import MultiVersionStore
+
+
+@dataclass(frozen=True)
+class LoadRecord:
+    """Initial (pre-run) data load at this node."""
+
+    items: Tuple[Tuple[Hashable, object], ...]
+
+
+@dataclass(frozen=True)
+class PrepareRecord:
+    """This node voted yes on a Prepare: writes staged, locks held."""
+
+    txn_id: int
+    coordinator: int
+    writes: Tuple[Tuple[Hashable, object], ...]
+
+
+@dataclass(frozen=True)
+class DecisionRecord:
+    """This node, as coordinator, decided *commit* for ``txn_id``.
+
+    Logged before any Decide message leaves the node, so a recovered
+    coordinator can answer in-doubt termination queries definitively:
+    a transaction with no decision record never sent a Decide and is
+    safely presumed aborted.
+    """
+
+    txn_id: int
+    seq_no: int
+    commit_vc: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class ApplyRecord:
+    """A commit's versions installed here; ``siteVC[origin] = seq_no``."""
+
+    txn_id: int
+    origin: int
+    seq_no: int
+    commit_vc: Tuple[int, ...]
+    writes: Tuple[Tuple[Hashable, object], ...]
+
+
+@dataclass(frozen=True)
+class PropagateRecord:
+    """A Propagate advanced ``siteVC[origin]`` to ``seq_no`` (no data)."""
+
+    origin: int
+    seq_no: int
+
+
+@dataclass(frozen=True)
+class AbortRecord:
+    """A prepared transaction was resolved aborted and unstaged."""
+
+    txn_id: int
+
+
+WalRecord = object  # union of the record dataclasses above
+
+
+class WriteAheadLog:
+    """An append-only durable record stream for one node.
+
+    The log survives the volatile-state wipe of a durable crash; it is
+    the only channel through which pre-crash state reaches the recovered
+    node.  ``freeze``/``unfreeze`` bracket the down window so post-crash
+    handler compute cannot retroactively become durable.
+    """
+
+    def __init__(self) -> None:
+        self._records: List[WalRecord] = []
+        self._frozen = False
+        #: Appends discarded while frozen (crash-window compute).
+        self.discarded = 0
+
+    def append(self, record: WalRecord) -> None:
+        if self._frozen:
+            self.discarded += 1
+            return
+        self._records.append(record)
+
+    def freeze(self) -> None:
+        """Mark the crash instant: later appends are lost, not durable."""
+        self._frozen = True
+
+    def unfreeze(self) -> None:
+        """Re-admit appends (recovery has read the surviving records)."""
+        self._frozen = False
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def records(self) -> Tuple[WalRecord, ...]:
+        """A stable snapshot of the surviving records."""
+        return tuple(self._records)
+
+
+@dataclass
+class ReplayResult:
+    """Volatile state rebuilt from a WAL by :func:`replay`."""
+
+    store: MultiVersionStore
+    site_vc: VectorClock
+    #: txn_id -> PrepareRecord for prepares with no matching apply/abort
+    #: (the in-doubt set recovery must terminate).
+    in_doubt: Dict[int, PrepareRecord]
+    #: txn_id -> DecisionRecord for commits this node coordinated.
+    decisions: Dict[int, DecisionRecord]
+    #: Highest sequence number this node durably assigned as coordinator.
+    curr_seq_no: int
+    #: Records consumed (for metrics/assertions).
+    replayed: int
+
+
+def replay(records: Iterable[WalRecord], num_nodes: int) -> ReplayResult:
+    """Rebuild a node's durable state from its WAL records.
+
+    Clock-advancing records (``ApplyRecord``/``PropagateRecord``) are
+    applied in per-origin sequence order regardless of their position in
+    the stream: a record at or below the rebuilt ``siteVC`` is skipped
+    (idempotence under duplicated prefixes), and a record above the next
+    expected sequence number is buffered until the gap closes
+    (order-insensitivity within a gap).  Buffered records that never
+    become contiguous -- a malformed or truncated log -- are applied at
+    the end in sequence order, jumping the clock, rather than silently
+    dropped.
+    """
+    store = MultiVersionStore()
+    site_vc = VectorClock.zeros(num_nodes)
+    in_doubt: Dict[int, PrepareRecord] = {}
+    decisions: Dict[int, DecisionRecord] = {}
+    curr_seq_no = 0
+    replayed = 0
+    # origin -> {seq_no: record} waiting for its per-origin predecessor.
+    pending: Dict[int, Dict[int, WalRecord]] = {}
+
+    def apply_clock_record(record: WalRecord) -> None:
+        if isinstance(record, ApplyRecord):
+            commit_vc = VectorClock(record.commit_vc)
+            for key, value in record.writes:
+                store.install(
+                    key,
+                    value,
+                    commit_vc.copy(),
+                    origin=record.origin,
+                    seq=record.seq_no,
+                    writer_txn=record.txn_id,
+                )
+            in_doubt.pop(record.txn_id, None)
+            site_vc[record.origin] = record.seq_no
+        else:
+            site_vc[record.origin] = record.seq_no
+
+    def admit(record: WalRecord) -> None:
+        """Apply a clock record in order, buffering across gaps."""
+        origin, seq_no = record.origin, record.seq_no
+        if seq_no <= site_vc[origin]:
+            return  # duplicate of an already-applied transition
+        if seq_no > site_vc[origin] + 1:
+            pending.setdefault(origin, {})[seq_no] = record
+            return
+        apply_clock_record(record)
+        waiting = pending.get(origin)
+        while waiting:
+            successor = waiting.pop(site_vc[origin] + 1, None)
+            if successor is None:
+                break
+            apply_clock_record(successor)
+
+    for record in records:
+        replayed += 1
+        if isinstance(record, LoadRecord):
+            store.create_many(record.items, VectorClock.zero(num_nodes))
+        elif isinstance(record, PrepareRecord):
+            in_doubt[record.txn_id] = record
+        elif isinstance(record, DecisionRecord):
+            decisions[record.txn_id] = record
+            if record.seq_no > curr_seq_no:
+                curr_seq_no = record.seq_no
+        elif isinstance(record, AbortRecord):
+            in_doubt.pop(record.txn_id, None)
+        elif isinstance(record, (ApplyRecord, PropagateRecord)):
+            admit(record)
+        else:
+            raise TypeError(f"unknown WAL record {record!r}")
+
+    # Drain never-contiguous leftovers (truncated logs) in seq order.
+    for origin in sorted(pending):
+        for seq_no in sorted(pending[origin]):
+            record = pending[origin][seq_no]
+            if seq_no > site_vc[origin]:
+                apply_clock_record(record)
+
+    # A coordinator's own applies also witness sequence numbers it
+    # assigned; never hand out a seq at or below the clock's own entry.
+    return ReplayResult(
+        store=store,
+        site_vc=site_vc,
+        in_doubt=in_doubt,
+        decisions=decisions,
+        curr_seq_no=curr_seq_no,
+        replayed=replayed,
+    )
+
+
+def store_fingerprint(store: MultiVersionStore) -> Dict[Hashable, Tuple]:
+    """A comparable, exhaustive snapshot of a store's version chains.
+
+    Captures every version's identity and payload -- ``(vid, origin,
+    seq, value, commit vc, writer txn)`` per key in chain order -- so two
+    stores compare bit-identical iff their chains do.  Used by the
+    recovery tests to compare a recovered node against a never-crashed
+    control run.
+    """
+    snapshot: Dict[Hashable, Tuple] = {}
+    for key in store.keys():
+        snapshot[key] = tuple(
+            (
+                version.vid,
+                version.origin,
+                version.seq,
+                version.value,
+                version.vc.to_tuple(),
+                version.writer_txn,
+            )
+            for version in store.chain(key)
+        )
+    return snapshot
+
+
+def version_set_fingerprint(store: MultiVersionStore) -> Dict[Hashable, Tuple]:
+    """Like :func:`store_fingerprint` but vid-agnostic.
+
+    Two replays that interleave independent origins differently can
+    assign different per-key vids to the same version set; this
+    fingerprint compares the *set* of installed versions (sorted by
+    origin stamp) plus values, which is invariant under such reorderings.
+    """
+    snapshot: Dict[Hashable, Tuple] = {}
+    for key in store.keys():
+        snapshot[key] = tuple(
+            sorted(
+                (version.origin, version.seq, version.value, version.vc.to_tuple())
+                for version in store.chain(key)
+            )
+        )
+    return snapshot

@@ -16,12 +16,21 @@ network statistics even with random loss and duplication enabled.
 
 import pytest
 
-from repro import Cluster, ClusterConfig, NetworkConfig, RpcConfig
+from repro import (
+    Cluster,
+    ClusterConfig,
+    DurabilityConfig,
+    NetworkConfig,
+    RpcConfig,
+)
 from repro.cluster import ModuloDirectory
-from repro.faults import Nemesis, crash_cycle, partition_cycle
+from repro.faults import Nemesis, crash_cycle, durable_crash_cycle, partition_cycle
+from repro.faults.schedules import HEAL, PARTITION, FaultEvent
 from repro.metrics import check_no_read_skew, check_site_order
 from repro.net.rpc import RpcTimeoutError
 from repro.sim.rng import make_rng
+
+from tests.harness.recovery_tools import TracePoint, assert_no_lost_commits
 
 NUM_NODES = 4
 NUM_KEYS = 16
@@ -45,11 +54,20 @@ SCHEDULES = {
 PROTOCOLS = ("fwkv", "walter", "2pc")
 
 
-def build(protocol, seed, loss_rate=0.0, duplicate_rate=0.0):
+def build(
+    protocol,
+    seed,
+    loss_rate=0.0,
+    duplicate_rate=0.0,
+    durability=None,
+    gc_enabled=True,
+):
     config = ClusterConfig(
         num_nodes=NUM_NODES,
         seed=seed,
         prepared_lease=5e-3,
+        durability=durability or DurabilityConfig(),
+        gc_enabled=gc_enabled,
         network=NetworkConfig(
             jitter=5e-6,
             loss_rate=loss_rate,
@@ -66,7 +84,9 @@ def build(protocol, seed, loss_rate=0.0, duplicate_rate=0.0):
     return cluster
 
 
-def chaos_client(cluster, node_id, client_id, seed, txns=TXNS_PER_CLIENT):
+def chaos_client(
+    cluster, node_id, client_id, seed, txns=TXNS_PER_CLIENT, committed=None
+):
     """A closed-loop client that survives fault-induced RPC timeouts.
 
     Unlike the fault-free nemesis client, every attempt is bounded: a read
@@ -95,6 +115,15 @@ def chaos_client(cluster, node_id, client_id, seed, txns=TXNS_PER_CLIENT):
                 node.abort(txn)
                 ok = False
             if ok:
+                # The client is co-located with its node: an ack observed
+                # while the node is crash-stopped never reached a live
+                # client, so it does not count as a durability promise.
+                if (
+                    committed is not None
+                    and not read_only
+                    and not cluster.network.is_crashed(node_id)
+                ):
+                    committed[txn.txn_id] = list(chosen)
                 break
             yield cluster.sim.timeout(rng.uniform(50e-6, 250e-6))
         yield cluster.sim.timeout(rng.uniform(0, 100e-6))
@@ -200,3 +229,130 @@ def test_chaos_runs_are_deterministic(protocol):
     assert first.metrics.summary() == second.metrics.summary()
     assert first.network.stats.drops_by_reason["loss"] > 0
     assert first.network.stats.messages_duplicated > 0
+
+
+# ----------------------------------------------------------------------
+# In-doubt termination: the presumed-abort window, demonstrated and closed
+# ----------------------------------------------------------------------
+def run_indoubt_decide_loss(termination):
+    """Commit a cross-site transaction whose Decide is destroyed.
+
+    A directed partition (coordinator -> participant) is installed at the
+    participant's own prepare point -- the yes-vote still travels the
+    reverse link, so the coordinator commits and its Decide drops.  The
+    link heals well before the participant's prepared-lock lease fires,
+    so the coordinator is alive and reachable when the participant must
+    decide what to do with its in-doubt prepare.
+    """
+    cluster = build(
+        "fwkv",
+        seed=35,
+        durability=DurabilityConfig(termination_query=termination),
+    )
+    nemesis = Nemesis(cluster)
+    sites = {}
+    for i in range(NUM_KEYS):
+        key = f"k{i}"
+        sites.setdefault(cluster.directory.site(key), []).append(key)
+    keys = [sites[0][0], sites[1][0]]  # coordinator 0, participant 1
+
+    def cut_then_heal(_record):
+        nemesis.apply(FaultEvent(cluster.sim.now, PARTITION, 0, 1))
+        cluster.sim.call_later(
+            2e-3,
+            lambda: nemesis.apply(
+                FaultEvent(cluster.sim.now, HEAL, 0, 1)
+            ),
+        )
+
+    point = TracePoint(cluster, "prepare", cut_then_heal, node=1)
+
+    def process():
+        node = cluster.node(0)
+        txn = node.begin(is_read_only=False)
+        values = []
+        for key in keys:
+            values.append((yield from node.read(txn, key)))
+        for key, value in zip(keys, values):
+            node.write(txn, key, value + 1)
+        ok = yield from node.commit(txn)
+        return ok, txn
+
+    ok, txn = cluster.run_process(process())
+    assert point.fired
+    assert ok  # the coordinator decided commit and acked the client
+    return cluster, txn, keys
+
+
+def committed_at(cluster, key, txn_id):
+    node = cluster.nodes[cluster.directory.site(key)]
+    return any(v.writer_txn == txn_id for v in node.store.chain(key))
+
+
+@pytest.mark.chaos
+def test_presumed_abort_drops_committed_write_without_termination():
+    """The historical bug, pinned down: with the default unilateral
+    lease expiry, a committed transaction's writes vanish at the
+    participant that never heard the Decide."""
+    cluster, txn, keys = run_indoubt_decide_loss(termination=False)
+    coordinator_key, participant_key = keys
+    assert committed_at(cluster, coordinator_key, txn.txn_id)
+    assert not committed_at(cluster, participant_key, txn.txn_id)
+    assert cluster.metrics.lease_expirations == 1
+    assert not cluster.any_locks_held()
+
+
+@pytest.mark.chaos
+def test_termination_query_preserves_committed_write():
+    """With ``durability.termination_query`` the participant asks the
+    coordinator instead of presuming abort, and installs the writes."""
+    cluster, txn, keys = run_indoubt_decide_loss(termination=True)
+    for key in keys:
+        assert committed_at(cluster, key, txn.txn_id)
+    assert cluster.metrics.indoubt_committed == 1
+    assert cluster.metrics.lease_expirations == 0
+    assert not cluster.any_locks_held()
+    for protocol_node in cluster.nodes:
+        assert protocol_node.node.rpc.pending_count == 0
+
+
+# ----------------------------------------------------------------------
+# Durable crash under a concurrent workload
+# ----------------------------------------------------------------------
+@pytest.mark.chaos
+@pytest.mark.recovery
+@pytest.mark.parametrize("protocol", ("fwkv", "walter"))
+def test_chaos_durable_crash_no_lost_commits(protocol):
+    """A mid-workload durable crash (prepares in flight, coordinator
+    alive) must not drop any acknowledged write at any site."""
+    schedule = durable_crash_cycle(1, FAULT_AT, FAULT_DURATION)
+    cluster = build(
+        protocol,
+        seed=36,
+        durability=DurabilityConfig(wal_enabled=True, termination_query=True),
+        gc_enabled=False,  # assert_no_lost_commits scans full chains
+    )
+    nemesis = Nemesis(cluster)
+    nemesis.start(schedule)
+    committed = {}
+    for node_id in range(NUM_NODES):
+        for client_id in range(CLIENTS_PER_NODE):
+            cluster.spawn(
+                chaos_client(
+                    cluster, node_id, client_id, 36, committed=committed
+                ),
+                name=f"chaos-client-{node_id}-{client_id}",
+            )
+    cluster.run()
+
+    assert len(nemesis.applied) == len(schedule)
+    assert_safe_and_quiescent(cluster)
+    assert nemesis.restart_count == 1
+    window = nemesis.down_windows[0]
+    assert window.closed and window.node == 1
+    assert cluster.nodes[1].recoveries == 1
+    assert cluster.metrics.recoveries == 1
+    assert committed
+    assert_no_lost_commits(cluster, committed)
+    clocks = cluster.site_clocks()
+    assert all(clock == clocks[0] for clock in clocks)

@@ -1,0 +1,435 @@
+"""Deterministic crash-recovery suite: durable-state loss and rebuild.
+
+Every scenario here crashes a node at a *protocol-chosen* point -- not a
+wall-clock guess -- using trace listeners (``tests.harness.recovery_tools``),
+wipes its volatile state (store, ``siteVC``, prepared table), restarts
+it, and checks that WAL replay + in-doubt termination + anti-entropy
+catch-up rebuild exactly the state the rest of the cluster may have
+observed:
+
+* crash between the coordinator's Decide/Propagate fan-out and the
+  victim's Propagate apply -- the headline scenario: after recovery and
+  200+ further transactions the merged pre/post-crash history is still
+  PSI, and the victim's durable state is bit-identical to a
+  never-crashed control run at the same point;
+* crash mid-prepare (vote lost) -- the transaction aborts everywhere and
+  recovery terminates the in-doubt leftover as aborted;
+* crash mid-Propagate-apply -- catch-up repairs the lost clock advances;
+* crash with an in-flight Decide (prepared + committed elsewhere) -- the
+  recovery termination query closes the presumed-abort window and the
+  committed writes reappear at the victim.
+
+Seeds come from ``RECOVERY_SEEDS`` (comma-separated) so CI can sweep a
+matrix without editing the file.
+"""
+
+import os
+
+import pytest
+
+from repro import (
+    Cluster,
+    ClusterConfig,
+    DurabilityConfig,
+    NetworkConfig,
+    RpcConfig,
+)
+from repro.cluster import ModuloDirectory
+from repro.faults import Nemesis
+from repro.metrics import check_no_read_skew, check_site_order
+from repro.net.rpc import RpcTimeoutError
+from repro.sim.rng import make_rng
+
+from tests.harness.recovery_tools import (
+    assert_no_lost_commits,
+    crash_at,
+    node_fingerprint,
+    restart,
+)
+
+NUM_NODES = 4
+NUM_KEYS = 16
+VICTIM = 2
+#: Transactions driven concurrently after recovery (the "keep going"
+#: phase of the headline scenario): 4 nodes x 2 clients x 40 txns.
+POST_CLIENTS = 2
+POST_TXNS = 40
+
+SEEDS = tuple(
+    int(s) for s in os.environ.get("RECOVERY_SEEDS", "41,42").split(",")
+)
+PROTOCOLS = ("fwkv", "walter")
+
+pytestmark = pytest.mark.recovery
+
+
+def build(protocol, seed, *, termination=True):
+    config = ClusterConfig(
+        num_nodes=NUM_NODES,
+        seed=seed,
+        prepared_lease=5e-3,
+        # Every version must survive the run so assert_no_lost_commits
+        # can find each acknowledged write by its writer-txn stamp.
+        gc_enabled=False,
+        durability=DurabilityConfig(
+            wal_enabled=True, termination_query=termination
+        ),
+        network=NetworkConfig(
+            jitter=5e-6,
+            rpc=RpcConfig(request_timeout=1.5e-3, max_attempts=3),
+        ),
+    )
+    cluster = Cluster(
+        protocol, config, directory=ModuloDirectory(NUM_NODES),
+        record_history=True,
+    )
+    for i in range(NUM_KEYS):
+        cluster.load(f"k{i}", 0)
+    return cluster, Nemesis(cluster)
+
+
+def keys_by_site(cluster):
+    sites = {}
+    for i in range(NUM_KEYS):
+        key = f"k{i}"
+        sites.setdefault(cluster.directory.site(key), []).append(key)
+    return sites
+
+
+def run_txn(cluster, coordinator, keys, *, attempts=8):
+    """Drive one read-modify-write transaction to quiescence.
+
+    Returns ``(ok, txn)`` -- the transaction object is needed even on
+    failure so tests can assert its writes exist nowhere.
+    """
+    node = cluster.node(coordinator)
+
+    def process():
+        last = None
+        for _ in range(attempts):
+            txn = node.begin(is_read_only=False)
+            last = txn
+            try:
+                values = []
+                for key in keys:
+                    values.append((yield from node.read(txn, key)))
+                for key, value in zip(keys, values):
+                    node.write(txn, key, value + 1)
+                ok = yield from node.commit(txn)
+            except RpcTimeoutError:
+                node.abort(txn)
+                ok = False
+            if ok:
+                return True, txn
+            yield cluster.sim.timeout(100e-6)
+        return False, last
+
+    return cluster.run_process(process())
+
+
+def post_recovery_client(cluster, node_id, client_id, seed, committed):
+    """A concurrent closed-loop client recording acknowledged writes."""
+    rng = make_rng(seed, "recovery-client", node_id, client_id)
+    node = cluster.node(node_id)
+    keys = [f"k{i}" for i in range(NUM_KEYS)]
+    for _ in range(POST_TXNS):
+        chosen = rng.sample(keys, 2)
+        read_only = rng.random() < 0.3
+        for _attempt in range(6):
+            txn = node.begin(is_read_only=read_only)
+            try:
+                values = []
+                for key in chosen:
+                    values.append((yield from node.read(txn, key)))
+                if not read_only:
+                    for key, value in zip(chosen, values):
+                        node.write(txn, key, value + 1)
+                ok = yield from node.commit(txn)
+            except RpcTimeoutError:
+                node.abort(txn)
+                ok = False
+            if ok:
+                if not read_only:
+                    committed[txn.txn_id] = list(chosen)
+                break
+            yield cluster.sim.timeout(rng.uniform(50e-6, 250e-6))
+        yield cluster.sim.timeout(rng.uniform(0, 100e-6))
+
+
+def assert_psi(cluster):
+    history = cluster.finalized_history()
+    skew = check_no_read_skew(history)
+    assert skew.ok, skew.violations[:3]
+    order = check_site_order(history, cluster.version_catalog())
+    assert order.ok, order.violations[:3]
+    return history
+
+
+class ScenarioResult:
+    def __init__(self, **kw):
+        self.__dict__.update(kw)
+
+
+def run_decide_propagate_scenario(protocol, seed, *, crash):
+    """The headline scenario, with or without the crash.
+
+    Phases A/B are driven *sequentially* so the committed transaction
+    sequence is identical with and without the fault -- that is what
+    makes the recovered node's durable state comparable bit-for-bit
+    against the never-crashed control at the post-recovery barrier.
+    """
+    cluster, nemesis = build(protocol, seed)
+    rng = make_rng(seed, "recovery-scenario")
+    all_keys = [f"k{i}" for i in range(NUM_KEYS)]
+    victim_keys = set(keys_by_site(cluster).get(VICTIM, []))
+    other_keys = sorted(set(all_keys) - victim_keys)
+    assert victim_keys, "seed keyspace must place keys at the victim"
+    committed = {}
+
+    # Phase A: writes everywhere, victim included, so replay has real
+    # version chains (not just clock records) to rebuild.
+    for n in range(20):
+        ok, txn = run_txn(cluster, n % NUM_NODES, rng.sample(all_keys, 2))
+        assert ok
+        committed[txn.txn_id] = list(txn.writeset)
+
+    # The crash transaction: coordinator 0, victim uninvolved.  The
+    # listener fires at coordinator 0's "commit" emit -- *after* its
+    # Decide/Propagate fan-out left, *before* the victim's Propagate
+    # delivers -- so the crash destroys exactly that in-flight advance.
+    point = None
+    if crash:
+        point = crash_at(cluster, nemesis, VICTIM, "commit", node=0)
+    crash_keys = other_keys[:2]
+    ok, crash_txn = run_txn(cluster, 0, crash_keys)
+    assert ok
+    committed[crash_txn.txn_id] = list(crash_keys)
+    expected_lost = {0: [crash_txn.seq_no]} if crash else {}
+    if point is not None:
+        assert point.fired
+
+    # Phase B (the down window): traffic that avoids the victim entirely,
+    # so the only victim-bound messages are the Propagates it is missing.
+    for n in range(8):
+        coordinator = (0, 1, 3)[n % 3]
+        ok, txn = run_txn(cluster, coordinator, rng.sample(other_keys, 2))
+        assert ok
+        committed[txn.txn_id] = list(txn.writeset)
+        if crash:
+            expected_lost.setdefault(coordinator, []).append(txn.seq_no)
+
+    window = None
+    if crash:
+        window = restart(cluster, nemesis, VICTIM)
+        cluster.run()  # drain WAL replay + termination + catch-up
+
+    fingerprint = node_fingerprint(cluster.nodes[VICTIM])
+
+    # Phase C: 200+ further concurrent transactions over the full
+    # keyspace; the merged pre/post-crash history must still be PSI.
+    for node_id in range(NUM_NODES):
+        for client_id in range(POST_CLIENTS):
+            cluster.spawn(
+                post_recovery_client(
+                    cluster, node_id, client_id, seed, committed
+                ),
+                name=f"post-client-{node_id}-{client_id}",
+            )
+    cluster.run()
+
+    return ScenarioResult(
+        cluster=cluster,
+        nemesis=nemesis,
+        window=window,
+        fingerprint=fingerprint,
+        expected_lost={k: sorted(v) for k, v in expected_lost.items()},
+        committed=committed,
+    )
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_crash_between_decide_and_propagate(protocol, seed):
+    crashed = run_decide_propagate_scenario(protocol, seed, crash=True)
+    control = run_decide_propagate_scenario(protocol, seed, crash=False)
+
+    # Bit-identical rebuild: store chains (vids included), siteVC, and
+    # the coordinator sequence counter all match the never-crashed
+    # control at the post-recovery barrier.
+    assert crashed.fingerprint == control.fingerprint
+
+    victim = crashed.cluster.nodes[VICTIM]
+    assert victim.recoveries == 1
+    assert crashed.cluster.metrics.recoveries == 1
+    assert crashed.nemesis.restart_count == 1
+
+    # The down-window accounting names exactly the Propagates destroyed,
+    # and anti-entropy advanced the clock exactly that many slots.
+    window = crashed.window
+    assert window.closed
+    assert dict(window.lost_propagates) == crashed.expected_lost
+    total_lost = sum(len(v) for v in crashed.expected_lost.values())
+    assert crashed.cluster.metrics.catchup_advances == total_lost
+    assert set(window.drops_by_reason) == {"crash"}
+
+    # 200+ transactions later, the merged history is still PSI and no
+    # acknowledged write is missing anywhere.
+    history = assert_psi(crashed.cluster)
+    assert len(history.committed_updates()) >= 200
+    assert_no_lost_commits(crashed.cluster, crashed.committed)
+    assert not crashed.cluster.any_locks_held()
+    clocks = crashed.cluster.site_clocks()
+    assert all(clock == clocks[0] for clock in clocks)
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_crash_mid_prepare_aborts_and_recovers(protocol):
+    """A participant crashing between staging and voting leaves an
+    in-doubt prepare whose recovery termination resolves *aborted*."""
+    cluster, nemesis = build(protocol, SEEDS[0])
+    sites = keys_by_site(cluster)
+    rng = make_rng(SEEDS[0], "mid-prepare")
+    all_keys = [f"k{i}" for i in range(NUM_KEYS)]
+    for n in range(8):
+        ok, _ = run_txn(cluster, n % NUM_NODES, rng.sample(all_keys, 2))
+        assert ok
+
+    point = crash_at(cluster, nemesis, VICTIM, "prepare", node=VICTIM)
+    keys = [sites[0][0], sites[VICTIM][0]]
+    ok, doomed = run_txn(cluster, 0, keys, attempts=1)
+    assert point.fired
+    assert not ok  # the vote never reached the coordinator
+
+    window = restart(cluster, nemesis, VICTIM)
+    cluster.run()
+
+    victim = cluster.nodes[VICTIM]
+    assert victim.recoveries == 1
+    assert cluster.metrics.indoubt_recovered >= 1
+    assert cluster.metrics.indoubt_aborted >= 1
+    # The aborted transaction's writes exist nowhere.
+    for node in cluster.nodes:
+        for key in keys:
+            if key in node.store:
+                chain = node.store.chain(key)
+                assert not any(v.writer_txn == doomed.txn_id for v in chain)
+    assert not cluster.any_locks_held()
+    assert window.closed
+
+    # The keys are usable again: locks were rebuilt and then released.
+    ok, _ = run_txn(cluster, 1, keys)
+    assert ok
+    assert_psi(cluster)
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_crash_mid_propagate_apply(protocol):
+    """Crashing at the victim's own Propagate apply point loses the
+    following advances; catch-up repairs them after restart."""
+    cluster, nemesis = build(protocol, SEEDS[0])
+    rng = make_rng(SEEDS[0], "mid-propagate")
+    all_keys = [f"k{i}" for i in range(NUM_KEYS)]
+    victim_keys = set(keys_by_site(cluster).get(VICTIM, []))
+    other_keys = sorted(set(all_keys) - victim_keys)
+    for n in range(8):
+        ok, _ = run_txn(cluster, n % NUM_NODES, rng.sample(all_keys, 2))
+        assert ok
+
+    point = crash_at(cluster, nemesis, VICTIM, "propagate", node=VICTIM)
+    ok, _ = run_txn(cluster, 0, other_keys[:2])
+    assert ok
+    assert point.fired  # victim applied the advance, then died
+
+    for n in range(5):
+        ok, _ = run_txn(cluster, (0, 1, 3)[n % 3], rng.sample(other_keys, 2))
+        assert ok
+
+    window = restart(cluster, nemesis, VICTIM)
+    cluster.run()
+
+    victim = cluster.nodes[VICTIM]
+    assert victim.recoveries == 1
+    assert sum(len(v) for v in window.lost_propagates.values()) == 5
+    assert cluster.metrics.catchup_advances == 5
+    clocks = cluster.site_clocks()
+    assert all(clock == clocks[0] for clock in clocks)
+    assert_psi(cluster)
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_crash_with_inflight_decide_recovers_commit(protocol):
+    """The presumed-abort window, closed: a participant that crashed
+    with the Decide in flight recovers the *committed* outcome via the
+    termination query and reinstalls the writes it never applied."""
+    cluster, nemesis = build(protocol, SEEDS[0])
+    sites = keys_by_site(cluster)
+    rng = make_rng(SEEDS[0], "indoubt-commit")
+    all_keys = [f"k{i}" for i in range(NUM_KEYS)]
+    for n in range(8):
+        ok, _ = run_txn(cluster, n % NUM_NODES, rng.sample(all_keys, 2))
+        assert ok
+
+    # Coordinator 0 commits across sites {0, victim}; the listener fires
+    # at the coordinator's "commit" emit, when the victim's Decide has
+    # been sent but not delivered.  The client sees ok=True.
+    point = crash_at(cluster, nemesis, VICTIM, "commit", node=0)
+    keys = [sites[0][0], sites[VICTIM][0]]
+    ok, txn = run_txn(cluster, 0, keys, attempts=1)
+    assert ok and point.fired
+
+    victim = cluster.nodes[VICTIM]
+    victim_key = keys[1]
+    # The crash destroyed the Decide: the write is not at the victim.
+    assert not any(
+        v.writer_txn == txn.txn_id for v in victim.store.chain(victim_key)
+    )
+
+    window = restart(cluster, nemesis, VICTIM)
+    cluster.run()
+
+    assert victim.recoveries == 1
+    assert cluster.metrics.indoubt_committed >= 1
+    # The committed write reappeared, with its origin stamp intact.
+    recovered = [
+        v for v in victim.store.chain(victim_key)
+        if v.writer_txn == txn.txn_id
+    ]
+    assert len(recovered) == 1
+    assert recovered[0].origin == 0 and recovered[0].seq == txn.seq_no
+    assert not cluster.any_locks_held()
+    assert window.closed
+    clocks = cluster.site_clocks()
+    assert all(clock == clocks[0] for clock in clocks)
+    assert_psi(cluster)
+
+
+def test_down_window_accounting_is_exact():
+    """Per-reason drop counters and lost Propagate seq_nos, exactly."""
+    cluster, nemesis = build("fwkv", SEEDS[0])
+    rng = make_rng(SEEDS[0], "accounting")
+    all_keys = [f"k{i}" for i in range(NUM_KEYS)]
+    victim_keys = set(keys_by_site(cluster).get(VICTIM, []))
+    other_keys = sorted(set(all_keys) - victim_keys)
+    for n in range(4):
+        ok, _ = run_txn(cluster, n % NUM_NODES, rng.sample(all_keys, 2))
+        assert ok
+
+    from repro.faults.schedules import CRASH_DURABLE, FaultEvent
+
+    # Crash at a quiescent instant: nothing is in flight, so the window
+    # contains *only* the three Propagates committed while it was open.
+    nemesis.apply(FaultEvent(cluster.sim.now, CRASH_DURABLE, VICTIM))
+    expected = []
+    for _ in range(3):
+        ok, txn = run_txn(cluster, 0, rng.sample(other_keys, 2))
+        assert ok
+        expected.append(txn.seq_no)
+
+    window = restart(cluster, nemesis, VICTIM)
+    cluster.run()
+
+    assert dict(window.drops_by_reason) == {"crash": 3}
+    assert dict(window.lost_propagates) == {0: sorted(expected)}
+    assert nemesis.restart_count == 1
+    assert nemesis.down_windows == [window]
+    assert cluster.nodes[VICTIM].recoveries == 1

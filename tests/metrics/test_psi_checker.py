@@ -142,3 +142,60 @@ def test_history_accessors():
         pass
     else:  # pragma: no cover
         raise AssertionError("expected KeyError")
+
+
+# ----------------------------------------------------------------------
+# Crash/restart-boundary histories (durable-recovery suite)
+# ----------------------------------------------------------------------
+def test_crash_lost_write_fractures_reads():
+    """A committed-then-lost write is flagged, not silently forgiven.
+
+    Writer 100 committed x@1 and y@1 atomically; y's site then crashed
+    durably and (without a WAL) forgot y@1.  A post-restart reader that
+    sees x@1 but the resurrected y@0 has a fractured snapshot -- the
+    checker must flag the merged pre/post-crash history.
+    """
+    history = History()
+    history.append(txn(100, [("w", "x", 1, None), ("w", "y", 1, None)]))
+    # Pre-crash reader: consistent snapshot, no complaint.
+    history.append(txn(101, [("r", "x", 1, 1), ("r", "y", 1, 1)], ro=True))
+    # Post-restart reader at the amnesiac site.
+    history.append(txn(102, [("r", "x", 1, 1), ("r", "y", 0, 1)], ro=True))
+    result = check_no_read_skew(history)
+    assert not result.ok
+    assert "fractured" in result.violations[0]
+
+
+def test_recovered_write_is_not_flagged():
+    """The same boundary with WAL replay: y@1 survives, history is PSI."""
+    history = History()
+    history.append(txn(100, [("w", "x", 1, None), ("w", "y", 1, None)]))
+    history.append(txn(101, [("r", "x", 1, 1), ("r", "y", 1, 1)], ro=True))
+    # Post-restart reader: the recovered site replayed y@1 from its WAL.
+    history.append(txn(102, [("r", "x", 1, 1), ("r", "y", 1, 1)], ro=True))
+    assert check_no_read_skew(history).ok
+    catalog = {("x", 1): (0, 1, 100), ("y", 1): (0, 1, 100)}
+    assert check_site_order(history, catalog).ok
+
+
+def test_wiped_clock_breaks_site_order():
+    """A restart that loses siteVC state serves provably-stale reads.
+
+    The reader's snapshot includes origin 2 up to seq 6 (via x@3), so a
+    y read served from a node whose wipe lost origin-2 seq 4 -- y@1
+    existed when the read was served -- is a per-origin order violation.
+    """
+    history = History()
+    history.append(txn(9, [("r", "x", 3, 3), ("r", "y", 0, 1)], ro=True))
+    catalog = {("x", 3): (2, 6, 110), ("y", 1): (2, 4, 109)}
+    result = check_site_order(history, catalog)
+    assert not result.ok
+    assert "missed" in result.violations[0]
+
+
+def test_caught_up_clock_passes_site_order():
+    """After anti-entropy catch-up the same snapshot shape is clean."""
+    history = History()
+    history.append(txn(9, [("r", "x", 3, 3), ("r", "y", 1, 1)], ro=True))
+    catalog = {("x", 3): (2, 6, 110), ("y", 1): (2, 4, 109)}
+    assert check_site_order(history, catalog).ok

@@ -1,0 +1,180 @@
+"""Unit tests for the write-ahead log and durable-state replay."""
+
+import pytest
+
+from repro.core.vector_clock import VectorClock
+from repro.storage.wal import (
+    AbortRecord,
+    ApplyRecord,
+    DecisionRecord,
+    LoadRecord,
+    PrepareRecord,
+    PropagateRecord,
+    WriteAheadLog,
+    replay,
+    store_fingerprint,
+    version_set_fingerprint,
+)
+
+N = 4
+
+
+def apply_rec(txn_id, origin, seq, writes, vc=None):
+    commit_vc = vc if vc is not None else tuple(
+        seq if i == origin else 0 for i in range(N)
+    )
+    return ApplyRecord(txn_id, origin, seq, commit_vc, tuple(writes))
+
+
+# ----------------------------------------------------------------------
+# The log itself
+# ----------------------------------------------------------------------
+def test_append_and_snapshot():
+    wal = WriteAheadLog()
+    records = [LoadRecord((("x", 0),)), PropagateRecord(1, 1)]
+    for record in records:
+        wal.append(record)
+    assert len(wal) == 2
+    assert wal.records() == tuple(records)
+    # The snapshot is stable: later appends do not mutate it.
+    snapshot = wal.records()
+    wal.append(PropagateRecord(1, 2))
+    assert snapshot == tuple(records)
+
+
+def test_freeze_discards_and_counts():
+    wal = WriteAheadLog()
+    wal.append(PropagateRecord(0, 1))
+    wal.freeze()
+    assert wal.frozen
+    wal.append(PropagateRecord(0, 2))
+    wal.append(AbortRecord(7))
+    assert wal.discarded == 2
+    assert len(wal) == 1
+    wal.unfreeze()
+    wal.append(PropagateRecord(0, 2))
+    assert len(wal) == 2
+    assert wal.discarded == 2
+
+
+# ----------------------------------------------------------------------
+# Replay: store and clock rebuild
+# ----------------------------------------------------------------------
+def test_replay_rebuilds_store_and_clock():
+    records = [
+        LoadRecord((("x", 0), ("y", 0))),
+        apply_rec(100, 1, 1, [("x", 10)]),
+        PropagateRecord(2, 1),
+        apply_rec(101, 1, 2, [("x", 11), ("y", 12)]),
+    ]
+    result = replay(records, N)
+    assert result.replayed == len(records)
+    assert result.site_vc.to_tuple() == (0, 2, 1, 0)
+    x_chain = list(result.store.chain("x"))
+    assert [v.value for v in x_chain] == [0, 10, 11]
+    assert x_chain[-1].origin == 1 and x_chain[-1].seq == 2
+    assert x_chain[-1].writer_txn == 101
+    assert [v.value for v in result.store.chain("y")] == [0, 12]
+    assert not result.in_doubt
+
+
+def test_replay_in_doubt_extraction():
+    prepare = PrepareRecord(200, coordinator=3, writes=(("x", 5),))
+    # A prepare with no matching apply/abort is in doubt; one resolved
+    # either way is not.
+    records = [
+        LoadRecord((("x", 0),)),
+        prepare,
+        PrepareRecord(201, 3, (("x", 6),)),
+        AbortRecord(201),
+        PrepareRecord(202, 2, (("x", 7),)),
+        apply_rec(202, 2, 1, [("x", 7)]),
+    ]
+    result = replay(records, N)
+    assert result.in_doubt == {200: prepare}
+
+
+def test_replay_decisions_and_curr_seq_no():
+    records = [
+        DecisionRecord(300, 1, (1, 0, 0, 0)),
+        DecisionRecord(301, 2, (2, 0, 0, 0)),
+    ]
+    result = replay(records, N)
+    assert set(result.decisions) == {300, 301}
+    assert result.decisions[301].seq_no == 2
+    assert result.curr_seq_no == 2
+
+
+def test_replay_gap_buffering():
+    """A record above the next expected seq waits for its predecessor."""
+    records = [
+        LoadRecord((("x", 0),)),
+        apply_rec(100, 1, 2, [("x", 2)]),  # arrives before seq 1
+        apply_rec(101, 1, 1, [("x", 1)]),  # closes the gap; both apply
+    ]
+    result = replay(records, N)
+    assert result.site_vc[1] == 2
+    # Chain order follows sequence order, not log order.
+    assert [v.value for v in result.store.chain("x")] == [0, 1, 2]
+
+
+def test_replay_skips_duplicates():
+    records = [
+        LoadRecord((("x", 0),)),
+        apply_rec(100, 1, 1, [("x", 1)]),
+        apply_rec(100, 1, 1, [("x", 1)]),  # duplicated suffix
+        PropagateRecord(1, 1),  # stale clock-only duplicate
+    ]
+    result = replay(records, N)
+    assert result.site_vc[1] == 1
+    assert [v.value for v in result.store.chain("x")] == [0, 1]
+
+
+def test_replay_drains_never_contiguous_leftovers():
+    """A truncated log's orphaned records still apply, in seq order."""
+    records = [
+        LoadRecord((("x", 0),)),
+        apply_rec(100, 1, 3, [("x", 3)]),  # seq 1-2 lost with the tail
+        PropagateRecord(1, 5),
+    ]
+    result = replay(records, N)
+    assert result.site_vc[1] == 5
+    assert [v.value for v in result.store.chain("x")] == [0, 3]
+
+
+def test_replay_rejects_unknown_record():
+    with pytest.raises(TypeError):
+        replay([object()], N)
+
+
+# ----------------------------------------------------------------------
+# Fingerprints
+# ----------------------------------------------------------------------
+def test_store_fingerprint_detects_divergence():
+    base = [LoadRecord((("x", 0),)), apply_rec(100, 1, 1, [("x", 1)])]
+    a = replay(base, N).store
+    b = replay(base, N).store
+    assert store_fingerprint(a) == store_fingerprint(b)
+    c = replay(base + [apply_rec(101, 1, 2, [("x", 2)])], N).store
+    assert store_fingerprint(a) != store_fingerprint(c)
+
+
+def test_version_set_fingerprint_is_vid_agnostic():
+    # Two independent origins writing different keys may interleave
+    # differently across replays; the version-set digest is invariant.
+    load = LoadRecord((("x", 0), ("y", 0)))
+    ab = [load, apply_rec(1, 1, 1, [("x", 1)]), apply_rec(2, 2, 1, [("y", 2)])]
+    ba = [load, apply_rec(2, 2, 1, [("y", 2)]), apply_rec(1, 1, 1, [("x", 1)])]
+    assert version_set_fingerprint(replay(ab, N).store) == (
+        version_set_fingerprint(replay(ba, N).store)
+    )
+
+
+def test_replay_commit_vc_preserved():
+    vc = (3, 1, 0, 2)
+    result = replay(
+        [LoadRecord((("x", 0),)), apply_rec(100, 0, 3, [("x", 9)], vc=vc)], N
+    )
+    latest = result.store.chain("x").latest
+    assert latest.vc.to_tuple() == vc
+    assert latest.vc == VectorClock(vc)
