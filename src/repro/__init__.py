@@ -27,9 +27,11 @@ Quickstart::
 """
 
 from repro.config import (
+    CheckpointConfig,
     ClusterConfig,
     CostModel,
     DurabilityConfig,
+    HealingConfig,
     NetworkConfig,
     RpcConfig,
     RunConfig,
@@ -39,10 +41,12 @@ from repro.system import PROTOCOLS, Cluster
 __version__ = "1.0.0"
 
 __all__ = [
+    "CheckpointConfig",
     "Cluster",
     "ClusterConfig",
     "CostModel",
     "DurabilityConfig",
+    "HealingConfig",
     "NetworkConfig",
     "PROTOCOLS",
     "RpcConfig",

@@ -33,6 +33,11 @@ class Node:
         # msg_type -> (handler, spawn_as_process, process_name); the
         # generator check is done once at registration, not per delivery.
         self._handlers: Dict[str, tuple] = {}
+        #: Optional liveness tap: called with the source node id of every
+        #: delivered envelope.  The failure detector installs itself here
+        #: when armed; the default ``None`` keeps delivery on the fast
+        #: path.
+        self.arrival_hook: Optional[Callable[[int], None]] = None
         network.register(node_id, self.deliver)
         self.on(MessageType.RPC_REPLY, self.rpc.handle_reply)
 
@@ -50,6 +55,8 @@ class Node:
 
     def deliver(self, envelope: Envelope) -> None:
         """Network delivery entry point."""
+        if self.arrival_hook is not None:
+            self.arrival_hook(envelope.src)
         entry = self._handlers.get(envelope.msg_type)
         if entry is None:
             raise KeyError(

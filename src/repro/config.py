@@ -105,6 +105,97 @@ class BatchingConfig:
 
 
 @dataclass
+class CheckpointConfig:
+    """WAL checkpointing and truncation (see docs/self_healing.md).
+
+    A checkpoint is a fingerprinted snapshot of the node's durable state
+    (store chains, ``siteVC``, ``CurrSeqNo``, in-doubt prepares, decision
+    log) appended to the WAL; recovery replays snapshot-then-suffix, so
+    replay cost stops growing with history length.  Records below the
+    newest checkpoint are truncated once the anti-entropy digests show the
+    node's own commit frontier at checkpoint time applied at *every* peer
+    -- the precise-GC condition under which no peer can ever again need a
+    truncated decision or prepare.
+    """
+
+    #: Virtual-seconds period between checkpoint attempts by the healing
+    #: daemon; ``None`` (default) disables automatic checkpointing
+    #: (tests may still call ``MVCCNode.checkpoint_now`` directly).
+    interval: Optional[float] = None
+    #: Skip an automatic checkpoint unless at least this many WAL records
+    #: accumulated since the previous one (avoids checkpoint spam on idle
+    #: nodes).
+    min_records: int = 32
+    #: Truncate records below the newest stable checkpoint.  Requires the
+    #: per-peer frontier tracking fed by anti-entropy digests and
+    #: heartbeats; with no frontier evidence the log is never truncated.
+    truncate: bool = True
+
+
+@dataclass
+class HealingConfig:
+    """Self-healing layer: failure detection, anti-entropy, checkpoints.
+
+    Three independently toggleable pieces (see docs/self_healing.md):
+
+    * the **failure detector** (default on) classifies peers
+      alive/suspect/dead from message arrivals and RPC timeouts, caps the
+      retry budget of calls to suspect/dead peers, and lets coordinators
+      fail commits fast instead of burning the full timeout ladder on a
+      participant that is known dead.  With the paper-model defaults
+      (``rpc.request_timeout=None``, no heartbeats) the detector receives
+      no evidence and is completely inert -- tier-1 behaviour is
+      bit-identical;
+    * the **anti-entropy gossip loop** (default off) periodically
+      exchanges ``siteVC`` digests with a seeded-random peer and streams
+      exactly the missing per-origin sequence numbers both ways, closing
+      healed-partition gaps without a restart and without foreground
+      traffic;
+    * **checkpointing** (:class:`CheckpointConfig`, default off) bounds
+      WAL replay cost.
+    """
+
+    #: Master switch for the accrual failure detector.
+    detector_enabled: bool = True
+    #: Active heartbeat period; ``None`` (default) relies purely on
+    #: passive evidence (foreground arrivals and RPC timeouts).
+    heartbeat_interval: Optional[float] = None
+    #: Seeded jitter fraction applied to each heartbeat period (desyncs
+    #: the per-node loops, like production gossip implementations).
+    heartbeat_jitter: float = 0.1
+    #: Skip a heartbeat to a peer the node already messaged within the
+    #: last interval -- foreground traffic is itself liveness evidence.
+    heartbeat_suppression: bool = True
+    #: Accrual (phi) thresholds, in units of the observed mean
+    #: inter-arrival time, used only when heartbeats are active.
+    phi_suspect: float = 3.0
+    phi_dead: float = 8.0
+    #: Passive thresholds: consecutive RPC timeouts against a peer before
+    #: it is classified suspect / dead.
+    suspect_after_timeouts: int = 2
+    dead_after_timeouts: int = 5
+    #: Retry-budget caps fed into :meth:`repro.net.rpc.RpcEndpoint.call`:
+    #: calls to a DEAD peer get one attempt, calls to a SUSPECT peer at
+    #: most ``suspect_max_attempts``.
+    suspect_max_attempts: int = 2
+    #: Coordinator fail-fast: an update commit with a known-dead
+    #: participant aborts immediately (``AbortReason.PEER_DEAD``) instead
+    #: of paying the prepare timeout ladder.
+    fail_fast_commits: bool = True
+    #: Anti-entropy gossip period; ``None`` (default) disables the loop.
+    anti_entropy_interval: Optional[float] = None
+    #: Per-attempt reply deadline for gossip digest RPCs when the global
+    #: ``rpc.request_timeout`` is ``None`` (the loop must never hang on a
+    #: dead peer); ignored when a global timeout is configured.
+    digest_timeout: float = 2e-3
+    #: Upper bound on full Decides streamed to one peer per gossip round
+    #: (flow control; the next round continues where this one stopped).
+    max_stream_per_round: int = 64
+    #: WAL checkpoint/truncation policy.
+    checkpoint: CheckpointConfig = field(default_factory=CheckpointConfig)
+
+
+@dataclass
 class DurabilityConfig:
     """Write-ahead logging and in-doubt termination (see DESIGN.md 5.5).
 
@@ -230,6 +321,10 @@ class ClusterConfig:
     #: Write-ahead logging, durable crash recovery, and in-doubt
     #: termination; defaults keep all of it off (volatile nodes).
     durability: DurabilityConfig = field(default_factory=DurabilityConfig)
+    #: Self-healing layer (failure detector, anti-entropy, checkpoints).
+    #: The detector defaults on but is inert without timeout/heartbeat
+    #: evidence; the periodic loops default off.
+    healing: HealingConfig = field(default_factory=HealingConfig)
     network: NetworkConfig = field(default_factory=NetworkConfig)
     costs: CostModel = field(default_factory=CostModel)
 

@@ -18,6 +18,7 @@ from repro.core.transaction import Transaction
 from repro.core.vector_clock import VectorClock
 from repro.core.wire import (
     DecideBody,
+    HeartbeatBody,
     PrepareBody,
     PropagateBody,
     ReadRequestBody,
@@ -29,6 +30,7 @@ from repro.core.wire import (
     TxnStatusRequestBody,
     VoteBody,
 )
+from repro.healing import NodeHealing
 from repro.metrics.stats import AbortReason
 from repro.net.message import Envelope, MessageType
 from repro.sim import AllOf, ConditionVariable, wait_until
@@ -103,9 +105,19 @@ class MVCCNode(BaseProtocolNode):
         #: needs it (WAL or termination queries); absent entry = aborted or
         #: never decided, which presumed abort treats identically.
         self._decisions: Dict[int, DecideBody] = {}
+        #: Anti-entropy streaming needs decisions addressable by their
+        #: sequence number, so the index rides along with the table.
+        self._decisions_by_seq: Dict[int, DecideBody] = {}
         self._track_decisions = (
-            durability.wal_enabled or durability.termination_query
+            durability.wal_enabled
+            or durability.termination_query
+            or shared.config.healing.anti_entropy_interval is not None
         )
+        #: Decide appliers between popping their prepared entry and
+        #: logging the ApplyRecord (WAL runs only).  While non-empty the
+        #: live store may hold versions the log does not yet explain, so
+        #: the checkpoint manager refuses to snapshot.
+        self._applying: Dict[int, int] = {}
         #: True from the durable-crash instant until recovery completes;
         #: read and prepare handlers park behind ``_recovered_cv`` so no
         #: request observes the half-rebuilt store.
@@ -126,6 +138,11 @@ class MVCCNode(BaseProtocolNode):
         node.on(MessageType.PROPAGATE, self.on_propagate)
         node.on(MessageType.TXN_STATUS, self.on_txn_status)
         node.on(MessageType.SYNC, self.on_sync)
+        node.on(MessageType.HEARTBEAT, self.on_heartbeat)
+        #: The self-healing layer (failure detector, anti-entropy,
+        #: checkpoints).  Constructed unconditionally -- with the default
+        #: configuration it installs no hooks and its loops never spawn.
+        self.healing = NodeHealing(self)
 
     # ------------------------------------------------------------------
     # Loading
@@ -280,6 +297,34 @@ class MVCCNode(BaseProtocolNode):
 
         by_site = self._group_writes_by_site(txn)
 
+        healing = self.healing
+        if (
+            healing.armed
+            and healing.config.fail_fast_commits
+            and len(by_site) > (self.node_id in by_site)
+        ):
+            # Fail fast instead of burning the prepare timeout ladder on
+            # a participant the detector already classified dead.  The
+            # commit would have aborted anyway (RPC_TIMEOUT) -- this only
+            # moves the abort earlier, it never aborts a commit that
+            # could have succeeded against a genuinely live peer, because
+            # DEAD requires hard evidence (consecutive timeouts or deep
+            # accrual silence) and any arrival clears it.
+            detector = healing.detector
+            dead = [
+                site
+                for site in by_site
+                if site != self.node_id and detector.is_dead(site)
+            ]
+            if dead:
+                txn.mark_aborted(self.sim.now)
+                self.metrics.on_abort(txn, AbortReason.PEER_DEAD)
+                self.tracer.emit(
+                    self.node_id, "abort", txn=txn.txn_id,
+                    reason=AbortReason.PEER_DEAD, peers=tuple(dead),
+                )
+                return False
+
         def prepare_body(writes):
             return PrepareBody(
                 txn.txn_id,
@@ -347,6 +392,7 @@ class MVCCNode(BaseProtocolNode):
             # recovery gets the same answer its lost Decide carried.
             if self._track_decisions:
                 self._decisions[txn.txn_id] = decide
+                self._decisions_by_seq[txn.seq_no] = decide
             if self.wal is not None:
                 self.wal.append(
                     DecisionRecord(txn.txn_id, txn.seq_no, decide.commit_vc)
@@ -790,60 +836,72 @@ class MVCCNode(BaseProtocolNode):
         # -- the WAL's in-doubt machinery re-applies the commit instead.
         locks = self.locks
         incarnation = self._incarnation
-        if self.site_vc[body.origin] < body.seq_no:
-            writes = prepared.writes if prepared is not None else {}
-            if writes:
-                yield from self.cpu.consume(self.costs.install_key * len(writes))
-            if self._incarnation != incarnation:
-                if prepared is not None:
-                    locks.release_write_all(
-                        prepared.locked_keys, owner=body.txn_id
+        # From here to the ApplyRecord the transaction is in neither the
+        # prepared table nor (yet) the log while its versions may already
+        # sit in the live store; checkpoints must not observe the window.
+        marking = self.wal is not None
+        if marking:
+            self._applying[body.txn_id] = incarnation
+        try:
+            if self.site_vc[body.origin] < body.seq_no:
+                writes = prepared.writes if prepared is not None else {}
+                if writes:
+                    yield from self.cpu.consume(
+                        self.costs.install_key * len(writes)
                     )
-                return
-            commit_vc = VectorClock(body.commit_vc)
-            installed: List[Version] = []
-            for key, value in writes.items():
-                version = self.store.install(
-                    key,
-                    value,
-                    commit_vc.copy(),
-                    origin=body.origin,
-                    seq=body.seq_no,
-                    writer_txn=body.txn_id,
-                    installed_at=self.sim.now,
-                )
-                installed.append(version)
-                self._maybe_collect_garbage(key)
-            yield from self._on_versions_installed(installed, body.collected)
-            if self._incarnation != incarnation:
-                if prepared is not None:
-                    locks.release_write_all(
-                        prepared.locked_keys, owner=body.txn_id
+                if self._incarnation != incarnation:
+                    if prepared is not None:
+                        locks.release_write_all(
+                            prepared.locked_keys, owner=body.txn_id
+                        )
+                    return
+                commit_vc = VectorClock(body.commit_vc)
+                installed: List[Version] = []
+                for key, value in writes.items():
+                    version = self.store.install(
+                        key,
+                        value,
+                        commit_vc.copy(),
+                        origin=body.origin,
+                        seq=body.seq_no,
+                        writer_txn=body.txn_id,
+                        installed_at=self.sim.now,
                     )
-                return
-            if self.wal is not None:
-                # Logged atomically with the clock advance (no yields
-                # between): a crash before this point leaves the prepare
-                # in doubt and recovery re-applies it; a crash after has
-                # the full install on record.
-                self.wal.append(
-                    ApplyRecord(
-                        body.txn_id,
-                        body.origin,
-                        body.seq_no,
-                        body.commit_vc,
-                        tuple(writes.items()),
+                    installed.append(version)
+                    self._maybe_collect_garbage(key)
+                yield from self._on_versions_installed(installed, body.collected)
+                if self._incarnation != incarnation:
+                    if prepared is not None:
+                        locks.release_write_all(
+                            prepared.locked_keys, owner=body.txn_id
+                        )
+                    return
+                if self.wal is not None:
+                    # Logged atomically with the clock advance (no yields
+                    # between): a crash before this point leaves the prepare
+                    # in doubt and recovery re-applies it; a crash after has
+                    # the full install on record.
+                    self.wal.append(
+                        ApplyRecord(
+                            body.txn_id,
+                            body.origin,
+                            body.seq_no,
+                            body.commit_vc,
+                            tuple(writes.items()),
+                        )
                     )
-                )
-            self.site_vc[body.origin] = body.seq_no  # Alg. 5 line 21
-            self.site_vc_changed.notify_all()
-            if self.tracer._enabled:
-                self.tracer.emit(
-                    self.node_id, "decide", txn=body.txn_id,
-                    origin=body.origin, seq=body.seq_no,
-                )
-        if prepared is not None:
-            locks.release_write_all(prepared.locked_keys, owner=body.txn_id)
+                self.site_vc[body.origin] = body.seq_no  # Alg. 5 line 21
+                self.site_vc_changed.notify_all()
+                if self.tracer._enabled:
+                    self.tracer.emit(
+                        self.node_id, "decide", txn=body.txn_id,
+                        origin=body.origin, seq=body.seq_no,
+                    )
+            if prepared is not None:
+                locks.release_write_all(prepared.locked_keys, owner=body.txn_id)
+        finally:
+            if marking and self._applying.get(body.txn_id) == incarnation:
+                del self._applying[body.txn_id]
 
     def _maybe_collect_garbage(self, key: Hashable) -> None:
         """Reclaim cold versions once a chain outgrows the trigger length."""
@@ -942,8 +1000,28 @@ class MVCCNode(BaseProtocolNode):
         self.node.rpc.reply(envelope, reply)
 
     def on_sync(self, envelope: Envelope) -> None:
-        """Report this node's applied commit frontier (anti-entropy)."""
+        """Report this node's applied commit frontier (anti-entropy).
+
+        Gossip digests additionally carry the requester's own ``siteVC``;
+        its entry for *our* origin is durable-frontier evidence the
+        checkpoint manager uses to decide WAL truncation.
+        """
+        request: SyncRequestBody = self.node.rpc.body_of(envelope)
+        if request.site_vc is not None:
+            self.healing.note_peer_frontier(
+                request.requester, request.site_vc[self.node_id]
+            )
         self.node.rpc.reply(envelope, SyncReplyBody(self.site_vc.to_tuple()))
+
+    def on_heartbeat(self, envelope: Envelope) -> None:
+        """A peer's liveness beacon (the arrival itself fed the detector
+        via ``Node.arrival_hook``); harvest its frontier evidence."""
+        body: HeartbeatBody = envelope.payload
+        self.healing.on_heartbeat(envelope.src, body.site_vc)
+
+    def checkpoint_now(self):
+        """Snapshot durable state into the WAL (see CheckpointManager)."""
+        return self.healing.checkpoints.checkpoint_now()
 
     # ------------------------------------------------------------------
     # Durable crash & recovery
@@ -998,6 +1076,8 @@ class MVCCNode(BaseProtocolNode):
         self._preparing = set()
         self._propagate_buffer = {}
         self._decisions = {}
+        self._decisions_by_seq = {}
+        self._applying = {}
         site_vc = self.site_vc
         for origin in range(self.shared.num_nodes):
             site_vc[origin] = 0
@@ -1018,13 +1098,15 @@ class MVCCNode(BaseProtocolNode):
         self.curr_seq_no = max(result.curr_seq_no, site_vc[self.node_id])
         if self._track_decisions:
             for txn_id, decision in result.decisions.items():
-                self._decisions[txn_id] = DecideBody(
+                body = DecideBody(
                     txn_id=txn_id,
                     outcome=True,
                     origin=self.node_id,
                     seq_no=decision.seq_no,
                     commit_vc=decision.commit_vc,
                 )
+                self._decisions[txn_id] = body
+                self._decisions_by_seq[decision.seq_no] = body
         for txn_id, record in sorted(result.in_doubt.items()):
             writes = dict(record.writes)
             entry = _PreparedTxn(
@@ -1126,30 +1208,12 @@ class MVCCNode(BaseProtocolNode):
             else:
                 self._abort_prepared(txn_id, entry)
 
-        # Anti-entropy: learn the commit frontier we slept through.
-        settles = [
-            self.node.rpc.spawn_call(
-                peer, MessageType.SYNC, SyncRequestBody(self.node_id)
-            )
-            for peer in self.shared.config.node_ids
-            if peer != self.node_id
-        ]
-        replies = yield AllOf(self.sim, settles)
+        # Anti-entropy: learn the commit frontier we slept through.  The
+        # SYNC fan-out is the healing layer's digest machinery -- recovery
+        # is one invocation of the same code the background gossip runs.
+        targets, peer_frontiers = yield from self.healing.collect_frontiers()
         if self._incarnation != incarnation:
             return
-        targets = [0] * self.shared.num_nodes
-        peers = [
-            peer for peer in self.shared.config.node_ids
-            if peer != self.node_id
-        ]
-        peer_frontiers: Dict[int, int] = {}
-        for peer, (ok, reply) in zip(peers, replies):
-            if not ok:
-                continue
-            peer_frontiers[peer] = reply.site_vc[self.node_id]
-            for origin, frontier in enumerate(reply.site_vc):
-                if frontier > targets[origin]:
-                    targets[origin] = frontier
         if self.curr_seq_no > targets[self.node_id]:
             targets[self.node_id] = self.curr_seq_no
         for origin, target in enumerate(targets):

@@ -144,9 +144,18 @@ class TxnStatusReplyBody:
 
 @dataclass(slots=True)
 class SyncRequestBody:
-    """Anti-entropy catch-up request from a recovering node."""
+    """Anti-entropy digest: a recovering node's catch-up request, or one
+    side of the periodic background gossip exchange.
+
+    ``site_vc`` (gossip only) is the requester's own applied frontier; the
+    handler records ``site_vc[handler]`` as the requester's durable
+    knowledge of the handler's origin, the evidence WAL truncation waits
+    on.  Recovery-time requests omit it -- a half-rebuilt clock is not
+    evidence of anything.
+    """
 
     requester: int
+    site_vc: Optional[Tuple[int, ...]] = None
 
 
 @dataclass(slots=True)
@@ -157,6 +166,17 @@ class SyncReplyBody:
     either had the recoverer as a 2PC participant (restored from its own
     WAL and terminated explicitly) or carried no data for it (clock-only
     Propagate), so the advance is always safe.
+    """
+
+    site_vc: Tuple[int, ...]
+
+
+@dataclass(slots=True)
+class HeartbeatBody:
+    """Failure-detector beacon (one-way, background channel).
+
+    Carries the sender's ``siteVC`` so receivers harvest per-peer frontier
+    evidence (for WAL truncation) from liveness traffic for free.
     """
 
     site_vc: Tuple[int, ...]

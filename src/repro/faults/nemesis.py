@@ -84,6 +84,14 @@ class Nemesis:
         self.down_windows: List[DownWindow] = []
         #: node -> its currently-open durable window.
         self._durable_down: Dict[int, DownWindow] = {}
+        #: directed link -> (cut time, partition-drop counter at the cut),
+        #: for the per-window accounting the heal event reports.
+        self._partition_windows: Dict[Tuple[int, int], Tuple[float, int]] = {}
+        #: One ``(a, b, duration, dropped, dropped_reverse)`` record per
+        #: heal, in heal order -- what each partition window destroyed.
+        #: ``dropped_reverse`` is None while the reverse direction is
+        #: still cut (an asymmetric heal cannot account it yet).
+        self.heal_reports: List[Tuple] = []
         #: Envelope drop feed, attached to the network while at least one
         #: durable window is open.
         self._drop_log: List[Tuple[str, object]] = []
@@ -107,13 +115,56 @@ class Nemesis:
         elif event.kind == RESTART:
             self._restart(event.a)
         elif event.kind == PARTITION:
-            self.network.partition(event.a, event.b)
+            self._partition(event.a, event.b)
         elif event.kind == HEAL:
-            self.network.heal(event.a, event.b)
+            self.applied.append(event)
+            self._heal(event.a, event.b)
+            return  # _heal emits the enriched nemesis_heal trace event
         else:  # pragma: no cover - FaultEvent validates kinds
             raise ValueError(f"unknown fault kind {event.kind!r}")
         self.applied.append(event)
         self.tracer.emit(event.a, f"nemesis_{event.kind}", peer=event.b)
+
+    # ------------------------------------------------------------------
+    # Partition-window accounting
+    # ------------------------------------------------------------------
+    def _partition(self, a: int, b: int) -> None:
+        self.network.partition(a, b)
+        if (a, b) not in self._partition_windows:
+            self._partition_windows[(a, b)] = (
+                self.sim.now,
+                self.network.stats.partition_drops[(a, b)],
+            )
+
+    def _heal(self, a: int, b: int) -> None:
+        """Heal ``a -> b`` and report what the window destroyed.
+
+        The trace event carries the window's duration and the messages
+        the cut dropped in each direction, so a healed run's trace shows
+        exactly how much state anti-entropy has to repair.  The reverse
+        count reads the reverse window's running total without closing it
+        -- in the common symmetric heal both directions stop dropping at
+        the same instant, so the total is already final; with the reverse
+        still cut it is an honest "destroyed so far".  ``0`` means the
+        reverse direction was never cut.
+        """
+        self.network.heal(a, b)
+        drops = self.network.stats.partition_drops
+        window = self._partition_windows.pop((a, b), None)
+        started, base = (
+            window if window is not None else (self.sim.now, drops[(a, b)])
+        )
+        duration = self.sim.now - started
+        dropped = drops[(a, b)] - base
+        reverse = self._partition_windows.get((b, a))
+        dropped_reverse = (
+            drops[(b, a)] - reverse[1] if reverse is not None else 0
+        )
+        self.heal_reports.append((a, b, duration, dropped, dropped_reverse))
+        self.tracer.emit(
+            a, "nemesis_heal", peer=b, duration=duration,
+            dropped=dropped, dropped_reverse=dropped_reverse,
+        )
 
     # ------------------------------------------------------------------
     # Durable crash machinery

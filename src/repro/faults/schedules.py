@@ -116,6 +116,30 @@ def partition_cycle(
     return ordered(events)
 
 
+def isolate_cycle(
+    node: int,
+    node_ids: Sequence[int],
+    at: float,
+    duration: float,
+) -> List[FaultEvent]:
+    """Fully isolate ``node`` from every other node, then heal.
+
+    Cuts both directions of every link between ``node`` and the rest of
+    ``node_ids`` at ``at`` and heals them all ``duration`` later -- the
+    canonical heal-without-restart scenario: the node keeps its volatile
+    state, sleeps through the cluster's commits, and background
+    anti-entropy must close the gap after the heal.
+    """
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    events: List[FaultEvent] = []
+    for peer in node_ids:
+        if peer == node:
+            continue
+        events += partition_cycle(node, peer, at, duration)
+    return ordered(events)
+
+
 def staggered_crashes(
     node_ids: Sequence[int],
     start: float,

@@ -1,0 +1,20 @@
+"""Self-healing layer: failure detection, anti-entropy, checkpointing.
+
+See docs/self_healing.md for the design and
+:class:`~repro.config.HealingConfig` for the knobs.  Everything here is
+off (or inert) under the default configuration, preserving the paper
+model bit for bit.
+"""
+
+from repro.healing.checkpoint import CheckpointManager
+from repro.healing.daemon import NodeHealing
+from repro.healing.detector import ALIVE, DEAD, SUSPECT, FailureDetector
+
+__all__ = [
+    "ALIVE",
+    "SUSPECT",
+    "DEAD",
+    "FailureDetector",
+    "NodeHealing",
+    "CheckpointManager",
+]

@@ -1,0 +1,181 @@
+"""WAL checkpointing and distributed-evidence truncation.
+
+A checkpoint is a :class:`~repro.storage.wal.CheckpointRecord` -- a
+fingerprinted snapshot of the node's durable state -- appended to the WAL
+so replay resets to it and only consumes the suffix.  Locally that makes
+truncating everything below the newest checkpoint state-preserving by
+construction; *distributed* safety needs one more condition:
+
+    every peer has applied this node's own commit frontier as of the
+    checkpoint.
+
+Until then a peer (or this node recovering on a truncated log) might
+still need a below-checkpoint DecisionRecord re-announced: a Decide or
+Propagate lost to a fault is repaired from the decision log, and the
+decision log below the checkpoint survives only inside the snapshot.
+The evidence is the per-peer frontier map the healing daemon harvests
+from heartbeats and anti-entropy digests; once the floor of that map
+reaches the checkpoint's own-origin frontier, no peer can ever again ask
+about anything below it (a TxnStatus query is only sent by a node still
+holding the prepare, and applying the sequence number resolves the
+prepare first), so the same evidence also lets the in-memory decision
+log be pruned -- precise GC for both the log and the table.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.storage.wal import (
+    CheckpointRecord,
+    DecisionRecord,
+    PrepareRecord,
+    build_checkpoint,
+)
+
+
+class CheckpointManager:
+    """Checkpoint/truncation policy for one node's WAL."""
+
+    def __init__(self, owner, healing) -> None:
+        self.owner = owner
+        self.healing = healing
+        self.config = healing.config.checkpoint
+        #: Cumulative WAL append count as of the previous checkpoint
+        #: (survives truncation, which only shifts the record list).
+        self._last_logical = 0
+        #: Own-origin frontier captured by the newest checkpoint; the
+        #: truncation evidence must reach it.  ``None`` = nothing pending.
+        self._stable_required: Optional[int] = None
+        #: Checkpoints taken at this node (test probe).
+        self.taken = 0
+
+    def _logical_length(self) -> int:
+        """Records ever appended (list length plus truncated prefix)."""
+        wal = self.owner.wal
+        return len(wal) + wal.truncated
+
+    # ------------------------------------------------------------------
+    # Taking checkpoints
+    # ------------------------------------------------------------------
+    def maybe_checkpoint(self) -> bool:
+        """Take a checkpoint if enough records accumulated; True if taken."""
+        owner = self.owner
+        if owner.wal is None or owner.wal.frozen or owner._recovering:
+            return False
+        if self._logical_length() - self._last_logical < self.config.min_records:
+            return False
+        return self.checkpoint_now() is not None
+
+    def checkpoint_now(self) -> Optional[CheckpointRecord]:
+        """Snapshot the node's durable state into the WAL immediately.
+
+        Returns ``None`` (and takes nothing) while any Decide applier is
+        between installing its versions and logging its ApplyRecord
+        (``owner._applying``): in that window the live store holds
+        versions the log does not yet explain, so a snapshot of it would
+        not equal replay-of-prefix -- the invariant the whole scheme
+        rests on.  The window is a few simulated microseconds; the next
+        attempt succeeds.
+        """
+        owner = self.owner
+        if owner.wal is None or owner.wal.frozen or owner._recovering:
+            return None
+        if owner._applying:
+            return None
+        in_doubt = [
+            PrepareRecord(txn_id, entry.coordinator, tuple(entry.writes.items()))
+            for txn_id, entry in sorted(owner._prepared.items())
+        ]
+        decisions = [
+            DecisionRecord(txn_id, decision.seq_no, decision.commit_vc)
+            for txn_id, decision in sorted(owner._decisions.items())
+        ]
+        record = build_checkpoint(
+            owner.store,
+            owner.site_vc,
+            owner.curr_seq_no,
+            in_doubt=in_doubt,
+            decisions=decisions,
+            records_below=len(owner.wal),
+        )
+        owner.wal.append(record)
+        self._last_logical = self._logical_length()
+        self._stable_required = owner.site_vc[owner.node_id]
+        self.taken += 1
+        owner.metrics.on_checkpoint()
+        if owner.tracer._enabled:
+            owner.tracer.emit(
+                owner.node_id, "checkpoint",
+                records_below=record.records_below,
+                in_doubt=len(in_doubt),
+                own_frontier=self._stable_required,
+            )
+        return record
+
+    # ------------------------------------------------------------------
+    # Truncation
+    # ------------------------------------------------------------------
+    def stable_floor(self) -> Optional[int]:
+        """The own-origin frontier every peer is known to have applied.
+
+        ``None`` until evidence from *every* peer has arrived -- with a
+        peer unheard from, nothing is provably stable.  A single-node
+        cluster has no peers and everything is trivially stable.
+        """
+        peers = self.healing._peers
+        if not peers:
+            return self.owner.site_vc[self.owner.node_id]
+        frontiers = self.healing.peer_frontiers
+        floor = None
+        for peer in peers:
+            frontier = frontiers.get(peer)
+            if frontier is None:
+                return None
+            if floor is None or frontier < floor:
+                floor = frontier
+        return floor
+
+    def maybe_truncate(self) -> int:
+        """Truncate below the newest checkpoint once it is stable.
+
+        Returns the number of records dropped (0 when disabled, when no
+        checkpoint is pending, or when the evidence has not caught up).
+        Also prunes the in-memory decision log below the stable floor --
+        the same evidence proves no TxnStatus query or gossip stream can
+        ever need those entries again.
+        """
+        owner = self.owner
+        if (
+            not self.config.truncate
+            or owner.wal is None
+            or owner.wal.frozen
+            or self._stable_required is None
+        ):
+            return 0
+        floor = self.stable_floor()
+        if floor is None or floor < self._stable_required:
+            return 0
+        dropped = owner.wal.truncate_to_checkpoint()
+        self._stable_required = None
+        self._prune_decisions(floor)
+        if dropped:
+            owner.metrics.on_truncate(dropped)
+            if owner.tracer._enabled:
+                owner.tracer.emit(
+                    owner.node_id, "truncate", dropped=dropped, floor=floor
+                )
+        return dropped
+
+    def _prune_decisions(self, floor: int) -> None:
+        """Drop decision-log entries at or below the stable floor."""
+        decisions = self.owner._decisions
+        by_seq = self.owner._decisions_by_seq
+        stale = [
+            txn_id
+            for txn_id, decision in decisions.items()
+            if decision.seq_no is not None and decision.seq_no <= floor
+        ]
+        for txn_id in stale:
+            decision = decisions.pop(txn_id)
+            by_seq.pop(decision.seq_no, None)

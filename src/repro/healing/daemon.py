@@ -1,0 +1,404 @@
+"""Per-node self-healing daemon: heartbeats, gossip, checkpoints.
+
+One :class:`NodeHealing` rides along with every MVCC protocol node and
+runs up to three background loops, each armed only by configuration
+(:class:`~repro.config.HealingConfig`) so the paper-model defaults spawn
+nothing and change nothing:
+
+* the **heartbeat loop** beacons this node's ``siteVC`` to every peer on
+  a jittered period, feeding the accrual failure detector at the
+  receivers.  Heartbeats to a peer with traffic already in flight are
+  suppressed (foreground messages are themselves liveness evidence);
+* the **gossip loop** picks a seeded-random peer each period and runs one
+  anti-entropy round: exchange ``siteVC`` digests over the existing SYNC
+  RPC, push the full Decides of our own origin the peer is missing, and
+  pull the clock advances we are missing -- after resolving any in-doubt
+  prepares a lagging origin coordinated, so a committed transaction's
+  buffered writes are installed rather than skipped.  This is the same
+  machinery crash recovery invokes (its SYNC fan-out is
+  :meth:`NodeHealing.collect_frontiers`), which is what lets a node that
+  slept through a partition converge again *without* a restart and
+  without foreground traffic;
+* the **checkpoint loop** snapshots the node's durable state into the
+  WAL and truncates the log below the newest checkpoint once the
+  per-peer frontier evidence (harvested from heartbeats and digests)
+  shows it stable everywhere -- see
+  :class:`~repro.healing.checkpoint.CheckpointManager`.
+
+Every loop draws from one seeded RNG stream per node
+(``make_rng(seed, "healing", node_id)``), so a healing-enabled run is a
+pure function of its seed like everything else in the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.config import RpcConfig
+from repro.core.wire import (
+    DecideBody,
+    HeartbeatBody,
+    SyncRequestBody,
+    TxnStatusRequestBody,
+)
+from repro.healing.detector import FailureDetector
+from repro.net.message import MessageType
+from repro.sim import AllOf
+from repro.sim.rng import make_rng
+
+
+class NodeHealing:
+    """The self-healing layer of one MVCC protocol node."""
+
+    def __init__(self, owner) -> None:
+        self.owner = owner
+        shared = owner.shared
+        self.sim = owner.sim
+        self.node_id = owner.node_id
+        self.config = shared.config.healing
+        self.metrics = owner.metrics
+        self.tracer = owner.tracer
+        self._peers = [
+            peer for peer in shared.config.node_ids if peer != self.node_id
+        ]
+        self._rng = make_rng(shared.config.seed, "healing", self.node_id)
+        #: peer -> newest sequence number of *our* origin known applied
+        #: there (from heartbeats and gossip digests); the evidence WAL
+        #: truncation and decision-log pruning wait on.
+        self.peer_frontiers: Dict[int, int] = {}
+        #: Completed anti-entropy rounds at this node (test probe).
+        self.rounds = 0
+        self._stopped = False
+        self._started = False
+
+        config = self.config
+        self.detector: Optional[FailureDetector] = None
+        #: Whether the detector actually receives evidence.  Without a
+        #: heartbeat period or an RPC timeout there is none, and leaving
+        #: the hooks uninstalled keeps delivery and the RPC retry ladder
+        #: on their original fast paths -- tier-1 runs are bit-identical.
+        self.armed = False
+        if config.detector_enabled:
+            self.detector = FailureDetector(
+                self.sim,
+                self.node_id,
+                shared.num_nodes,
+                config,
+                metrics=self.metrics,
+                tracer=self.tracer,
+            )
+            if (
+                config.heartbeat_interval is not None
+                or owner.node.rpc.config.request_timeout is not None
+            ):
+                owner.node.rpc.detector = self.detector
+                owner.node.arrival_hook = self.detector.on_arrival
+                self.armed = True
+
+        # Gossip RPCs must never hang a round on a dead peer: under the
+        # paper's reliable-channel default (no global timeout) they get a
+        # private single-attempt deadline; with a global timeout they use
+        # the endpoint's own (detector-capped) policy.
+        if owner.node.rpc.config.request_timeout is None:
+            self._rpc_config: Optional[RpcConfig] = RpcConfig(
+                request_timeout=config.digest_timeout, max_attempts=1
+            )
+        else:
+            self._rpc_config = None
+
+        # Imported here to keep repro.healing free of an import cycle
+        # through repro.storage at module load order.
+        from repro.healing.checkpoint import CheckpointManager
+
+        self.checkpoints = CheckpointManager(owner, self)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn whichever periodic loops the configuration arms."""
+        if self._started:
+            return
+        self._started = True
+        self._stopped = False
+        config = self.config
+        name = f"n{self.node_id}"
+        if config.heartbeat_interval is not None and self._peers:
+            self.sim.spawn(self._heartbeat_loop(), name=f"{name}:heartbeat")
+        if config.anti_entropy_interval is not None and self._peers:
+            self.sim.spawn(self._gossip_loop(), name=f"{name}:gossip")
+        if config.checkpoint.interval is not None and self.owner.wal is not None:
+            self.sim.spawn(self._checkpoint_loop(), name=f"{name}:checkpoint")
+
+    def stop(self) -> None:
+        """Wind down the periodic loops (each exits at its next wake-up)."""
+        self._stopped = True
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Frontier evidence
+    # ------------------------------------------------------------------
+    def note_peer_frontier(self, peer: int, frontier: int) -> None:
+        """Record that ``peer`` has applied our origin up to ``frontier``."""
+        if frontier > self.peer_frontiers.get(peer, -1):
+            self.peer_frontiers[peer] = frontier
+
+    def on_heartbeat(self, src: int, site_vc) -> None:
+        """A peer's beacon arrived (liveness went through arrival_hook)."""
+        self.note_peer_frontier(src, site_vc[self.node_id])
+
+    # ------------------------------------------------------------------
+    # Heartbeats
+    # ------------------------------------------------------------------
+    def _heartbeat_loop(self):
+        config = self.config
+        interval = config.heartbeat_interval
+        owner = self.owner
+        network = owner.node.network
+        while not self._stopped:
+            delay = interval
+            if config.heartbeat_jitter > 0:
+                delay += self._rng.uniform(
+                    0.0, config.heartbeat_jitter * interval
+                )
+            yield self.sim.timeout(delay)
+            if self._stopped:
+                return
+            if owner._recovering:
+                continue
+            now = self.sim.now
+            body = HeartbeatBody(owner.site_vc.to_tuple())
+            for peer in self._peers:
+                if (
+                    config.heartbeat_suppression
+                    and network.last_send_horizon(self.node_id, peer) >= now
+                ):
+                    # A message to this peer is already in flight; it
+                    # carries the same liveness signal for free.
+                    self.metrics.on_heartbeat(sent=False)
+                    continue
+                owner.node.send(peer, MessageType.HEARTBEAT, body)
+                self.metrics.on_heartbeat(sent=True)
+
+    # ------------------------------------------------------------------
+    # Anti-entropy gossip
+    # ------------------------------------------------------------------
+    def _gossip_loop(self):
+        config = self.config
+        interval = config.anti_entropy_interval
+        owner = self.owner
+        peers = self._peers
+        while not self._stopped:
+            delay = interval
+            if config.heartbeat_jitter > 0:
+                delay += self._rng.uniform(
+                    0.0, config.heartbeat_jitter * interval
+                )
+            yield self.sim.timeout(delay)
+            if self._stopped:
+                return
+            if owner._recovering:
+                continue
+            peer = peers[self._rng.randrange(len(peers))]
+            yield from self.gossip_round(peer)
+
+    def gossip_round(self, peer: int):
+        """One full anti-entropy exchange with ``peer``.
+
+        Generator subroutine (tests drive it directly against a chosen
+        peer).  Exchanges digests, pushes the peer's missing share of our
+        own origin, pulls our missing share of everything else, then lets
+        the checkpoint manager re-evaluate truncation with the fresh
+        frontier evidence.
+        """
+        owner = self.owner
+        incarnation = owner._incarnation
+        ok, reply = yield from owner.node.rpc.call_settled(
+            peer,
+            MessageType.SYNC,
+            SyncRequestBody(self.node_id, owner.site_vc.to_tuple()),
+            config=self._rpc_config,
+        )
+        if (
+            not ok
+            or self._stopped
+            or owner._recovering
+            or owner._incarnation != incarnation
+        ):
+            return
+        peer_vc = reply.site_vc
+        self.note_peer_frontier(peer, peer_vc[self.node_id])
+        streamed = self._stream_own_origin(peer, peer_vc[self.node_id])
+        yield from self._pull(peer_vc, incarnation)
+        self.rounds += 1
+        self.metrics.on_anti_entropy_round(streamed)
+        if self.tracer._enabled:
+            self.tracer.emit(
+                self.node_id, "anti_entropy", peer=peer, streamed=streamed
+            )
+        self.checkpoints.maybe_truncate()
+
+    def _stream_own_origin(self, peer: int, frontier: int) -> int:
+        """Send ``peer`` the full Decides of our origin it has not applied.
+
+        Always safe: re-announcing our own commits duplicates at worst
+        (the apply path skips sequence numbers at or below the peer's
+        clock), and a *full* Decide -- never a clock-only Propagate -- is
+        required because the peer may still hold the prepared writes and
+        must install them under the clock tick.  Bounded per round by
+        ``max_stream_per_round``; the next round resumes from the peer's
+        advanced digest.
+        """
+        owner = self.owner
+        own_frontier = owner.site_vc[self.node_id]
+        if frontier >= own_frontier:
+            return 0
+        by_seq = owner._decisions_by_seq
+        limit = self.config.max_stream_per_round
+        streamed = 0
+        first = last = None
+        for seq_no in range(frontier + 1, own_frontier + 1):
+            if streamed >= limit:
+                break
+            decision = by_seq.get(seq_no)
+            if decision is None:
+                continue
+            owner.node.send(peer, MessageType.DECIDE, decision)
+            streamed += 1
+            if first is None:
+                first = seq_no
+            last = seq_no
+        if streamed:
+            if self.tracer._enabled:
+                self.tracer.emit(
+                    self.node_id, "stream", peer=peer,
+                    first=first, last=last, count=streamed,
+                )
+        return streamed
+
+    def _pull(self, peer_vc, incarnation: int):
+        """Advance our clock toward a peer's digest, without losing writes.
+
+        A lagging origin may have committed a transaction we hold
+        *prepared*: advancing ``siteVC`` past its sequence number with
+        the writes still buffered would silently drop them.  So in-doubt
+        prepares coordinated by a lagging origin are resolved first via
+        TxnStatus (exactly recovery's step 1); committed ones are applied
+        through the normal Decide path with their sequence numbers
+        reserved, and only then does the clock-only catch-up run.  An
+        origin whose coordinator cannot be reached is skipped this round
+        rather than advanced past unresolved state.
+        """
+        owner = self.owner
+        site_vc = owner.site_vc
+        lagging: Dict[int, int] = {}
+        for origin, target in enumerate(peer_vc):
+            if origin != self.node_id and target > site_vc[origin]:
+                lagging[origin] = target
+        if not lagging:
+            return
+        reserved: Dict[int, Set[int]] = {}
+        unresolved: Set[int] = set()
+        for txn_id, entry in sorted(owner._prepared.items()):
+            coordinator = entry.coordinator
+            if coordinator not in lagging or coordinator in unresolved:
+                continue
+            ok, reply = yield from owner.node.rpc.call_settled(
+                coordinator,
+                MessageType.TXN_STATUS,
+                TxnStatusRequestBody(txn_id),
+                config=self._rpc_config,
+            )
+            if (
+                self._stopped
+                or owner._recovering
+                or owner._incarnation != incarnation
+            ):
+                return
+            if not ok:
+                unresolved.add(coordinator)
+                continue
+            if owner._prepared.get(txn_id) is not entry:
+                continue  # a racing Decide resolved it meanwhile
+            self.metrics.on_indoubt_resolved(reply.committed)
+            if self.tracer._enabled:
+                self.tracer.emit(
+                    self.node_id, "indoubt", txn=txn_id,
+                    committed=reply.committed, via="anti_entropy",
+                )
+            if reply.committed:
+                reserved.setdefault(reply.origin, set()).add(reply.seq_no)
+                self.sim.spawn(
+                    owner._apply_committed_decide(
+                        DecideBody(
+                            txn_id=txn_id,
+                            outcome=True,
+                            origin=reply.origin,
+                            seq_no=reply.seq_no,
+                            commit_vc=reply.commit_vc,
+                            collected=reply.collected,
+                        )
+                    ),
+                    name=f"n{self.node_id}:gossip-apply-{txn_id}",
+                )
+            else:
+                owner._abort_prepared(txn_id, entry)
+        for origin in sorted(lagging):
+            if origin in unresolved:
+                continue
+            target = lagging[origin]
+            if target > site_vc[origin]:
+                yield from owner._catch_up_origin(
+                    origin, target, reserved.get(origin, frozenset())
+                )
+            if self._stopped or owner._incarnation != incarnation:
+                return
+
+    # ------------------------------------------------------------------
+    # Recovery's shared SYNC fan-out
+    # ------------------------------------------------------------------
+    def collect_frontiers(self):
+        """Digest every peer at once: recovery's anti-entropy step.
+
+        Generator subroutine returning ``(targets, peer_frontiers)`` --
+        the element-wise max clock over all replies and each reachable
+        peer's applied frontier of *our* origin.  The request omits our
+        own ``siteVC`` on purpose: a half-rebuilt clock is not frontier
+        evidence.  Uses the endpoint's normal RPC policy (recovery keeps
+        its historical retry semantics).
+        """
+        owner = self.owner
+        peers = self._peers
+        settles = [
+            owner.node.rpc.spawn_call(
+                peer, MessageType.SYNC, SyncRequestBody(self.node_id)
+            )
+            for peer in peers
+        ]
+        replies = yield AllOf(self.sim, settles)
+        targets = [0] * owner.shared.num_nodes
+        peer_frontiers: Dict[int, int] = {}
+        for peer, (ok, reply) in zip(peers, replies):
+            if not ok:
+                continue
+            peer_frontiers[peer] = reply.site_vc[self.node_id]
+            self.note_peer_frontier(peer, reply.site_vc[self.node_id])
+            for origin, frontier in enumerate(reply.site_vc):
+                if frontier > targets[origin]:
+                    targets[origin] = frontier
+        return targets, peer_frontiers
+
+    # ------------------------------------------------------------------
+    # Checkpoints
+    # ------------------------------------------------------------------
+    def _checkpoint_loop(self):
+        interval = self.config.checkpoint.interval
+        owner = self.owner
+        while not self._stopped:
+            yield self.sim.timeout(interval)
+            if self._stopped:
+                return
+            if owner._recovering:
+                continue
+            self.checkpoints.maybe_checkpoint()
+            self.checkpoints.maybe_truncate()

@@ -1,0 +1,176 @@
+"""Accrual failure detection from message arrivals and RPC timeouts.
+
+One :class:`FailureDetector` per node classifies every peer as ALIVE,
+SUSPECT, or DEAD from two evidence streams, both driven by simulator
+time and therefore fully deterministic:
+
+* **passive** -- every delivered message from a peer is an arrival;
+  every timed-out RPC attempt against it is a strike.  Consecutive
+  strikes past ``suspect_after_timeouts`` / ``dead_after_timeouts``
+  raise the classification; any arrival clears it.  This stream costs
+  nothing until ``RpcConfig.request_timeout`` is configured, so the
+  paper's reliable-channel model never accrues evidence and the
+  detector stays inert.
+* **accrual** (phi, Hayashibara-style) -- when active heartbeats are
+  configured the detector tracks each peer's mean inter-arrival time
+  (EWMA) and scores the silence since the last arrival in units of that
+  mean: ``phi = (now - last_arrival) / mean_interval``.  ``phi``
+  crossing ``phi_suspect`` / ``phi_dead`` raises the classification,
+  which -- unlike a fixed timeout -- adapts to however slow the peer
+  has actually been, so a consistently slow-but-alive peer is not
+  falsely declared dead.
+
+Consumers:
+
+* :meth:`attempts_budget` caps the RPC retry ladder (1 attempt for a
+  DEAD peer, ``suspect_max_attempts`` for a SUSPECT one);
+* :meth:`is_dead` feeds the coordinator's commit fail-fast;
+* suspicion transitions are counted in the metrics recorder and emitted
+  as ``suspect`` / ``trust`` trace events.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.config import HealingConfig
+
+#: Peer classifications, ordered by increasing suspicion.
+ALIVE = "alive"
+SUSPECT = "suspect"
+DEAD = "dead"
+
+_RANK = {ALIVE: 0, SUSPECT: 1, DEAD: 2}
+
+#: EWMA weight of the newest inter-arrival sample.
+_EWMA_ALPHA = 0.2
+
+
+class FailureDetector:
+    """Per-node accrual failure detector over the cluster's peers."""
+
+    def __init__(
+        self,
+        sim,
+        node_id: int,
+        num_nodes: int,
+        config: HealingConfig,
+        metrics=None,
+        tracer=None,
+    ) -> None:
+        self.sim = sim
+        self.node_id = node_id
+        self.num_nodes = num_nodes
+        self.config = config
+        self.metrics = metrics
+        self.tracer = tracer
+        self._state: List[str] = [ALIVE] * num_nodes
+        self._strikes: List[int] = [0] * num_nodes
+        self._last_arrival: List[Optional[float]] = [None] * num_nodes
+        self._mean_interval: List[Optional[float]] = [None] * num_nodes
+        #: Whether phi scoring is armed (heartbeats configured).
+        self._accrual = config.heartbeat_interval is not None
+
+    # ------------------------------------------------------------------
+    # Evidence
+    # ------------------------------------------------------------------
+    def on_arrival(self, peer: int) -> None:
+        """Any message from ``peer`` was delivered here: it is alive."""
+        if peer == self.node_id:
+            return
+        now = self.sim.now
+        last = self._last_arrival[peer]
+        if last is not None:
+            sample = now - last
+            mean = self._mean_interval[peer]
+            if mean is None:
+                self._mean_interval[peer] = sample
+            else:
+                self._mean_interval[peer] = (
+                    mean + _EWMA_ALPHA * (sample - mean)
+                )
+        self._last_arrival[peer] = now
+        self._strikes[peer] = 0
+        if self._state[peer] != ALIVE:
+            self._transition(peer, ALIVE)
+
+    def on_rpc_timeout(self, peer: int) -> None:
+        """One RPC attempt against ``peer`` hit its reply deadline."""
+        if peer == self.node_id:
+            return
+        self._strikes[peer] += 1
+        self._reclassify(peer)
+
+    # ------------------------------------------------------------------
+    # Classification
+    # ------------------------------------------------------------------
+    def phi(self, peer: int) -> float:
+        """Silence since the peer's last arrival, in mean intervals."""
+        last = self._last_arrival[peer]
+        mean = self._mean_interval[peer]
+        if last is None or mean is None or mean <= 0.0:
+            return 0.0
+        return (self.sim.now - last) / mean
+
+    def state(self, peer: int) -> str:
+        """The peer's current classification (re-scored on read).
+
+        Accrual evidence is time-driven, so the score can cross a
+        threshold between evidence events; re-scoring on read keeps the
+        answer current without a polling process.
+        """
+        self._reclassify(peer)
+        return self._state[peer]
+
+    def is_dead(self, peer: int) -> bool:
+        return self.state(peer) == DEAD
+
+    def is_suspect(self, peer: int) -> bool:
+        """SUSPECT or worse."""
+        return _RANK[self.state(peer)] >= _RANK[SUSPECT]
+
+    def attempts_budget(self, peer: int, configured: int) -> int:
+        """Retry attempts :meth:`RpcEndpoint.call` should spend on ``peer``.
+
+        A known-dead peer gets a single probe (enough to notice it came
+        back); a suspect peer gets a shortened ladder.  A healthy peer
+        keeps the configured budget.
+        """
+        state = self.state(peer)
+        if state == DEAD:
+            return 1
+        if state == SUSPECT:
+            return max(1, min(configured, self.config.suspect_max_attempts))
+        return configured
+
+    def _reclassify(self, peer: int) -> None:
+        config = self.config
+        verdict = ALIVE
+        strikes = self._strikes[peer]
+        if strikes >= config.dead_after_timeouts:
+            verdict = DEAD
+        elif strikes >= config.suspect_after_timeouts:
+            verdict = SUSPECT
+        if self._accrual and _RANK[verdict] < _RANK[DEAD]:
+            phi = self.phi(peer)
+            if phi >= config.phi_dead:
+                verdict = DEAD
+            elif phi >= config.phi_suspect and verdict == ALIVE:
+                verdict = SUSPECT
+        if verdict != self._state[peer]:
+            self._transition(peer, verdict)
+
+    def _transition(self, peer: int, verdict: str) -> None:
+        previous = self._state[peer]
+        self._state[peer] = verdict
+        raised = _RANK[verdict] > _RANK[previous]
+        if self.metrics is not None:
+            self.metrics.on_suspicion(raised)
+        if self.tracer is not None and self.tracer._enabled:
+            self.tracer.emit(
+                self.node_id,
+                "suspect" if raised else "trust",
+                peer=peer,
+                state=verdict,
+                was=previous,
+            )

@@ -17,6 +17,10 @@ class AbortReason:
     #: The coordinator's prepare/commit RPC exhausted its retries and the
     #: transaction was presumed-aborted (crash, partition, or loss).
     RPC_TIMEOUT = "rpc_timeout"
+    #: The failure detector classified a participant dead and the
+    #: coordinator failed the commit fast instead of paying the timeout
+    #: ladder (``HealingConfig.fail_fast_commits``).
+    PEER_DEAD = "peer_dead"
 
 
 class RunningStat:
@@ -174,6 +178,23 @@ class MetricsRecorder:
         #: siteVC slots advanced by anti-entropy catch-up (lost Propagates).
         self.catchup_advances = 0
 
+        #: Self-healing accounting (run-wide, never window-gated).
+        #: Active liveness beacons sent / skipped because foreground
+        #: traffic to the peer already proved the sender alive.
+        self.heartbeats_sent = 0
+        self.heartbeats_suppressed = 0
+        #: Failure-detector transitions: alive -> suspect/dead raises a
+        #: suspicion; any arrival from a suspected peer clears it.
+        self.suspicions_raised = 0
+        self.suspicions_cleared = 0
+        #: Completed background anti-entropy digest exchanges.
+        self.anti_entropy_rounds = 0
+        #: Full Decide records streamed to lagging peers by anti-entropy.
+        self.records_streamed = 0
+        #: WAL checkpoints taken and records truncated below them.
+        self.checkpoints_taken = 0
+        self.wal_records_truncated = 0
+
     # ------------------------------------------------------------------
     # Window control
     # ------------------------------------------------------------------
@@ -293,6 +314,34 @@ class MetricsRecorder:
         Propagates."""
         self.catchup_advances += advanced
 
+    def on_heartbeat(self, sent: bool) -> None:
+        """One heartbeat tick: sent, or suppressed by recent traffic."""
+        if sent:
+            self.heartbeats_sent += 1
+        else:
+            self.heartbeats_suppressed += 1
+
+    def on_suspicion(self, raised: bool) -> None:
+        """A failure-detector state transition (raised or cleared)."""
+        if raised:
+            self.suspicions_raised += 1
+        else:
+            self.suspicions_cleared += 1
+
+    def on_anti_entropy_round(self, streamed: int) -> None:
+        """One completed gossip exchange that streamed ``streamed``
+        Decide records to the lagging side."""
+        self.anti_entropy_rounds += 1
+        self.records_streamed += streamed
+
+    def on_checkpoint(self) -> None:
+        """One WAL checkpoint snapshot was appended."""
+        self.checkpoints_taken += 1
+
+    def on_truncate(self, dropped: int) -> None:
+        """WAL records below a stable checkpoint were truncated."""
+        self.wal_records_truncated += dropped
+
     @property
     def stale_read_fraction(self) -> float:
         return self.ro_stale_reads / self.ro_reads if self.ro_reads else 0.0
@@ -331,4 +380,12 @@ class MetricsRecorder:
             "indoubt_committed": self.indoubt_committed,
             "indoubt_aborted": self.indoubt_aborted,
             "catchup_advances": self.catchup_advances,
+            "heartbeats_sent": self.heartbeats_sent,
+            "heartbeats_suppressed": self.heartbeats_suppressed,
+            "suspicions_raised": self.suspicions_raised,
+            "suspicions_cleared": self.suspicions_cleared,
+            "anti_entropy_rounds": self.anti_entropy_rounds,
+            "records_streamed": self.records_streamed,
+            "checkpoints_taken": self.checkpoints_taken,
+            "wal_records_truncated": self.wal_records_truncated,
         }

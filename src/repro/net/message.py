@@ -23,14 +23,18 @@ class MessageType:
     RPC_REPLY = "RpcReply"
     #: In-doubt termination query (participant -> coordinator RPC).
     TXN_STATUS = "TxnStatus"
-    #: Anti-entropy catch-up exchange during crash recovery (RPC).
+    #: Anti-entropy digest exchange (RPC): recovery catch-up and the
+    #: periodic background gossip both speak it.
     SYNC = "Sync"
+    #: Failure-detector liveness beacon (one-way, background channel).
+    HEARTBEAT = "Heartbeat"
 
     #: Message types delivered on the background channel.  Asynchronous
-    #: traffic (commit propagation, VAS garbage collection) must not delay
-    #: or be delayed by the transaction critical path, matching the paper's
-    #: "asynchronous messages, sent outside the transaction critical path".
-    BACKGROUND = frozenset({PROPAGATE, REMOVE})
+    #: traffic (commit propagation, VAS garbage collection, liveness
+    #: beacons) must not delay or be delayed by the transaction critical
+    #: path, matching the paper's "asynchronous messages, sent outside the
+    #: transaction critical path".
+    BACKGROUND = frozenset({PROPAGATE, REMOVE, HEARTBEAT})
 
 
 @dataclass(slots=True)

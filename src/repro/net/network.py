@@ -41,6 +41,9 @@ class NetworkStats:
     #: Timed-out attempts that were retried (timeouts minus give-ups).
     rpc_retries: int = 0
     bytes_hint: int = 0
+    #: Partition drops broken out by directed link ``(src, dst)``; the
+    #: nemesis reads this to report what a partition window destroyed.
+    partition_drops: Counter = field(default_factory=Counter)
 
 
 class Network:
@@ -210,6 +213,8 @@ class Network:
     def _drop(self, reason: str, envelope: Envelope) -> None:
         self.stats.messages_dropped += 1
         self.stats.drops_by_reason[reason] += 1
+        if reason == DROP_PARTITION:
+            self.stats.partition_drops[(envelope.src, envelope.dst)] += 1
         if self.drop_log is not None:
             self.drop_log.append((reason, envelope))
 
@@ -253,3 +258,15 @@ class Network:
     def is_partitioned(self, a: int, b: int) -> bool:
         """Whether the directed link ``a -> b`` is currently cut."""
         return (a, b) in self._partitioned
+
+    def last_send_horizon(self, src: int, dst: int) -> float:
+        """Newest scheduled delivery time of any ``src -> dst`` message.
+
+        ``0.0`` if the pair never communicated.  The healing layer uses
+        this to suppress heartbeats to peers the node is already talking
+        to -- foreground traffic is itself liveness evidence.
+        """
+        horizon = self._fifo_horizon
+        fg = horizon.get((src, dst, "fg"), 0.0)
+        bg = horizon.get((src, dst, "bg"), 0.0)
+        return fg if fg >= bg else bg

@@ -111,6 +111,11 @@ class RpcEndpoint:
         # Retry backoff jitter; derived per node so endpoints stay
         # independent of each other and of the network's own streams.
         self._rng = make_rng(network.seed, "rpc", node_id)
+        #: Optional failure detector (set by the healing layer).  When
+        #: attached, every timed-out attempt feeds it evidence and the
+        #: retry budget of a call is capped by the peer's classification
+        #: -- one probe for a known-dead peer instead of the full ladder.
+        self.detector = None
 
     def request(self, dst: int, msg_type: str, body: Any) -> Event:
         """Send a request; the returned event delivers the reply body."""
@@ -151,6 +156,15 @@ class RpcEndpoint:
         if cfg.request_timeout is None:
             reply = yield self.request(dst, msg_type, body)
             return reply
+        detector = self.detector
+        # The budget is fixed at call start: a mid-call classification
+        # change shortens the *next* call, keeping each call's attempt
+        # count a pure function of state at its first send.
+        max_attempts = (
+            cfg.max_attempts
+            if detector is None
+            else detector.attempts_budget(dst, cfg.max_attempts)
+        )
         attempt = 0
         while True:
             attempt += 1
@@ -165,7 +179,9 @@ class RpcEndpoint:
             # Timed out: retire the slot so a late reply counts as stale.
             self._pending.pop(request_id, None)
             self.network.stats.rpc_timeouts += 1
-            if attempt >= cfg.max_attempts:
+            if detector is not None:
+                detector.on_rpc_timeout(dst)
+            if attempt >= max_attempts:
                 raise RpcTimeoutError(dst, msg_type, attempt)
             self.network.stats.rpc_retries += 1
             delay = min(

@@ -50,6 +50,12 @@ class Tracer:
             "indoubt",
             "recover",
             "catchup",
+            "suspect",
+            "trust",
+            "anti_entropy",
+            "stream",
+            "checkpoint",
+            "truncate",
             "nemesis_crash",
             "nemesis_crash_durable",
             "nemesis_restart",

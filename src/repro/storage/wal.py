@@ -10,17 +10,22 @@ of the cluster may have observed.
 
 Record vocabulary (one dataclass per protocol step, see DESIGN.md 5.5):
 
-==================  ====================================================
-``LoadRecord``      initial data load (the seed "checkpoint")
-``PrepareRecord``   participant voted yes; writes are locked and staged
-``DecisionRecord``  coordinator decided *commit* and assigned ``seq_no``
-                    (logged before the Decide fan-out -- the classic
-                    presumed-abort rule: no decision record, no Decide
-                    ever sent, so recovery may safely abort)
-``ApplyRecord``     a Decide installed versions and advanced ``siteVC``
-``PropagateRecord`` a Propagate advanced ``siteVC`` (clock-only)
-``AbortRecord``     a prepared transaction was resolved aborted
-==================  ====================================================
+===================  ===================================================
+``LoadRecord``       initial data load (the seed "checkpoint")
+``PrepareRecord``    participant voted yes; writes are locked and staged
+``DecisionRecord``   coordinator decided *commit* and assigned ``seq_no``
+                     (logged before the Decide fan-out -- the classic
+                     presumed-abort rule: no decision record, no Decide
+                     ever sent, so recovery may safely abort)
+``ApplyRecord``      a Decide installed versions and advanced ``siteVC``
+``PropagateRecord``  a Propagate advanced ``siteVC`` (clock-only)
+``AbortRecord``      a prepared transaction was resolved aborted
+``CheckpointRecord`` fingerprinted snapshot of the node's full durable
+                     state; replay resets to it and continues with the
+                     suffix, so truncating everything below the newest
+                     checkpoint (:meth:`WriteAheadLog.truncate_to_\
+checkpoint`) keeps replay cost bounded as history grows
+===================  ===================================================
 
 Replay is **idempotent** and **order-insensitive within a sequence-number
 gap**: per-origin clock advances are buffered until contiguous, records
@@ -36,11 +41,14 @@ become durable, since none of its messages escape the crashed node.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, Hashable, Iterable, List, Optional, Tuple
 
 from repro.core.vector_clock import VectorClock
+from repro.storage.chain import VersionChain
 from repro.storage.store import MultiVersionStore
+from repro.storage.version import Version
 
 
 @dataclass(frozen=True)
@@ -100,6 +108,50 @@ class AbortRecord:
     txn_id: int
 
 
+#: One version inside a checkpointed chain:
+#: ``(value, vc_tuple, origin, seq, writer_txn, installed_at)``.
+SnapshotVersion = Tuple[object, Tuple[int, ...], int, int, Optional[int], float]
+
+
+@dataclass(frozen=True)
+class CheckpointRecord:
+    """A fingerprinted snapshot of the node's entire durable state.
+
+    Replay *resets* to the snapshot (discarding whatever the preceding
+    records built -- by construction the snapshot already reflects them)
+    and continues with the suffix, which makes a truncated log and the
+    full history replay to bit-identical state.  Everything recovery
+    needs survives inside the snapshot:
+
+    * the store's exact chain layout, including each chain's GC-advanced
+      ``base_vid`` and every version's identity and payload;
+    * ``siteVC`` and ``CurrSeqNo``;
+    * the in-doubt prepares outstanding at checkpoint time (a crash
+      after truncation would otherwise lose their staged writes);
+    * the coordinator decision log (TxnStatus answers and own-origin
+      re-announcement after a crash).
+
+    ``fingerprint`` is a digest of the store snapshot, verified at
+    replay -- a checkpoint that does not restore to exactly the state it
+    captured fails loudly instead of silently diverging.
+    """
+
+    site_vc: Tuple[int, ...]
+    curr_seq_no: int
+    #: ``(key, base_vid, (SnapshotVersion, ...))`` per chain.
+    chains: Tuple[Tuple[Hashable, int, Tuple[SnapshotVersion, ...]], ...]
+    in_doubt: Tuple[PrepareRecord, ...]
+    decisions: Tuple[DecisionRecord, ...]
+    fingerprint: str
+    #: WAL records captured below this checkpoint when it was taken
+    #: (bookkeeping for truncation-safety assertions in tests).
+    records_below: int = 0
+
+
+class CheckpointMismatchError(Exception):
+    """A checkpoint restored to state that contradicts its fingerprint."""
+
+
 WalRecord = object  # union of the record dataclasses above
 
 
@@ -117,6 +169,8 @@ class WriteAheadLog:
         self._frozen = False
         #: Appends discarded while frozen (crash-window compute).
         self.discarded = 0
+        #: Records dropped by checkpoint truncation, cumulatively.
+        self.truncated = 0
 
     def append(self, record: WalRecord) -> None:
         if self._frozen:
@@ -143,6 +197,146 @@ class WriteAheadLog:
         """A stable snapshot of the surviving records."""
         return tuple(self._records)
 
+    def truncate_to_checkpoint(self) -> int:
+        """Drop every record below the newest checkpoint; returns count.
+
+        The caller is responsible for the distributed-safety condition
+        (every peer has applied this node's own commit frontier as of the
+        checkpoint -- see ``CheckpointManager``); locally the operation
+        is always state-preserving because replay resets at the
+        checkpoint anyway.  A frozen (mid-crash) log refuses to truncate.
+        """
+        if self._frozen:
+            return 0
+        index = None
+        for position in range(len(self._records) - 1, -1, -1):
+            if isinstance(self._records[position], CheckpointRecord):
+                index = position
+                break
+        if not index:  # no checkpoint, or already the first record
+            return 0
+        self._records = self._records[index:]
+        self.truncated += index
+        return index
+
+
+def checkpoint_fingerprint(
+    chains: Iterable[Tuple[Hashable, int, Tuple[SnapshotVersion, ...]]],
+    site_vc: Tuple[int, ...],
+    curr_seq_no: int,
+) -> str:
+    """Digest of a checkpoint's store + clock content.
+
+    Keys and values reach the digest through ``repr``, which is stable
+    for the plain scalar payloads the simulation stores; the digest is
+    compared between capture and restore, both within one process, so
+    only self-consistency is required.
+    """
+    hasher = hashlib.sha256()
+    for key, base_vid, versions in sorted(
+        chains, key=lambda entry: repr(entry[0])
+    ):
+        hasher.update(repr((key, base_vid, versions)).encode())
+    hasher.update(repr((site_vc, curr_seq_no)).encode())
+    return hasher.hexdigest()
+
+
+def build_checkpoint(
+    store: MultiVersionStore,
+    site_vc: VectorClock,
+    curr_seq_no: int,
+    in_doubt: Iterable[PrepareRecord] = (),
+    decisions: Iterable[DecisionRecord] = (),
+    records_below: int = 0,
+) -> CheckpointRecord:
+    """Capture a node's durable state as a :class:`CheckpointRecord`."""
+    chains = tuple(
+        (
+            key,
+            store.chain(key)._base_vid,
+            tuple(
+                (
+                    version.value,
+                    version.vc.to_tuple(),
+                    version.origin,
+                    version.seq,
+                    version.writer_txn,
+                    version.installed_at,
+                )
+                for version in store.chain(key)
+            ),
+        )
+        for key in store.keys()
+    )
+    site_vc_tuple = site_vc.to_tuple()
+    return CheckpointRecord(
+        site_vc=site_vc_tuple,
+        curr_seq_no=curr_seq_no,
+        chains=chains,
+        in_doubt=tuple(
+            sorted(in_doubt, key=lambda record: record.txn_id)
+        ),
+        decisions=tuple(
+            sorted(decisions, key=lambda record: record.txn_id)
+        ),
+        fingerprint=checkpoint_fingerprint(
+            chains, site_vc_tuple, curr_seq_no
+        ),
+        records_below=records_below,
+    )
+
+
+def restore_store(record: CheckpointRecord) -> MultiVersionStore:
+    """Rebuild the exact chain layout a checkpoint captured.
+
+    Reconstructs each chain's GC-advanced ``base_vid`` and dense vid
+    sequence directly (the ``install`` API always starts at vid 0), then
+    verifies the record's fingerprint against the rebuilt state.
+    """
+    store = MultiVersionStore()
+    chains = store._chains
+    for key, base_vid, versions in record.chains:
+        chain = VersionChain(key)
+        chain._base_vid = base_vid
+        vid = base_vid
+        for value, vc, origin, seq, writer_txn, installed_at in versions:
+            chain._versions.append(
+                Version(
+                    key, value, VectorClock(vc), vid, origin, seq,
+                    writer_txn, installed_at,
+                )
+            )
+            vid += 1
+        chain._latest = chain._versions[-1] if chain._versions else None
+        chains[key] = chain
+    rebuilt = checkpoint_fingerprint(
+        (
+            (
+                key,
+                chain._base_vid,
+                tuple(
+                    (
+                        version.value,
+                        version.vc.to_tuple(),
+                        version.origin,
+                        version.seq,
+                        version.writer_txn,
+                        version.installed_at,
+                    )
+                    for version in chain
+                ),
+            )
+            for key, chain in chains.items()
+        ),
+        record.site_vc,
+        record.curr_seq_no,
+    )
+    if rebuilt != record.fingerprint:
+        raise CheckpointMismatchError(
+            f"checkpoint fingerprint {record.fingerprint} restored as {rebuilt}"
+        )
+    return store
+
 
 @dataclass
 class ReplayResult:
@@ -159,6 +353,8 @@ class ReplayResult:
     curr_seq_no: int
     #: Records consumed (for metrics/assertions).
     replayed: int
+    #: Checkpoint records encountered (the last one reset the state).
+    checkpoints: int = 0
 
 
 def replay(records: Iterable[WalRecord], num_nodes: int) -> ReplayResult:
@@ -180,6 +376,7 @@ def replay(records: Iterable[WalRecord], num_nodes: int) -> ReplayResult:
     decisions: Dict[int, DecisionRecord] = {}
     curr_seq_no = 0
     replayed = 0
+    checkpoints = 0
     # origin -> {seq_no: record} waiting for its per-origin predecessor.
     pending: Dict[int, Dict[int, WalRecord]] = {}
 
@@ -230,6 +427,26 @@ def replay(records: Iterable[WalRecord], num_nodes: int) -> ReplayResult:
             in_doubt.pop(record.txn_id, None)
         elif isinstance(record, (ApplyRecord, PropagateRecord)):
             admit(record)
+        elif isinstance(record, CheckpointRecord):
+            # Reset to the snapshot.  The preceding records built exactly
+            # the state the snapshot captured (checkpoints are taken from
+            # live state, after everything below them was applied), so
+            # discarding the rebuilt prefix -- including gap-buffered
+            # clock records at or below the snapshot clock -- loses
+            # nothing; this is what makes a truncated log replay
+            # bit-identically to the full history.
+            checkpoints += 1
+            store = restore_store(record)
+            site_vc = VectorClock(record.site_vc)
+            in_doubt = {
+                prepare.txn_id: prepare for prepare in record.in_doubt
+            }
+            decisions = {
+                decision.txn_id: decision for decision in record.decisions
+            }
+            if record.curr_seq_no > curr_seq_no:
+                curr_seq_no = record.curr_seq_no
+            pending.clear()
         else:
             raise TypeError(f"unknown WAL record {record!r}")
 
@@ -249,6 +466,7 @@ def replay(records: Iterable[WalRecord], num_nodes: int) -> ReplayResult:
         decisions=decisions,
         curr_seq_no=curr_seq_no,
         replayed=replayed,
+        checkpoints=checkpoints,
     )
 
 

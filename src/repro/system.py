@@ -79,6 +79,12 @@ class Cluster:
             node_cls(Node(self.sim, node_id, self.network), self.shared)
             for node_id in config.node_ids
         ]
+        # Arm the self-healing loops (heartbeats, anti-entropy, WAL
+        # checkpoints) on every MVCC node.  With the default HealingConfig
+        # no loop is configured, so this spawns nothing; when periods are
+        # configured the loops run forever -- drive such clusters with
+        # run(until=...) or call stop_healing() before a quiescence run.
+        self.start_healing()
 
     # ------------------------------------------------------------------
     # Data loading
@@ -107,6 +113,21 @@ class Cluster:
         return sum(
             nodes[owner].load_many(bucket) for owner, bucket in buckets.items()
         )
+
+    # ------------------------------------------------------------------
+    # Self-healing lifecycle
+    # ------------------------------------------------------------------
+    def start_healing(self) -> None:
+        """Spawn the configured healing loops on every MVCC node."""
+        for node in self.nodes:
+            if isinstance(node, MVCCNode):
+                node.healing.start()
+
+    def stop_healing(self) -> None:
+        """Wind the healing loops down so the simulator can quiesce."""
+        for node in self.nodes:
+            if isinstance(node, MVCCNode):
+                node.healing.stop()
 
     # ------------------------------------------------------------------
     # Access

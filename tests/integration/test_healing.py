@@ -1,0 +1,544 @@
+"""End-to-end self-healing suite: heal without restart, false suspicion,
+fail-fast commits, and checkpointed recovery.
+
+The headline scenario is the one the ROADMAP promised: a node that
+sleeps through a partition -- volatile state intact, no restart --
+converges back to a never-partitioned control's exact durable state
+through *background anti-entropy alone*, with zero foreground traffic
+after the heal.  The other scenarios pin down the failure detector's
+re-admission behaviour (a silent-but-alive peer is suspected, then
+trusted again on its first arrival, with no committed write lost), the
+coordinator's fail-fast abort against a known-dead participant, and the
+checkpoint/truncation pipeline driving a bounded-replay recovery that is
+bit-identical to a full-history one.
+
+Everything is deterministic: the healing loops draw from per-node seeded
+RNG streams and ``Simulator.run(until=...)`` always lands on the exact
+deadline, so both runs of a control/faulty pair execute the same
+transaction plan on the same virtual-time skeleton.  Because the
+periodic loops never quiesce, these tests step the clock with
+``run(until=...)`` and call ``stop_healing()`` before any final
+run-to-quiescence drain.
+
+Seeds come from ``HEALING_SEEDS`` (comma-separated) so CI can sweep a
+matrix without editing the file.
+"""
+
+import os
+
+import pytest
+
+from repro import (
+    Cluster,
+    ClusterConfig,
+    DurabilityConfig,
+    HealingConfig,
+    NetworkConfig,
+    RpcConfig,
+)
+from repro.cluster import ModuloDirectory
+from repro.faults import Nemesis
+from repro.faults.schedules import (
+    CRASH_DURABLE,
+    HEAL,
+    PARTITION,
+    FaultEvent,
+    isolate_cycle,
+)
+from repro.healing import ALIVE, DEAD
+from repro.metrics.stats import AbortReason
+from repro.net.rpc import RpcTimeoutError
+from repro.sim.rng import make_rng
+from repro.storage.wal import replay, store_fingerprint
+
+from tests.harness.recovery_tools import node_fingerprint, restart
+
+NUM_NODES = 4
+NUM_KEYS = 16
+VICTIM = 2
+
+#: Anti-entropy gossip period used by the convergence scenarios, and the
+#: post-heal budget granted before asserting convergence (periods).
+AE_INTERVAL = 4e-4
+CONVERGE_PERIODS = 10
+#: Per-commit settle pause in the run(until=...) driver: long enough for
+#: every in-flight Decide/Propagate (except partition-destroyed ones) to
+#: drain, which makes per-key install order -- and therefore the store
+#: fingerprint -- identical between a faulty run and its control.
+SETTLE = 1e-3
+
+SEEDS = tuple(
+    int(s) for s in os.environ.get("HEALING_SEEDS", "7,11").split(",")
+)
+
+pytestmark = pytest.mark.healing
+
+
+def build(seed, healing, *, wal=False, record_history=False):
+    config = ClusterConfig(
+        num_nodes=NUM_NODES,
+        seed=seed,
+        prepared_lease=5e-3,
+        gc_enabled=False,
+        durability=DurabilityConfig(
+            wal_enabled=wal, termination_query=wal
+        ),
+        network=NetworkConfig(
+            jitter=5e-6,
+            rpc=RpcConfig(request_timeout=1.5e-3, max_attempts=3),
+        ),
+        healing=healing,
+    )
+    cluster = Cluster(
+        "fwkv", config, directory=ModuloDirectory(NUM_NODES),
+        record_history=record_history,
+    )
+    for i in range(NUM_KEYS):
+        cluster.load(f"k{i}", 0)
+    return cluster, Nemesis(cluster)
+
+
+def keys_by_site(cluster):
+    sites = {}
+    for i in range(NUM_KEYS):
+        key = f"k{i}"
+        sites.setdefault(cluster.directory.site(key), []).append(key)
+    return sites
+
+
+def drive(cluster, plan, *, settle=SETTLE):
+    """Run ``(coordinator, keys)`` read-modify-write commits sequentially.
+
+    run(until=...)-based so it works with healing loops active (the
+    simulator never quiesces).  Each commit is followed by a settle pause
+    that drains its fan-out, keeping the transaction sequence -- and the
+    per-key version order -- identical across runs of the same plan.
+    """
+    outcomes = []
+
+    def driver():
+        for coordinator, keys in plan:
+            node = cluster.node(coordinator)
+            txn = node.begin(is_read_only=False)
+            values = []
+            for key in keys:
+                values.append((yield from node.read(txn, key)))
+            for key, value in zip(keys, values):
+                node.write(txn, key, value + 1)
+            ok = yield from node.commit(txn)
+            outcomes.append(ok)
+            yield cluster.sim.timeout(settle)
+
+    cluster.spawn(driver(), name="plan-driver")
+    cluster.run(until=cluster.sim.now + len(plan) * (settle + 1e-3) + 1e-3)
+    assert len(outcomes) == len(plan), "plan driver did not finish in time"
+    assert all(outcomes), "a planned commit failed"
+
+
+def commit_once(cluster, coordinator, writes, *, budget=5e-3):
+    """One blind-write commit attempt; returns (ok, virtual duration)."""
+    result = []
+
+    def attempt():
+        node = cluster.node(coordinator)
+        txn = node.begin(is_read_only=False)
+        started = cluster.sim.now
+        for key, value in writes:
+            node.write(txn, key, value)
+        try:
+            ok = yield from node.commit(txn)
+        except RpcTimeoutError:
+            node.abort(txn)
+            ok = False
+        result.append((ok, cluster.sim.now - started))
+
+    cluster.spawn(attempt(), name="one-commit")
+    cluster.run(until=cluster.sim.now + budget)
+    assert result, "commit attempt did not finish within its budget"
+    return result[0]
+
+
+# ----------------------------------------------------------------------
+# Heal without restart: background anti-entropy closes the gap
+# ----------------------------------------------------------------------
+def run_isolation_scenario(seed, *, partition):
+    """The headline scenario, with or without the partition window.
+
+    Identical plans on an identical virtual-time skeleton, so the faulty
+    run's victim is comparable bit-for-bit against the control's at the
+    post-convergence barrier.
+    """
+    healing = HealingConfig(
+        anti_entropy_interval=AE_INTERVAL, digest_timeout=5e-4
+    )
+    cluster, nemesis = build(seed, healing)
+    rng = make_rng(seed, "healing-isolation")
+    all_keys = [f"k{i}" for i in range(NUM_KEYS)]
+    victim_keys = set(keys_by_site(cluster).get(VICTIM, []))
+    other_keys = sorted(set(all_keys) - victim_keys)
+    assert victim_keys, "the keyspace must place keys at the victim"
+
+    # Phase A: commits everywhere, victim included, so the victim holds
+    # real store content and a nonzero own-origin frontier.
+    plan_a = [
+        (n % NUM_NODES, rng.sample(all_keys, 2)) for n in range(12)
+    ]
+    drive(cluster, plan_a)
+
+    cut_at = cluster.sim.now + 1e-4
+    window = 20e-3
+    if partition:
+        nemesis.start(
+            isolate_cycle(VICTIM, range(NUM_NODES), cut_at, window)
+        )
+    cluster.run(until=cut_at + 1e-5)  # let the cut land (no-op in control)
+
+    # Phase B (the isolation window): commits that avoid the victim
+    # entirely -- the only victim-bound traffic is what the cut destroys.
+    plan_b = [
+        ((0, 1, 3)[n % 3], rng.sample(other_keys, 2)) for n in range(9)
+    ]
+    drive(cluster, plan_b)
+    assert cluster.sim.now < cut_at + window, "plan B outran the window"
+
+    lag = None
+    if partition:
+        # The victim slept through phase B: its clock is strictly behind.
+        victim_vc = cluster.nodes[VICTIM].site_vc.to_tuple()
+        peer_vc = cluster.nodes[0].site_vc.to_tuple()
+        lag = sum(b - a for a, b in zip(victim_vc, peer_vc))
+        assert lag == len(plan_b)
+
+    # Heal, then grant a bounded number of anti-entropy periods with
+    # ZERO foreground traffic: only the background loops run.
+    heal_at = cut_at + window
+    budget = CONVERGE_PERIODS * (AE_INTERVAL * 1.1 + 5e-4)
+    cluster.run(until=heal_at + budget)
+
+    fingerprint = node_fingerprint(cluster.nodes[VICTIM])
+    clocks = cluster.site_clocks()
+    cluster.stop_healing()
+    cluster.run()  # drain the wound-down loops and any stragglers
+    return {
+        "cluster": cluster,
+        "nemesis": nemesis,
+        "fingerprint": fingerprint,
+        "clocks": clocks,
+        "lag": lag,
+        "window": window,
+    }
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_partitioned_node_heals_without_restart(seed):
+    healed = run_isolation_scenario(seed, partition=True)
+    control = run_isolation_scenario(seed, partition=False)
+
+    # Bit-identical convergence: store chains (vids included), siteVC,
+    # and the coordinator sequence counter all match the control --
+    # reached with no restart and no foreground traffic after the heal.
+    assert healed["fingerprint"] == control["fingerprint"]
+    assert all(clock == healed["clocks"][0] for clock in healed["clocks"])
+
+    cluster, nemesis = healed["cluster"], healed["nemesis"]
+    victim = cluster.nodes[VICTIM]
+    assert victim.recoveries == 0  # healed, never restarted
+    metrics = cluster.metrics
+    assert metrics.anti_entropy_rounds > 0
+    # The gap closed through the healing machinery: streamed Decides
+    # (peer pushes) and/or digest-driven clock catch-up (victim pulls).
+    assert metrics.records_streamed + metrics.catchup_advances >= healed["lag"]
+
+    # Satellite: the nemesis accounted every healed link -- one report
+    # per direction, exact window duration, and the cut provably
+    # destroyed traffic toward the victim.
+    reports = nemesis.heal_reports
+    assert len(reports) == 2 * (NUM_NODES - 1)
+    assert all(
+        duration == pytest.approx(healed["window"])
+        for (_a, _b, duration, _d, _dr) in reports
+    )
+    toward_victim = sum(
+        dropped for (_a, b, _dur, dropped, _dr) in reports if b == VICTIM
+    )
+    assert toward_victim > 0
+    assert not cluster.any_locks_held()
+
+
+def test_isolation_scenario_is_deterministic():
+    """Same seed, same faults => same converged state and same healing
+    counter values, down to the last streamed record."""
+    seed = SEEDS[0]
+
+    def probe():
+        result = run_isolation_scenario(seed, partition=True)
+        metrics = result["cluster"].metrics
+        return (
+            result["fingerprint"],
+            result["clocks"],
+            metrics.anti_entropy_rounds,
+            metrics.records_streamed,
+            metrics.catchup_advances,
+            result["nemesis"].heal_reports,
+        )
+
+    assert probe() == probe()
+
+
+# ----------------------------------------------------------------------
+# False suspicion: a silent peer is suspected, then re-admitted
+# ----------------------------------------------------------------------
+def test_false_suspicion_readmits_peer_without_losing_writes():
+    seed = SEEDS[0]
+    healing = HealingConfig(heartbeat_interval=2e-4)
+    cluster, nemesis = build(seed, healing)
+    sites = keys_by_site(cluster)
+    detector = cluster.nodes[0].healing.detector
+    assert cluster.nodes[0].healing.armed
+
+    # Warm-up: heartbeats establish each peer's inter-arrival mean.
+    cluster.run(until=cluster.sim.now + 10 * 2e-4)
+    assert cluster.metrics.heartbeats_sent > 0
+    assert detector.state(VICTIM) == ALIVE
+
+    # Cut only the 0 <-> victim link: to node 0 the victim goes silent,
+    # to everyone else it stays perfectly reachable ("slow" from one
+    # observer's seat, alive in fact).
+    nemesis.apply(FaultEvent(cluster.sim.now, PARTITION, 0, VICTIM))
+    nemesis.apply(FaultEvent(cluster.sim.now, PARTITION, VICTIM, 0))
+    cluster.run(until=cluster.sim.now + 3e-3)  # ~15 silent intervals
+    assert detector.state(VICTIM) == DEAD
+    assert cluster.metrics.suspicions_raised >= 1
+
+    # While node 0 holds its wrong verdict, a commit through node 1
+    # lands writes at the suspected-but-alive victim.
+    victim_key = sites[VICTIM][0]
+    ok, _ = commit_once(cluster, 1, [(victim_key, "survivor")])
+    assert ok
+
+    # Heal: the victim's first heartbeat arrival restores trust.
+    nemesis.apply(FaultEvent(cluster.sim.now, HEAL, 0, VICTIM))
+    nemesis.apply(FaultEvent(cluster.sim.now, HEAL, VICTIM, 0))
+    cluster.run(until=cluster.sim.now + 5 * 2e-4)
+    assert detector.state(VICTIM) == ALIVE
+    assert cluster.metrics.suspicions_cleared >= 1
+
+    # The re-admitted peer is fully usable from node 0 again, and the
+    # write committed during the suspicion window was never lost.
+    ok, _ = commit_once(cluster, 0, [(victim_key, "after-heal")])
+    assert ok
+    cluster.stop_healing()
+    cluster.run()
+    chain = list(cluster.nodes[VICTIM].store.chain(victim_key))
+    assert [v.value for v in chain[-2:]] == ["survivor", "after-heal"]
+    assert not cluster.any_locks_held()
+
+
+# ----------------------------------------------------------------------
+# Fail-fast commits against a known-dead participant
+# ----------------------------------------------------------------------
+def test_commit_fails_fast_on_dead_participant():
+    seed = SEEDS[0]
+    healing = HealingConfig(heartbeat_interval=2e-4)  # fail_fast default on
+    cluster, nemesis = build(seed, healing)
+    sites = keys_by_site(cluster)
+    detector = cluster.nodes[0].healing.detector
+
+    cluster.run(until=cluster.sim.now + 10 * 2e-4)  # warm-up
+    for event in isolate_cycle(
+        VICTIM, range(NUM_NODES), cluster.sim.now, 5e-3
+    ):
+        if event.kind == PARTITION:
+            nemesis.apply(event)
+    cluster.run(until=cluster.sim.now + 3e-3)
+    assert detector.is_dead(VICTIM)
+
+    # A commit spanning node 0 and the dead victim aborts immediately:
+    # no prepare RPC, no timeout ladder, just AbortReason.PEER_DEAD.
+    writes = [(sites[0][0], 1), (sites[VICTIM][0], 1)]
+    ok, elapsed = commit_once(cluster, 0, writes)
+    assert not ok
+    assert elapsed < cluster.config.network.rpc.request_timeout
+    assert cluster.metrics.aborts_by_reason[AbortReason.PEER_DEAD] == 1
+
+    # After the heal the detector re-admits the victim and the same
+    # commit goes through.
+    for peer in range(NUM_NODES):
+        if peer != VICTIM:
+            nemesis.apply(FaultEvent(cluster.sim.now, HEAL, VICTIM, peer))
+            nemesis.apply(FaultEvent(cluster.sim.now, HEAL, peer, VICTIM))
+    cluster.run(until=cluster.sim.now + 5 * 2e-4)
+    assert detector.state(VICTIM) == ALIVE
+    ok, _ = commit_once(cluster, 0, writes)
+    assert ok
+    cluster.stop_healing()
+    cluster.run()
+    assert not cluster.any_locks_held()
+
+
+# ----------------------------------------------------------------------
+# Checkpointed recovery: bounded replay, bit-identical state
+# ----------------------------------------------------------------------
+def run_txn(cluster, coordinator, keys):
+    """Drive one read-modify-write transaction to quiescence (no healing
+    loops are configured in the checkpoint scenarios, so quiescence runs
+    are safe and keep each transaction's fan-out fully drained)."""
+    node = cluster.node(coordinator)
+
+    def process():
+        for _ in range(6):
+            txn = node.begin(is_read_only=False)
+            try:
+                values = []
+                for key in keys:
+                    values.append((yield from node.read(txn, key)))
+                for key, value in zip(keys, values):
+                    node.write(txn, key, value + 1)
+                ok = yield from node.commit(txn)
+            except RpcTimeoutError:
+                node.abort(txn)
+                ok = False
+            if ok:
+                return True
+            yield cluster.sim.timeout(100e-6)
+        return False
+
+    return cluster.run_process(process())
+
+
+def run_checkpoint_scenario(seed, *, checkpointed):
+    """Identical transaction plan and crash point; only the checkpoint
+    (and its truncation) differs between the two runs."""
+    cluster, nemesis = build(seed, HealingConfig(), wal=True)
+    rng = make_rng(seed, "healing-checkpoint")
+    all_keys = [f"k{i}" for i in range(NUM_KEYS)]
+    victim_keys = set(keys_by_site(cluster).get(VICTIM, []))
+    other_keys = sorted(set(all_keys) - victim_keys)
+    victim = cluster.nodes[VICTIM]
+
+    plan_a = [(n % NUM_NODES, rng.sample(all_keys, 2)) for n in range(12)]
+    for coordinator, keys in plan_a:
+        assert run_txn(cluster, coordinator, keys)
+
+    record = None
+    if checkpointed:
+        record = victim.checkpoint_now()
+        assert record is not None
+        assert cluster.metrics.checkpoints_taken == 1
+        full_log = victim.wal.records()  # prefix + checkpoint
+
+        # Harvest frontier evidence with one explicit gossip round per
+        # peer (no loops configured -- the rounds are one-shot here),
+        # which also triggers the truncation re-check.
+        for peer in (0, 1, 3):
+            cluster.run_process(victim.healing.gossip_round(peer))
+        assert victim.healing.rounds == 3
+        dropped = record.records_below
+        assert dropped > 0
+        assert victim.wal.truncated == dropped
+        assert cluster.metrics.wal_records_truncated == dropped
+        # Same evidence, precise GC: every decision at or below the
+        # stable floor left the in-memory log too.
+        floor = victim.site_vc[VICTIM]
+        assert all(
+            d.seq_no > floor for d in victim._decisions.values()
+        )
+
+        # The equivalence the whole scheme rests on, checked on the live
+        # logs: truncated replay == full-history replay, suffix-only cost.
+        full = replay(full_log, NUM_NODES)
+        truncated = replay(victim.wal.records(), NUM_NODES)
+        assert store_fingerprint(truncated.store) == store_fingerprint(
+            full.store
+        )
+        assert truncated.site_vc.to_tuple() == full.site_vc.to_tuple()
+        assert truncated.curr_seq_no == full.curr_seq_no
+        assert truncated.replayed == 1
+        assert full.replayed == len(full_log)
+
+    # Phase B grows the post-checkpoint suffix, victim included.
+    plan_b = [(n % NUM_NODES, rng.sample(all_keys, 2)) for n in range(8)]
+    for coordinator, keys in plan_b:
+        assert run_txn(cluster, coordinator, keys)
+
+    # Durable crash at a quiescent instant, three commits land while the
+    # victim is down (lost Propagates for catch-up to repair), restart.
+    nemesis.apply(FaultEvent(cluster.sim.now, CRASH_DURABLE, VICTIM))
+    for n in range(3):
+        assert run_txn(cluster, (0, 1, 3)[n % 3], rng.sample(other_keys, 2))
+    surviving = len(victim.wal)
+    window = restart(cluster, nemesis, VICTIM)
+    cluster.run()
+    assert window.closed and victim.recoveries == 1
+
+    return {
+        "cluster": cluster,
+        "fingerprint": node_fingerprint(victim),
+        "replayed": cluster.metrics.wal_records_replayed,
+        "surviving": surviving,
+        "truncated": victim.wal.truncated,
+        "checkpoint": record,
+    }
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_checkpointed_recovery_matches_full_history(seed):
+    ckpt = run_checkpoint_scenario(seed, checkpointed=True)
+    full = run_checkpoint_scenario(seed, checkpointed=False)
+
+    # Recovery from snapshot + suffix rebuilds the exact state that
+    # replaying the entire (never-truncated) history rebuilds.
+    assert ckpt["fingerprint"] == full["fingerprint"]
+
+    # And it did so with a bounded replay: only the records surviving
+    # above the checkpoint, strictly fewer than the full history.
+    assert ckpt["replayed"] == ckpt["surviving"]
+    assert full["replayed"] == full["surviving"]
+    assert ckpt["truncated"] > 0
+    assert ckpt["replayed"] < full["replayed"]
+    assert ckpt["replayed"] + ckpt["truncated"] == full["replayed"] + 1
+
+    # Catch-up repaired exactly the three Propagates each run lost.
+    assert ckpt["cluster"].metrics.catchup_advances == 3
+    assert full["cluster"].metrics.catchup_advances == 3
+    clocks = ckpt["cluster"].site_clocks()
+    assert all(clock == clocks[0] for clock in clocks)
+
+
+def test_automatic_checkpoint_loop_respects_min_records():
+    """The checkpoint loop takes snapshots only after min_records new
+    WAL appends, and truncates once gossip evidence stabilises them."""
+    from repro import CheckpointConfig
+
+    seed = SEEDS[0]
+    healing = HealingConfig(
+        anti_entropy_interval=AE_INTERVAL,
+        digest_timeout=5e-4,
+        checkpoint=CheckpointConfig(interval=2e-3, min_records=8),
+    )
+    cluster, _nemesis = build(seed, healing, wal=True)
+    rng = make_rng(seed, "healing-auto-ckpt")
+    all_keys = [f"k{i}" for i in range(NUM_KEYS)]
+    victim = cluster.nodes[VICTIM]
+
+    plan = [(n % NUM_NODES, rng.sample(all_keys, 2)) for n in range(10)]
+    drive(cluster, plan)
+    # Several checkpoint periods with gossip feeding frontier evidence.
+    cluster.run(until=cluster.sim.now + 6e-3)
+    assert cluster.metrics.checkpoints_taken >= 1
+    assert victim.healing.checkpoints.taken >= 1
+    assert cluster.metrics.wal_records_truncated > 0
+
+    # An idle stretch takes no further checkpoints: fewer than
+    # min_records new WAL records accumulated.
+    taken = cluster.metrics.checkpoints_taken
+    cluster.run(until=cluster.sim.now + 6e-3)
+    assert cluster.metrics.checkpoints_taken == taken
+
+    # A recovered-from-checkpoint node still matches the live cluster.
+    cluster.stop_healing()
+    cluster.run()
+    result = replay(victim.wal.records(), NUM_NODES)
+    assert result.checkpoints >= 1
+    assert store_fingerprint(result.store) == store_fingerprint(victim.store)
+    assert result.site_vc.to_tuple() == victim.site_vc.to_tuple()
