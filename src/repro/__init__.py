@@ -14,19 +14,28 @@ Quickstart::
     cluster.load("account:alice", 100)
     cluster.load("account:bob", 0)
 
-    def transfer():
-        node = cluster.node(0)
-        txn = node.begin(is_read_only=False)
-        balance = yield from node.read(txn, "account:alice")
-        node.write(txn, "account:alice", balance - 10)
-        node.write(txn, "account:bob", 10)
-        committed = yield from node.commit(txn)
-        return committed
+    def transfer(txn):
+        balance = yield from txn.read("account:alice")
+        txn.write("account:alice", balance - 10)
+        txn.write("account:bob", 10)
 
-    assert cluster.run_process(transfer())
+    result = cluster.run_txn(transfer)
+    assert result.committed
+
+:meth:`~repro.system.Cluster.run_txn` begins the transaction, hands the
+body a :class:`~repro.system.TxnHandle`, drives it, auto-commits, and
+runs the simulator to quiescence.  Reads go over the simulated wire, so
+they stay ``yield from``; writes buffer locally and are plain calls.
+The lower-level API (``node.begin`` / ``yield from node.read`` /
+``yield from node.commit`` inside a ``cluster.run_process`` generator)
+remains fully supported for scripts that interleave transactions.
+
+Every ``*Config`` dataclass round-trips through ``to_dict()`` /
+``from_dict()`` for JSON serialization of experiment configs.
 """
 
 from repro.config import (
+    BatchingConfig,
     CheckpointConfig,
     ClusterConfig,
     CostModel,
@@ -35,12 +44,14 @@ from repro.config import (
     NetworkConfig,
     RpcConfig,
     RunConfig,
+    SnapshotTransferConfig,
 )
-from repro.system import PROTOCOLS, Cluster
+from repro.system import PROTOCOLS, Cluster, TxnHandle, TxnResult
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "BatchingConfig",
     "CheckpointConfig",
     "Cluster",
     "ClusterConfig",
@@ -51,5 +62,8 @@ __all__ = [
     "PROTOCOLS",
     "RpcConfig",
     "RunConfig",
+    "SnapshotTransferConfig",
+    "TxnHandle",
+    "TxnResult",
     "__version__",
 ]

@@ -5,16 +5,19 @@ Examples::
     python -m repro figure5 --nodes 4 8 --keys 10000 --duration 0.01
     python -m repro figure7 --nodes 8
     python -m repro figure9b --warehouses 2 4 8
+    python -m repro config --nodes 8 > cluster.json
+    python -m repro config --load cluster.json
     python -m repro list
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
-from repro.config import RunConfig
+from repro.config import ClusterConfig, RunConfig
 from repro.harness import ascii_chart, experiments, format_table, group_series
 
 FIGURES = {
@@ -62,6 +65,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available figures")
+
+    config = sub.add_parser(
+        "config",
+        help="print a ClusterConfig as JSON (to_dict/from_dict round-trip)",
+    )
+    config.add_argument("--nodes", type=int, default=4,
+                        help="num_nodes for a freshly defaulted config")
+    config.add_argument("--load", type=str, default=None,
+                        help="JSON file (full or partial overlay) to "
+                             "validate via from_dict and echo back "
+                             "normalised; unknown keys fail loudly")
 
     for name, (_fn, _cols, help_text) in FIGURES.items():
         figure = sub.add_parser(name, help=help_text)
@@ -116,6 +130,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "list":
         for name, (_fn, _cols, help_text) in FIGURES.items():
             print(f"{name:10s} {help_text}")
+        return 0
+    if args.command == "config":
+        if args.load is not None:
+            with open(args.load, encoding="utf-8") as fh:
+                config = ClusterConfig.from_dict(json.load(fh))
+        else:
+            config = ClusterConfig(num_nodes=args.nodes)
+        print(json.dumps(config.to_dict(), indent=2, sort_keys=True))
         return 0
 
     fn, columns, help_text = FIGURES[args.command]

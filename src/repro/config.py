@@ -11,15 +11,61 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import ClassVar, Dict, Mapping, Optional
 
 #: Message-type label for Walter/FW-KV asynchronous propagation, used by
 #: :class:`NetworkConfig.message_delays` to inject congestion.
 PROPAGATE = "Propagate"
 
 
+class ConfigSerde:
+    """Plain-dict round-trip shared by every config dataclass.
+
+    ``to_dict()`` produces a JSON-serialisable nested dict (every config
+    field is a scalar, a string-keyed dict of scalars, or another config
+    dataclass), and ``from_dict()`` rebuilds an equal instance, recursing
+    into the nested configs named by ``_nested``.  The harness and CLI
+    use this to persist experiment configurations without per-class
+    ad-hoc serialisation code; the invariant is::
+
+        cls.from_dict(cfg.to_dict()) == cfg
+
+    for every config class, including through a ``json.dumps``/``loads``
+    round trip.  Unknown keys raise ``ValueError`` (a misspelled knob in
+    a config file must fail loudly, not silently fall back to defaults).
+    """
+
+    #: field name -> nested config class to recurse into on from_dict.
+    _nested: ClassVar[Mapping[str, type]] = {}
+
+    def to_dict(self) -> Dict[str, object]:
+        """This config (and every nested config) as a plain nested dict."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]):
+        """Rebuild an instance from :meth:`to_dict` output.
+
+        Missing keys keep their dataclass defaults, so a hand-written
+        partial dict is a valid overlay on the default configuration.
+        """
+        names = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - names)
+        if unknown:
+            raise ValueError(
+                f"{cls.__name__}.from_dict: unknown keys {unknown}"
+            )
+        kwargs = {}
+        for key, value in data.items():
+            nested = cls._nested.get(key)
+            if nested is not None and isinstance(value, Mapping):
+                value = nested.from_dict(value)
+            kwargs[key] = value
+        return cls(**kwargs)
+
+
 @dataclass
-class RpcConfig:
+class RpcConfig(ConfigSerde):
     """Timeout/retry policy for request/reply RPCs.
 
     The defaults (``request_timeout=None``) reproduce the paper's system
@@ -45,7 +91,7 @@ class RpcConfig:
 
 
 @dataclass
-class NetworkConfig:
+class NetworkConfig(ConfigSerde):
     """Latency model for the simulated message fabric.
 
     ``base_latency`` matches the paper's testbed ("a 10Gb/s network, which
@@ -70,6 +116,8 @@ class NetworkConfig:
     #: Request/reply timeout and retry policy for every node's endpoint.
     rpc: RpcConfig = field(default_factory=RpcConfig)
 
+    _nested = {"rpc": RpcConfig}
+
     def with_propagate_delay(self, delay: float) -> "NetworkConfig":
         """A copy of this config with ``delay`` added to Propagate messages."""
         delays = dict(self.message_delays)
@@ -78,7 +126,7 @@ class NetworkConfig:
 
 
 @dataclass
-class BatchingConfig:
+class BatchingConfig(ConfigSerde):
     """Batching of background protocol traffic (Propagate / Remove fan-out).
 
     Every committed update transaction fans out one Propagate envelope per
@@ -105,7 +153,7 @@ class BatchingConfig:
 
 
 @dataclass
-class CheckpointConfig:
+class CheckpointConfig(ConfigSerde):
     """WAL checkpointing and truncation (see docs/self_healing.md).
 
     A checkpoint is a fingerprinted snapshot of the node's durable state
@@ -130,10 +178,63 @@ class CheckpointConfig:
     #: per-peer frontier tracking fed by anti-entropy digests and
     #: heartbeats; with no frontier evidence the log is never truncated.
     truncate: bool = True
+    #: Bounded retention: a peer whose own-origin frontier evidence lags
+    #: this node's frontier by more than ``max_peer_lag`` (or has never
+    #: been heard from at all) is *stranded* -- excluded from the
+    #: stable-floor evidence, so truncation proceeds without it and the
+    #: peer becomes repairable only by checkpoint snapshot transfer
+    #: (:class:`SnapshotTransferConfig`).  ``None`` (default) keeps the
+    #: strict rule: every peer must prove the checkpoint frontier
+    #: applied before anything is truncated, so no peer is ever left
+    #: beyond record-by-record repair.
+    max_peer_lag: Optional[int] = None
 
 
 @dataclass
-class HealingConfig:
+class SnapshotTransferConfig(ConfigSerde):
+    """Checkpoint snapshot shipping for far-behind peers.
+
+    Anti-entropy repairs a lagging peer record by record, streaming the
+    full Decides above the peer's applied frontier.  WAL truncation
+    breaks that for a peer whose gap predates the sender's truncated
+    history: the decisions at or below the truncation floor survive only
+    inside the newest checkpoint.  When a gossip digest reveals such a
+    peer, the sender ships that fingerprinted
+    :class:`~repro.storage.wal.CheckpointRecord` over the wire in
+    bounded chunks (``SNAPSHOT_OFFER`` / ``SNAPSHOT_CHUNK`` /
+    ``SNAPSHOT_ACK``); the receiver installs it behind its read/prepare
+    fence, verifies the fingerprint, and the ordinary Decide push tops
+    up the suffix.  See docs/self_healing.md.
+
+    Enabled by default: a transfer can only trigger after a truncation
+    has actually created an unrepairable gap, so runs that never
+    truncate (including every tier-1 configuration) are bit-identical
+    with the feature on or off.
+    """
+
+    #: Master switch for offering snapshots to truncation-gapped peers.
+    enabled: bool = True
+    #: Store chains per ``SNAPSHOT_CHUNK`` message (flow control: the
+    #: snapshot is streamed, never shipped as one unbounded payload).
+    chunk_records: int = 64
+    #: Extra own-origin lag (beyond simply sitting below the truncation
+    #: floor) required before a snapshot is offered.  ``0`` (default)
+    #: offers as soon as record-by-record repair is impossible; raising
+    #: it delays the offer, e.g. to let a flapping peer answer digests
+    #: first.  A peer below the floor cannot converge without either a
+    #: snapshot or a restart, so nonzero values only postpone repair.
+    offer_threshold: int = 0
+    #: Gossip peer-selection bias toward the most-lagging peer: each
+    #: peer's selection weight is ``1 + lag_bias * lag`` where ``lag``
+    #: is its own-origin digest gap.  ``0.0`` (default) keeps the
+    #: historical seeded-uniform choice bit for bit; when every known
+    #: frontier is equal the choice also falls back to uniform, drawing
+    #: from the same RNG stream in the same way.
+    lag_bias: float = 0.0
+
+
+@dataclass
+class HealingConfig(ConfigSerde):
     """Self-healing layer: failure detection, anti-entropy, checkpoints.
 
     Three independently toggleable pieces (see docs/self_healing.md):
@@ -193,10 +294,20 @@ class HealingConfig:
     max_stream_per_round: int = 64
     #: WAL checkpoint/truncation policy.
     checkpoint: CheckpointConfig = field(default_factory=CheckpointConfig)
+    #: Checkpoint snapshot shipping for peers below the truncation floor,
+    #: plus the digest-driven lag bias for gossip peer selection.
+    snapshot: SnapshotTransferConfig = field(
+        default_factory=SnapshotTransferConfig
+    )
+
+    _nested = {
+        "checkpoint": CheckpointConfig,
+        "snapshot": SnapshotTransferConfig,
+    }
 
 
 @dataclass
-class DurabilityConfig:
+class DurabilityConfig(ConfigSerde):
     """Write-ahead logging and in-doubt termination (see DESIGN.md 5.5).
 
     The defaults keep everything off: nodes stay volatile (a durable
@@ -224,7 +335,7 @@ class DurabilityConfig:
 
 
 @dataclass
-class CostModel:
+class CostModel(ConfigSerde):
     """Virtual CPU seconds charged by protocol handlers.
 
     The paper's FW-KV-vs-Walter gap is driven by read-side synchronisation
@@ -265,7 +376,7 @@ class CostModel:
 
 
 @dataclass
-class ClusterConfig:
+class ClusterConfig(ConfigSerde):
     """Shape of one simulated deployment."""
 
     num_nodes: int
@@ -328,6 +439,14 @@ class ClusterConfig:
     network: NetworkConfig = field(default_factory=NetworkConfig)
     costs: CostModel = field(default_factory=CostModel)
 
+    _nested = {
+        "batching": BatchingConfig,
+        "durability": DurabilityConfig,
+        "healing": HealingConfig,
+        "network": NetworkConfig,
+        "costs": CostModel,
+    }
+
     def __post_init__(self) -> None:
         if self.num_nodes <= 0:
             raise ValueError("num_nodes must be positive")
@@ -353,7 +472,7 @@ class ClusterConfig:
 
 
 @dataclass
-class RunConfig:
+class RunConfig(ConfigSerde):
     """How long to drive a workload and what to measure.
 
     ``warmup`` transactions-per-client are executed before measurement

@@ -24,6 +24,9 @@ from repro.core.wire import (
     ReadRequestBody,
     ReadReturnBody,
     RemoveBody,
+    SnapshotAckBody,
+    SnapshotChunkBody,
+    SnapshotOfferBody,
     SyncReplyBody,
     SyncRequestBody,
     TxnStatusReplyBody,
@@ -40,6 +43,8 @@ from repro.storage.version import Version
 from repro.storage.wal import (
     AbortRecord,
     ApplyRecord,
+    CheckpointMismatchError,
+    CheckpointRecord,
     DecisionRecord,
     LoadRecord,
     PrepareRecord,
@@ -47,6 +52,7 @@ from repro.storage.wal import (
     ReplayResult,
     WriteAheadLog,
     replay,
+    restore_store,
 )
 
 
@@ -131,6 +137,13 @@ class MVCCNode(BaseProtocolNode):
         self._incarnation = 0
         #: Completed recoveries at this node (asserted on by tests).
         self.recoveries = 0
+        #: The inbound checkpoint transfer in progress, if any (at most
+        #: one at a time; a second offer is rejected as busy).  Holds the
+        #: offer's metadata, the chunks received so far, and the
+        #: incarnation the transfer belongs to.
+        self._snapshot_pending: Optional[Dict[str, object]] = None
+        #: Snapshots installed at this node (test probe).
+        self.snapshot_installs = 0
 
         node.on(MessageType.READ_REQUEST, self.on_read_request)
         node.on(MessageType.PREPARE, self.on_prepare)
@@ -139,6 +152,9 @@ class MVCCNode(BaseProtocolNode):
         node.on(MessageType.TXN_STATUS, self.on_txn_status)
         node.on(MessageType.SYNC, self.on_sync)
         node.on(MessageType.HEARTBEAT, self.on_heartbeat)
+        node.on(MessageType.SNAPSHOT_OFFER, self.on_snapshot_offer)
+        node.on(MessageType.SNAPSHOT_CHUNK, self.on_snapshot_chunk)
+        node.on(MessageType.SNAPSHOT_ACK, self.on_snapshot_ack)
         #: The self-healing layer (failure detector, anti-entropy,
         #: checkpoints).  Constructed unconditionally -- with the default
         #: configuration it installs no hooks and its loops never spawn.
@@ -1024,6 +1040,259 @@ class MVCCNode(BaseProtocolNode):
         return self.healing.checkpoints.checkpoint_now()
 
     # ------------------------------------------------------------------
+    # Snapshot install (receiver side of checkpoint transfer)
+    # ------------------------------------------------------------------
+    def on_snapshot_offer(self, envelope: Envelope) -> None:
+        """Admit or reject a peer's checkpoint transfer (see daemon).
+
+        Acceptance raises the read/prepare fence (``_recovering``) for
+        the duration of the transfer: requests served against the store
+        mid-replacement could observe a fractured snapshot.  Decide and
+        Propagate handlers stay live -- concurrent commits are exactly
+        what the install-time dominance re-check guards against.
+        """
+        offer: SnapshotOfferBody = self.node.rpc.body_of(envelope)
+        self.node.rpc.reply(envelope, self._admit_snapshot(offer))
+
+    def _admit_snapshot(self, offer: SnapshotOfferBody) -> SnapshotAckBody:
+        def reject(reason: str) -> SnapshotAckBody:
+            return SnapshotAckBody(
+                offer.snapshot_id, accepted=False, reason=reason
+            )
+
+        if (
+            not self.shared.config.healing.snapshot.enabled
+            or self.wal is None
+        ):
+            return reject("disabled")
+        if self._snapshot_pending is not None:
+            return reject("busy")
+        if self._recovering:
+            return reject("recovering")
+        site_vc = self.site_vc
+        if any(
+            site_vc[origin] > offer.site_vc[origin]
+            for origin in range(self.shared.num_nodes)
+        ) or offer.site_vc[offer.sender] <= site_vc[offer.sender]:
+            # Installing must never regress an origin, and an offer that
+            # does not even advance the sender's own frontier fixes
+            # nothing -- wait for a fresher checkpoint.
+            return reject("stale")
+        pending: Dict[str, object] = {
+            "sender": offer.sender,
+            "snapshot_id": offer.snapshot_id,
+            "site_vc": offer.site_vc,
+            "curr_seq_no": offer.curr_seq_no,
+            "fingerprint": offer.fingerprint,
+            "total": offer.total_chunks,
+            "next_index": 0,
+            "chains": [],
+            "incarnation": self._incarnation,
+            "activity": 0,
+        }
+        self._snapshot_pending = pending
+        self._recovering = True
+        # Watchdog: a sender that dies mid-transfer must not leave the
+        # fence up forever.  Re-armed while chunks keep arriving.
+        timeout = self.node.rpc.config.request_timeout
+        if timeout is None:
+            timeout = self.shared.config.healing.digest_timeout
+        deadline = 4 * timeout
+        pending["deadline"] = deadline
+        self.sim.call_later(deadline, self._watch_snapshot, pending, 0)
+        if self.tracer._enabled:
+            self.tracer.emit(
+                self.node_id, "snapshot_accept", sender=offer.sender,
+                snapshot_id=offer.snapshot_id, chunks=offer.total_chunks,
+            )
+        return SnapshotAckBody(offer.snapshot_id, accepted=True)
+
+    def _watch_snapshot(self, pending: Dict[str, object], activity: int) -> None:
+        """Abandon a stalled inbound transfer so the fence comes down."""
+        if self._snapshot_pending is not pending:
+            return
+        if pending["activity"] != activity:
+            self.sim.call_later(
+                pending["deadline"],
+                self._watch_snapshot,
+                pending,
+                pending["activity"],
+            )
+            return
+        self._abandon_snapshot("timeout")
+
+    def _abandon_snapshot(self, reason: str) -> None:
+        """Drop the pending transfer and lower the fence it raised.
+
+        The fence is only lowered when no durable crash retook it in the
+        meantime (``_recovering`` then belongs to recovery, which wiped
+        the pending transfer anyway).
+        """
+        pending = self._snapshot_pending
+        if pending is None:
+            return
+        self._snapshot_pending = None
+        if self._incarnation == pending["incarnation"]:
+            self._recovering = False
+            self._recovered_cv.notify_all()
+        self.metrics.on_snapshot_abandoned()
+        if self.tracer._enabled:
+            self.tracer.emit(
+                self.node_id, "snapshot_abandon",
+                sender=pending["sender"],
+                snapshot_id=pending["snapshot_id"], reason=reason,
+            )
+
+    def on_snapshot_chunk(self, envelope: Envelope):
+        """Collect one chunk; the final chunk triggers the install."""
+        chunk: SnapshotChunkBody = self.node.rpc.body_of(envelope)
+        pending = self._snapshot_pending
+        if (
+            pending is None
+            or pending["snapshot_id"] != chunk.snapshot_id
+            or pending["sender"] != envelope.src
+            or pending["next_index"] != chunk.index
+        ):
+            # Out-of-order, duplicated, or stale chunk: refuse; the
+            # sender abandons and simply re-offers next gossip round.
+            self.node.rpc.reply(
+                envelope,
+                SnapshotAckBody(
+                    chunk.snapshot_id, accepted=False, reason="unexpected"
+                ),
+            )
+            return
+        pending["activity"] += 1
+        pending["chains"].extend(chunk.chains)
+        pending["next_index"] += 1
+        if chunk.index + 1 < pending["total"]:
+            self.node.rpc.reply(
+                envelope, SnapshotAckBody(chunk.snapshot_id, accepted=True)
+            )
+            return
+        installed = yield from self._install_snapshot(pending)
+        self.node.rpc.reply(
+            envelope,
+            SnapshotAckBody(
+                chunk.snapshot_id,
+                accepted=installed,
+                installed=installed,
+                reason=None if installed else "stale",
+            ),
+        )
+        if installed:
+            # One-way confirmation: even if the chunk reply above is
+            # lost, the sender still learns this node now holds its
+            # origin through the checkpoint (truncation evidence).
+            self.node.send(
+                envelope.src,
+                MessageType.SNAPSHOT_ACK,
+                SnapshotAckBody(
+                    chunk.snapshot_id,
+                    accepted=True,
+                    installed=True,
+                    site_vc=self.site_vc.to_tuple(),
+                ),
+            )
+
+    def _install_snapshot(self, pending: Dict[str, object]):
+        """Verify and adopt a fully received checkpoint snapshot.
+
+        Generator subroutine returning True on success.  The adoption
+        itself is synchronous (no yields between the final check and the
+        post-install checkpoint), so no message delivery can observe the
+        store mid-replacement.
+        """
+        incarnation = pending["incarnation"]
+        # Drain in-flight Decide appliers: a transaction between its
+        # version install and its ApplyRecord lives in neither the
+        # incoming snapshot nor our log -- replacing the store under it
+        # would lose the commit.  New reads/prepares are fenced; Decides
+        # that arrive during the drain finish before the loop exits.
+        while self._applying:
+            yield self.sim.timeout(1e-6)
+            if (
+                self._incarnation != incarnation
+                or self._snapshot_pending is not pending
+            ):
+                return False
+        if (
+            self._incarnation != incarnation
+            or self._snapshot_pending is not pending
+        ):
+            return False
+        site_vc = pending["site_vc"]
+        if any(
+            self.site_vc[origin] > site_vc[origin]
+            for origin in range(self.shared.num_nodes)
+        ):
+            # A concurrent Decide advanced us past the checkpoint while
+            # the chunks streamed; installing now would regress.  The
+            # suffix we are missing still arrives via the normal push.
+            self._abandon_snapshot("stale")
+            return False
+        record = CheckpointRecord(
+            site_vc=tuple(site_vc),
+            # The sender's counter participates in the fingerprint; it
+            # is verified, never adopted (see below).
+            curr_seq_no=pending["curr_seq_no"],
+            chains=tuple(pending["chains"]),
+            in_doubt=(),
+            decisions=(),
+            fingerprint=pending["fingerprint"],
+        )
+        try:
+            store = restore_store(record)
+        except CheckpointMismatchError:
+            self._abandon_snapshot("fingerprint")
+            return False
+        # Adopt only the chains this node is the preferred site for.
+        # Under the preferred-site placement the sender's store holds
+        # the *sender's* keys, so for a healed straggler this set is
+        # usually empty and the verified clock jump below is the whole
+        # repair; a replacement node rebuilding from nothing adopts its
+        # share of the data here.  Foreign chains must not be kept --
+        # this node would start answering reads for keys it does not
+        # own the moment the directory routed one here.
+        adopted = 0
+        for key in store.keys():
+            if self.directory.site(key) == self.node_id:
+                self.store._chains[key] = store.chain(key)
+                adopted += 1
+        vc = self.site_vc
+        for origin in range(self.shared.num_nodes):
+            if site_vc[origin] > vc[origin]:
+                vc[origin] = site_vc[origin]
+        self.site_vc_changed.notify_all()
+        # Never adopt the sender's coordinator counter: our own assigned
+        # sequence numbers are bounded by our clock entry, which the
+        # dominance check just proved the checkpoint covers.
+        self.curr_seq_no = max(self.curr_seq_no, vc[self.node_id])
+        self._snapshot_pending = None
+        self._recovering = False
+        self._recovered_cv.notify_all()
+        # Durability: our WAL's surviving prefix replays to the *old*
+        # state, so immediately checkpoint the adopted state -- replay
+        # resets at the newest checkpoint, making the install durable.
+        self.healing.checkpoints.checkpoint_now()
+        self.snapshot_installs += 1
+        self.metrics.on_snapshot_install(len(record.chains))
+        if self.tracer._enabled:
+            self.tracer.emit(
+                self.node_id, "snapshot_install",
+                sender=pending["sender"],
+                snapshot_id=pending["snapshot_id"],
+                chains=len(record.chains),
+                adopted=adopted,
+                frontier=site_vc[pending["sender"]],
+            )
+        return True
+
+    def on_snapshot_ack(self, envelope: Envelope) -> None:
+        """One-way install confirmation: frontier evidence for healing."""
+        self.healing.on_snapshot_ack(envelope.src, envelope.payload)
+
+    # ------------------------------------------------------------------
     # Durable crash & recovery
     # ------------------------------------------------------------------
     def crash_durably(self) -> None:
@@ -1078,6 +1347,7 @@ class MVCCNode(BaseProtocolNode):
         self._decisions = {}
         self._decisions_by_seq = {}
         self._applying = {}
+        self._snapshot_pending = None
         site_vc = self.site_vc
         for origin in range(self.shared.num_nodes):
             site_vc[origin] = 0

@@ -172,6 +172,71 @@ class SyncReplyBody:
 
 
 @dataclass(slots=True)
+class SnapshotOfferBody:
+    """Snapshot transfer, phase one: sender -> receiver RPC.
+
+    Announces the sender's newest checkpoint -- its clock, fingerprint,
+    and how many ``SNAPSHOT_CHUNK`` messages will follow -- so the
+    receiver can decide acceptance *before* any bulk data moves.  The
+    receiver accepts only when the checkpoint's ``site_vc`` dominates
+    its own clock (installing must never regress an origin; a peer with
+    local progress the checkpoint has not absorbed rejects and waits
+    for a later, fresher offer) and raises its read/prepare fence for
+    the duration of the transfer.
+    """
+
+    sender: int
+    #: The checkpoint's captured clock; becomes the receiver's clock.
+    site_vc: Tuple[int, ...]
+    #: The sender's own coordinator counter at checkpoint time (carried
+    #: for tracing; the receiver never adopts another node's counter).
+    curr_seq_no: int
+    #: sha256 digest verified by the receiver after reassembly.
+    fingerprint: str
+    total_chunks: int
+    #: Per-sender transfer identifier; chunks must match it.
+    snapshot_id: int
+
+
+@dataclass(slots=True)
+class SnapshotChunkBody:
+    """One bounded slice of the checkpoint's store chains (RPC).
+
+    Chunks carry ``chunk_records`` chains each (see
+    :class:`~repro.config.SnapshotTransferConfig`) and must arrive in
+    index order -- the receiver rejects gaps, aborting the transfer, and
+    the sender simply re-offers on its next gossip round.
+    """
+
+    snapshot_id: int
+    index: int
+    total: int
+    #: Slice of ``CheckpointRecord.chains``.
+    chains: Tuple[object, ...]
+
+
+@dataclass(slots=True)
+class SnapshotAckBody:
+    """Receiver's verdict on an offer or chunk.
+
+    As an RPC reply: ``accepted`` answers the offer/chunk itself and
+    ``installed`` turns true on the final chunk's reply once the
+    fingerprint verified and the snapshot was adopted.  The receiver
+    additionally sends one *one-way* ``SNAPSHOT_ACK`` message after a
+    successful install: the sender's handler harvests it as frontier
+    evidence (the receiver now provably holds the sender's origin up to
+    the checkpoint clock) even if the chunk reply itself is lost.
+    """
+
+    snapshot_id: int
+    accepted: bool
+    installed: bool = False
+    #: Receiver's post-install clock (one-way ack only).
+    site_vc: Optional[Tuple[int, ...]] = None
+    reason: Optional[str] = None
+
+
+@dataclass(slots=True)
 class HeartbeatBody:
     """Failure-detector beacon (one-way, background channel).
 

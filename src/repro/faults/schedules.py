@@ -140,6 +140,29 @@ def isolate_cycle(
     return ordered(events)
 
 
+def truncation_gap_schedule(
+    victim: int,
+    node_ids: Sequence[int],
+    at: float,
+    duration: float,
+) -> List[FaultEvent]:
+    """Isolate ``victim`` long enough to fall below the WAL floor.
+
+    The canonical snapshot-transfer scenario: while ``victim`` is cut
+    off, the survivors keep committing, checkpoint, and -- once their
+    mutual frontier evidence covers the checkpoint -- truncate their
+    WALs and prune their decision logs.  After the heal the victim's
+    frontier sits *below* the survivors' ``pruned_floor``, so gossip's
+    record-by-record push can no longer repair it; the next digest
+    exchange must trigger a checkpoint snapshot transfer instead
+    (see :class:`repro.config.SnapshotTransferConfig`).
+
+    Identical event shape to :func:`isolate_cycle`; the distinct builder
+    names the intent and anchors the integration tests and docs.
+    """
+    return isolate_cycle(victim, node_ids, at, duration)
+
+
 def staggered_crashes(
     node_ids: Sequence[int],
     start: float,

@@ -49,6 +49,15 @@ class CheckpointManager:
         self._stable_required: Optional[int] = None
         #: Checkpoints taken at this node (test probe).
         self.taken = 0
+        #: Own-origin sequence numbers at or below this were pruned from
+        #: the in-memory decision log (and the WAL below the matching
+        #: checkpoint truncated).  A peer whose frontier sits below it
+        #: can no longer be repaired record by record -- the trigger for
+        #: snapshot transfer (see NodeHealing).
+        self.pruned_floor = 0
+        #: The newest CheckpointRecord this node holds (taken here, or
+        #: recovered from the WAL); the payload a snapshot offer ships.
+        self._latest: Optional[CheckpointRecord] = None
 
     def _logical_length(self) -> int:
         """Records ever appended (list length plus truncated prefix)."""
@@ -102,6 +111,7 @@ class CheckpointManager:
         owner.wal.append(record)
         self._last_logical = self._logical_length()
         self._stable_required = owner.site_vc[owner.node_id]
+        self._latest = record
         self.taken += 1
         owner.metrics.on_checkpoint()
         if owner.tracer._enabled:
@@ -113,28 +123,62 @@ class CheckpointManager:
             )
         return record
 
+    def latest_checkpoint(self) -> Optional[CheckpointRecord]:
+        """The newest checkpoint on record (cached, else a WAL scan).
+
+        The WAL scan covers the node that recovered from a checkpointed
+        log without ever taking a fresh checkpoint itself: the record is
+        still the durable payload a snapshot offer must ship.
+        """
+        if self._latest is not None:
+            return self._latest
+        wal = self.owner.wal
+        if wal is None:
+            return None
+        for record in reversed(wal.records()):
+            if isinstance(record, CheckpointRecord):
+                self._latest = record
+                return record
+        return None
+
     # ------------------------------------------------------------------
     # Truncation
     # ------------------------------------------------------------------
     def stable_floor(self) -> Optional[int]:
-        """The own-origin frontier every peer is known to have applied.
+        """The own-origin frontier every *retained* peer has applied.
 
-        ``None`` until evidence from *every* peer has arrived -- with a
+        ``None`` until evidence from every peer has arrived -- with a
         peer unheard from, nothing is provably stable.  A single-node
         cluster has no peers and everything is trivially stable.
+
+        With ``max_peer_lag`` set (bounded retention), a peer whose
+        evidence lags our frontier beyond the bound -- or that has never
+        reported while our frontier exceeds the bound -- is stranded:
+        dropped from the floor so truncation is not held hostage by one
+        long-partitioned node.  A stranded peer lands below the pruned
+        floor and is repaired by snapshot transfer instead of the
+        record-by-record push; its below-floor TxnStatus queries resolve
+        as presumed-abort, which the snapshot install supersedes.  When
+        *every* peer is stranded the floor is our own frontier.
         """
         peers = self.healing._peers
+        own = self.owner.site_vc[self.owner.node_id]
         if not peers:
-            return self.owner.site_vc[self.owner.node_id]
+            return own
+        max_lag = self.config.max_peer_lag
         frontiers = self.healing.peer_frontiers
         floor = None
         for peer in peers:
             frontier = frontiers.get(peer)
             if frontier is None:
+                if max_lag is not None and own > max_lag:
+                    continue  # stranded: never heard from, bound exceeded
                 return None
+            if max_lag is not None and own - frontier > max_lag:
+                continue  # stranded: beyond bounded retention
             if floor is None or frontier < floor:
                 floor = frontier
-        return floor
+        return own if floor is None else floor
 
     def maybe_truncate(self) -> int:
         """Truncate below the newest checkpoint once it is stable.
@@ -169,6 +213,8 @@ class CheckpointManager:
 
     def _prune_decisions(self, floor: int) -> None:
         """Drop decision-log entries at or below the stable floor."""
+        if floor > self.pruned_floor:
+            self.pruned_floor = floor
         decisions = self.owner._decisions
         by_seq = self.owner._decisions_by_seq
         stale = [

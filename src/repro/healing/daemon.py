@@ -38,6 +38,8 @@ from repro.config import RpcConfig
 from repro.core.wire import (
     DecideBody,
     HeartbeatBody,
+    SnapshotChunkBody,
+    SnapshotOfferBody,
     SyncRequestBody,
     TxnStatusRequestBody,
 )
@@ -68,6 +70,10 @@ class NodeHealing:
         self.peer_frontiers: Dict[int, int] = {}
         #: Completed anti-entropy rounds at this node (test probe).
         self.rounds = 0
+        #: Snapshots shipped to truncation-gapped peers (test probe).
+        self.snapshots_shipped = 0
+        #: Per-node transfer id counter (deterministic, never reused).
+        self._snapshot_ids = 0
         self._stopped = False
         self._started = False
 
@@ -199,8 +205,41 @@ class NodeHealing:
                 return
             if owner._recovering:
                 continue
-            peer = peers[self._rng.randrange(len(peers))]
-            yield from self.gossip_round(peer)
+            yield from self.gossip_round(self.pick_gossip_peer())
+
+    def pick_gossip_peer(self) -> int:
+        """Choose the next gossip partner (seeded, deterministic).
+
+        With ``snapshot.lag_bias == 0`` (default) this is the historical
+        uniform draw, bit for bit.  With a positive bias each peer's
+        selection weight is ``1 + lag_bias * lag``, where ``lag`` is how
+        far the peer's digest-reported frontier of *our* origin trails
+        our own -- wide partitions heal in fewer rounds because rounds
+        concentrate on the peer that is actually behind.  A peer never
+        heard from counts as maximally lagging (frontier 0).  When every
+        lag is equal (including the all-converged steady state) the
+        draw falls back to the same uniform ``randrange`` call, so a
+        converged biased run consumes its RNG stream exactly like an
+        unbiased one.
+        """
+        peers = self._peers
+        bias = self.config.snapshot.lag_bias
+        if bias > 0 and len(peers) > 1:
+            own = self.owner.site_vc[self.node_id]
+            frontiers = self.peer_frontiers
+            lags = [
+                max(0, own - frontiers.get(peer, 0)) for peer in peers
+            ]
+            if max(lags) != min(lags):
+                weights = [1.0 + bias * lag for lag in lags]
+                draw = self._rng.random() * sum(weights)
+                acc = 0.0
+                for peer, weight in zip(peers, weights):
+                    acc += weight
+                    if draw < acc:
+                        return peer
+                return peers[-1]
+        return peers[self._rng.randrange(len(peers))]
 
     def gossip_round(self, peer: int):
         """One full anti-entropy exchange with ``peer``.
@@ -228,6 +267,22 @@ class NodeHealing:
             return
         peer_vc = reply.site_vc
         self.note_peer_frontier(peer, peer_vc[self.node_id])
+        if self._snapshot_gap(peer_vc[self.node_id]):
+            installed = yield from self.ship_snapshot(peer, incarnation)
+            if (
+                self._stopped
+                or owner._recovering
+                or owner._incarnation != incarnation
+            ):
+                return
+            if installed:
+                # The peer now sits at the checkpoint clock; stream and
+                # pull against that frontier so this same round tops it
+                # up with the post-checkpoint suffix.
+                record = self.checkpoints.latest_checkpoint()
+                peer_vc = tuple(
+                    max(a, b) for a, b in zip(peer_vc, record.site_vc)
+                )
         streamed = self._stream_own_origin(peer, peer_vc[self.node_id])
         yield from self._pull(peer_vc, incarnation)
         self.rounds += 1
@@ -353,6 +408,123 @@ class NodeHealing:
                 )
             if self._stopped or owner._incarnation != incarnation:
                 return
+
+    # ------------------------------------------------------------------
+    # Snapshot transfer
+    # ------------------------------------------------------------------
+    def _snapshot_gap(self, frontier: int) -> bool:
+        """Is ``frontier`` beyond record-by-record repair from here?
+
+        True when decision-log pruning has dropped own-origin sequence
+        numbers the peer still needs: ``_stream_own_origin`` silently
+        skips missing entries, so a peer at or below ``pruned_floor``
+        can never converge through the normal push -- only a checkpoint
+        snapshot covers the gap.  ``offer_threshold`` widens the trigger
+        so operators can prefer bulk transfer even for shallow gaps.
+        """
+        cfg = self.config.snapshot
+        if not cfg.enabled or self.owner.wal is None:
+            return False
+        floor = self.checkpoints.pruned_floor
+        if floor <= 0 or frontier + cfg.offer_threshold >= floor:
+            return False
+        return self.checkpoints.latest_checkpoint() is not None
+
+    def ship_snapshot(self, peer: int, incarnation: int):
+        """Stream our newest checkpoint to ``peer`` in bounded chunks.
+
+        Generator subroutine returning True iff the receiver verified
+        the fingerprint and installed.  The offer RPC carries the
+        checkpoint's clock and fingerprint so the receiver can reject
+        before bulk data moves (it must: installing never regresses an
+        origin).  Chunks go in index order; any rejection or lost reply
+        abandons the transfer -- the next gossip round that still sees a
+        gap simply re-offers.  On success the receiver's frontier of our
+        origin provably equals the checkpoint clock's own entry, which
+        this side records as truncation evidence immediately.
+        """
+        owner = self.owner
+        record = self.checkpoints.latest_checkpoint()
+        cfg = self.config.snapshot
+        chunk_size = max(1, cfg.chunk_records)
+        chains = record.chains
+        total = max(1, (len(chains) + chunk_size - 1) // chunk_size)
+        self._snapshot_ids += 1
+        snapshot_id = self._snapshot_ids
+        offer = SnapshotOfferBody(
+            sender=self.node_id,
+            site_vc=record.site_vc,
+            curr_seq_no=record.curr_seq_no,
+            fingerprint=record.fingerprint,
+            total_chunks=total,
+            snapshot_id=snapshot_id,
+        )
+        self.metrics.on_snapshot_offer()
+        if self.tracer._enabled:
+            self.tracer.emit(
+                self.node_id, "snapshot_offer", peer=peer,
+                snapshot_id=snapshot_id, chunks=total,
+                frontier=record.site_vc[self.node_id],
+            )
+        ok, reply = yield from owner.node.rpc.call_settled(
+            peer, MessageType.SNAPSHOT_OFFER, offer, config=self._rpc_config
+        )
+        if (
+            self._stopped
+            or owner._recovering
+            or owner._incarnation != incarnation
+        ):
+            return False
+        if not ok or not reply.accepted:
+            self.metrics.on_snapshot_rejected()
+            return False
+        installed = False
+        for index in range(total):
+            chunk = SnapshotChunkBody(
+                snapshot_id=snapshot_id,
+                index=index,
+                total=total,
+                chains=chains[index * chunk_size:(index + 1) * chunk_size],
+            )
+            ok, reply = yield from owner.node.rpc.call_settled(
+                peer,
+                MessageType.SNAPSHOT_CHUNK,
+                chunk,
+                config=self._rpc_config,
+            )
+            if (
+                self._stopped
+                or owner._recovering
+                or owner._incarnation != incarnation
+            ):
+                return False
+            if not ok or not reply.accepted:
+                self.metrics.on_snapshot_rejected()
+                return False
+            self.metrics.on_snapshot_chunk(len(chunk.chains))
+            installed = reply.installed
+        if not installed:
+            return False
+        self.note_peer_frontier(peer, record.site_vc[self.node_id])
+        self.snapshots_shipped += 1
+        self.metrics.on_snapshot_shipped()
+        if self.tracer._enabled:
+            self.tracer.emit(
+                self.node_id, "snapshot_shipped", peer=peer,
+                snapshot_id=snapshot_id,
+                frontier=record.site_vc[self.node_id],
+            )
+        return True
+
+    def on_snapshot_ack(self, src: int, body) -> None:
+        """One-way install confirmation: harvest as frontier evidence.
+
+        Redundant with the final chunk's RPC reply when that reply
+        arrives, but this path survives a lost reply -- the sender still
+        learns the receiver holds its origin through the checkpoint.
+        """
+        if body.site_vc is not None:
+            self.note_peer_frontier(src, body.site_vc[self.node_id])
 
     # ------------------------------------------------------------------
     # Recovery's shared SYNC fan-out

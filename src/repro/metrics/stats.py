@@ -194,6 +194,17 @@ class MetricsRecorder:
         #: WAL checkpoints taken and records truncated below them.
         self.checkpoints_taken = 0
         self.wal_records_truncated = 0
+        #: Checkpoint snapshot transfer (healing): offers made by this
+        #: node as sender, offers/chunks refused or transfers that died
+        #: mid-flight, chunks and store chains actually moved, completed
+        #: installs on each side, and receiver-side watchdog abandons.
+        self.snapshot_offers = 0
+        self.snapshot_rejected = 0
+        self.snapshot_chunks = 0
+        self.snapshot_chains = 0
+        self.snapshots_shipped = 0
+        self.snapshot_installs = 0
+        self.snapshot_abandoned = 0
 
     # ------------------------------------------------------------------
     # Window control
@@ -342,6 +353,31 @@ class MetricsRecorder:
         """WAL records below a stable checkpoint were truncated."""
         self.wal_records_truncated += dropped
 
+    def on_snapshot_offer(self) -> None:
+        """This node offered its checkpoint to a truncation-gapped peer."""
+        self.snapshot_offers += 1
+
+    def on_snapshot_rejected(self) -> None:
+        """An offer or chunk was refused (or its reply lost) mid-transfer."""
+        self.snapshot_rejected += 1
+
+    def on_snapshot_chunk(self, chains: int) -> None:
+        """One accepted chunk carried ``chains`` store chains."""
+        self.snapshot_chunks += 1
+        self.snapshot_chains += chains
+
+    def on_snapshot_shipped(self) -> None:
+        """The receiver confirmed a verified install (sender side)."""
+        self.snapshots_shipped += 1
+
+    def on_snapshot_install(self, chains: int) -> None:
+        """This node verified and adopted a peer's checkpoint."""
+        self.snapshot_installs += 1
+
+    def on_snapshot_abandoned(self) -> None:
+        """An inbound transfer was dropped (stalled, stale, or corrupt)."""
+        self.snapshot_abandoned += 1
+
     @property
     def stale_read_fraction(self) -> float:
         return self.ro_stale_reads / self.ro_reads if self.ro_reads else 0.0
@@ -388,4 +424,11 @@ class MetricsRecorder:
             "records_streamed": self.records_streamed,
             "checkpoints_taken": self.checkpoints_taken,
             "wal_records_truncated": self.wal_records_truncated,
+            "snapshot_offers": self.snapshot_offers,
+            "snapshot_rejected": self.snapshot_rejected,
+            "snapshot_chunks": self.snapshot_chunks,
+            "snapshot_chains": self.snapshot_chains,
+            "snapshots_shipped": self.snapshots_shipped,
+            "snapshot_installs": self.snapshot_installs,
+            "snapshot_abandoned": self.snapshot_abandoned,
         }

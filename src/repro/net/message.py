@@ -28,6 +28,15 @@ class MessageType:
     SYNC = "Sync"
     #: Failure-detector liveness beacon (one-way, background channel).
     HEARTBEAT = "Heartbeat"
+    #: Checkpoint snapshot transfer (healing): the sender offers its
+    #: newest fingerprinted checkpoint to a peer whose frontier predates
+    #: the sender's truncated WAL history (RPC) ...
+    SNAPSHOT_OFFER = "SnapshotOffer"
+    #: ... streams it in bounded chunks of store chains (RPC) ...
+    SNAPSHOT_CHUNK = "SnapshotChunk"
+    #: ... and the receiver confirms the verified install (one-way),
+    #: which doubles as frontier evidence at the sender.
+    SNAPSHOT_ACK = "SnapshotAck"
 
     #: Message types delivered on the background channel.  Asynchronous
     #: traffic (commit propagation, VAS garbage collection, liveness

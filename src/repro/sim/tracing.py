@@ -56,6 +56,11 @@ class Tracer:
             "stream",
             "checkpoint",
             "truncate",
+            "snapshot_offer",
+            "snapshot_accept",
+            "snapshot_shipped",
+            "snapshot_install",
+            "snapshot_abandon",
             "nemesis_crash",
             "nemesis_crash_durable",
             "nemesis_restart",

@@ -9,14 +9,17 @@ Typical scripted use::
     cluster = Cluster("fwkv", ClusterConfig(num_nodes=3))
     cluster.load("x", 0)
 
-    def scenario():
-        txn = cluster.node(0).begin(is_read_only=False)
-        value = yield from cluster.node(0).read(txn, "x")
-        cluster.node(0).write(txn, "x", value + 1)
-        ok = yield from cluster.node(0).commit(txn)
-        return ok
+    def increment(txn):
+        value = yield from txn.read("x")
+        txn.write("x", value + 1)
 
-    assert cluster.run_process(scenario())
+    assert cluster.run_txn(increment)
+
+:meth:`Cluster.run_txn` begins the transaction, hands the body a
+:class:`TxnHandle`, drives the generator, auto-commits, and runs the
+simulator to quiescence -- the full ``begin``/``yield from read``/
+``commit``/``run_process`` plumbing remains available underneath for
+scripts that interleave several transactions in one process.
 """
 
 from __future__ import annotations
@@ -42,6 +45,83 @@ PROTOCOLS = {
     "walter": WalterNode,
     "2pc": TwoPCNode,
 }
+
+
+class TxnResult:
+    """Outcome of one :meth:`Cluster.run_txn` invocation.
+
+    Truthy iff the transaction committed, so existing assertion styles
+    (``assert cluster.run_txn(fn)``) keep working; ``value`` carries
+    whatever the transaction body returned.
+    """
+
+    __slots__ = ("committed", "value", "txn_id")
+
+    def __init__(self, committed: bool, value: object, txn_id: int) -> None:
+        self.committed = committed
+        self.value = value
+        self.txn_id = txn_id
+
+    def __bool__(self) -> bool:
+        return self.committed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "committed" if self.committed else "aborted"
+        return f"<TxnResult txn={self.txn_id} {state} value={self.value!r}>"
+
+
+class TxnHandle:
+    """One in-flight transaction, without the generator plumbing.
+
+    Wraps a protocol node's ``begin``/``read``/``write``/``commit``
+    into a single object the transaction body receives, so user code
+    reads ``value = yield from txn.read(key)`` instead of threading the
+    node and the raw :class:`~repro.core.transaction.Transaction` pair
+    through every call.  ``read``/``read_many``/``commit`` stay
+    generator subroutines -- they go over the simulated wire -- while
+    ``write`` buffers locally and is plain.
+    """
+
+    __slots__ = ("_node", "txn", "finished", "committed")
+
+    def __init__(self, node: BaseProtocolNode, txn) -> None:
+        self._node = node
+        #: The underlying Transaction (escape hatch for advanced use).
+        self.txn = txn
+        #: True once commit or rollback ran; run_txn then skips its
+        #: auto-commit.
+        self.finished = False
+        self.committed = False
+
+    @property
+    def txn_id(self) -> int:
+        return self.txn.txn_id
+
+    def read(self, key: Hashable):
+        """Generator subroutine: the value visible to this transaction."""
+        value = yield from self._node.read(self.txn, key)
+        return value
+
+    def read_many(self, keys: Iterable[Hashable]):
+        """Generator subroutine: parallel multi-get (read-only txns)."""
+        values = yield from self._node.read_many(self.txn, keys)
+        return values
+
+    def write(self, key: Hashable, value: object) -> None:
+        """Buffer a write (visible at commit only)."""
+        self._node.write(self.txn, key, value)
+
+    def commit(self):
+        """Generator subroutine: drive 2PC; True iff committed."""
+        ok = yield from self._node.commit(self.txn)
+        self.finished = True
+        self.committed = bool(ok)
+        return self.committed
+
+    def rollback(self) -> None:
+        """Client-initiated abort: discard buffers, nothing to undo."""
+        self._node.abort(self.txn)
+        self.finished = True
 
 
 class Cluster:
@@ -147,6 +227,62 @@ class Cluster:
     def run_process(self, gen, name: Optional[str] = None):
         """Spawn ``gen``, run to quiescence, and return the process's value."""
         return self.sim.run_process(gen, name=name)
+
+    # ------------------------------------------------------------------
+    # Transaction facade
+    # ------------------------------------------------------------------
+    def txn(
+        self,
+        fn,
+        node: int = 0,
+        read_only: bool = False,
+        profile: Optional[str] = None,
+    ):
+        """Generator subroutine running ``fn`` as one transaction.
+
+        ``fn`` receives a :class:`TxnHandle`; a generator body is driven
+        to completion (so it can ``yield from txn.read(...)``), a plain
+        function body may only ``txn.write``.  Unless the body already
+        committed or rolled back, the transaction is committed on the
+        way out.  Returns a :class:`TxnResult`.  Use this form to
+        compose several transactions inside one simulated process;
+        :meth:`run_txn` is the run-to-quiescence wrapper around it.
+        """
+        protocol_node = self.nodes[node]
+        handle = TxnHandle(
+            protocol_node,
+            protocol_node.begin(is_read_only=read_only, profile=profile),
+        )
+        value = fn(handle)
+        if hasattr(value, "__next__"):
+            value = yield from value
+        if not handle.finished:
+            yield from handle.commit()
+        return TxnResult(handle.committed, value, handle.txn_id)
+
+    def run_txn(
+        self,
+        fn,
+        node: int = 0,
+        read_only: bool = False,
+        profile: Optional[str] = None,
+    ) -> TxnResult:
+        """Run one transaction to quiescence and return its result.
+
+        The quickstart path::
+
+            def transfer(txn):
+                balance = yield from txn.read("alice")
+                txn.write("alice", balance - 10)
+                txn.write("bob", 10)
+
+            result = cluster.run_txn(transfer)
+            assert result.committed
+        """
+        return self.run_process(
+            self.txn(fn, node=node, read_only=read_only, profile=profile),
+            name=f"run_txn:n{node}",
+        )
 
     # ------------------------------------------------------------------
     # Post-run analysis

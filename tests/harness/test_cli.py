@@ -17,6 +17,34 @@ def test_parser_rejects_unknown_figure():
         build_parser().parse_args(["figure99"])
 
 
+def test_config_command_round_trips_through_json(capsys, tmp_path):
+    import json
+
+    from repro import ClusterConfig
+
+    assert main(["config", "--nodes", "8"]) == 0
+    dumped = capsys.readouterr().out
+    assert ClusterConfig.from_dict(json.loads(dumped)) == ClusterConfig(
+        num_nodes=8
+    )
+
+    # A partial overlay file loads against defaults and echoes normalised.
+    overlay = tmp_path / "cluster.json"
+    overlay.write_text(
+        '{"num_nodes": 3, "healing": {"anti_entropy_interval": 0.0004}}'
+    )
+    assert main(["config", "--load", str(overlay)]) == 0
+    echoed = json.loads(capsys.readouterr().out)
+    assert echoed["num_nodes"] == 3
+    assert echoed["healing"]["anti_entropy_interval"] == 0.0004
+    assert "snapshot" in echoed["healing"]  # defaults filled in
+
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"num_nodes": 3, "num_shards": 7}')
+    with pytest.raises(ValueError, match="unknown keys"):
+        main(["config", "--load", str(bad)])
+
+
 def test_figure5_tiny_run(capsys):
     code = main(
         [

@@ -1,0 +1,86 @@
+"""Lag-biased gossip peer selection (seeded, deterministic).
+
+``NodeHealing.pick_gossip_peer`` weights each peer by ``1 + lag_bias *
+lag`` where ``lag`` is the peer's own-origin digest gap; the suite pins
+the three contractual properties: same seed => same pick sequence, the
+bias concentrates rounds on the peer that is actually behind, and the
+equal-lag / zero-bias paths fall back to the historical uniform draw
+*consuming the RNG stream identically* -- a converged biased run stays
+bit-compatible with an unbiased one.
+"""
+
+import pytest
+
+from repro import (
+    Cluster,
+    ClusterConfig,
+    HealingConfig,
+    SnapshotTransferConfig,
+)
+
+pytestmark = pytest.mark.healing
+
+
+def make_healing(seed, lag_bias, *, own=0, frontiers=None):
+    config = ClusterConfig(
+        num_nodes=4,
+        seed=seed,
+        healing=HealingConfig(
+            snapshot=SnapshotTransferConfig(lag_bias=lag_bias)
+        ),
+    )
+    healing = Cluster("fwkv", config).nodes[0].healing
+    healing.owner.site_vc[0] = own
+    if frontiers:
+        healing.peer_frontiers.update(frontiers)
+    return healing
+
+
+def picks(healing, n=100):
+    return [healing.pick_gossip_peer() for _ in range(n)]
+
+
+def test_selection_is_seeded_and_deterministic():
+    frontiers = {1: 10, 2: 2, 3: 7}
+    for bias in (0.0, 4.0):
+        a = make_healing(17, bias, own=10, frontiers=frontiers)
+        b = make_healing(17, bias, own=10, frontiers=frontiers)
+        assert picks(a) == picks(b)
+    assert picks(
+        make_healing(17, 0.0, own=10, frontiers=frontiers)
+    ) != picks(make_healing(18, 0.0, own=10, frontiers=frontiers))
+
+
+def test_bias_concentrates_on_the_most_lagging_peer():
+    # Peer 2 trails by 8, the others are caught up: with a strong bias
+    # nearly every round goes to the peer that actually needs repair.
+    chosen = picks(
+        make_healing(5, 50.0, own=10, frontiers={1: 10, 2: 2, 3: 10}),
+        n=200,
+    )
+    assert chosen.count(2) / len(chosen) > 0.9
+    # Unbiased, the same digest state spreads rounds evenly.
+    uniform = picks(
+        make_healing(5, 0.0, own=10, frontiers={1: 10, 2: 2, 3: 10}),
+        n=200,
+    )
+    assert max(uniform.count(p) for p in (1, 2, 3)) / len(uniform) < 0.5
+
+
+def test_never_heard_peer_counts_as_maximally_lagging():
+    # Peer 3 has reported nothing: its frontier counts as 0, the widest
+    # gap on the board, so the bias turns toward it.
+    chosen = picks(
+        make_healing(9, 50.0, own=10, frontiers={1: 10, 2: 10}), n=200
+    )
+    assert chosen.count(3) / len(chosen) > 0.9
+
+
+def test_equal_lag_falls_back_to_the_uniform_rng_draw():
+    # All lags equal (converged steady state): a biased instance must
+    # consume its RNG stream exactly like an unbiased one, pick for pick.
+    for frontiers in ({}, {1: 9, 2: 9, 3: 9}):
+        own = 0 if not frontiers else 10
+        biased = make_healing(23, 3.0, own=own, frontiers=dict(frontiers))
+        unbiased = make_healing(23, 0.0, own=own, frontiers=dict(frontiers))
+        assert picks(biased) == picks(unbiased)

@@ -1,0 +1,293 @@
+"""Public API surface suite: exports, config serde, transaction facade.
+
+Pins the package's public contract: every public ``*Config`` dataclass
+is importable from ``repro`` (the regression that motivated this suite
+was ``BatchingConfig`` living in ``repro.config`` but missing from the
+package exports), every config round-trips through ``to_dict()`` /
+``from_dict()`` -- including through JSON -- and the
+:meth:`~repro.system.Cluster.run_txn` facade behaves exactly as the
+README quickstart promises.
+"""
+
+import dataclasses
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+import repro.config
+from repro import (
+    BatchingConfig,
+    CheckpointConfig,
+    Cluster,
+    ClusterConfig,
+    CostModel,
+    DurabilityConfig,
+    HealingConfig,
+    NetworkConfig,
+    RpcConfig,
+    SnapshotTransferConfig,
+    TxnHandle,
+    TxnResult,
+)
+from repro.config import ConfigSerde
+
+pytestmark = pytest.mark.api
+
+
+# ----------------------------------------------------------------------
+# Export surface
+# ----------------------------------------------------------------------
+def public_config_classes():
+    """Every public config dataclass defined in repro.config."""
+    return {
+        name: obj
+        for name, obj in vars(repro.config).items()
+        if isinstance(obj, type)
+        and issubclass(obj, ConfigSerde)
+        and obj is not ConfigSerde
+        and not name.startswith("_")
+    }
+
+
+def test_every_public_config_class_is_exported():
+    classes = public_config_classes()
+    assert len(classes) >= 10  # the known surface; growing is fine
+    for name, obj in classes.items():
+        assert name in repro.__all__, f"{name} missing from repro.__all__"
+        assert getattr(repro, name) is obj, f"repro.{name} is a stray alias"
+
+
+def test_batching_config_importable_from_package():
+    # The original export gap, kept as an explicit regression test.
+    from repro import BatchingConfig as imported
+
+    assert imported is repro.config.BatchingConfig
+
+
+def test_facade_types_are_exported():
+    assert repro.TxnHandle is TxnHandle
+    assert repro.TxnResult is TxnResult
+    assert "TxnHandle" in repro.__all__ and "TxnResult" in repro.__all__
+
+
+# ----------------------------------------------------------------------
+# Config serde round-trip
+# ----------------------------------------------------------------------
+def optional(strategy):
+    return st.none() | strategy
+
+small_floats = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+positive_floats = st.floats(
+    min_value=1e-6, max_value=1.0, allow_nan=False
+)
+
+rpc_configs = st.builds(
+    RpcConfig,
+    request_timeout=optional(positive_floats),
+    max_attempts=st.integers(1, 6),
+    backoff_base=positive_floats,
+    backoff_jitter=small_floats,
+)
+network_configs = st.builds(
+    NetworkConfig,
+    base_latency=positive_floats,
+    jitter=small_floats,
+    message_delays=st.dictionaries(
+        st.sampled_from(["Propagate", "Decide", "Prepare"]),
+        small_floats,
+        max_size=2,
+    ),
+    loss_rate=small_floats,
+    rpc=rpc_configs,
+)
+checkpoint_configs = st.builds(
+    CheckpointConfig,
+    interval=optional(positive_floats),
+    min_records=st.integers(1, 64),
+    truncate=st.booleans(),
+    max_peer_lag=optional(st.integers(0, 16)),
+)
+snapshot_configs = st.builds(
+    SnapshotTransferConfig,
+    enabled=st.booleans(),
+    chunk_records=st.integers(1, 128),
+    offer_threshold=st.integers(0, 4),
+    lag_bias=small_floats,
+)
+healing_configs = st.builds(
+    HealingConfig,
+    detector_enabled=st.booleans(),
+    heartbeat_interval=optional(positive_floats),
+    anti_entropy_interval=optional(positive_floats),
+    max_stream_per_round=st.integers(1, 128),
+    checkpoint=checkpoint_configs,
+    snapshot=snapshot_configs,
+)
+cluster_configs = st.builds(
+    ClusterConfig,
+    num_nodes=st.integers(1, 8),
+    clients_per_node=st.integers(0, 8),
+    seed=st.integers(0, 2**32 - 1),
+    gc_enabled=st.booleans(),
+    prepared_lease=optional(positive_floats),
+    batching=st.builds(
+        BatchingConfig,
+        propagate_window=small_floats,
+        remove_flush_interval=optional(positive_floats),
+    ),
+    durability=st.builds(
+        DurabilityConfig,
+        wal_enabled=st.booleans(),
+        termination_query=st.booleans(),
+    ),
+    healing=healing_configs,
+    network=network_configs,
+    costs=st.builds(
+        CostModel,
+        read_handler=small_floats,
+        cpu_cores=optional(st.integers(1, 32)),
+    ),
+)
+
+
+@given(cluster_configs)
+@settings(max_examples=60, deadline=None)
+def test_cluster_config_round_trips_through_dict_and_json(cfg):
+    assert ClusterConfig.from_dict(cfg.to_dict()) == cfg
+    assert ClusterConfig.from_dict(json.loads(json.dumps(cfg.to_dict()))) == cfg
+
+
+def test_every_config_class_round_trips_at_defaults():
+    for name, cls in public_config_classes().items():
+        required = [
+            f
+            for f in dataclasses.fields(cls)
+            if f.default is dataclasses.MISSING
+            and f.default_factory is dataclasses.MISSING
+        ]
+        cfg = cls(3) if required else cls()  # num_nodes for ClusterConfig
+        assert cls.from_dict(cfg.to_dict()) == cfg, name
+
+
+def test_from_dict_rejects_unknown_keys():
+    with pytest.raises(ValueError, match="unknown keys"):
+        ClusterConfig.from_dict({"num_nodes": 3, "num_shards": 7})
+
+
+def test_from_dict_accepts_partial_overlay():
+    cfg = ClusterConfig.from_dict(
+        {"num_nodes": 3, "healing": {"anti_entropy_interval": 5e-4}}
+    )
+    assert cfg.num_nodes == 3
+    assert cfg.healing.anti_entropy_interval == 5e-4
+    assert cfg.healing.checkpoint == CheckpointConfig()  # defaults kept
+    assert cfg.network == NetworkConfig()
+
+
+# ----------------------------------------------------------------------
+# Transaction facade
+# ----------------------------------------------------------------------
+def fresh_cluster(protocol="fwkv"):
+    cluster = Cluster(protocol, ClusterConfig(num_nodes=4, seed=3))
+    cluster.load("account:alice", 100)
+    cluster.load("account:bob", 0)
+    return cluster
+
+
+def test_run_txn_executes_the_quickstart_transfer():
+    cluster = fresh_cluster()
+
+    def transfer(txn):
+        balance = yield from txn.read("account:alice")
+        txn.write("account:alice", balance - 10)
+        txn.write("account:bob", 10)
+
+    result = cluster.run_txn(transfer)
+    assert result.committed and bool(result)
+    assert isinstance(result, TxnResult)
+
+    def audit(txn):
+        values = yield from txn.read_many(["account:alice", "account:bob"])
+        return values
+
+    checked = cluster.run_txn(audit, node=1, read_only=True)
+    assert checked.committed
+    assert checked.value == {"account:alice": 90, "account:bob": 10}
+
+
+@pytest.mark.parametrize("protocol", ["fwkv", "walter"])
+def test_run_txn_works_on_every_mvcc_protocol(protocol):
+    cluster = fresh_cluster(protocol)
+
+    def bump(txn):
+        balance = yield from txn.read("account:bob")
+        txn.write("account:bob", balance + 5)
+        return balance
+
+    result = cluster.run_txn(bump, node=2)
+    assert result.committed and result.value == 0
+
+
+def test_run_txn_plain_function_body_writes_blind():
+    cluster = fresh_cluster()
+    result = cluster.run_txn(lambda txn: txn.write("account:bob", 42))
+    assert result.committed
+
+    def check(txn):
+        return (yield from txn.read("account:bob"))
+
+    assert cluster.run_txn(check, read_only=True).value == 42
+
+
+def test_run_txn_explicit_commit_and_rollback():
+    cluster = fresh_cluster()
+
+    def committed_explicitly(txn):
+        txn.write("account:bob", 7)
+        ok = yield from txn.commit()
+        return ok
+
+    result = cluster.run_txn(committed_explicitly)
+    assert result.committed and result.value is True
+
+    def rolled_back(txn):
+        txn.write("account:bob", 999)
+        txn.rollback()
+        if False:  # pragma: no cover - makes the body a generator
+            yield
+
+    result = cluster.run_txn(rolled_back)
+    assert not result.committed
+
+    def check(txn):
+        return (yield from txn.read("account:bob"))
+
+    assert cluster.run_txn(check, read_only=True).value == 7
+
+
+def test_txn_subroutine_composes_inside_one_process():
+    cluster = fresh_cluster()
+
+    def add(amount):
+        def body(txn):
+            balance = yield from txn.read("account:bob")
+            txn.write("account:bob", balance + amount)
+
+        return body
+
+    def driver():
+        first = yield from cluster.txn(add(1))
+        second = yield from cluster.txn(add(2))
+        return first, second
+
+    first, second = cluster.run_process(driver())
+    assert first.committed and second.committed
+    assert first.txn_id != second.txn_id
+
+    def check(txn):
+        return (yield from txn.read("account:bob"))
+
+    assert cluster.run_txn(check, read_only=True).value == 3

@@ -29,12 +29,14 @@ import os
 import pytest
 
 from repro import (
+    CheckpointConfig,
     Cluster,
     ClusterConfig,
     DurabilityConfig,
     HealingConfig,
     NetworkConfig,
     RpcConfig,
+    SnapshotTransferConfig,
 )
 from repro.cluster import ModuloDirectory
 from repro.faults import Nemesis
@@ -44,6 +46,7 @@ from repro.faults.schedules import (
     PARTITION,
     FaultEvent,
     isolate_cycle,
+    truncation_gap_schedule,
 )
 from repro.healing import ALIVE, DEAD
 from repro.metrics.stats import AbortReason
@@ -542,3 +545,167 @@ def test_automatic_checkpoint_loop_respects_min_records():
     assert result.checkpoints >= 1
     assert store_fingerprint(result.store) == store_fingerprint(victim.store)
     assert result.site_vc.to_tuple() == victim.site_vc.to_tuple()
+
+
+# ----------------------------------------------------------------------
+# Snapshot transfer: repairing a peer stranded below the pruned floor
+# ----------------------------------------------------------------------
+def run_snapshot_scenario(seed, *, partition):
+    """Bounded retention strands a partitioned victim below the sender's
+    pruned floor; the next gossip round that sees it must repair it by
+    shipping the checkpoint snapshot (the truncated records are gone),
+    then top up the post-checkpoint suffix through the ordinary stream.
+    The control run executes the identical call sequence with the victim
+    reachable, so the repaired victim is comparable bit for bit.
+    """
+    healing = HealingConfig(
+        checkpoint=CheckpointConfig(max_peer_lag=2),
+        snapshot=SnapshotTransferConfig(chunk_records=2),
+    )
+    cluster, nemesis = build(seed, healing, wal=True)
+    cluster.tracer.enable(
+        "snapshot_offer", "snapshot_accept", "snapshot_shipped",
+        "snapshot_install", "snapshot_abandon", "stream",
+    )
+    rng = make_rng(seed, "healing-snapshot")
+    all_keys = [f"k{i}" for i in range(NUM_KEYS)]
+    victim_keys = set(keys_by_site(cluster).get(VICTIM, []))
+    other_keys = sorted(set(all_keys) - victim_keys)
+    sender = cluster.nodes[0]
+    victim = cluster.nodes[VICTIM]
+
+    # Phase A: commits everywhere, then one full gossip mesh so every
+    # node holds frontier evidence for every peer (no loops are
+    # configured -- every round in this scenario is an explicit call).
+    plan_a = [(n % NUM_NODES, rng.sample(all_keys, 2)) for n in range(12)]
+    for coordinator, keys in plan_a:
+        assert run_txn(cluster, coordinator, keys)
+    for node in cluster.nodes:
+        for peer in range(NUM_NODES):
+            if peer != node.node_id:
+                cluster.run_process(node.healing.gossip_round(peer))
+
+    # The victim sleeps through everything after this cut; the control
+    # victim stays reachable and follows along via normal Propagates.
+    if partition:
+        for event in truncation_gap_schedule(
+            VICTIM, range(NUM_NODES), cluster.sim.now, 1.0
+        ):
+            if event.kind == PARTITION:
+                nemesis.apply(event)
+
+    # Phase B: three commits per surviving origin -- deeper than
+    # max_peer_lag, so the victim's stale evidence strands it.
+    plan_b = [
+        ((0, 1, 3)[n % 3], rng.sample(other_keys, 2)) for n in range(9)
+    ]
+    for coordinator, keys in plan_b:
+        assert run_txn(cluster, coordinator, keys)
+
+    # Checkpoint at the sender, then gossip with the surviving peers:
+    # their evidence refreshes in-round, the victim sits beyond the
+    # retention bound, so the WAL truncates and the decision log prunes
+    # -- the victim is now below the floor, unreachable by the push.
+    record = sender.checkpoint_now()
+    assert record is not None
+    for peer in (1, 3):
+        cluster.run_process(sender.healing.gossip_round(peer))
+    floor = sender.healing.checkpoints.pruned_floor
+    assert sender.wal.truncated == record.records_below > 0
+    if partition:
+        assert victim.site_vc[0] < floor, "victim must sit below the floor"
+
+    # Phase C: a post-truncation suffix the snapshot does not cover; the
+    # repair round must stream it normally on top of the install.
+    plan_c = [(0, rng.sample(other_keys, 2)) for _ in range(3)]
+    for coordinator, keys in plan_c:
+        assert run_txn(cluster, coordinator, keys)
+
+    if partition:
+        for peer in range(NUM_NODES):
+            if peer != VICTIM:
+                nemesis.apply(
+                    FaultEvent(cluster.sim.now, HEAL, VICTIM, peer)
+                )
+                nemesis.apply(
+                    FaultEvent(cluster.sim.now, HEAL, peer, VICTIM)
+                )
+
+    # The repair round: the digest reveals the below-floor gap, the
+    # snapshot ships and installs behind the fence, the suffix streams.
+    cluster.run_process(sender.healing.gossip_round(VICTIM))
+    cluster.run()
+
+    return {
+        "cluster": cluster,
+        "fingerprint": node_fingerprint(victim),
+        "clocks": cluster.site_clocks(),
+        "floor": floor,
+        "shipped": sender.healing.snapshots_shipped,
+        "installs": victim.snapshot_installs,
+        "checkpoint": record,
+    }
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_snapshot_transfer_repairs_truncation_gap(seed):
+    repaired = run_snapshot_scenario(seed, partition=True)
+    control = run_snapshot_scenario(seed, partition=False)
+
+    # Bit-identical convergence through the snapshot: store chains (vids
+    # included), siteVC, and the coordinator counter all match the
+    # never-partitioned control's victim.
+    assert repaired["fingerprint"] == control["fingerprint"]
+    assert all(
+        clock == repaired["clocks"][0] for clock in repaired["clocks"]
+    )
+    assert repaired["shipped"] == 1 and repaired["installs"] == 1
+    assert control["shipped"] == 0 and control["installs"] == 0
+
+    cluster = repaired["cluster"]
+    tracer = cluster.tracer
+    offers = tracer.of_kind("snapshot_offer")
+    assert [(r.node, r.details["peer"]) for r in offers] == [(0, VICTIM)]
+    assert tracer.of_kind("snapshot_abandon") == []
+    installs = tracer.of_kind("snapshot_install")
+    assert [r.node for r in installs] == [VICTIM]
+    floor = repaired["floor"]
+    assert installs[0].details["frontier"] == floor
+
+    # Everything below the pruned floor was covered by the snapshot
+    # alone: every record streamed toward the victim sits strictly
+    # above it, and the suffix did stream (the install is not enough).
+    toward_victim = [
+        r for r in tracer.of_kind("stream") if r.details["peer"] == VICTIM
+    ]
+    assert toward_victim, "the post-checkpoint suffix must still stream"
+    assert all(r.details["first"] > floor for r in toward_victim)
+
+    record = repaired["checkpoint"]
+    metrics = cluster.metrics
+    assert metrics.snapshot_offers == 1
+    assert metrics.snapshot_rejected == 0
+    assert metrics.snapshot_abandoned == 0
+    assert metrics.snapshot_chains == len(record.chains)
+    assert metrics.snapshot_chunks == (len(record.chains) + 1) // 2
+    assert not cluster.any_locks_held()
+
+
+def test_snapshot_scenario_is_deterministic():
+    """Same seed, same faults => same snapshot transfer, chunk for
+    chunk, and the same converged victim state."""
+    seed = SEEDS[0]
+
+    def probe():
+        result = run_snapshot_scenario(seed, partition=True)
+        metrics = result["cluster"].metrics
+        return (
+            result["fingerprint"],
+            result["clocks"],
+            result["floor"],
+            metrics.snapshot_chunks,
+            metrics.snapshot_chains,
+            metrics.records_streamed,
+        )
+
+    assert probe() == probe()
