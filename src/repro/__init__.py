@@ -34,6 +34,7 @@ Every ``*Config`` dataclass round-trips through ``to_dict()`` /
 ``from_dict()`` for JSON serialization of experiment configs.
 """
 
+from repro.cluster.membership import MembershipView, NodeMembership
 from repro.config import (
     BatchingConfig,
     CheckpointConfig,
@@ -41,6 +42,7 @@ from repro.config import (
     CostModel,
     DurabilityConfig,
     HealingConfig,
+    MembershipConfig,
     NetworkConfig,
     RpcConfig,
     RunConfig,
@@ -48,7 +50,7 @@ from repro.config import (
 )
 from repro.system import PROTOCOLS, Cluster, TxnHandle, TxnResult
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BatchingConfig",
@@ -58,7 +60,10 @@ __all__ = [
     "CostModel",
     "DurabilityConfig",
     "HealingConfig",
+    "MembershipConfig",
+    "MembershipView",
     "NetworkConfig",
+    "NodeMembership",
     "PROTOCOLS",
     "RpcConfig",
     "RunConfig",

@@ -7,13 +7,25 @@ from repro.cluster.directory import (
     ExplicitDirectory,
     ModuloDirectory,
 )
+from repro.cluster.membership import (
+    ACTIVE,
+    DRAINING,
+    JOINING,
+    MembershipView,
+    NodeMembership,
+)
 from repro.cluster.node import Node
 
 __all__ = [
+    "ACTIVE",
     "CallableDirectory",
     "ConsistentHashDirectory",
+    "DRAINING",
     "Directory",
     "ExplicitDirectory",
+    "JOINING",
+    "MembershipView",
     "ModuloDirectory",
+    "NodeMembership",
     "Node",
 ]

@@ -25,6 +25,18 @@ class Directory(ABC):
     def is_local(self, key: Hashable, node_id: int) -> bool:
         return self.site(key) == node_id
 
+    def with_nodes(self, node_ids: Sequence[int]) -> "Directory":
+        """A directory over a different node set (membership changes).
+
+        Reconfigurable directories override this; the default refuses so
+        elastic membership fails loudly on placement schemes that cannot
+        express a changed site set.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support membership changes; "
+            "use ConsistentHashDirectory for elastic clusters"
+        )
+
 
 def _stable_hash(value: str) -> int:
     """A hash stable across processes (unlike ``hash()`` with PYTHONHASHSEED).
@@ -49,18 +61,81 @@ class ConsistentHashDirectory(Directory):
             raise ValueError("at least one node required")
         if virtual_nodes <= 0:
             raise ValueError("virtual_nodes must be positive")
-        self.node_ids = list(node_ids)
-        points = []
-        for node_id in self.node_ids:
-            for replica in range(virtual_nodes):
-                points.append((_stable_hash(f"node:{node_id}:{replica}"), node_id))
-        points.sort()
-        self._ring_positions = [position for position, _ in points]
-        self._ring_owners = [owner for _, owner in points]
+        self.virtual_nodes = virtual_nodes
+        self.node_ids: list = []
+        # Each node's virtual points are a pure function of its id, so
+        # they are hashed once and kept across remove/re-add cycles (and
+        # shared with every with_nodes() clone).
+        self._points_by_node: Dict[int, list] = {}
+        self._ring: list = []
+        self._ring_positions: list = []
+        self._ring_owners: list = []
         # Placement is a pure function of the key, so lookups are memoised;
         # the cache is bounded by the workload's keyspace and turns two
         # CRC32 passes plus a bisect into one dict hit on the hot path.
         self._cache: Dict[Hashable, int] = {}
+        for node_id in node_ids:
+            self.add_node(node_id)
+
+    def _node_points(self, node_id: int) -> list:
+        points = self._points_by_node.get(node_id)
+        if points is None:
+            points = [
+                _stable_hash(f"node:{node_id}:{replica}")
+                for replica in range(self.virtual_nodes)
+            ]
+            self._points_by_node[node_id] = points
+        return points
+
+    def add_node(self, node_id: int) -> None:
+        """Splice one node's virtual points into the ring.
+
+        Incremental: only the joining node's points are hashed (memoised
+        across re-adds); existing points keep their positions, so only the
+        keyspace arcs in front of the new points change owner.
+        """
+        if node_id in self.node_ids:
+            raise ValueError(f"node {node_id} is already in the ring")
+        self.node_ids.append(node_id)
+        ring = self._ring
+        for position in self._node_points(node_id):
+            bisect.insort(ring, (position, node_id))
+        self._reindex()
+
+    def remove_node(self, node_id: int) -> None:
+        """Drop one node's virtual points from the ring (no re-hashing)."""
+        if node_id not in self.node_ids:
+            raise ValueError(f"node {node_id} is not in the ring")
+        if len(self.node_ids) == 1:
+            raise ValueError("cannot remove the last node from the ring")
+        self.node_ids.remove(node_id)
+        self._ring = [entry for entry in self._ring if entry[1] != node_id]
+        self._reindex()
+
+    def _reindex(self) -> None:
+        self._ring_positions = [position for position, _ in self._ring]
+        self._ring_owners = [owner for _, owner in self._ring]
+        self._cache.clear()
+
+    def with_nodes(self, node_ids: Sequence[int]) -> "ConsistentHashDirectory":
+        """A ring over ``node_ids``, sharing this ring's hashed points.
+
+        The drain path uses this to compute post-reconfiguration ownership
+        (which keys move, and to whom) without touching the live ring.
+        """
+        clone = ConsistentHashDirectory.__new__(ConsistentHashDirectory)
+        clone.virtual_nodes = self.virtual_nodes
+        clone._points_by_node = self._points_by_node
+        clone.node_ids = []
+        clone._ring = []
+        clone._ring_positions = []
+        clone._ring_owners = []
+        clone._cache = {}
+        if not node_ids:
+            raise ValueError("at least one node required")
+        for node_id in node_ids:
+            clone.add_node(node_id)
+        return clone
 
     def site(self, key: Hashable) -> int:
         owner = self._cache.get(key)

@@ -1,0 +1,439 @@
+"""Elastic membership: epoch-numbered views and per-node view state.
+
+The cluster's membership is an explicitly versioned *view*: the set of
+member sites, each in one lifecycle state, plus the final commit
+frontiers of decommissioned sites.  Views change through a two-phase,
+epoch-gated protocol driven by the :class:`~repro.system.Cluster`
+reconfiguration drivers:
+
+``VIEW_PROPOSE``
+    The view coordinator sends the complete proposed view (never a
+    delta) to every member of the *new* view.  A member accepts iff the
+    proposal's epoch is newer than its committed epoch -- and, for a
+    clock-shrinking view, iff the shrink is locally safe -- then logs
+    the pending view to its WAL and answers with a ``VIEW_ACK``.
+
+``VIEW_COMMIT``
+    Once every live member acked, the coordinator fans out the commit
+    (one-way, idempotent).  Applying a commit widens or shrinks the
+    node's ``siteVC`` to the view's clock width, lifts any handoff
+    fences, resets the failure detector's memory of removed peers, and
+    logs a committed :class:`~repro.storage.wal.ViewChangeRecord` so
+    crash recovery restores the view.  Stale or duplicate commits are
+    ignored, which lets the anti-entropy layer re-send the current view
+    every gossip round for free.
+
+Member lifecycle::
+
+    JOINING ---> ACTIVE ---> DRAINING ---> (removed: absent + retired)
+
+A ``JOINING`` member receives commit propagation (it is in the fan-out
+set) but owns no keys yet; a ``DRAINING`` member still owns and serves
+its keys while its shards stream out.  A removed member disappears from
+the view; its ``retired`` entry pins the clock width until every
+survivor's ``siteVC`` dominates its final frontier, after which a
+follow-up view drops the entry and every node shrinks its clock in
+place (see ``docs/membership.md``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+from repro.core.wire import ViewAckBody, ViewCommitBody, ViewProposeBody
+from repro.net.message import MessageType
+from repro.sim import ConditionVariable
+from repro.storage.wal import ViewChangeRecord
+
+#: Member lifecycle states carried in a view.
+JOINING = "joining"
+ACTIVE = "active"
+DRAINING = "draining"
+
+#: States that own key ranges (consistent-hash ring membership).
+_RING_STATES = frozenset({ACTIVE, DRAINING})
+#: States included in commit propagation / gossip fan-out.
+_FANOUT_STATES = frozenset({ACTIVE, DRAINING, JOINING})
+
+
+class MembershipView:
+    """An immutable epoch-numbered membership view."""
+
+    __slots__ = ("epoch", "members", "retired", "_ring", "_fanout")
+
+    def __init__(
+        self,
+        epoch: int,
+        members: Dict[int, str],
+        retired: Dict[int, int],
+    ) -> None:
+        self.epoch = epoch
+        self.members: Dict[int, str] = dict(members)
+        self.retired: Dict[int, int] = dict(retired)
+        self._ring: Tuple[int, ...] = tuple(
+            sorted(m for m, s in self.members.items() if s in _RING_STATES)
+        )
+        self._fanout: Tuple[int, ...] = tuple(
+            sorted(m for m, s in self.members.items() if s in _FANOUT_STATES)
+        )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def initial(cls, node_ids: Iterable[int]) -> "MembershipView":
+        """Epoch zero: the static seed membership, everyone active."""
+        return cls(0, {node_id: ACTIVE for node_id in node_ids}, {})
+
+    @classmethod
+    def from_wire(
+        cls,
+        epoch: int,
+        members: Tuple[Tuple[int, str], ...],
+        retired: Tuple[Tuple[int, int], ...],
+    ) -> "MembershipView":
+        return cls(epoch, dict(members), dict(retired))
+
+    # ------------------------------------------------------------------
+    # Derived sets
+    # ------------------------------------------------------------------
+    @property
+    def ring_ids(self) -> Tuple[int, ...]:
+        """Sites that own key ranges (directory placement domain)."""
+        return self._ring
+
+    @property
+    def fanout_ids(self) -> Tuple[int, ...]:
+        """Sites included in Propagate/gossip fan-out (ring + joining)."""
+        return self._fanout
+
+    @property
+    def clock_width(self) -> int:
+        """Vector-clock width this view requires.
+
+        Retired sites hold the width until their final frontier is
+        dominated everywhere and a follow-up view drops the entry.
+        """
+        ids = set(self.members) | set(self.retired)
+        return (max(ids) + 1) if ids else 0
+
+    def state_of(self, node_id: int) -> Optional[str]:
+        return self.members.get(node_id)
+
+    # ------------------------------------------------------------------
+    # Wire / WAL encoding
+    # ------------------------------------------------------------------
+    def members_wire(self) -> Tuple[Tuple[int, str], ...]:
+        return tuple(sorted(self.members.items()))
+
+    def retired_wire(self) -> Tuple[Tuple[int, int], ...]:
+        return tuple(sorted(self.retired.items()))
+
+    def to_triple(self) -> Tuple[int, Tuple, Tuple]:
+        """``(epoch, members, retired)`` -- the WAL/checkpoint encoding."""
+        return (self.epoch, self.members_wire(), self.retired_wire())
+
+    @classmethod
+    def from_triple(cls, triple: Tuple[int, Tuple, Tuple]) -> "MembershipView":
+        epoch, members, retired = triple
+        return cls.from_wire(epoch, members, retired)
+
+    # ------------------------------------------------------------------
+    # Derivation (drivers build target views from the committed one)
+    # ------------------------------------------------------------------
+    def with_epoch(self, epoch: int) -> "MembershipView":
+        return MembershipView(epoch, self.members, self.retired)
+
+    def with_member(self, node_id: int, state: str) -> "MembershipView":
+        members = dict(self.members)
+        members[node_id] = state
+        return MembershipView(self.epoch + 1, members, self.retired)
+
+    def without_member(
+        self, node_id: int, final_seq: Optional[int] = None
+    ) -> "MembershipView":
+        """Drop ``node_id``; record its final frontier when given.
+
+        ``final_seq=None`` is the abandoned-join form: the site never
+        committed anything, so no retired entry is needed and the clock
+        width may shrink immediately.
+        """
+        members = dict(self.members)
+        members.pop(node_id, None)
+        retired = dict(self.retired)
+        if final_seq is not None:
+            retired[node_id] = final_seq
+        return MembershipView(self.epoch + 1, members, retired)
+
+    def without_retired(self, node_id: int) -> "MembershipView":
+        retired = dict(self.retired)
+        retired.pop(node_id, None)
+        return MembershipView(self.epoch + 1, self.members, retired)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        states = ",".join(f"{m}:{s[0]}" for m, s in sorted(self.members.items()))
+        return f"<View e{self.epoch} [{states}] retired={self.retired}>"
+
+
+class NodeMembership:
+    """One node's membership state machine and handoff fences.
+
+    Owns the node-local side of the view-change protocol (propose/ack/
+    commit handlers), the committed and pending views, and the *moving*
+    fences that stall prepares on keys whose shard is mid-handoff.
+    """
+
+    def __init__(self, owner) -> None:
+        self.owner = owner
+        self.sim = owner.sim
+        self.node_id = owner.node_id
+        self.view = MembershipView.initial(owner.shared.config.node_ids)
+        #: A proposed-but-uncommitted view this node acked (WAL-logged so
+        #: recovery resumes the change instead of forgetting it).
+        self.pending: Optional[MembershipView] = None
+        #: Proposer-side ack collection: epoch -> member ids that acked ok.
+        self.acks: Dict[int, Set[int]] = {}
+        #: Notified on every commit apply and fence lift.
+        self.changed = ConditionVariable(self.sim)
+        #: Keys fenced for an outbound shard handoff: new prepares on them
+        #: park until the fence lifts (at view commit), then re-check
+        #: ownership and vote "moved" if the directory flipped.
+        self.moving: Set = set()
+        #: Drain fence: every local key is moving (decommission).
+        self.moving_all = False
+        #: Origins whose clock entry this node truncated at a shrink
+        #: commit.  A straggling Propagate/Decide from one of them must
+        #: be dropped (its full frontier was provably applied before the
+        #: shrink), never re-widen the clock; a rejoin of the same id
+        #: clears the entry.
+        self.dropped: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Fences
+    # ------------------------------------------------------------------
+    def fence(self, keys: Iterable) -> None:
+        self.moving.update(keys)
+
+    def fence_all(self) -> None:
+        self.moving_all = True
+
+    def is_fenced(self, keys: Iterable) -> bool:
+        if self.moving_all:
+            return True
+        if not self.moving:
+            return False
+        return any(key in self.moving for key in keys)
+
+    def lift_fences(self) -> None:
+        if self.moving or self.moving_all:
+            self.moving.clear()
+            self.moving_all = False
+            self.changed.notify_all()
+
+    # ------------------------------------------------------------------
+    # Protocol: proposer side
+    # ------------------------------------------------------------------
+    def propose(self, view: MembershipView) -> None:
+        """Accept ``view`` locally and fan the proposal out (one-way)."""
+        self._accept(view)
+        self.acks.setdefault(view.epoch, set()).add(self.node_id)
+        body = ViewProposeBody(
+            epoch=view.epoch,
+            members=view.members_wire(),
+            retired=view.retired_wire(),
+            proposer=self.node_id,
+        )
+        for member in view.fanout_ids:
+            if member != self.node_id:
+                self.owner.node.send(member, MessageType.VIEW_PROPOSE, body)
+        if self.owner.tracer._enabled:
+            self.owner.tracer.emit(
+                self.node_id, "view_propose", epoch=view.epoch,
+                members=view.members_wire(),
+            )
+
+    def commit(self, view: MembershipView) -> None:
+        """Fan out the commit (one-way, idempotent) and apply it locally."""
+        body = ViewCommitBody(
+            epoch=view.epoch,
+            members=view.members_wire(),
+            retired=view.retired_wire(),
+        )
+        for member in view.fanout_ids:
+            if member != self.node_id:
+                self.owner.node.send(member, MessageType.VIEW_COMMIT, body)
+        self.apply_commit(view)
+
+    def send_commit_to(self, peer: int) -> None:
+        """Re-send the committed view to one peer (gossip piggyback)."""
+        view = self.view
+        body = ViewCommitBody(
+            epoch=view.epoch,
+            members=view.members_wire(),
+            retired=view.retired_wire(),
+        )
+        self.owner.node.send(peer, MessageType.VIEW_COMMIT, body)
+
+    # ------------------------------------------------------------------
+    # Protocol: handlers (registered by the owning protocol node)
+    # ------------------------------------------------------------------
+    def on_view_propose(self, envelope) -> None:
+        body = envelope.payload
+        view = MembershipView.from_wire(body.epoch, body.members, body.retired)
+        ok = body.epoch > self.view.epoch and self._shrink_acceptable(view)
+        if ok:
+            self._accept(view)
+        ack = ViewAckBody(
+            epoch=body.epoch,
+            member=self.node_id,
+            ok=ok,
+            current_epoch=self.view.epoch,
+        )
+        self.owner.node.send(body.proposer, MessageType.VIEW_ACK, ack)
+
+    def on_view_ack(self, envelope) -> None:
+        body = envelope.payload
+        if body.ok:
+            self.acks.setdefault(body.epoch, set()).add(body.member)
+
+    def on_view_commit(self, envelope) -> None:
+        body = envelope.payload
+        view = MembershipView.from_wire(body.epoch, body.members, body.retired)
+        self.apply_commit(view)
+
+    # ------------------------------------------------------------------
+    # State transitions
+    # ------------------------------------------------------------------
+    def _accept(self, view: MembershipView) -> None:
+        """Record ``view`` as pending and log it (crash-safe ack)."""
+        self.pending = view
+        wal = self.owner.wal
+        if wal is not None:
+            wal.append(
+                ViewChangeRecord(
+                    epoch=view.epoch,
+                    members=view.members_wire(),
+                    retired=view.retired_wire(),
+                    committed=False,
+                )
+            )
+
+    def apply_commit(self, view: MembershipView) -> bool:
+        """Apply a committed view; stale/duplicate epochs are no-ops."""
+        if view.epoch <= self.view.epoch:
+            return False
+        owner = self.owner
+        width = view.clock_width
+        clock = owner.site_vc
+        if width > len(clock):
+            clock.widen(width)
+        elif width < len(clock) and self._shrink_safe(width, view):
+            self.dropped.update(range(width, len(clock)))
+            clock.shrink(width)
+        self.dropped.difference_update(view.members)
+        # Snapshot-completeness waits parked on a retired origin's entry
+        # re-evaluate against the new width and ``dropped`` set.
+        owner.site_vc_changed.notify_all()
+        previous = self.view
+        self.view = view
+        if self.pending is not None and self.pending.epoch <= view.epoch:
+            self.pending = None
+        for epoch in [e for e in self.acks if e <= view.epoch]:
+            del self.acks[epoch]
+        wal = owner.wal
+        if wal is not None:
+            wal.append(
+                ViewChangeRecord(
+                    epoch=view.epoch,
+                    members=view.members_wire(),
+                    retired=view.retired_wire(),
+                    committed=True,
+                )
+            )
+        # Entering DRAINING raises the drain fence on every local key;
+        # any other transition for this node lifts handoff fences (the
+        # directory flipped before the commit was fanned out).
+        if view.state_of(self.node_id) == DRAINING:
+            self.fence_all()
+        else:
+            self.lift_fences()
+        # Forget removed peers: the failure detector must not carry a
+        # dead site's suspicion (or a rejoining site's stale history)
+        # into the new view.
+        healing = getattr(owner, "healing", None)
+        if healing is not None and healing.detector is not None:
+            for peer in previous.members:
+                if peer != self.node_id and view.state_of(peer) is None:
+                    healing.detector.forget(peer)
+        owner.metrics.on_view_committed()
+        if owner.tracer._enabled:
+            owner.tracer.emit(
+                self.node_id, "view_commit", epoch=view.epoch,
+                members=view.members_wire(), retired=view.retired_wire(),
+            )
+        self.changed.notify_all()
+        return True
+
+    # ------------------------------------------------------------------
+    # Clock-shrink safety
+    # ------------------------------------------------------------------
+    def _shrink_safe(self, width: int, new_view: MembershipView) -> bool:
+        """May this node truncate its clock to ``width`` entries?
+
+        Every dropped trailing position must be a retired site whose
+        final frontier this node has applied (nothing above the frontier
+        can ever arrive), or a site that never committed anything (the
+        abandoned-join case: its entry is still zero).
+        """
+        clock = self.owner.site_vc
+        old = self.view
+        for site in range(width, len(clock)):
+            final = old.retired.get(site)
+            if final is None:
+                final = new_view.retired.get(site)
+            if final is None:
+                if clock[site] != 0:
+                    return False
+            elif clock[site] < final:
+                return False
+        return True
+
+    def _shrink_acceptable(self, view: MembershipView) -> bool:
+        """Ack-time gate: reject a shrinking proposal we cannot honor yet.
+
+        The commit path skips an unsafe shrink anyway (staying wide is
+        always sound), but rejecting at ack time lets the coordinator
+        retry later instead of committing a view some members cannot
+        fully apply.
+        """
+        width = view.clock_width
+        if width >= len(self.owner.site_vc):
+            return True
+        return self._shrink_safe(width, view)
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def restore(
+        self,
+        view_triple: Optional[Tuple[int, Tuple, Tuple]],
+        pending_triple: Optional[Tuple[int, Tuple, Tuple]],
+    ) -> None:
+        """Reinstall replayed view state after a crash (no re-logging).
+
+        The shared directory is live cluster state -- the survivors kept
+        mutating it while this node was down -- so recovery only restores
+        the node's *view knowledge*; gossip's commit piggyback delivers
+        any epochs committed during the outage.
+        """
+        if view_triple is not None:
+            view = MembershipView.from_triple(view_triple)
+            if view.epoch > self.view.epoch:
+                self.view = view
+                width = view.clock_width
+                if width > len(self.owner.site_vc):
+                    self.owner.site_vc.widen(width)
+        if pending_triple is not None:
+            pending = MembershipView.from_triple(pending_triple)
+            if pending.epoch > self.view.epoch:
+                self.pending = pending

@@ -307,6 +307,32 @@ class HealingConfig(ConfigSerde):
 
 
 @dataclass
+class MembershipConfig(ConfigSerde):
+    """Elastic membership: online join/leave via epoch-numbered views.
+
+    View changes run a propose/ack/commit round driven by
+    :meth:`repro.system.Cluster.add_node` /
+    :meth:`~repro.system.Cluster.remove_node`; joiners bootstrap state
+    over the checkpoint-snapshot path and decommissioned nodes drain
+    their owned keys through shard-scoped snapshot streams before
+    leaving.  See docs/membership.md.
+    """
+
+    #: Per-attempt deadline for one member's VIEW_ACK during the propose
+    #: round (the coordinator must never hang on a crashed member).
+    ack_timeout: float = 2e-3
+    #: Propose/ack rounds attempted before a view change is abandoned.
+    max_attempts: int = 5
+    #: Deadline for the joiner's bootstrap snapshot plus each shard
+    #: handoff stream; exceeded transfers are retried from the top.
+    handoff_timeout: float = 200e-3
+    #: Shrink clocks back down after a decommission, once the retired
+    #: trailing site's final frontier is dominated everywhere.  Off keeps
+    #: clocks at their historical maximum width forever (always safe).
+    shrink_clocks: bool = True
+
+
+@dataclass
 class DurabilityConfig(ConfigSerde):
     """Write-ahead logging and in-doubt termination (see DESIGN.md 5.5).
 
@@ -436,6 +462,9 @@ class ClusterConfig(ConfigSerde):
     #: The detector defaults on but is inert without timeout/heartbeat
     #: evidence; the periodic loops default off.
     healing: HealingConfig = field(default_factory=HealingConfig)
+    #: Elastic membership (online join/leave); the defaults only shape
+    #: reconfiguration runs -- static-membership runs never consult them.
+    membership: MembershipConfig = field(default_factory=MembershipConfig)
     network: NetworkConfig = field(default_factory=NetworkConfig)
     costs: CostModel = field(default_factory=CostModel)
 
@@ -443,6 +472,7 @@ class ClusterConfig(ConfigSerde):
         "batching": BatchingConfig,
         "durability": DurabilityConfig,
         "healing": HealingConfig,
+        "membership": MembershipConfig,
         "network": NetworkConfig,
         "costs": CostModel,
     }

@@ -63,11 +63,15 @@ class FWKVNode(MVCCNode):
 
     def _select_version(self, request: ReadRequestBody) -> Tuple[Version, int]:
         chain = self.store.chain(request.key)
+        dropped = self.membership.dropped
         if request.is_read_only:
             return select_read_only_version(
-                chain, request.vc, request.has_read, request.txn_id
+                chain, request.vc, request.has_read, request.txn_id,
+                dropped=dropped,
             )
-        return select_update_version(chain, request.vc, request.has_read)
+        return select_update_version(
+            chain, request.vc, request.has_read, dropped=dropped
+        )
 
     def _register_visible_read(
         self, request: ReadRequestBody, version: Version
@@ -87,7 +91,11 @@ class FWKVNode(MVCCNode):
         Otherwise the bound is just the version's commit clock.
         """
         if request.is_read_only:
-            fresh = not request.has_read[self.node_id]
+            # A flag list narrower than our id means the transaction never
+            # contacted us (it began before this node joined): fresh.
+            fresh = self.node_id >= len(request.has_read) or not (
+                request.has_read[self.node_id]
+            )
         else:
             fresh = (
                 self.shared.config.fwkv_fresh_update_reads
@@ -140,7 +148,10 @@ class FWKVNode(MVCCNode):
         if not txn.read_keys or not config.removes_enabled:
             return
         if config.remove_broadcast:
-            sites = config.node_ids
+            # Broadcast over the live view, not the static seed: removed
+            # sites must stop receiving traffic and a joiner may already
+            # hold propagated identifiers.
+            sites = self.membership.view.fanout_ids
         else:
             sites = {self.directory.site(key) for key in txn.read_keys}
         for site in sites:

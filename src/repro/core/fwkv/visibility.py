@@ -6,16 +6,28 @@ testable against the paper's worked examples (Figures 2 and 3).
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import AbstractSet, Sequence, Tuple
 
 from repro.storage.chain import VersionChain
 from repro.storage.version import Version
+
+#: Shared empty default: no membership change has retired any origin.
+_NO_DROPPED: AbstractSet[int] = frozenset()
+
+
+def _entry(entries: Sequence[int], site: int) -> int:
+    """Zero-default indexing: clocks of different widths coexist while a
+    membership change is in flight, and a missing entry means the clock
+    was minted before that site joined -- exactly zero."""
+    return entries[site] if site < len(entries) else 0
 
 
 def visible_under(
     version: Version,
     txn_vc: Sequence[int],
     has_read: Sequence[bool],
+    *,
+    dropped: AbstractSet[int] = _NO_DROPPED,
 ) -> bool:
     """Alg. 3 lines 4/13: the visibility test shared by both paths.
 
@@ -23,12 +35,20 @@ def visible_under(
     clock at any *already-read* site; sites the transaction has not read
     from yet place no constraint (that is what lets a first contact observe
     the latest data there).
+
+    Sites in ``dropped`` -- origins retired by a committed shrink view --
+    place no constraint either: the shrink gate proved every member's
+    clock dominates the retired origin's final frontier, so any entry a
+    version carries for it is already applied under every live snapshot.
+    (Merging an old wide version clock can resurrect a zero for such a
+    site in ``txn_vc``; without the mask that stale zero would hide the
+    chain head.)
     """
-    vc = version.vc
+    vc = version.vc.entries
     return all(
-        vc[site] <= txn_vc[site]
+        _entry(vc, site) <= _entry(txn_vc, site)
         for site in range(len(has_read))
-        if has_read[site]
+        if has_read[site] and site not in dropped
     )
 
 
@@ -36,6 +56,8 @@ def update_excluded(
     version: Version,
     txn_vc: Sequence[int],
     has_read: Sequence[bool],
+    *,
+    dropped: AbstractSet[int] = _NO_DROPPED,
 ) -> bool:
     """Alg. 3 line 14: the conservative exclusion rule for update reads.
 
@@ -58,18 +80,24 @@ def update_excluded(
     """
     if not any(has_read):
         return False
-    vc = version.vc
+    vc = version.vc.entries
     equal_at_read_sites = all(
-        vc[site] == txn_vc[site]
+        _entry(vc, site) == _entry(txn_vc, site)
         for site in range(len(has_read))
-        if has_read[site]
+        if has_read[site] and site not in dropped
     )
     if not equal_at_read_sites:
         return False
+    # A retired (dropped) origin's entry can never signal a concurrent
+    # conflicting commit: no transaction will ever commit at it again,
+    # and whatever it did commit is fully applied everywhere (shrink
+    # gate).  Treating it as "newer at an unread site" would permanently
+    # exclude the chain head once an old wide version clock resurrects a
+    # zero for that site in ``txn_vc``.
     return any(
-        vc[site] > txn_vc[site]
+        _entry(vc, site) > _entry(txn_vc, site)
         for site in range(len(has_read))
-        if not has_read[site]
+        if not has_read[site] and site not in dropped
     )
 
 
@@ -78,6 +106,8 @@ def select_read_only_version(
     txn_vc: Sequence[int],
     has_read: Sequence[bool],
     txn_id: int,
+    *,
+    dropped: AbstractSet[int] = _NO_DROPPED,
 ) -> Tuple[Version, int]:
     """Alg. 3 lines 2-10: freshest visible version not anti-depended upon.
 
@@ -91,8 +121,10 @@ def select_read_only_version(
     inspected = 0
     for version in chain.newest_first():
         visible = True
-        for a, t, active in zip(version.vc.entries, txn_vc, has_read):
-            if active and a > t:
+        for site, (a, t, active) in enumerate(
+            zip(version.vc.entries, txn_vc, has_read)
+        ):
+            if active and a > t and site not in dropped:
                 visible = False
                 break
         if not visible:
@@ -116,6 +148,8 @@ def select_update_version(
     chain: VersionChain,
     txn_vc: Sequence[int],
     has_read: Sequence[bool],
+    *,
+    dropped: AbstractSet[int] = _NO_DROPPED,
 ) -> Tuple[Version, int]:
     """Alg. 3 lines 11-18: freshest visible, conservatively-safe version.
 
@@ -128,7 +162,11 @@ def select_update_version(
         visible = True
         equal_at_read = True
         newer_at_unread = False
-        for a, t, active in zip(version.vc.entries, txn_vc, has_read):
+        for site, (a, t, active) in enumerate(
+            zip(version.vc.entries, txn_vc, has_read)
+        ):
+            if site in dropped:
+                continue  # a retired origin places no constraint
             if active:
                 if a > t:
                     visible = False

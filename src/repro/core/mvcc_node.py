@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
 
+from repro.cluster.membership import NodeMembership
 from repro.cluster.node import Node
 from repro.core.interfaces import BaseProtocolNode, SharedState
 from repro.core.transaction import Transaction
@@ -59,10 +60,15 @@ from repro.storage.wal import (
 class _PreparedTxn:
     """Participant-side state between a yes-vote and the Decide message."""
 
-    __slots__ = ("writes", "locked_keys", "vote", "coordinator")
+    __slots__ = ("writes", "locked_keys", "vote", "coordinator", "round")
 
     def __init__(
-        self, writes: Dict[Hashable, object], locked_keys, vote, coordinator
+        self,
+        writes: Dict[Hashable, object],
+        locked_keys,
+        vote,
+        coordinator,
+        round: int = 0,
     ) -> None:
         self.writes = writes
         self.locked_keys = list(locked_keys)
@@ -71,6 +77,9 @@ class _PreparedTxn:
         self.vote = vote
         #: Who to ask when the in-doubt window must be terminated.
         self.coordinator = coordinator
+        #: Prepare round (moved-retry); a newer round supersedes this
+        #: entry, and an abort Decide only cancels a matching round.
+        self.round = round
 
 
 class MVCCNode(BaseProtocolNode):
@@ -78,7 +87,9 @@ class MVCCNode(BaseProtocolNode):
 
     def __init__(self, node: Node, shared: SharedState) -> None:
         super().__init__(node, shared)
-        size = shared.num_nodes
+        # A node joining an established cluster has an id past the static
+        # width; its clock must carry its own origin entry from birth.
+        size = max(shared.num_nodes, node.node_id + 1)
         #: ``siteVC``: entry j is the newest sequence number from origin j
         #: applied at this node (paper Section 4.1).
         self.site_vc = VectorClock.zeros(size)
@@ -155,6 +166,14 @@ class MVCCNode(BaseProtocolNode):
         node.on(MessageType.SNAPSHOT_OFFER, self.on_snapshot_offer)
         node.on(MessageType.SNAPSHOT_CHUNK, self.on_snapshot_chunk)
         node.on(MessageType.SNAPSHOT_ACK, self.on_snapshot_ack)
+        #: Elastic membership: committed/pending views, handoff fences,
+        #: and the view-change protocol handlers.  Constructed before the
+        #: healing layer so the gossip loops can derive their peer set
+        #: from the live view.
+        self.membership = NodeMembership(self)
+        node.on(MessageType.VIEW_PROPOSE, self.membership.on_view_propose)
+        node.on(MessageType.VIEW_ACK, self.membership.on_view_ack)
+        node.on(MessageType.VIEW_COMMIT, self.membership.on_view_commit)
         #: The self-healing layer (failure detector, anti-entropy,
         #: checkpoints).  Constructed unconditionally -- with the default
         #: configuration it installs no hooks and its loops never spawn.
@@ -209,8 +228,7 @@ class MVCCNode(BaseProtocolNode):
         )
         if reply.max_vc is not None:
             txn.vc.merge_seq(reply.max_vc)  # Alg. 2 line 9
-        first_contact = not txn.has_read[target]
-        txn.has_read[target] = True  # Alg. 2 line 8
+        first_contact = txn.note_read_site(target)  # Alg. 2 line 8
         if txn.is_read_only:
             txn.read_keys.add(key)  # Alg. 2 lines 10-12, for Remove
             self.metrics.on_ro_read(
@@ -282,8 +300,7 @@ class MVCCNode(BaseProtocolNode):
             target = self.directory.site(key)
             if reply.max_vc is not None:
                 txn.vc.merge_seq(reply.max_vc)
-            first_contact = not txn.has_read[target]
-            txn.has_read[target] = True
+            first_contact = txn.note_read_site(target)
             txn.read_keys.add(key)
             self.metrics.on_ro_read(
                 gap=reply.latest_vid - reply.vid, first_contact=first_contact
@@ -311,76 +328,116 @@ class MVCCNode(BaseProtocolNode):
 
         yield from self.cpu.consume(self.costs.commit_base)
 
-        by_site = self._group_writes_by_site(txn)
+        max_rounds = max(1, self.shared.config.membership.max_attempts)
+        round_no = 0
+        while True:
+            by_site = self._group_writes_by_site(txn)
 
-        healing = self.healing
-        if (
-            healing.armed
-            and healing.config.fail_fast_commits
-            and len(by_site) > (self.node_id in by_site)
-        ):
-            # Fail fast instead of burning the prepare timeout ladder on
-            # a participant the detector already classified dead.  The
-            # commit would have aborted anyway (RPC_TIMEOUT) -- this only
-            # moves the abort earlier, it never aborts a commit that
-            # could have succeeded against a genuinely live peer, because
-            # DEAD requires hard evidence (consecutive timeouts or deep
-            # accrual silence) and any arrival clears it.
-            detector = healing.detector
-            dead = [
-                site
-                for site in by_site
-                if site != self.node_id and detector.is_dead(site)
-            ]
-            if dead:
-                txn.mark_aborted(self.sim.now)
-                self.metrics.on_abort(txn, AbortReason.PEER_DEAD)
-                self.tracer.emit(
-                    self.node_id, "abort", txn=txn.txn_id,
-                    reason=AbortReason.PEER_DEAD, peers=tuple(dead),
+            healing = self.healing
+            if (
+                healing.armed
+                and healing.config.fail_fast_commits
+                and len(by_site) > (self.node_id in by_site)
+            ):
+                # Fail fast instead of burning the prepare timeout ladder on
+                # a participant the detector already classified dead.  The
+                # commit would have aborted anyway (RPC_TIMEOUT) -- this only
+                # moves the abort earlier, it never aborts a commit that
+                # could have succeeded against a genuinely live peer, because
+                # DEAD requires hard evidence (consecutive timeouts or deep
+                # accrual silence) and any arrival clears it.
+                detector = healing.detector
+                dead = [
+                    site
+                    for site in by_site
+                    if site != self.node_id and detector.is_dead(site)
+                ]
+                if dead:
+                    txn.mark_aborted(self.sim.now)
+                    self.metrics.on_abort(txn, AbortReason.PEER_DEAD)
+                    self.tracer.emit(
+                        self.node_id, "abort", txn=txn.txn_id,
+                        reason=AbortReason.PEER_DEAD, peers=tuple(dead),
+                    )
+                    return False
+
+            def prepare_body(writes):
+                return PrepareBody(
+                    txn.txn_id,
+                    self.node_id,
+                    writes,
+                    txn.vc.to_tuple(),
+                    read_vids={
+                        key: txn.read_versions[key]
+                        for key in writes
+                        if key in txn.read_versions
+                    },
+                    round=round_no,
                 )
-                return False
 
-        def prepare_body(writes):
-            return PrepareBody(
-                txn.txn_id,
-                self.node_id,
-                writes,
-                txn.vc.to_tuple(),
-                read_vids={
-                    key: txn.read_versions[key]
-                    for key in writes
-                    if key in txn.read_versions
-                },
-            )
-
-        timed_out = False
-        if set(by_site) == {self.node_id}:
-            # Fast path: every written key is local -- the point of the
-            # preferred-site design ("Walter can quickly commit these
-            # transactions without checking other nodes for write
-            # conflicts").  Prepare runs inline, skipping the loopback RPC.
-            vote = yield from self._handle_prepare(
-                prepare_body(by_site[self.node_id])
-            )
-            votes: List[VoteBody] = [vote]
-        else:
-            # Each prepare is an independently-retried call; a site whose
-            # retries are exhausted settles as (False, None) rather than
-            # hanging the coordinator forever on a crashed peer.
-            settles = [
-                self.node.rpc.spawn_call(
-                    site, MessageType.PREPARE, prepare_body(writes)
+            timed_out = False
+            if set(by_site) == {self.node_id}:
+                # Fast path: every written key is local -- the point of the
+                # preferred-site design ("Walter can quickly commit these
+                # transactions without checking other nodes for write
+                # conflicts").  Prepare runs inline, skipping the loopback RPC.
+                vote = yield from self._handle_prepare(
+                    prepare_body(by_site[self.node_id])
                 )
-                for site, writes in by_site.items()
-            ]
-            results = yield AllOf(self.sim, settles)
-            votes = [vote for ok, vote in results if ok]
-            timed_out = len(votes) < len(results)
+                votes: List[VoteBody] = [vote]
+            else:
+                # Each prepare is an independently-retried call; a site whose
+                # retries are exhausted settles as (False, None) rather than
+                # hanging the coordinator forever on a crashed peer.
+                settles = [
+                    self.node.rpc.spawn_call(
+                        site, MessageType.PREPARE, prepare_body(writes)
+                    )
+                    for site, writes in by_site.items()
+                ]
+                results = yield AllOf(self.sim, settles)
+                votes = [vote for ok, vote in results if ok]
+                timed_out = len(votes) < len(results)
+
+            for vote in votes:
+                txn.collected_set |= vote.collected  # Alg. 4 line 19
+
+            moved = not timed_out and any(
+                not vote.ok and vote.reason == "moved" for vote in votes
+            )
+            if (
+                moved
+                and round_no + 1 < max_rounds
+                and all(vote.ok or vote.reason == "moved" for vote in votes)
+            ):
+                # The prepare straddled a membership handoff: some keys'
+                # ownership moved while the round was in flight.  Abort
+                # this round at every participant (round-tagged, so it
+                # cannot cancel the successor round), regroup the writes
+                # against the flipped directory, and re-prepare.  By the
+                # time a "moved" vote arrives the shared directory has
+                # already flipped -- the fence only lifts after the flip --
+                # so the regroup sees the new placement immediately.
+                abort = DecideBody(
+                    txn_id=txn.txn_id,
+                    outcome=False,
+                    origin=self.node_id,
+                    seq_no=None,
+                    commit_vc=None,
+                    round=round_no,
+                )
+                for site in sorted(by_site):
+                    self.node.send(site, MessageType.DECIDE, abort)
+                round_no += 1
+                if self.tracer._enabled:
+                    self.tracer.emit(
+                        self.node_id, "moved_retry", txn=txn.txn_id,
+                        round=round_no,
+                    )
+                continue
+            break
 
         outcome = not timed_out and all(vote.ok for vote in votes)
-        for vote in votes:
-            txn.collected_set |= vote.collected  # Alg. 4 line 19
 
         if outcome:
             # Alg. 4 lines 22-25: assign the sequence number and finalize
@@ -400,6 +457,7 @@ class MVCCNode(BaseProtocolNode):
             seq_no=txn.seq_no,
             commit_vc=txn.commit_vc.to_tuple() if txn.commit_vc else None,
             collected=frozenset(txn.collected_set),
+            round=round_no,
         )
         if outcome:
             # Presumed abort's commit rule: the decision is on record --
@@ -455,14 +513,19 @@ class MVCCNode(BaseProtocolNode):
         """
         window = self.shared.config.batching.propagate_window
         node_id = self.node_id
+        # Fan out over the live view (ring + joining members), not the
+        # static seed: a joining node needs the clock-only stream from
+        # the moment it enters the view, and a removed one must stop
+        # receiving traffic.  At epoch zero this is exactly ``node_ids``.
+        targets = self.membership.view.fanout_ids
         if window <= 0:
             propagate = PropagateBody(node_id, seq_no)
-            for site in self.shared.config.node_ids:
+            for site in targets:
                 if site not in participant_sites and site != node_id:
                     self.node.send(site, MessageType.PROPAGATE, propagate)
             return
         buffer = self._propagate_buffer
-        for site in self.shared.config.node_ids:
+        for site in targets:
             if site not in participant_sites and site != node_id:
                 pending = buffer.get(site)
                 if pending is None:
@@ -564,17 +627,38 @@ class MVCCNode(BaseProtocolNode):
         # almost always vacuous.
         txn_vc = request.vc
         site_vc = self.site_vc
+        membership = self.membership
+        if len(txn_vc) != len(site_vc.entries):
+            # Reconfiguration in flight: the requester began its snapshot
+            # under a different clock width than ours.
+            self.metrics.on_stale_width()
+            need = 0
+            for origin in range(len(site_vc.entries), len(txn_vc)):
+                if txn_vc[origin] > 0 and origin not in membership.dropped:
+                    need = origin + 1
+            if need:
+                # The snapshot saw an origin we have no entry for yet;
+                # widen so the completeness wait below covers it (widen
+                # extends the live entry list in place).  Entries for
+                # retired, *dropped* origins stay truncated: the shrink
+                # gate proved their full final frontier is applied here,
+                # so any snapshot dependency on them is vacuously met --
+                # re-widening them to zero would park this wait forever.
+                site_vc.widen(need)
         site_entries = site_vc.entries
-        behind = False
-        for s, t in zip(site_entries, txn_vc):
-            if s < t:
-                behind = True
-                break
-        if behind:
+
+        def behind_snapshot() -> bool:
+            for origin, target in enumerate(txn_vc):
+                if target <= 0 or origin in membership.dropped:
+                    continue
+                if origin >= len(site_entries) or site_entries[origin] < target:
+                    return True
+            return False
+
+        if behind_snapshot():
             stall_started = self.sim.now
             yield from wait_until(
-                self.site_vc_changed,
-                lambda: all(s >= t for s, t in zip(site_entries, txn_vc)),
+                self.site_vc_changed, lambda: not behind_snapshot()
             )
             self.metrics.on_read_stall(self.sim.now - stall_started)
             self.tracer.emit(
@@ -640,7 +724,16 @@ class MVCCNode(BaseProtocolNode):
             )
         existing = self._prepared.get(request.txn_id)
         if existing is not None:
-            return existing.vote
+            if existing.round == request.round:
+                return existing.vote
+            if request.round < existing.round:
+                # A stale round's retried Prepare arrived after its
+                # successor round already prepared here.
+                return VoteBody(False, reason="moved")
+            # A newer round supersedes the stale entry: the coordinator
+            # has aborted that round (its abort Decide may still be in
+            # flight), so unstage it before preparing afresh.
+            self._abort_prepared(request.txn_id, existing)
         if request.txn_id in self._preparing:
             return VoteBody(False, reason=AbortReason.VOTE_NO)
         self._preparing.add(request.txn_id)
@@ -649,6 +742,22 @@ class MVCCNode(BaseProtocolNode):
         locks = self.locks
         try:
             keys = list(request.writes)
+            membership = self.membership
+            if membership.view.epoch > 0 or membership.moving_all or membership.moving:
+                # Elastic membership: a key mid-handoff parks the prepare
+                # until the fence lifts (view commit), then the ownership
+                # re-check below answers "moved" if the directory flipped
+                # -- the coordinator regroups and retries, so the handoff
+                # costs a round trip, never an abort.
+                if membership.is_fenced(keys):
+                    yield from wait_until(
+                        membership.changed,
+                        lambda: not membership.is_fenced(keys),
+                    )
+                if any(
+                    self.directory.site(key) != self.node_id for key in keys
+                ):
+                    return VoteBody(False, reason="moved")
             timeout = self.shared.config.lock_timeout
             granted = yield from locks.acquire_write_all(
                 keys, owner=request.txn_id, timeout=timeout
@@ -675,7 +784,8 @@ class MVCCNode(BaseProtocolNode):
                 return VoteBody(False, reason=AbortReason.VOTE_NO)
             vote = VoteBody(True, collected)
             entry = _PreparedTxn(
-                request.writes, keys, vote, request.coordinator
+                request.writes, keys, vote, request.coordinator,
+                round=request.round,
             )
             if self.wal is not None:
                 # Log-before-vote: once the yes-vote can reach the
@@ -800,6 +910,7 @@ class MVCCNode(BaseProtocolNode):
         soak test).  Blind writes keep the paper's clock rule.
         """
         txn_vc = request.vc
+        dropped = self.membership.dropped
         for key in request.writes:
             if key not in self.store:
                 continue  # fresh insert: nothing to have been overwritten
@@ -808,7 +919,15 @@ class MVCCNode(BaseProtocolNode):
             if read_vid is not None:
                 if last.vid != read_vid:
                     return False
-            elif last.seq > txn_vc[last.origin]:
+            elif last.origin in dropped:
+                # The key's last write came from a retired origin whose
+                # dropped clock entry the shrink gate proved fully
+                # applied everywhere; every current snapshot covers it.
+                continue
+            elif last.origin >= len(txn_vc) or last.seq > txn_vc[last.origin]:
+                # A missing entry counts as zero (elastic membership: the
+                # transaction began before the version's origin joined),
+                # so any committed sequence number is past its snapshot.
                 return False
         return True
 
@@ -816,8 +935,11 @@ class MVCCNode(BaseProtocolNode):
         """Alg. 5 lines 14-26: ordered application of a decided commit."""
         body: DecideBody = envelope.payload
         if not body.outcome:
-            prepared = self._prepared.pop(body.txn_id, None)
-            if prepared is not None:
+            prepared = self._prepared.get(body.txn_id)
+            # Round-gated: a moved-retry's abort for round N must not
+            # cancel the successor round's prepared entry.
+            if prepared is not None and prepared.round == body.round:
+                del self._prepared[body.txn_id]
                 if self.wal is not None:
                     self.wal.append(AbortRecord(body.txn_id))
                 self.locks.release_write_all(
@@ -836,6 +958,13 @@ class MVCCNode(BaseProtocolNode):
         a Decide that arrived on time.
         """
         assert body.seq_no is not None and body.commit_vc is not None
+        if body.origin >= len(self.site_vc):
+            if body.origin in self.membership.dropped:
+                return  # straggler from a retired origin, fully applied
+            # A commit from a freshly joined origin can outrun the view
+            # commit that widens the clock; widening here is equivalent
+            # (new entries start at zero either way).
+            self.site_vc.widen(body.origin + 1)
         # Alg. 5 line 16: apply commits from one origin in sequence order.
         # The prepared entry stays in the table across this wait so the
         # lease can still reclaim its locks: if a predecessor Decide was
@@ -843,8 +972,20 @@ class MVCCNode(BaseProtocolNode):
         # pin the locks forever.
         yield from wait_until(
             self.site_vc_changed,
-            lambda: self.site_vc[body.origin] >= body.seq_no - 1,
+            lambda: body.origin >= len(self.site_vc)
+            or self.site_vc[body.origin] >= body.seq_no - 1,
         )
+        if body.origin >= len(self.site_vc):
+            # The origin retired and its clock entry was dropped while
+            # this applier waited; the shrink gate proved everything at
+            # or below its final frontier -- including this commit --
+            # was already applied here.  Just release any leftover entry.
+            stale = self._prepared.pop(body.txn_id, None)
+            if stale is not None:
+                self.locks.release_write_all(
+                    stale.locked_keys, owner=body.txn_id
+                )
+            return
         prepared = self._prepared.pop(body.txn_id, None)
         # The entry popped (and the locks it holds) belong to the current
         # incarnation; if a durable crash wipes the node across one of the
@@ -949,6 +1090,10 @@ class MVCCNode(BaseProtocolNode):
         origin = body.origin
         seq_nos = body.seq_nos if body.seq_nos is not None else (body.seq_no,)
         site_vc = self.site_vc
+        if origin >= len(site_vc):
+            if origin in self.membership.dropped:
+                return  # straggler from a retired origin, fully applied
+            site_vc.widen(origin + 1)
         for index, seq_no in enumerate(seq_nos):
             current = site_vc[origin]
             if current >= seq_no:
@@ -975,10 +1120,13 @@ class MVCCNode(BaseProtocolNode):
         for seq_no in seq_nos:
             yield from wait_until(
                 self.site_vc_changed,
-                lambda bound=seq_no - 1: self.site_vc[origin] >= bound,
+                lambda bound=seq_no - 1: origin >= len(self.site_vc)
+                or self.site_vc[origin] >= bound,
             )
             if self._incarnation != incarnation:
                 return  # a durable crash wiped the clock this was advancing
+            if origin >= len(self.site_vc):
+                return  # the origin retired and its entry was truncated
             if self.site_vc[origin] < seq_no:
                 if self.wal is not None:
                     self.wal.append(PropagateRecord(origin, seq_no))
@@ -1023,7 +1171,7 @@ class MVCCNode(BaseProtocolNode):
         checkpoint manager uses to decide WAL truncation.
         """
         request: SyncRequestBody = self.node.rpc.body_of(envelope)
-        if request.site_vc is not None:
+        if request.site_vc is not None and self.node_id < len(request.site_vc):
             self.healing.note_peer_frontier(
                 request.requester, request.site_vc[self.node_id]
             )
@@ -1060,24 +1208,44 @@ class MVCCNode(BaseProtocolNode):
                 offer.snapshot_id, accepted=False, reason=reason
             )
 
-        if (
-            not self.shared.config.healing.snapshot.enabled
-            or self.wal is None
-        ):
-            return reject("disabled")
-        if self._snapshot_pending is not None:
-            return reject("busy")
-        if self._recovering:
-            return reject("recovering")
-        site_vc = self.site_vc
-        if any(
-            site_vc[origin] > offer.site_vc[origin]
-            for origin in range(self.shared.num_nodes)
-        ) or offer.site_vc[offer.sender] <= site_vc[offer.sender]:
-            # Installing must never regress an origin, and an offer that
-            # does not even advance the sender's own frontier fixes
-            # nothing -- wait for a fresher checkpoint.
-            return reject("stale")
+        if offer.shard:
+            # Shard handoff (membership): the chains are authoritative for
+            # keys this node is *about to own* -- no staleness gate (our
+            # clock says nothing about them) and no read/prepare fence
+            # (our own keys stay fully servable during the transfer).
+            if self._snapshot_pending is not None:
+                return reject("busy")
+            if self._recovering:
+                return reject("recovering")
+        else:
+            if (
+                not self.shared.config.healing.snapshot.enabled
+                or self.wal is None
+            ):
+                return reject("disabled")
+            if self._snapshot_pending is not None:
+                return reject("busy")
+            if self._recovering:
+                return reject("recovering")
+            site_vc = self.site_vc
+            mine = site_vc.entries
+            shared_width = min(len(mine), len(offer.site_vc))
+            own_sender_entry = (
+                mine[offer.sender] if offer.sender < len(mine) else 0
+            )
+            if (
+                any(
+                    mine[origin] > offer.site_vc[origin]
+                    for origin in range(shared_width)
+                )
+                or any(entry > 0 for entry in mine[shared_width:])
+                or offer.site_vc[offer.sender] <= own_sender_entry
+            ):
+                # Installing must never regress an origin (an origin the
+                # offer lacks counts as zero), and an offer that does not
+                # even advance the sender's own frontier fixes nothing --
+                # wait for a fresher checkpoint.
+                return reject("stale")
         pending: Dict[str, object] = {
             "sender": offer.sender,
             "snapshot_id": offer.snapshot_id,
@@ -1089,9 +1257,11 @@ class MVCCNode(BaseProtocolNode):
             "chains": [],
             "incarnation": self._incarnation,
             "activity": 0,
+            "shard": offer.shard,
         }
         self._snapshot_pending = pending
-        self._recovering = True
+        if not offer.shard:
+            self._recovering = True
         # Watchdog: a sender that dies mid-transfer must not leave the
         # fence up forever.  Re-armed while chunks keep arriving.
         timeout = self.node.rpc.config.request_timeout
@@ -1132,7 +1302,7 @@ class MVCCNode(BaseProtocolNode):
         if pending is None:
             return
         self._snapshot_pending = None
-        if self._incarnation == pending["incarnation"]:
+        if self._incarnation == pending["incarnation"] and not pending.get("shard"):
             self._recovering = False
             self._recovered_cv.notify_all()
         self.metrics.on_snapshot_abandoned()
@@ -1222,15 +1392,19 @@ class MVCCNode(BaseProtocolNode):
         ):
             return False
         site_vc = pending["site_vc"]
-        if any(
-            self.site_vc[origin] > site_vc[origin]
-            for origin in range(self.shared.num_nodes)
-        ):
-            # A concurrent Decide advanced us past the checkpoint while
-            # the chunks streamed; installing now would regress.  The
-            # suffix we are missing still arrives via the normal push.
-            self._abandon_snapshot("stale")
-            return False
+        shard = bool(pending.get("shard"))
+        if not shard:
+            mine = self.site_vc.entries
+            shared_width = min(len(mine), len(site_vc))
+            if any(
+                mine[origin] > site_vc[origin]
+                for origin in range(shared_width)
+            ) or any(entry > 0 for entry in mine[shared_width:]):
+                # A concurrent Decide advanced us past the checkpoint while
+                # the chunks streamed; installing now would regress.  The
+                # suffix we are missing still arrives via the normal push.
+                self._abandon_snapshot("stale")
+                return False
         record = CheckpointRecord(
             site_vc=tuple(site_vc),
             # The sender's counter participates in the fingerprint; it
@@ -1246,35 +1420,52 @@ class MVCCNode(BaseProtocolNode):
         except CheckpointMismatchError:
             self._abandon_snapshot("fingerprint")
             return False
-        # Adopt only the chains this node is the preferred site for.
-        # Under the preferred-site placement the sender's store holds
-        # the *sender's* keys, so for a healed straggler this set is
-        # usually empty and the verified clock jump below is the whole
-        # repair; a replacement node rebuilding from nothing adopts its
-        # share of the data here.  Foreign chains must not be kept --
-        # this node would start answering reads for keys it does not
-        # own the moment the directory routed one here.
         adopted = 0
-        for key in store.keys():
-            if self.directory.site(key) == self.node_id:
+        if shard:
+            # Shard handoff: every carried chain is a key whose ownership
+            # is moving *to* this node -- adopt all of them verbatim (a
+            # stale leftover chain from an earlier epoch is overwritten by
+            # the authoritative copy).  The clock and coordinator counter
+            # are untouched: commit propagation from the chains' origins
+            # reaches this node through the normal fan-out, and advancing
+            # the clock here could skip a locally prepared transaction's
+            # install.
+            for key in store.keys():
                 self.store._chains[key] = store.chain(key)
                 adopted += 1
-        vc = self.site_vc
-        for origin in range(self.shared.num_nodes):
-            if site_vc[origin] > vc[origin]:
-                vc[origin] = site_vc[origin]
-        self.site_vc_changed.notify_all()
-        # Never adopt the sender's coordinator counter: our own assigned
-        # sequence numbers are bounded by our clock entry, which the
-        # dominance check just proved the checkpoint covers.
-        self.curr_seq_no = max(self.curr_seq_no, vc[self.node_id])
-        self._snapshot_pending = None
-        self._recovering = False
-        self._recovered_cv.notify_all()
+            self._snapshot_pending = None
+        else:
+            # Adopt only the chains this node is the preferred site for.
+            # Under the preferred-site placement the sender's store holds
+            # the *sender's* keys, so for a healed straggler this set is
+            # usually empty and the verified clock jump below is the whole
+            # repair; a replacement node rebuilding from nothing adopts its
+            # share of the data here.  Foreign chains must not be kept --
+            # this node would start answering reads for keys it does not
+            # own the moment the directory routed one here.
+            for key in store.keys():
+                if self.directory.site(key) == self.node_id:
+                    self.store._chains[key] = store.chain(key)
+                    adopted += 1
+            vc = self.site_vc
+            if len(site_vc) > len(vc.entries):
+                vc.widen(len(site_vc))
+            for origin in range(len(site_vc)):
+                if site_vc[origin] > vc[origin]:
+                    vc[origin] = site_vc[origin]
+            self.site_vc_changed.notify_all()
+            # Never adopt the sender's coordinator counter: our own assigned
+            # sequence numbers are bounded by our clock entry, which the
+            # dominance check just proved the checkpoint covers.
+            self.curr_seq_no = max(self.curr_seq_no, vc[self.node_id])
+            self._snapshot_pending = None
+            self._recovering = False
+            self._recovered_cv.notify_all()
         # Durability: our WAL's surviving prefix replays to the *old*
         # state, so immediately checkpoint the adopted state -- replay
         # resets at the newest checkpoint, making the install durable.
-        self.healing.checkpoints.checkpoint_now()
+        if self.wal is not None:
+            self.healing.checkpoints.checkpoint_now()
         self.snapshot_installs += 1
         self.metrics.on_snapshot_install(len(record.chains))
         if self.tracer._enabled:
@@ -1284,6 +1475,7 @@ class MVCCNode(BaseProtocolNode):
                 snapshot_id=pending["snapshot_id"],
                 chains=len(record.chains),
                 adopted=adopted,
+                shard=shard,
                 frontier=site_vc[pending["sender"]],
             )
         return True
@@ -1323,9 +1515,14 @@ class MVCCNode(BaseProtocolNode):
         self._recovering = True
         records = self.wal.records()
         self.wal.unfreeze()
-        result = replay(records, self.shared.num_nodes)
+        result = replay(
+            records, max(self.shared.num_nodes, self.node_id + 1)
+        )
         self._wipe_volatile()
         self._install_replayed(result)
+        # Restore membership knowledge logged before the crash; epochs
+        # committed during the outage arrive via gossip's view piggyback.
+        self.membership.restore(result.view, result.pending_view)
         return self.sim.spawn(
             self._recover(result), name=f"n{self.node_id}:recover"
         )
@@ -1349,7 +1546,7 @@ class MVCCNode(BaseProtocolNode):
         self._applying = {}
         self._snapshot_pending = None
         site_vc = self.site_vc
-        for origin in range(self.shared.num_nodes):
+        for origin in range(len(site_vc.entries)):
             site_vc[origin] = 0
         self.curr_seq_no = 0
         self._on_volatile_wiped()
@@ -1361,8 +1558,11 @@ class MVCCNode(BaseProtocolNode):
         """Adopt the WAL-rebuilt store, clock, decisions and in-doubt set."""
         self.store = result.store
         site_vc = self.site_vc
-        for origin in range(self.shared.num_nodes):
-            site_vc[origin] = result.site_vc[origin]
+        replayed = result.site_vc
+        if len(replayed) > len(site_vc.entries):
+            site_vc.widen(len(replayed))
+        for origin in range(len(site_vc.entries)):
+            site_vc[origin] = replayed[origin] if origin < len(replayed) else 0
         # Never hand out a sequence number at or below one that escaped:
         # every escaped seq has a DecisionRecord (logged before fan-out).
         self.curr_seq_no = max(result.curr_seq_no, site_vc[self.node_id])
@@ -1486,6 +1686,10 @@ class MVCCNode(BaseProtocolNode):
             return
         if self.curr_seq_no > targets[self.node_id]:
             targets[self.node_id] = self.curr_seq_no
+        if len(targets) > len(self.site_vc.entries):
+            # A peer's reply was wider than our clock (origins joined
+            # while we were down); widen before the per-origin catch-up.
+            self.site_vc.widen(len(targets))
         for origin, target in enumerate(targets):
             if target > self.site_vc[origin]:
                 waiters.append(

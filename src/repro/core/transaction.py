@@ -93,6 +93,20 @@ class Transaction:
         """True once any site has been read (``T.hasRead`` has a true bit)."""
         return any(self.has_read)
 
+    def note_read_site(self, site: int) -> bool:
+        """Set ``has_read[site]``; returns True on the first contact.
+
+        Grows the flag list on demand: a transaction begun before a view
+        change can be routed to a site past the static width it was born
+        with (elastic membership).
+        """
+        has_read = self.has_read
+        if site >= len(has_read):
+            has_read.extend([False] * (site + 1 - len(has_read)))
+        first = not has_read[site]
+        has_read[site] = True
+        return first
+
     def buffered_write(self, key: Hashable):
         """The value this transaction wrote for ``key``, if any.
 

@@ -6,18 +6,29 @@ from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
 
 
 class VectorClock:
-    """A fixed-size vector of per-site logical timestamps.
+    """A dynamically widenable vector of per-site logical timestamps.
 
     Entry ``j`` of a node's clock is "the last transaction from node ``N_j``
     that was committed at this site" (paper Section 4.1).  Transaction and
     version clocks are snapshots of node clocks, so they share this type.
 
+    Widths may differ while a membership change is in flight: a clock
+    stamped before a join is one entry short of a clock stamped after it.
+    All algebra therefore treats a missing entry as zero -- merging a wider
+    clock widens this one in place, and comparisons score absent positions
+    as 0 on either side -- so old-width clocks in messages still being
+    delivered remain valid forever.  Shrinking (decommission) is the
+    membership layer's job: it truncates only trailing retired sites and
+    only once their final frontier is dominated everywhere, which keeps the
+    zero-default rule sound (see ``docs/membership.md``).
+
     Clock algebra runs on every message a node serves, so the methods below
     are written for the CPython fast path: plain index loops with early
     exits, no intermediate list allocations, and direct ``_entries`` access
-    instead of the container protocol.  Hot callers may read
-    :attr:`entries` to bind the underlying list locally; they must never
-    mutate it.
+    instead of the container protocol.  The equal-width case -- all traffic
+    outside a reconfiguration window -- never pays for the width checks
+    beyond one ``len`` comparison.  Hot callers may read :attr:`entries` to
+    bind the underlying list locally; they must never mutate it.
     """
 
     __slots__ = ("_entries",)
@@ -94,17 +105,19 @@ class VectorClock:
     def merge(self, other: "VectorClock") -> None:
         """Entry-wise maximum, in place (Alg. 2 line 9).
 
-        Allocation-free: the loop is a fused dominance check -- entries we
-        already dominate are skipped without a write, and merging a clock
-        we fully dominate (the common case once a snapshot has caught up)
-        touches nothing.
+        Allocation-free in the equal-width case: the loop is a fused
+        dominance check -- entries we already dominate are skipped without
+        a write, and merging a clock we fully dominate (the common case
+        once a snapshot has caught up) touches nothing.  A wider ``other``
+        widens this clock first (unknown sites start at zero); a narrower
+        one leaves the extra local entries untouched.
         """
         mine = self._entries
         theirs = other._entries
         if theirs is mine:
             return
-        if len(theirs) != len(mine):
-            self._check_size(other)
+        if len(theirs) > len(mine):
+            mine.extend([0] * (len(theirs) - len(mine)))
         index = 0
         for value in theirs:
             if value > mine[index]:
@@ -118,10 +131,8 @@ class VectorClock:
         saves one :class:`VectorClock` allocation per message.
         """
         mine = self._entries
-        if len(values) != len(mine):
-            raise ValueError(
-                f"vector clock size mismatch: {len(mine)} vs {len(values)}"
-            )
+        if len(values) > len(mine):
+            mine.extend([0] * (len(values) - len(mine)))
         index = 0
         for value in values:
             if value > mine[index]:
@@ -135,14 +146,20 @@ class VectorClock:
         return result
 
     def leq(self, other: "VectorClock") -> bool:
-        """True when every entry is <= the corresponding entry of ``other``."""
+        """True when every entry is <= the corresponding entry of ``other``.
+
+        Positions absent from the shorter clock count as zero, so a clock
+        stamped before a join is <= any clock that has seen the new site.
+        """
         mine = self._entries
         theirs = other._entries
-        if len(theirs) != len(mine):
-            self._check_size(other)
         for a, b in zip(mine, theirs):
             if a > b:
                 return False
+        if len(mine) > len(theirs):
+            for a in mine[len(theirs):]:
+                if a > 0:
+                    return False
         return True
 
     def dominates(self, other: "VectorClock") -> bool:
@@ -155,26 +172,53 @@ class VectorClock:
         This is the FW-KV visibility test (Alg. 3 line 4): a version clock
         must not exceed the transaction clock at any *already-read* site.
         No-copy: iterates the raw entries with an early exit on the first
-        violated position.
+        violated position.  Positions beyond the shorter clock score its
+        missing entries as zero.
         """
         mine = self._entries
         theirs = other._entries
-        if len(theirs) != len(mine):
-            self._check_size(other)
         for a, b, active in zip(mine, theirs, positions):
             if active and a > b:
                 return False
+        n_theirs = len(theirs)
+        if len(mine) > n_theirs:
+            limit = min(len(mine), len(positions))
+            for index in range(n_theirs, limit):
+                if positions[index] and mine[index] > 0:
+                    return False
         return True
+
+    def widen(self, size: int) -> None:
+        """Grow to at least ``size`` entries in place (new sites at zero)."""
+        mine = self._entries
+        if size > len(mine):
+            mine.extend([0] * (size - len(mine)))
+
+    def shrink(self, size: int) -> None:
+        """Truncate to the first ``size`` entries in place.
+
+        The in-place form exists because a node's ``siteVC`` identity must
+        never change -- blocked handlers hold references to it -- so the
+        membership layer shrinks the live clock rather than swapping it.
+        Soundness preconditions match :meth:`shrunk`.
+        """
+        mine = self._entries
+        if size < len(mine):
+            del mine[size:]
+
+    def shrunk(self, size: int) -> "VectorClock":
+        """A copy truncated to the first ``size`` entries.
+
+        Only sound once every dropped trailing site is retired and its
+        final frontier is dominated everywhere; the membership layer
+        enforces that before shrinking (see ``docs/membership.md``).
+        """
+        vc = VectorClock.__new__(VectorClock)
+        vc._entries = self._entries[:size]
+        return vc
 
     def to_tuple(self) -> Tuple[int, ...]:
         return tuple(self._entries)
-
-    def _check_size(self, other: "VectorClock") -> None:
-        if len(other._entries) != len(self._entries):
-            raise ValueError(
-                f"vector clock size mismatch: {len(self._entries)} vs "
-                f"{len(other._entries)}"
-            )
 
 
 class _ImmutableVectorClock(VectorClock):
@@ -195,6 +239,18 @@ class _ImmutableVectorClock(VectorClock):
         )
 
     def merge_seq(self, values: Sequence[int]) -> None:
+        raise TypeError(
+            "interned zero clock is immutable; use VectorClock.zeros() or "
+            "copy() for a private instance"
+        )
+
+    def widen(self, size: int) -> None:
+        raise TypeError(
+            "interned zero clock is immutable; use VectorClock.zeros() or "
+            "copy() for a private instance"
+        )
+
+    def shrink(self, size: int) -> None:
         raise TypeError(
             "interned zero clock is immutable; use VectorClock.zeros() or "
             "copy() for a private instance"

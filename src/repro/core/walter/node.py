@@ -32,7 +32,11 @@ class WalterNode(MVCCNode):
         return False
 
     def _select_version(self, request: ReadRequestBody) -> Tuple[Version, int]:
-        return select_walter_version(self.store.chain(request.key), request.vc)
+        return select_walter_version(
+            self.store.chain(request.key),
+            request.vc,
+            self.membership.dropped,
+        )
 
     def _freshness_bound(
         self, request: ReadRequestBody, version: Version

@@ -51,6 +51,12 @@ class PrepareBody:
     #: when ``T.VC`` has outrun the per-key read snapshot; see
     #: MVCCNode._validate.
     read_vids: Dict[Hashable, int] = field(default_factory=dict)
+    #: Prepare round within one commit attempt.  A coordinator whose
+    #: prepare straddled a membership handoff ("moved" vote) aborts the
+    #: round and re-prepares against the refreshed directory under
+    #: ``round + 1``; participants use the round to supersede a stale
+    #: prepared entry and to ignore a stale round's abort.
+    round: int = 0
 
 
 @dataclass(slots=True)
@@ -76,6 +82,10 @@ class DecideBody:
     #: FW-KV only: merged anti-dependency set to propagate into the new
     #: versions (Alg. 5 line 19).
     collected: FrozenSet[int] = frozenset()
+    #: Matches :attr:`PrepareBody.round`; an abort decide only cancels the
+    #: prepared entry of the *same* round (a moved-retry's abort must not
+    #: cancel the successor round's prepare).
+    round: int = 0
 
 
 @dataclass(slots=True)
@@ -196,6 +206,10 @@ class SnapshotOfferBody:
     total_chunks: int
     #: Per-sender transfer identifier; chunks must match it.
     snapshot_id: int
+    #: Shard-scoped transfer (membership handoff): the receiver adopts
+    #: every carried chain verbatim and merges -- rather than replaces --
+    #: its clock and store.  Full-checkpoint offers leave this false.
+    shard: bool = False
 
 
 @dataclass(slots=True)
@@ -234,6 +248,53 @@ class SnapshotAckBody:
     #: Receiver's post-install clock (one-way ack only).
     site_vc: Optional[Tuple[int, ...]] = None
     reason: Optional[str] = None
+
+
+@dataclass(slots=True)
+class ViewProposeBody:
+    """Membership view change, phase one: coordinator -> every member.
+
+    Carries the complete proposed view (not a delta) so acceptance is a
+    pure epoch comparison and a re-sent propose is idempotent.
+    """
+
+    epoch: int
+    #: (node_id, state) pairs -- the full proposed membership view.
+    members: Tuple[Tuple[int, str], ...]
+    #: (site, final_seq) pairs for decommissioned sites: the frontier the
+    #: clock-shrink rule waits on (see docs/membership.md).
+    retired: Tuple[Tuple[int, int], ...]
+    proposer: int
+
+
+@dataclass(slots=True)
+class ViewAckBody:
+    """A member's epoch-gated verdict on a proposed view.
+
+    ``ok`` is false when the member has already committed an epoch at or
+    past the proposal's -- the proposer must re-read the current view and
+    retry from there.
+    """
+
+    epoch: int
+    member: int
+    ok: bool
+    #: The acker's committed epoch, for proposer diagnostics on reject.
+    current_epoch: int = -1
+
+
+@dataclass(slots=True)
+class ViewCommitBody:
+    """Phase two: apply the view (one-way fan-out, idempotent).
+
+    A member applies the commit iff ``epoch`` is newer than its committed
+    epoch; stale or duplicate commits are ignored, so the coordinator and
+    the anti-entropy layer may both (re-)send it freely.
+    """
+
+    epoch: int
+    members: Tuple[Tuple[int, str], ...]
+    retired: Tuple[Tuple[int, int], ...]
 
 
 @dataclass(slots=True)

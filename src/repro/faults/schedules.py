@@ -163,6 +163,61 @@ def truncation_gap_schedule(
     return isolate_cycle(victim, node_ids, at, duration)
 
 
+def view_change_partition_schedule(
+    subject: int,
+    peers: Sequence[int],
+    at: float,
+    duration: float,
+) -> List[FaultEvent]:
+    """Cut ``subject`` off from ``peers`` across a view-change window.
+
+    The reconfiguration analogue of :func:`isolate_cycle`, scoped to a
+    peer subset: a joiner partitioned from part of the old membership
+    mid-bootstrap, or a survivor that sleeps through a VIEW_COMMIT
+    fan-out and must re-learn the view from gossip's commit piggyback.
+    Both directions of every listed link are cut and later healed.
+    """
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    events: List[FaultEvent] = []
+    for peer in peers:
+        if peer == subject:
+            continue
+        events += partition_cycle(subject, peer, at, duration)
+    return ordered(events)
+
+
+def reconfiguration_chaos_schedule(
+    subject: int,
+    coordinator: int,
+    peers: Sequence[int],
+    at: float,
+    window: float,
+    *,
+    durable: bool = False,
+) -> List[FaultEvent]:
+    """Chaos overlay for one online reconfiguration of ``subject``.
+
+    Two overlapping faults inside the reconfiguration window: the
+    ``subject`` (joiner or decommission victim) is partitioned from its
+    ``peers`` for the first half, and the ``coordinator`` (the member
+    expected to drive the view change, or a transaction coordinator
+    racing the drain) crash-cycles across the middle half.  The view
+    protocol must route proposals around the crashed coordinator and
+    converge once the partition heals; drivers that cannot finish must
+    abandon or revert cleanly.  ``durable`` selects a durable crash
+    (state wiped, WAL replayed) over a volatile one.
+    """
+    if window <= 0:
+        raise ValueError("window must be positive")
+    events = view_change_partition_schedule(
+        subject, peers, at, window / 2
+    )
+    cycle = durable_crash_cycle if durable else crash_cycle
+    events += cycle(coordinator, at + window / 4, window / 2)
+    return ordered(events)
+
+
 def staggered_crashes(
     node_ids: Sequence[int],
     start: float,

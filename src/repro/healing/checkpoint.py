@@ -100,6 +100,13 @@ class CheckpointManager:
             DecisionRecord(txn_id, decision.seq_no, decision.commit_vc)
             for txn_id, decision in sorted(owner._decisions.items())
         ]
+        membership = getattr(owner, "membership", None)
+        view = None
+        if membership is not None and membership.view.epoch > 0:
+            # Stamp the committed view so replay-from-checkpoint restores
+            # membership even after the ViewChangeRecords are truncated.
+            # Epoch-0 (static) runs keep the historical record layout.
+            view = membership.view.to_triple()
         record = build_checkpoint(
             owner.store,
             owner.site_vc,
@@ -107,6 +114,7 @@ class CheckpointManager:
             in_doubt=in_doubt,
             decisions=decisions,
             records_below=len(owner.wal),
+            view=view,
         )
         owner.wal.append(record)
         self._last_logical = self._logical_length()
@@ -161,7 +169,7 @@ class CheckpointManager:
         as presumed-abort, which the snapshot install supersedes.  When
         *every* peer is stranded the floor is our own frontier.
         """
-        peers = self.healing._peers
+        peers = self.healing.peers
         own = self.owner.site_vc[self.owner.node_id]
         if not peers:
             return own

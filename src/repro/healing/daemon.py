@@ -60,7 +60,7 @@ class NodeHealing:
         self.config = shared.config.healing
         self.metrics = owner.metrics
         self.tracer = owner.tracer
-        self._peers = [
+        self._static_peers = [
             peer for peer in shared.config.node_ids if peer != self.node_id
         ]
         self._rng = make_rng(shared.config.seed, "healing", self.node_id)
@@ -76,6 +76,10 @@ class NodeHealing:
         self._snapshot_ids = 0
         self._stopped = False
         self._started = False
+        #: Bumped by every :meth:`start`; loops capture the generation at
+        #: spawn and exit when it moves on, so a stop/start cycle can
+        #: never leave two copies of the same loop running.
+        self._generation = 0
 
         config = self.config
         self.detector: Optional[FailureDetector] = None
@@ -119,27 +123,74 @@ class NodeHealing:
         self.checkpoints = CheckpointManager(owner, self)
 
     # ------------------------------------------------------------------
+    # Peers
+    # ------------------------------------------------------------------
+    @property
+    def peers(self) -> List[int]:
+        """Current gossip/heartbeat partners, derived from the live view.
+
+        At epoch zero (static membership) this is exactly the historical
+        seed peer list; once views change it tracks the committed view's
+        fan-out set (active, draining and joining members) minus self.
+        """
+        membership = getattr(self.owner, "membership", None)
+        if membership is None or membership.view.epoch == 0:
+            return self._static_peers
+        return [
+            peer for peer in membership.view.fanout_ids
+            if peer != self.node_id
+        ]
+
+    # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def start(self) -> None:
-        """Spawn whichever periodic loops the configuration arms."""
+        """Spawn whichever periodic loops the configuration arms.
+
+        Idempotent: a second start while running is a no-op, and a
+        stop/start cycle bumps the generation so a stale loop that has
+        not yet noticed the stop exits at its next wake-up instead of
+        running alongside its replacement.
+        """
         if self._started:
             return
         self._started = True
         self._stopped = False
+        self._generation += 1
+        generation = self._generation
         config = self.config
         name = f"n{self.node_id}"
-        if config.heartbeat_interval is not None and self._peers:
-            self.sim.spawn(self._heartbeat_loop(), name=f"{name}:heartbeat")
-        if config.anti_entropy_interval is not None and self._peers:
-            self.sim.spawn(self._gossip_loop(), name=f"{name}:gossip")
+        if config.heartbeat_interval is not None and self.peers:
+            self.sim.spawn(
+                self._heartbeat_loop(generation), name=f"{name}:heartbeat"
+            )
+        if config.anti_entropy_interval is not None and self.peers:
+            self.sim.spawn(
+                self._gossip_loop(generation), name=f"{name}:gossip"
+            )
         if config.checkpoint.interval is not None and self.owner.wal is not None:
-            self.sim.spawn(self._checkpoint_loop(), name=f"{name}:checkpoint")
+            self.sim.spawn(
+                self._checkpoint_loop(generation), name=f"{name}:checkpoint"
+            )
 
     def stop(self) -> None:
-        """Wind down the periodic loops (each exits at its next wake-up)."""
+        """Wind down the periodic loops (each exits at its next wake-up).
+
+        Idempotent: stopping an already-stopped daemon changes nothing.
+        """
         self._stopped = True
         self._started = False
+
+    def _stale(self, generation: int) -> bool:
+        return self._stopped or generation != self._generation
+
+    def _own_entry(self, vc) -> int:
+        """This node's entry of a peer-reported clock, zero when absent.
+
+        A digest minted before this node joined is narrower than our id;
+        the peer has applied none of our origin, which is exactly 0.
+        """
+        return vc[self.node_id] if self.node_id < len(vc) else 0
 
     # ------------------------------------------------------------------
     # Frontier evidence
@@ -151,30 +202,30 @@ class NodeHealing:
 
     def on_heartbeat(self, src: int, site_vc) -> None:
         """A peer's beacon arrived (liveness went through arrival_hook)."""
-        self.note_peer_frontier(src, site_vc[self.node_id])
+        self.note_peer_frontier(src, self._own_entry(site_vc))
 
     # ------------------------------------------------------------------
     # Heartbeats
     # ------------------------------------------------------------------
-    def _heartbeat_loop(self):
+    def _heartbeat_loop(self, generation: int):
         config = self.config
         interval = config.heartbeat_interval
         owner = self.owner
         network = owner.node.network
-        while not self._stopped:
+        while not self._stale(generation):
             delay = interval
             if config.heartbeat_jitter > 0:
                 delay += self._rng.uniform(
                     0.0, config.heartbeat_jitter * interval
                 )
             yield self.sim.timeout(delay)
-            if self._stopped:
+            if self._stale(generation):
                 return
             if owner._recovering:
                 continue
             now = self.sim.now
             body = HeartbeatBody(owner.site_vc.to_tuple())
-            for peer in self._peers:
+            for peer in self.peers:
                 if (
                     config.heartbeat_suppression
                     and network.last_send_horizon(self.node_id, peer) >= now
@@ -189,21 +240,22 @@ class NodeHealing:
     # ------------------------------------------------------------------
     # Anti-entropy gossip
     # ------------------------------------------------------------------
-    def _gossip_loop(self):
+    def _gossip_loop(self, generation: int):
         config = self.config
         interval = config.anti_entropy_interval
         owner = self.owner
-        peers = self._peers
-        while not self._stopped:
+        while not self._stale(generation):
             delay = interval
             if config.heartbeat_jitter > 0:
                 delay += self._rng.uniform(
                     0.0, config.heartbeat_jitter * interval
                 )
             yield self.sim.timeout(delay)
-            if self._stopped:
+            if self._stale(generation):
                 return
             if owner._recovering:
+                continue
+            if not self.peers:
                 continue
             yield from self.gossip_round(self.pick_gossip_peer())
 
@@ -222,7 +274,7 @@ class NodeHealing:
         converged biased run consumes its RNG stream exactly like an
         unbiased one.
         """
-        peers = self._peers
+        peers = self.peers
         bias = self.config.snapshot.lag_bias
         if bias > 0 and len(peers) > 1:
             own = self.owner.site_vc[self.node_id]
@@ -266,8 +318,13 @@ class NodeHealing:
         ):
             return
         peer_vc = reply.site_vc
-        self.note_peer_frontier(peer, peer_vc[self.node_id])
-        if self._snapshot_gap(peer_vc[self.node_id]):
+        if owner.membership.view.epoch > 0:
+            # Piggyback the committed view on anti-entropy: a peer that
+            # slept through the VIEW_COMMIT fan-out (partition, crash)
+            # converges on membership the same way it converges on data.
+            owner.membership.send_commit_to(peer)
+        self.note_peer_frontier(peer, self._own_entry(peer_vc))
+        if self._snapshot_gap(self._own_entry(peer_vc)):
             installed = yield from self.ship_snapshot(peer, incarnation)
             if (
                 self._stopped
@@ -280,10 +337,15 @@ class NodeHealing:
                 # pull against that frontier so this same round tops it
                 # up with the post-checkpoint suffix.
                 record = self.checkpoints.latest_checkpoint()
+                width = max(len(peer_vc), len(record.site_vc))
                 peer_vc = tuple(
-                    max(a, b) for a, b in zip(peer_vc, record.site_vc)
+                    max(
+                        peer_vc[i] if i < len(peer_vc) else 0,
+                        record.site_vc[i] if i < len(record.site_vc) else 0,
+                    )
+                    for i in range(width)
                 )
-        streamed = self._stream_own_origin(peer, peer_vc[self.node_id])
+        streamed = self._stream_own_origin(peer, self._own_entry(peer_vc))
         yield from self._pull(peer_vc, incarnation)
         self.rounds += 1
         self.metrics.on_anti_entropy_round(streamed)
@@ -348,7 +410,15 @@ class NodeHealing:
         site_vc = owner.site_vc
         lagging: Dict[int, int] = {}
         for origin, target in enumerate(peer_vc):
-            if origin != self.node_id and target > site_vc[origin]:
+            if origin == self.node_id or target <= 0:
+                continue
+            if origin >= len(site_vc.entries):
+                if origin in owner.membership.dropped:
+                    # A retired origin we already truncated; the peer's
+                    # wider digest is stale, not news.
+                    continue
+                site_vc.widen(origin + 1)
+            if target > site_vc[origin]:
                 lagging[origin] = target
         if not lagging:
             return
@@ -516,6 +586,87 @@ class NodeHealing:
             )
         return True
 
+    def ship_shard(self, peer: int, keys, incarnation: int):
+        """Stream the chains of ``keys`` to their new owner verbatim.
+
+        Generator subroutine for membership handoff (join bootstrap and
+        decommission drain); returns True iff the receiver verified the
+        fingerprint and installed.  The reconfiguration driver has
+        already fenced the keys and drained their write locks, so the
+        chains are stable for the duration of the transfer.  The offer
+        is flagged ``shard=True``: the receiver adopts the chains
+        without touching its clock or regressing anything, so no
+        staleness gate applies.  Any rejection or lost reply simply
+        returns False -- the driver retries or abandons the view change.
+        """
+        from repro.storage.store import MultiVersionStore
+        from repro.storage.wal import build_checkpoint
+
+        owner = self.owner
+        shard_store = MultiVersionStore()
+        for key in sorted(keys, key=repr):
+            if key in owner.store:
+                shard_store._chains[key] = owner.store.chain(key)
+        record = build_checkpoint(
+            shard_store, owner.site_vc, owner.curr_seq_no
+        )
+        cfg = self.config.snapshot
+        chunk_size = max(1, cfg.chunk_records)
+        chains = record.chains
+        total = max(1, (len(chains) + chunk_size - 1) // chunk_size)
+        self._snapshot_ids += 1
+        snapshot_id = self._snapshot_ids
+        offer = SnapshotOfferBody(
+            sender=self.node_id,
+            site_vc=record.site_vc,
+            curr_seq_no=record.curr_seq_no,
+            fingerprint=record.fingerprint,
+            total_chunks=total,
+            snapshot_id=snapshot_id,
+            shard=True,
+        )
+        self.metrics.on_snapshot_offer()
+        if self.tracer._enabled:
+            self.tracer.emit(
+                self.node_id, "shard_offer", peer=peer,
+                snapshot_id=snapshot_id, keys=len(chains), chunks=total,
+            )
+        ok, reply = yield from owner.node.rpc.call_settled(
+            peer, MessageType.SNAPSHOT_OFFER, offer, config=self._rpc_config
+        )
+        if owner._incarnation != incarnation:
+            return False
+        if not ok or not reply.accepted:
+            self.metrics.on_snapshot_rejected()
+            return False
+        installed = False
+        for index in range(total):
+            chunk = SnapshotChunkBody(
+                snapshot_id=snapshot_id,
+                index=index,
+                total=total,
+                chains=chains[index * chunk_size:(index + 1) * chunk_size],
+            )
+            ok, reply = yield from owner.node.rpc.call_settled(
+                peer,
+                MessageType.SNAPSHOT_CHUNK,
+                chunk,
+                config=self._rpc_config,
+            )
+            if owner._incarnation != incarnation:
+                return False
+            if not ok or not reply.accepted:
+                self.metrics.on_snapshot_rejected()
+                return False
+            self.metrics.on_snapshot_chunk(len(chunk.chains))
+            installed = reply.installed
+        if installed and self.tracer._enabled:
+            self.tracer.emit(
+                self.node_id, "shard_shipped", peer=peer,
+                snapshot_id=snapshot_id, keys=len(chains),
+            )
+        return bool(installed)
+
     def on_snapshot_ack(self, src: int, body) -> None:
         """One-way install confirmation: harvest as frontier evidence.
 
@@ -524,7 +675,7 @@ class NodeHealing:
         learns the receiver holds its origin through the checkpoint.
         """
         if body.site_vc is not None:
-            self.note_peer_frontier(src, body.site_vc[self.node_id])
+            self.note_peer_frontier(src, self._own_entry(body.site_vc))
 
     # ------------------------------------------------------------------
     # Recovery's shared SYNC fan-out
@@ -540,7 +691,7 @@ class NodeHealing:
         its historical retry semantics).
         """
         owner = self.owner
-        peers = self._peers
+        peers = self.peers
         settles = [
             owner.node.rpc.spawn_call(
                 peer, MessageType.SYNC, SyncRequestBody(self.node_id)
@@ -548,14 +699,19 @@ class NodeHealing:
             for peer in peers
         ]
         replies = yield AllOf(self.sim, settles)
-        targets = [0] * owner.shared.num_nodes
+        targets = [0] * max(
+            owner.shared.num_nodes, len(owner.site_vc.entries)
+        )
         peer_frontiers: Dict[int, int] = {}
         for peer, (ok, reply) in zip(peers, replies):
             if not ok:
                 continue
-            peer_frontiers[peer] = reply.site_vc[self.node_id]
-            self.note_peer_frontier(peer, reply.site_vc[self.node_id])
+            own = self._own_entry(reply.site_vc)
+            peer_frontiers[peer] = own
+            self.note_peer_frontier(peer, own)
             for origin, frontier in enumerate(reply.site_vc):
+                if origin >= len(targets):
+                    targets.extend([0] * (origin + 1 - len(targets)))
                 if frontier > targets[origin]:
                     targets[origin] = frontier
         return targets, peer_frontiers
@@ -563,12 +719,12 @@ class NodeHealing:
     # ------------------------------------------------------------------
     # Checkpoints
     # ------------------------------------------------------------------
-    def _checkpoint_loop(self):
+    def _checkpoint_loop(self, generation: int):
         interval = self.config.checkpoint.interval
         owner = self.owner
-        while not self._stopped:
+        while not self._stale(generation):
             yield self.sim.timeout(interval)
-            if self._stopped:
+            if self._stale(generation):
                 return
             if owner._recovering:
                 continue

@@ -206,6 +206,17 @@ class MetricsRecorder:
         self.snapshot_installs = 0
         self.snapshot_abandoned = 0
 
+        #: Elastic membership (run-wide, never window-gated): committed
+        #: view epochs applied at this cluster's coordinator, joiners that
+        #: finished their bootstrap snapshot, decommissions whose drain
+        #: handed every owned key off, and messages whose carried clock
+        #: width predates the receiver's view (zero-default algebra
+        #: absorbed them; counted for observability).
+        self.views_committed = 0
+        self.joins_bootstrapped = 0
+        self.drains_completed = 0
+        self.stale_width_messages = 0
+
     # ------------------------------------------------------------------
     # Window control
     # ------------------------------------------------------------------
@@ -378,6 +389,22 @@ class MetricsRecorder:
         """An inbound transfer was dropped (stalled, stale, or corrupt)."""
         self.snapshot_abandoned += 1
 
+    def on_view_committed(self) -> None:
+        """A membership view change committed cluster-wide."""
+        self.views_committed += 1
+
+    def on_join_bootstrapped(self) -> None:
+        """A joiner verified and installed its bootstrap snapshot."""
+        self.joins_bootstrapped += 1
+
+    def on_drain_completed(self) -> None:
+        """A decommissioning node finished handing off its owned keys."""
+        self.drains_completed += 1
+
+    def on_stale_width(self) -> None:
+        """A message carried a clock narrower than the receiver's view."""
+        self.stale_width_messages += 1
+
     @property
     def stale_read_fraction(self) -> float:
         return self.ro_stale_reads / self.ro_reads if self.ro_reads else 0.0
@@ -431,4 +458,8 @@ class MetricsRecorder:
             "snapshots_shipped": self.snapshots_shipped,
             "snapshot_installs": self.snapshot_installs,
             "snapshot_abandoned": self.snapshot_abandoned,
+            "views_committed": self.views_committed,
+            "joins_bootstrapped": self.joins_bootstrapped,
+            "drains_completed": self.drains_completed,
+            "stale_width_messages": self.stale_width_messages,
         }

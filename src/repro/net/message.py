@@ -37,6 +37,14 @@ class MessageType:
     #: ... and the receiver confirms the verified install (one-way),
     #: which doubles as frontier evidence at the sender.
     SNAPSHOT_ACK = "SnapshotAck"
+    #: Membership view change, phase one: the view coordinator proposes
+    #: an epoch-numbered membership view to every member (one-way) ...
+    VIEW_PROPOSE = "ViewPropose"
+    #: ... members answer with an epoch-gated accept/reject (one-way) ...
+    VIEW_ACK = "ViewAck"
+    #: ... and the coordinator fans out the commit that applies the view
+    #: (one-way; idempotent, epoch-gated, re-sent by anti-entropy).
+    VIEW_COMMIT = "ViewCommit"
 
     #: Message types delivered on the background channel.  Asynchronous
     #: traffic (commit propagation, VAS garbage collection, liveness

@@ -66,6 +66,15 @@ class Tracer:
             "nemesis_restart",
             "nemesis_partition",
             "nemesis_heal",
+            "view_propose",
+            "view_ack",
+            "view_commit",
+            "join_bootstrap",
+            "join_complete",
+            "join_abandoned",
+            "drain_complete",
+            "shard_offer",
+            "shard_shipped",
         }
     )
 

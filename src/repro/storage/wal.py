@@ -108,6 +108,25 @@ class AbortRecord:
     txn_id: int
 
 
+@dataclass(frozen=True)
+class ViewChangeRecord:
+    """A membership view this node acked (pending) or committed.
+
+    Logged on the ack (``committed=False``, the in-progress view) and
+    again on the commit (``committed=True``), so replay restores both the
+    committed membership and any view change that was mid-flight at the
+    crash -- the failure detector and the view coordinator then resume
+    the change instead of treating the half-joined peer as a dead member.
+    """
+
+    epoch: int
+    #: (node_id, state) pairs -- the full view, not a delta.
+    members: Tuple[Tuple[int, str], ...]
+    #: (site, final_seq) pairs for decommissioned sites (clock shrink).
+    retired: Tuple[Tuple[int, int], ...]
+    committed: bool
+
+
 #: One version inside a checkpointed chain:
 #: ``(value, vc_tuple, origin, seq, writer_txn, installed_at)``.
 SnapshotVersion = Tuple[object, Tuple[int, ...], int, int, Optional[int], float]
@@ -146,6 +165,11 @@ class CheckpointRecord:
     #: WAL records captured below this checkpoint when it was taken
     #: (bookkeeping for truncation-safety assertions in tests).
     records_below: int = 0
+    #: The committed membership view at checkpoint time, as an
+    #: ``(epoch, members, retired)`` triple, or ``None`` for a
+    #: static-membership node.  Carried (not fingerprinted) so WAL
+    #: truncation below the checkpoint cannot lose the view history.
+    view: Optional[Tuple] = None
 
 
 class CheckpointMismatchError(Exception):
@@ -248,6 +272,7 @@ def build_checkpoint(
     in_doubt: Iterable[PrepareRecord] = (),
     decisions: Iterable[DecisionRecord] = (),
     records_below: int = 0,
+    view: Optional[Tuple] = None,
 ) -> CheckpointRecord:
     """Capture a node's durable state as a :class:`CheckpointRecord`."""
     chains = tuple(
@@ -283,6 +308,7 @@ def build_checkpoint(
             chains, site_vc_tuple, curr_seq_no
         ),
         records_below=records_below,
+        view=view,
     )
 
 
@@ -355,6 +381,12 @@ class ReplayResult:
     replayed: int
     #: Checkpoint records encountered (the last one reset the state).
     checkpoints: int = 0
+    #: Newest *committed* membership view on record, as an
+    #: ``(epoch, members, retired)`` triple (None = static membership).
+    view: Optional[Tuple] = None
+    #: A view acked but not yet committed at the crash (epoch past the
+    #: committed one); recovery re-installs it as the in-progress view.
+    pending_view: Optional[Tuple] = None
 
 
 def replay(records: Iterable[WalRecord], num_nodes: int) -> ReplayResult:
@@ -377,10 +409,16 @@ def replay(records: Iterable[WalRecord], num_nodes: int) -> ReplayResult:
     curr_seq_no = 0
     replayed = 0
     checkpoints = 0
+    view: Optional[Tuple] = None
+    pending_view: Optional[Tuple] = None
     # origin -> {seq_no: record} waiting for its per-origin predecessor.
     pending: Dict[int, Dict[int, WalRecord]] = {}
 
     def apply_clock_record(record: WalRecord) -> None:
+        # A record from a post-join origin may outrun the static width
+        # the replay started from; widen on demand (new sites at zero).
+        if record.origin >= len(site_vc):
+            site_vc.widen(record.origin + 1)
         if isinstance(record, ApplyRecord):
             commit_vc = VectorClock(record.commit_vc)
             for key, value in record.writes:
@@ -400,6 +438,8 @@ def replay(records: Iterable[WalRecord], num_nodes: int) -> ReplayResult:
     def admit(record: WalRecord) -> None:
         """Apply a clock record in order, buffering across gaps."""
         origin, seq_no = record.origin, record.seq_no
+        if origin >= len(site_vc):
+            site_vc.widen(origin + 1)
         if seq_no <= site_vc[origin]:
             return  # duplicate of an already-applied transition
         if seq_no > site_vc[origin] + 1:
@@ -446,7 +486,20 @@ def replay(records: Iterable[WalRecord], num_nodes: int) -> ReplayResult:
             }
             if record.curr_seq_no > curr_seq_no:
                 curr_seq_no = record.curr_seq_no
+            if record.view is not None:
+                view = record.view
+                if pending_view is not None and pending_view[0] <= view[0]:
+                    pending_view = None
             pending.clear()
+        elif isinstance(record, ViewChangeRecord):
+            triple = (record.epoch, record.members, record.retired)
+            if record.committed:
+                if view is None or record.epoch > view[0]:
+                    view = triple
+                if pending_view is not None and pending_view[0] <= record.epoch:
+                    pending_view = None
+            elif view is None or record.epoch > view[0]:
+                pending_view = triple
         else:
             raise TypeError(f"unknown WAL record {record!r}")
 
@@ -456,6 +509,15 @@ def replay(records: Iterable[WalRecord], num_nodes: int) -> ReplayResult:
             record = pending[origin][seq_no]
             if seq_no > site_vc[origin]:
                 apply_clock_record(record)
+
+    # A committed view wider than the static width the replay started
+    # from widens the rebuilt clock (new sites at zero).
+    if view is not None and view[1]:
+        ids = {member for member, _state in view[1]}
+        ids.update(site for site, _final in view[2])
+        width = max(ids) + 1
+        if width > len(site_vc):
+            site_vc.widen(width)
 
     # A coordinator's own applies also witness sequence numbers it
     # assigned; never hand out a seq at or below the clock's own entry.
@@ -467,6 +529,8 @@ def replay(records: Iterable[WalRecord], num_nodes: int) -> ReplayResult:
         curr_seq_no=curr_seq_no,
         replayed=replayed,
         checkpoints=checkpoints,
+        view=view,
+        pending_view=pending_view,
     )
 
 

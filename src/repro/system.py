@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import Dict, Hashable, Iterable, Optional, Tuple
 
 from repro.cluster.directory import ConsistentHashDirectory, Directory
+from repro.cluster.membership import ACTIVE, DRAINING, JOINING, MembershipView
 from repro.cluster.node import Node
 from repro.config import ClusterConfig
 from repro.core.fwkv import FWKVNode
@@ -159,6 +160,10 @@ class Cluster:
             node_cls(Node(self.sim, node_id, self.network), self.shared)
             for node_id in config.node_ids
         ]
+        #: Sites decommissioned (or abandoned mid-join) by the elastic
+        #: membership drivers; they keep their slot in ``nodes`` so ids
+        #: stay dense, but no driver or healing pass touches them.
+        self._removed: set = set()
         # Arm the self-healing loops (heartbeats, anti-entropy, WAL
         # checkpoints) on every MVCC node.  With the default HealingConfig
         # no loop is configured, so this spawns nothing; when periods are
@@ -198,16 +203,451 @@ class Cluster:
     # Self-healing lifecycle
     # ------------------------------------------------------------------
     def start_healing(self) -> None:
-        """Spawn the configured healing loops on every MVCC node."""
+        """Spawn the configured healing loops on every current member.
+
+        Idempotent: nodes already running their loops are left alone
+        (the per-node daemon guards itself), and decommissioned sites
+        are skipped.
+        """
         for node in self.nodes:
-            if isinstance(node, MVCCNode):
+            if isinstance(node, MVCCNode) and node.node_id not in self._removed:
                 node.healing.start()
 
     def stop_healing(self) -> None:
-        """Wind the healing loops down so the simulator can quiesce."""
+        """Wind the healing loops down so the simulator can quiesce.
+
+        Idempotent: stopping twice (or with nothing running) is a no-op.
+        """
         for node in self.nodes:
             if isinstance(node, MVCCNode):
                 node.healing.stop()
+
+    # ------------------------------------------------------------------
+    # Elastic membership (online reconfiguration)
+    # ------------------------------------------------------------------
+    def add_node(self, node_id: Optional[int] = None):
+        """Join a new site online; returns the joinable driver process.
+
+        The driver commits a ``JOINING`` view (the newcomer enters the
+        propagation fan-out but owns nothing), bootstraps the joiner's
+        vector clock from the peers' frontiers, streams it the shards
+        the widened consistent-hash ring assigns it, flips the shared
+        directory, and commits the ``ACTIVE`` view.  The process's value
+        is True iff the join completed; a joiner that crashes mid-way is
+        abandoned with a member-removal view and can be re-added later
+        under the same id.
+
+        ``node_id`` defaults to the next dense id (a brand-new site is
+        built and wired to the network); passing the id of a previously
+        removed site re-joins it.
+        """
+        if not self.nodes or not isinstance(self.nodes[0], MVCCNode):
+            raise ValueError(
+                f"protocol {self.protocol!r} does not support elastic membership"
+            )
+        if not hasattr(self.directory, "add_node"):
+            raise ValueError(
+                "elastic membership requires a directory with incremental "
+                "add_node/remove_node (ConsistentHashDirectory)"
+            )
+        if node_id is None:
+            node_id = len(self.nodes)
+        if node_id < len(self.nodes):
+            if node_id not in self._removed:
+                raise ValueError(f"node {node_id} is already a member")
+        elif node_id == len(self.nodes):
+            node_cls = PROTOCOLS[self.protocol]
+            self.nodes.append(
+                node_cls(Node(self.sim, node_id, self.network), self.shared)
+            )
+        else:
+            raise ValueError(
+                f"node ids must stay dense: the next id is {len(self.nodes)}"
+            )
+        self._removed.discard(node_id)
+        return self.sim.spawn(
+            self._join_driver(node_id), name=f"join:n{node_id}"
+        )
+
+    def remove_node(self, node_id: int):
+        """Decommission a member gracefully; returns the driver process.
+
+        The driver commits a ``DRAINING`` view (new prepares on the
+        victim's keys park on the drain fence), waits for in-flight
+        write locks to drain, streams every shard to its new owner,
+        waits for the survivors to dominate the victim's final commit
+        frontier, flips the shared directory, and commits the removal
+        view carrying the victim's retired frontier.  The victim's keys
+        stay readable at the victim until the flip and at their new
+        owners after it.  The process's value is True iff the
+        decommission completed (on failure the member reverts to
+        ``ACTIVE``).
+        """
+        if node_id in self._removed or node_id >= len(self.nodes):
+            raise ValueError(f"node {node_id} is not a member")
+        if not isinstance(self.nodes[node_id], MVCCNode):
+            raise ValueError(
+                f"protocol {self.protocol!r} does not support elastic membership"
+            )
+        return self.sim.spawn(
+            self._leave_driver(node_id), name=f"leave:n{node_id}"
+        )
+
+    # -- view-change plumbing ------------------------------------------
+    def _current_view(self) -> MembershipView:
+        """The newest committed view across live, non-removed members."""
+        best = None
+        for node in self.nodes:
+            if not isinstance(node, MVCCNode):
+                continue
+            if node.node_id in self._removed:
+                continue
+            if self.network.is_crashed(node.node_id):
+                continue
+            view = node.membership.view
+            if best is None or view.epoch > best.epoch:
+                best = view
+        if best is None:
+            raise RuntimeError("no live member to read the current view from")
+        return best
+
+    def _live_proposer(self, view: MembershipView, exclude=()):
+        """The lowest live ACTIVE member -- the view-change coordinator.
+
+        Falls back to any live member so a cluster mid-transition (all
+        survivors DRAINING/JOINING) can still finish its view change.
+        """
+        def usable(member: int) -> bool:
+            return (
+                member not in exclude
+                and member not in self._removed
+                and member < len(self.nodes)
+                and not self.network.is_crashed(member)
+            )
+
+        for member, state in sorted(view.members.items()):
+            if state == ACTIVE and usable(member):
+                return self.nodes[member]
+        for member in sorted(view.members):
+            if usable(member):
+                return self.nodes[member]
+        return None
+
+    def _drive_view(self, derive, exclude=()):
+        """Propose-and-collect-acks, retrying across proposer crashes.
+
+        ``derive(current)`` builds the target view from the newest
+        committed view (returning None when the change is moot).  Each
+        attempt re-reads the current view and re-picks a live proposer,
+        so a proposer that crashes mid-round is simply routed around.
+        Returns the acked view, or None after ``max_attempts``.
+        """
+        cfg = self.config.membership
+        for _attempt in range(max(1, cfg.max_attempts)):
+            current = self._current_view()
+            target = derive(current)
+            if target is None:
+                return None
+            proposer = self._live_proposer(current, exclude=exclude)
+            if proposer is None:
+                return None
+            proposer.membership.propose(target)
+            yield self.sim.timeout(cfg.ack_timeout)
+            required = {
+                member for member in target.fanout_ids
+                if member < len(self.nodes)
+                and not self.network.is_crashed(member)
+            }
+            if required <= proposer.membership.acks.get(target.epoch, set()):
+                return target
+        return None
+
+    def _commit_view(self, view: MembershipView, exclude=()) -> bool:
+        """Fan out a commit through a live proposer (one-way, idempotent)."""
+        proposer = self._live_proposer(view, exclude=exclude)
+        if proposer is None:
+            return False
+        proposer.membership.commit(view)
+        return True
+
+    def _drain_write_locks(self, node, keys):
+        """Wait until no listed key's write lock is held at ``node``.
+
+        Prepares already holding locks finish through their Decide;
+        fenced prepares park *before* locking, so the wait terminates.
+        Returns False if the handoff deadline passes first.
+        """
+        cfg = self.config.membership
+        deadline = self.sim.now + cfg.handoff_timeout
+        locks = node.locks
+        while any(locks.lock_for(key).write_held for key in keys):
+            if self.sim.now >= deadline:
+                return False
+            yield self.sim.timeout(cfg.ack_timeout)
+        return True
+
+    # -- join ----------------------------------------------------------
+    def _join_driver(self, joiner_id: int):
+        cfg = self.config.membership
+        tick = cfg.ack_timeout
+        joiner = self.nodes[joiner_id]
+
+        def derive_joining(current: MembershipView):
+            if current.state_of(joiner_id) is not None:
+                return None  # already a member: duplicate add
+            return current.with_member(joiner_id, JOINING)
+
+        acked = yield from self._drive_view(derive_joining)
+        if acked is None:
+            self._removed.add(joiner_id)
+            return False
+        self._commit_view(acked, exclude=(joiner_id,))
+        # The joiner is in the fan-out: wait for it to apply the view.
+        deadline = self.sim.now + cfg.handoff_timeout
+        while joiner.membership.view.epoch < acked.epoch:
+            if self.network.is_crashed(joiner_id) or self.sim.now >= deadline:
+                yield from self._abandon_join(joiner_id)
+                return False
+            yield self.sim.timeout(tick)
+        joiner.healing.start()
+        # Bootstrap and handoff run in a subprocess so a joiner crash
+        # cannot strand the driver on an RPC that will never settle.
+        worker = self.sim.spawn(
+            self._join_work(joiner_id, acked), name=f"join-work:n{joiner_id}"
+        )
+        while not worker.triggered:
+            if self.network.is_crashed(joiner_id) or self.sim.now >= deadline:
+                yield from self._abandon_join(joiner_id)
+                return False
+            yield self.sim.timeout(tick)
+        if worker.value is not True:
+            yield from self._abandon_join(joiner_id)
+            return False
+
+        def derive_active(current: MembershipView):
+            if current.state_of(joiner_id) != JOINING:
+                return None
+            members = dict(current.members)
+            members[joiner_id] = ACTIVE
+            retired = dict(current.retired)
+            retired.pop(joiner_id, None)
+            return MembershipView(current.epoch + 1, members, retired)
+
+        acked = yield from self._drive_view(derive_active)
+        if acked is None:
+            # Undo the ownership flip before abandoning: the joiner must
+            # not keep key ranges outside the committed membership.
+            self.directory.remove_node(joiner_id)
+            yield from self._abandon_join(joiner_id)
+            return False
+        self._commit_view(acked)
+        if self.tracer._enabled:
+            self.tracer.emit(joiner_id, "join_complete", epoch=acked.epoch)
+        return True
+
+    def _join_work(self, joiner_id: int, view: MembershipView):
+        """Bootstrap a JOINING member: clock catch-up, then shard handoff."""
+        joiner = self.nodes[joiner_id]
+        incarnation = joiner._incarnation
+        # Clock-only bootstrap: adopt every origin's committed frontier
+        # (the joiner owns no keys yet, so frontiers are all it needs).
+        targets, _ = yield from joiner.healing.collect_frontiers()
+        for origin, target in enumerate(targets):
+            if origin == joiner_id or target <= 0:
+                continue
+            if origin >= len(joiner.site_vc.entries):
+                joiner.site_vc.widen(origin + 1)
+            if target > joiner.site_vc[origin]:
+                yield from joiner._catch_up_origin(origin, target, frozenset())
+        # Symmetric catch-up for a *re*-join: peers whose clocks shrank
+        # past this origin's retirement must re-learn its final frontier
+        # (the data behind it was shipped out at decommission and kept),
+        # or they would wait forever below the rejoiner's next commit.
+        own = joiner.curr_seq_no
+        if own > 0:
+            for member in view.fanout_ids:
+                if member == joiner_id or self.network.is_crashed(member):
+                    continue
+                peer = self.nodes[member]
+                if joiner_id >= len(peer.site_vc.entries):
+                    peer.site_vc.widen(joiner_id + 1)
+                if peer.site_vc[joiner_id] < own:
+                    yield from peer._catch_up_origin(
+                        joiner_id, own, frozenset()
+                    )
+        joiner.metrics.on_join_bootstrapped()
+        if self.tracer._enabled:
+            self.tracer.emit(
+                joiner_id, "join_bootstrap", clock=joiner.site_vc.to_tuple()
+            )
+        # Shard handoff: fence, drain, and ship every key the widened
+        # ring moves from an old owner to the joiner.
+        ring = list(view.ring_ids)
+        new_dir = self.directory.with_nodes(sorted(set(ring) | {joiner_id}))
+        for owner_id in ring:
+            owner = self.nodes[owner_id]
+            moved = sorted(
+                (
+                    key for key in owner.store.keys()
+                    if new_dir.site(key) == joiner_id
+                ),
+                key=repr,
+            )
+            if not moved:
+                continue
+            owner.membership.fence(moved)
+            drained = yield from self._drain_write_locks(owner, moved)
+            if not drained:
+                return False
+            installed = yield from owner.healing.ship_shard(
+                joiner_id, moved, owner._incarnation
+            )
+            if not installed or joiner._incarnation != incarnation:
+                return False
+        if joiner_id in self._removed:
+            return False  # the driver abandoned this join meanwhile
+        # Atomic ownership flip: every node routes through this shared
+        # directory, so the in-place widen is the cut-over point.
+        self.directory.add_node(joiner_id)
+        return True
+
+    def _abandon_join(self, joiner_id: int):
+        """Remove a part-way joiner (abandoned join: no retired entry)."""
+        self._removed.add(joiner_id)
+        self.nodes[joiner_id].healing.stop()
+
+        def derive(current: MembershipView):
+            if current.state_of(joiner_id) is None:
+                return None
+            return current.without_member(joiner_id, final_seq=None)
+
+        acked = yield from self._drive_view(derive, exclude=(joiner_id,))
+        if acked is None:
+            # Force the removal through anyway: commit is one-way and
+            # idempotent, and a member that cannot shrink simply stays
+            # wide (always sound).
+            current = self._current_view()
+            if current.state_of(joiner_id) is not None:
+                acked = current.without_member(joiner_id, final_seq=None)
+        if acked is not None:
+            self._commit_view(acked, exclude=(joiner_id,))
+        if self.tracer._enabled:
+            self.tracer.emit(joiner_id, "join_abandoned")
+
+    # -- leave ---------------------------------------------------------
+    def _leave_driver(self, victim_id: int):
+        cfg = self.config.membership
+        tick = cfg.ack_timeout
+        victim = self.nodes[victim_id]
+
+        def derive_draining(current: MembershipView):
+            if current.state_of(victim_id) != ACTIVE:
+                return None
+            if len(current.ring_ids) <= 1:
+                return None  # refuse to drain the last key owner
+            return current.with_member(victim_id, DRAINING)
+
+        acked = yield from self._drive_view(derive_draining, exclude=(victim_id,))
+        if acked is None:
+            return False
+        self._commit_view(acked)
+        deadline = self.sim.now + cfg.handoff_timeout
+        while victim.membership.view.epoch < acked.epoch:
+            if self.sim.now >= deadline:
+                yield from self._revert_drain(victim_id)
+                return False
+            yield self.sim.timeout(tick)
+        # Drain: in-flight prepares on the victim's keys settle through
+        # their Decides; new ones park on the drain fence.  Reads keep
+        # being served here throughout.
+        keys = sorted(victim.store.keys(), key=repr)
+        drained = yield from self._drain_write_locks(victim, keys)
+        if not drained:
+            yield from self._revert_drain(victim_id)
+            return False
+        # Shard handoff to the shrunken ring's new owners.
+        ring = [m for m in acked.ring_ids if m != victim_id]
+        new_dir = self.directory.with_nodes(ring)
+        by_owner: Dict[int, list] = {}
+        for key in sorted(victim.store.keys(), key=repr):
+            by_owner.setdefault(new_dir.site(key), []).append(key)
+        for new_owner in sorted(by_owner):
+            installed = yield from victim.healing.ship_shard(
+                new_owner, by_owner[new_owner], victim._incarnation
+            )
+            if not installed:
+                yield from self._revert_drain(victim_id)
+                return False
+        final_seq = victim.curr_seq_no
+        # Dominance wait: every live survivor should hold the victim's
+        # full commit frontier before the removal view, so the retired
+        # entry is immediately shrinkable.  On timeout we proceed --
+        # the retired entry pins the clock width, which is always sound.
+        deadline = self.sim.now + cfg.handoff_timeout
+        while self.sim.now < deadline:
+            survivors = [
+                self.nodes[m] for m in ring if not self.network.is_crashed(m)
+            ]
+            if all(
+                victim_id < len(s.site_vc.entries)
+                and s.site_vc[victim_id] >= final_seq
+                for s in survivors
+            ):
+                break
+            yield self.sim.timeout(tick)
+        # Atomic ownership flip, then the removal view.  The commit
+        # lifts the survivors' fences; the victim is no longer in the
+        # fan-out, so the driver lifts its fences by hand -- parked
+        # prepares wake, re-check the flipped directory, and vote
+        # "moved", sending their coordinators to the new owners.
+        self.directory.remove_node(victim_id)
+
+        def derive_removed(current: MembershipView):
+            if current.state_of(victim_id) is None:
+                return None
+            return current.without_member(victim_id, final_seq=final_seq)
+
+        acked2 = yield from self._drive_view(derive_removed, exclude=(victim_id,))
+        if acked2 is None:
+            current = self._current_view()
+            if current.state_of(victim_id) is not None:
+                acked2 = current.without_member(victim_id, final_seq=final_seq)
+        if acked2 is not None:
+            self._commit_view(acked2, exclude=(victim_id,))
+        victim.membership.lift_fences()
+        victim.healing.stop()
+        self._removed.add(victim_id)
+        self.metrics.on_drain_completed()
+        if self.tracer._enabled:
+            self.tracer.emit(victim_id, "drain_complete", final_seq=final_seq)
+        # Optional clock shrink once the retired entry tops the clock:
+        # members ack only when their own shrink is provably safe.
+        if cfg.shrink_clocks:
+
+            def derive_shrink(current: MembershipView):
+                if victim_id not in current.retired:
+                    return None
+                shrunk = current.without_retired(victim_id)
+                if shrunk.clock_width >= current.clock_width:
+                    return None
+                return shrunk
+
+            acked3 = yield from self._drive_view(derive_shrink, exclude=(victim_id,))
+            if acked3 is not None:
+                self._commit_view(acked3, exclude=(victim_id,))
+        return True
+
+    def _revert_drain(self, victim_id: int):
+        """Put a draining member back to ACTIVE (decommission failed)."""
+
+        def derive(current: MembershipView):
+            if current.state_of(victim_id) != DRAINING:
+                return None
+            return current.with_member(victim_id, ACTIVE)
+
+        acked = yield from self._drive_view(derive)
+        if acked is not None:
+            self._commit_view(acked)
 
     # ------------------------------------------------------------------
     # Access

@@ -70,3 +70,67 @@ def test_modulo_directory_covers_all_nodes():
     assert sites == set(range(7))
     with pytest.raises(ValueError):
         ModuloDirectory(0)
+
+
+# ----------------------------------------------------------------------
+# Incremental reconfiguration (elastic membership)
+# ----------------------------------------------------------------------
+KEYS = [f"key{i}" for i in range(2000)]
+
+
+def placements(directory):
+    return [directory.site(k) for k in KEYS]
+
+
+def test_incremental_add_matches_fresh_build():
+    directory = ConsistentHashDirectory(range(4))
+    directory.add_node(4)
+    assert placements(directory) == placements(ConsistentHashDirectory(range(5)))
+
+
+def test_incremental_remove_matches_fresh_build():
+    directory = ConsistentHashDirectory(range(5))
+    directory.remove_node(2)
+    assert placements(directory) == placements(
+        ConsistentHashDirectory([0, 1, 3, 4])
+    )
+
+
+def test_incremental_add_remove_round_trips():
+    directory = ConsistentHashDirectory(range(4))
+    before = placements(directory)
+    directory.add_node(4)
+    directory.remove_node(4)
+    assert placements(directory) == before
+
+
+def test_incremental_ops_only_move_keys_for_the_changed_node():
+    directory = ConsistentHashDirectory(range(4))
+    before = placements(directory)
+    directory.add_node(4)
+    after = placements(directory)
+    # Every key that changed owner moved *to* the new node; the rest of
+    # the ring is untouched (the consistent-hash minimal-movement pledge).
+    assert all(b == a or a == 4 for b, a in zip(before, after))
+    directory.remove_node(4)
+    restored = placements(directory)
+    assert all(a == 4 or r == a for a, r in zip(after, restored))
+
+
+def test_incremental_ops_validate_arguments():
+    directory = ConsistentHashDirectory(range(3))
+    with pytest.raises(ValueError):
+        directory.add_node(1)  # already on the ring
+    with pytest.raises(ValueError):
+        directory.remove_node(7)  # not on the ring
+    solo = ConsistentHashDirectory([0])
+    with pytest.raises(ValueError):
+        solo.remove_node(0)  # never drop the last owner
+
+
+def test_with_nodes_previews_without_mutating():
+    directory = ConsistentHashDirectory(range(4))
+    before = placements(directory)
+    preview = directory.with_nodes([0, 1, 2, 3, 4])
+    assert placements(preview) == placements(ConsistentHashDirectory(range(5)))
+    assert placements(directory) == before  # the original is untouched

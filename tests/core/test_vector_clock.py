@@ -75,11 +75,34 @@ def test_leq_on_restricts_to_active_positions():
     assert version.leq_on(txn, [False, False, False])
 
 
-def test_size_mismatch_rejected():
-    with pytest.raises(ValueError):
-        VectorClock([1]).merge(VectorClock([1, 2]))
-    with pytest.raises(ValueError):
-        VectorClock([1]).leq(VectorClock([1, 2]))
+def test_mixed_widths_use_zero_defaults():
+    """Clocks of different widths coexist during a membership change:
+    missing trailing entries behave exactly like explicit zeros."""
+    narrow = VectorClock([1])
+    narrow.merge(VectorClock([1, 2]))
+    assert narrow.to_tuple() == (1, 2)  # merging a wider clock widens
+
+    wide = VectorClock([1, 2])
+    wide.merge(VectorClock([3]))
+    assert wide.to_tuple() == (3, 2)  # a narrower one leaves the tail
+
+    assert VectorClock([1]).leq(VectorClock([1, 2]))
+    assert VectorClock([1, 0]).leq(VectorClock([1]))  # zero tail: equal
+    assert not VectorClock([1, 1]).leq(VectorClock([1]))
+
+
+def test_widen_and_shrink_in_place():
+    vc = VectorClock([3, 1])
+    entries = vc.entries
+    vc.widen(4)
+    assert vc.to_tuple() == (3, 1, 0, 0)
+    vc.shrink(2)
+    assert vc.to_tuple() == (3, 1)
+    # Identity is preserved: handlers holding the entries list see the
+    # same object through widen/shrink cycles.
+    assert vc.entries is entries
+    vc.shrink(3)  # shrinking to a wider size is a no-op
+    assert vc.to_tuple() == (3, 1)
 
 
 def test_equality_and_hash():

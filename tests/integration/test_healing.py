@@ -691,6 +691,37 @@ def test_snapshot_transfer_repairs_truncation_gap(seed):
     assert not cluster.any_locks_held()
 
 
+# ----------------------------------------------------------------------
+# Lifecycle idempotency: stop/start cycles never stack duplicate loops
+# ----------------------------------------------------------------------
+def test_healing_stop_start_cycles_do_not_stack_loops():
+    """Each start() bumps the daemon generation and strands the loops of
+    any earlier one, so lifecycle churn -- the elastic-membership drivers
+    call start()/stop() freely around reconfigurations -- cannot stack
+    duplicate heartbeat/gossip loops and double the background rate."""
+    seed = SEEDS[0]
+    healing = HealingConfig(heartbeat_interval=2e-4)
+    cluster, _ = build(seed, healing)
+    window = 40 * 2e-4
+    cluster.run(until=cluster.sim.now + window)
+    baseline = cluster.metrics.heartbeats_sent
+    assert baseline > 0
+
+    for _ in range(3):
+        cluster.stop_healing()
+        cluster.start_healing()
+    cluster.start_healing()  # a duplicate start must not stack either
+    before = cluster.metrics.heartbeats_sent
+    cluster.run(until=cluster.sim.now + window)
+    delta = cluster.metrics.heartbeats_sent - before
+    # A single stacked loop would push the rate toward 2x the baseline.
+    assert delta <= baseline * 1.5, "lifecycle churn duplicated a loop"
+    assert delta >= baseline * 0.5, "the loops stopped running entirely"
+
+    cluster.stop_healing()
+    cluster.run()  # wound-down loops drain; the simulator quiesces
+
+
 def test_snapshot_scenario_is_deterministic():
     """Same seed, same faults => same snapshot transfer, chunk for
     chunk, and the same converged victim state."""

@@ -1,0 +1,455 @@
+"""End-to-end elastic-membership suite: online join/leave under load.
+
+The headline scenarios are the ones ISSUE 6 promised: a node joined
+mid-run under live traffic serves reads that pass the PSI checkers with
+zero foreground aborts; a decommissioned node's keys stay readable
+throughout the drain; and three reconfiguration-chaos pairs -- a join
+that rides out a directed partition between old members, a decommission
+racing the view coordinator's crash, and a joiner killed mid-bootstrap
+that is abandoned and later re-joined under the same id -- each
+converging bit-identically to a fault-free control run.
+
+Everything is deterministic: view-change drivers poll on fixed
+``membership.ack_timeout`` ticks, healing loops draw from per-node
+seeded RNG streams, and ``Simulator.run(until=...)`` lands on exact
+deadlines, so a control/faulty pair executes the same transaction plan
+on the same virtual-time skeleton and their per-node fingerprints
+(store chains, siteVC, coordinator sequence) are comparable bit for
+bit.  Scenarios with healing loops step the clock with ``run(until=...)``
+and call ``stop_healing()`` before the final run-to-quiescence drain.
+
+Seeds come from ``MEMBERSHIP_SEEDS`` (comma-separated) so CI can sweep
+a matrix without editing the file.
+"""
+
+import os
+from collections import Counter
+
+import pytest
+
+from repro import (
+    Cluster,
+    ClusterConfig,
+    DurabilityConfig,
+    HealingConfig,
+    NetworkConfig,
+    RpcConfig,
+)
+from repro.faults import Nemesis
+from repro.faults.schedules import (
+    crash_cycle,
+    view_change_partition_schedule,
+)
+from repro.metrics import check_no_read_skew, find_long_forks
+from repro.sim.rng import make_rng
+
+from tests.harness.recovery_tools import node_fingerprint
+
+NUM_NODES = 3
+NUM_KEYS = 24
+JOINER = NUM_NODES  # the next dense id
+
+#: Anti-entropy gossip period for the convergence scenarios.
+AE_INTERVAL = 4e-4
+#: Per-commit settle pause: long enough for a commit's full fan-out to
+#: drain, keeping per-key install order identical across paired runs.
+SETTLE = 1e-3
+
+SEEDS = tuple(
+    int(s) for s in os.environ.get("MEMBERSHIP_SEEDS", "7,11").split(",")
+)
+
+pytestmark = pytest.mark.membership
+
+
+def build(seed, *, healing=None, rpc=None, record_history=False):
+    """A 3-node FW-KV cluster on the default consistent-hash ring.
+
+    Elastic membership requires the incremental ``add_node`` /
+    ``remove_node`` directory, so unlike the healing suite this one
+    keeps the :class:`ConsistentHashDirectory` default.
+    """
+    kwargs = {}
+    if healing is not None:
+        kwargs["healing"] = healing
+    config = ClusterConfig(
+        num_nodes=NUM_NODES,
+        seed=seed,
+        prepared_lease=5e-3,
+        gc_enabled=False,
+        durability=DurabilityConfig(wal_enabled=False),
+        network=NetworkConfig(jitter=5e-6, rpc=rpc or RpcConfig()),
+        **kwargs,
+    )
+    cluster = Cluster("fwkv", config, record_history=record_history)
+    for i in range(NUM_KEYS):
+        cluster.load(f"k{i}", 0)
+    return cluster, Nemesis(cluster)
+
+
+def all_keys():
+    return [f"k{i}" for i in range(NUM_KEYS)]
+
+
+def keys_at(cluster, node_id):
+    return [k for k in all_keys() if cluster.directory.site(k) == node_id]
+
+
+def rmw_plan(rng, coordinators, count, sample=2):
+    keys = all_keys()
+    return [
+        (coordinators[n % len(coordinators)], rng.sample(keys, sample))
+        for n in range(count)
+    ]
+
+
+def spawn_plan(cluster, plan, *, settle=SETTLE):
+    """Start ``(coordinator, keys)`` read-modify-write commits running.
+
+    Returns ``(process, outcomes)`` without driving the simulator, so a
+    reconfiguration can be launched while the traffic is in flight.
+    """
+    outcomes = []
+
+    def driver():
+        for coordinator, keys in plan:
+            node = cluster.node(coordinator)
+            txn = node.begin(is_read_only=False)
+            values = []
+            for key in keys:
+                values.append((yield from node.read(txn, key)))
+            for key, value in zip(keys, values):
+                node.write(txn, key, value + 1)
+            ok = yield from node.commit(txn)
+            outcomes.append(ok)
+            yield cluster.sim.timeout(settle)
+
+    return cluster.spawn(driver(), name="live-traffic"), outcomes
+
+
+def drive(cluster, plan, *, settle=SETTLE):
+    """Run a plan to completion on a stepped clock (healing-loop safe)."""
+    process, outcomes = spawn_plan(cluster, plan, settle=settle)
+    cluster.run(until=cluster.sim.now + len(plan) * (settle + 1e-3) + 1e-3)
+    assert len(outcomes) == len(plan), "plan driver did not finish in time"
+    assert all(outcomes), "a planned commit failed"
+
+
+# ----------------------------------------------------------------------
+# Fault-free join: live traffic, zero aborts, PSI-clean reads
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", SEEDS)
+def test_fault_free_join_under_live_traffic(seed):
+    """A node joined mid-run serves reads; no foreground work aborts.
+
+    Traffic keeps committing across the whole reconfiguration window --
+    prepares that land on a handoff fence park and retry at the new
+    owner, they never abort -- and afterwards the joiner owns real key
+    ranges and serves their latest values.
+    """
+    cluster, _ = build(seed, record_history=True)
+    rng = make_rng(seed, "membership-join")
+    plan = rmw_plan(rng, range(NUM_NODES), 30)
+    traffic, outcomes = spawn_plan(cluster, plan, settle=4e-4)
+    cluster.run(until=cluster.sim.now + 2e-3)  # traffic well underway
+    joined = cluster.add_node()
+    cluster.run()
+
+    assert joined.value is True
+    assert len(outcomes) == len(plan) and all(outcomes)
+    assert cluster.metrics.aborts == 0, "fault-free join must not abort"
+
+    moved = keys_at(cluster, JOINER)
+    assert moved, "the widened ring must hand the joiner some keys"
+    expected = Counter(k for _, keys in plan for k in keys)
+    seen = {}
+
+    def read_moved(txn):
+        for key in moved:
+            seen[key] = yield from txn.read(key)
+
+    result = cluster.run_txn(read_moved, node=JOINER, read_only=True)
+    assert result.committed
+    assert seen == {k: expected[k] for k in moved}
+
+    history = cluster.finalized_history()
+    assert check_no_read_skew(history).ok
+    assert find_long_forks(history) == []
+
+    # Propagation fan-out through the committed view converges every
+    # member -- the joiner included -- on the same frontier.
+    assert len({n.site_vc.to_tuple() for n in cluster.nodes}) == 1
+    assert cluster.metrics.joins_bootstrapped == 1
+    assert cluster.metrics.views_committed >= 2  # JOINING, then ACTIVE
+
+
+# ----------------------------------------------------------------------
+# Fault-free decommission: keys stay readable throughout the drain
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", SEEDS)
+def test_fault_free_decommission_keys_stay_readable(seed):
+    cluster, _ = build(seed)
+    rng = make_rng(seed, "membership-leave")
+    plan_a = rmw_plan(rng, range(NUM_NODES), 12)
+    drive(cluster, plan_a)
+    counts = Counter(k for _, keys in plan_a for k in keys)
+
+    victim = max(range(NUM_NODES), key=lambda n: len(keys_at(cluster, n)))
+    victim_keys = keys_at(cluster, victim)
+    assert victim_keys, "the keyspace must place keys at the victim"
+    observer = cluster.node((victim + 1) % NUM_NODES)
+
+    left = cluster.remove_node(victim)
+    reads = []
+
+    def reader():
+        # Poll the victim's keys across the whole drain: every read
+        # must commit, and the values must stay monotone.
+        while not left.triggered:
+            txn = observer.begin(is_read_only=True)
+            values = []
+            for key in victim_keys:
+                values.append((yield from observer.read(txn, key)))
+            ok = yield from observer.commit(txn)
+            reads.append((ok, values))
+            yield cluster.sim.timeout(2e-4)
+
+    def writer():
+        # One write into the drain window: it parks on the fence, votes
+        # "moved" once the directory flips, and commits at the new
+        # owner -- never aborts.
+        yield cluster.sim.timeout(2.5e-3)
+        node = cluster.node((victim + 1) % NUM_NODES)
+        txn = node.begin(is_read_only=False)
+        value = yield from node.read(txn, victim_keys[0])
+        node.write(txn, victim_keys[0], value + 1)
+        ok = yield from node.commit(txn)
+        reads.append(("writer", [ok]))
+
+    cluster.spawn(reader(), name="drain-reader")
+    cluster.spawn(writer(), name="drain-writer")
+    cluster.run()
+
+    assert left.value is True
+    assert cluster.metrics.aborts == 0, "fault-free drain must not abort"
+    writer_rows = [row for row in reads if row[0] == "writer"]
+    assert writer_rows == [("writer", [True])]
+    observed = [row for row in reads if row[0] != "writer"]
+    assert observed, "the reader never ran during the drain"
+    want = [counts[k] for k in victim_keys]
+    bumped = [
+        counts[k] + (1 if k == victim_keys[0] else 0) for k in victim_keys
+    ]
+    previous = None
+    for ok, values in observed:
+        assert ok, "a read during the drain aborted"
+        assert values in (want, bumped) or all(
+            w <= v <= b for v, w, b in zip(values, want, bumped)
+        )
+        if previous is not None:
+            assert all(v >= p for v, p in zip(values, previous))
+        previous = values
+
+    # Ownership moved off the victim and the data moved with it.
+    assert all(cluster.directory.site(k) != victim for k in victim_keys)
+    for key in victim_keys:
+        assert key in cluster.node(cluster.directory.site(key)).store.keys()
+    assert cluster.metrics.drains_completed == 1
+
+
+# ----------------------------------------------------------------------
+# Chaos pair 1: join rides out a directed partition between old members
+# ----------------------------------------------------------------------
+def run_partitioned_join(seed, *, partition):
+    """Join while the proposer is cut off from a peer, or the control.
+
+    The partition window (5 ms) is shorter than the view driver's retry
+    budget (``max_attempts * ack_timeout`` = 10 ms), so the JOINING
+    proposal fails its first rounds and succeeds after the heal -- the
+    join completes in both runs and must converge identically.
+    """
+    healing = HealingConfig(
+        anti_entropy_interval=AE_INTERVAL, digest_timeout=5e-4
+    )
+    cluster, nemesis = build(seed, healing=healing)
+    rng = make_rng(seed, "membership-partition")
+    drive(cluster, rmw_plan(rng, range(NUM_NODES), 12))
+    cluster.start_healing()
+    t0 = cluster.sim.now
+    if partition:
+        nemesis.start(view_change_partition_schedule(1, [0], t0, 5e-3))
+    joined = cluster.add_node()
+    cluster.run(until=t0 + 40e-3)
+    assert joined.triggered, "join driver did not finish in its window"
+    assert joined.value is True
+
+    drive(cluster, rmw_plan(rng, range(NUM_NODES + 1), 8))
+    cluster.run(until=cluster.sim.now + 10 * AE_INTERVAL)
+    cluster.stop_healing()
+    cluster.run()
+    return {
+        "fingerprints": [node_fingerprint(n) for n in cluster.nodes],
+        "clocks": {n.site_vc.to_tuple() for n in cluster.nodes},
+    }
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_join_during_directed_partition_converges(seed):
+    faulty = run_partitioned_join(seed, partition=True)
+    control = run_partitioned_join(seed, partition=False)
+    assert len(faulty["clocks"]) == 1
+    assert faulty["fingerprints"] == control["fingerprints"]
+
+
+# ----------------------------------------------------------------------
+# Chaos pair 2: decommission racing the view coordinator's crash
+# ----------------------------------------------------------------------
+def run_decommission_coordinator_crash(seed, *, crash):
+    """Decommission while the would-be view coordinator is down.
+
+    Node 0 -- the lowest ACTIVE member, hence the default proposer --
+    is crashed when the DRAINING view is first driven, so the driver
+    routes the proposal through node 1; node 0 restarts inside the ack
+    window, joins the retry round, and re-learns the views from the
+    commit fan-out.  The control run executes the same timeline with
+    node 0 up throughout.
+    """
+    healing = HealingConfig(
+        anti_entropy_interval=AE_INTERVAL, digest_timeout=5e-4
+    )
+    cluster, nemesis = build(seed, healing=healing)
+    rng = make_rng(seed, "membership-crash")
+    drive(cluster, rmw_plan(rng, range(NUM_NODES), 12))
+    cluster.start_healing()
+    victim = NUM_NODES - 1
+    victim_keys = keys_at(cluster, victim)
+    assert victim_keys, "the keyspace must place keys at the victim"
+    t0 = cluster.sim.now
+    if crash:
+        nemesis.start(crash_cycle(0, t0, 1.5e-3))
+    cluster.run(until=t0 + 2e-4)  # the crash lands before the proposal
+    left = cluster.remove_node(victim)
+    cluster.run(until=t0 + 40e-3)
+    assert left.triggered, "leave driver did not finish in its window"
+    assert left.value is True
+
+    survivors = [n for n in range(NUM_NODES) if n != victim]
+    drive(cluster, rmw_plan(rng, survivors, 8))
+    cluster.run(until=cluster.sim.now + 10 * AE_INTERVAL)
+    cluster.stop_healing()
+    cluster.run()
+    for key in victim_keys:
+        assert cluster.directory.site(key) != victim
+    return {
+        "fingerprints": [node_fingerprint(n) for n in cluster.nodes],
+        "clocks": {
+            cluster.node(s).site_vc.to_tuple() for s in survivors
+        },
+    }
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_decommission_racing_coordinator_crash_converges(seed):
+    faulty = run_decommission_coordinator_crash(seed, crash=True)
+    control = run_decommission_coordinator_crash(seed, crash=False)
+    assert len(faulty["clocks"]) == 1
+    assert faulty["fingerprints"] == control["fingerprints"]
+
+
+# ----------------------------------------------------------------------
+# Chaos pair 3: joiner killed mid-bootstrap, abandoned, re-joined
+# ----------------------------------------------------------------------
+def run_join_crash_rejoin(seed, *, crash):
+    """Kill the joiner mid-bootstrap, then re-join it under the same id.
+
+    The driver abandons the first join (process value False, a
+    member-removal view, no directory flip); after the restart the same
+    id is re-added and must end bit-identical to a control that only
+    ever performed the second, clean join on the same timeline.
+    """
+    rpc = RpcConfig(request_timeout=1.5e-3, max_attempts=3)
+    cluster, nemesis = build(seed, rpc=rpc)
+    rng = make_rng(seed, "membership-rejoin")
+    drive(cluster, rmw_plan(rng, range(NUM_NODES), 12))
+    t0 = cluster.sim.now
+    if crash:
+        # The join driver commits the JOINING view at ~2 ms, detects the
+        # joiner's apply on its next 2 ms poll, and runs the bootstrap
+        # worker (frontier collection + shard handoff) from ~4.0 ms; the
+        # crash lands inside that window, mid-handoff, so the in-flight
+        # shard stream settles against a dead peer and the driver must
+        # abandon.
+        nemesis.start(crash_cycle(JOINER, t0 + 4.15e-3, 15.85e-3))
+        first = cluster.add_node()
+        cluster.run(until=t0 + 22e-3)
+        assert first.triggered, "abandonment did not finish in its window"
+        assert first.value is False
+        assert all(
+            cluster.directory.site(k) != JOINER for k in all_keys()
+        ), "an abandoned joiner must not keep ownership"
+    else:
+        cluster.run(until=t0 + 22e-3)
+    second = cluster.add_node(JOINER)
+    cluster.run(until=t0 + 40e-3)
+    assert second.triggered, "join driver did not finish in its window"
+    assert second.value is True
+
+    drive(cluster, rmw_plan(rng, range(NUM_NODES + 1), 8))
+    cluster.run()
+    return {
+        "fingerprints": [node_fingerprint(n) for n in cluster.nodes],
+        "clocks": {n.site_vc.to_tuple() for n in cluster.nodes},
+    }
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_joiner_killed_mid_bootstrap_then_rejoined(seed):
+    faulty = run_join_crash_rejoin(seed, crash=True)
+    control = run_join_crash_rejoin(seed, crash=False)
+    assert len(faulty["clocks"]) == 1
+    assert faulty["fingerprints"] == control["fingerprints"]
+
+
+def test_reconfiguration_is_deterministic():
+    """The most eventful scenario replays bit-identically."""
+    seed = SEEDS[0]
+    once = run_join_crash_rejoin(seed, crash=True)
+    twice = run_join_crash_rejoin(seed, crash=True)
+    assert once["fingerprints"] == twice["fingerprints"]
+
+
+# ----------------------------------------------------------------------
+# Observability: counters and trace kinds
+# ----------------------------------------------------------------------
+def test_membership_counters_and_traces_surface():
+    """The membership counters exist under stable summary() names and
+    the reconfiguration trace kinds are emitted."""
+    cluster, _ = build(SEEDS[0])
+    cluster.tracer.enable(
+        "join_bootstrap", "join_complete", "join_abandoned",
+        "drain_complete", "shard_offer", "shard_shipped",
+    )
+    drive(cluster, [(0, ["k0", "k1"]), (1, ["k2", "k3"])])
+    joined = cluster.add_node()
+    cluster.run()
+    left = cluster.remove_node(1)
+    cluster.run()
+    assert joined.value is True and left.value is True
+
+    summary = cluster.metrics.summary()
+    for name in (
+        "views_committed",
+        "joins_bootstrapped",
+        "drains_completed",
+        "stale_width_messages",
+    ):
+        assert name in summary, f"{name} missing from metrics summary"
+    assert summary["views_committed"] >= 4  # JOINING/ACTIVE + DRAINING/removal
+    assert summary["joins_bootstrapped"] == 1
+    assert summary["drains_completed"] == 1
+
+    assert cluster.tracer.of_kind("join_bootstrap")
+    assert cluster.tracer.of_kind("join_complete")
+    assert cluster.tracer.of_kind("drain_complete")
+    assert cluster.tracer.of_kind("shard_shipped")
+    assert cluster.tracer.of_kind("join_abandoned") == []
