@@ -1,0 +1,100 @@
+"""Microbenchmarks for wire serde: envelope and body construction.
+
+Every read builds a ReadRequestBody carrying ``tuple(T.VC)`` and
+``tuple(T.hasRead)``, and every reply a freshness bound -- the serde
+work the tuple caches (``VectorClock.to_tuple`` / ``merged_tuple`` /
+``Transaction.has_read_tuple``) exist to collapse.  The cached rows here
+are the hot path (clock unchanged between reads); the uncached rows are
+the pre-cache cost kept for comparison.
+"""
+
+import pytest
+
+from repro.core.transaction import Transaction
+from repro.core.vector_clock import VectorClock
+from repro.core.wire import ReadRequestBody
+from repro.net.message import Envelope
+
+from perf.microbench import bench, report
+
+pytestmark = pytest.mark.perf
+
+SIZE = 20  # the paper's largest cluster
+
+
+def test_wire_serde_micro():
+    vc = VectorClock(range(7, 7 + SIZE))
+    site_vc = VectorClock(range(SIZE, 0, -1))
+    txn = Transaction(1, 0, SIZE, True)
+    txn.note_read_site(3)
+    vc_tuple = vc.to_tuple()
+    has_read = txn.has_read_tuple()
+
+    def run_to_tuple_cached(n):
+        to_tuple = vc.to_tuple
+        for _ in range(n):
+            to_tuple()
+
+    def run_to_tuple_uncached(n):
+        entries = vc.entries
+        for _ in range(n):
+            tuple(entries)
+
+    def run_merged_tuple(n):
+        merged_tuple = vc.merged_tuple
+        for _ in range(n):
+            merged_tuple(site_vc)
+
+    def run_merged_then_tuple(n):
+        # The pre-cache freshness-bound shape: merged() allocates a
+        # whole intermediate clock just to tuple it.
+        merged = vc.merged
+        for _ in range(n):
+            merged(site_vc).to_tuple()
+
+    def run_has_read_cached(n):
+        has_read_tuple = txn.has_read_tuple
+        for _ in range(n):
+            has_read_tuple()
+
+    def run_has_read_uncached(n):
+        flags = txn.has_read
+        for _ in range(n):
+            tuple(flags)
+
+    def run_read_request_body(n):
+        for _ in range(n):
+            ReadRequestBody(
+                txn_id=1,
+                is_read_only=True,
+                key="k0",
+                vc=vc_tuple,
+                has_read=has_read,
+            )
+
+    def run_envelope(n):
+        body = ReadRequestBody(1, True, "k0", vc_tuple, has_read)
+        for i in range(n):
+            Envelope("ReadRequest", 0, 1, body, 0.0, 0.0, i)
+
+    results = {
+        "vc.to_tuple (cached)": bench(run_to_tuple_cached),
+        "tuple(entries) (uncached)": bench(run_to_tuple_uncached),
+        "vc.merged_tuple": bench(run_merged_tuple),
+        "vc.merged().to_tuple()": bench(run_merged_then_tuple),
+        "has_read_tuple (cached)": bench(run_has_read_cached),
+        "tuple(has_read) (uncached)": bench(run_has_read_uncached),
+        "ReadRequestBody": bench(run_read_request_body),
+        "Envelope": bench(run_envelope),
+    }
+    report("serde", results)
+    assert all(row["ops_per_second"] > 0 for row in results.values())
+    # The caches must actually win over re-materializing per call.
+    assert (
+        results["vc.to_tuple (cached)"]["ns_per_op"]
+        < results["tuple(entries) (uncached)"]["ns_per_op"]
+    )
+    assert (
+        results["vc.merged_tuple"]["ns_per_op"]
+        < results["vc.merged().to_tuple()"]["ns_per_op"]
+    )

@@ -43,7 +43,12 @@ sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
 )
 
-from repro.config import BatchingConfig, ClusterConfig, RunConfig  # noqa: E402
+from repro.config import (  # noqa: E402
+    BatchingConfig,
+    ClusterConfig,
+    DurabilityConfig,
+    RunConfig,
+)
 from repro.harness.runner import run_experiment  # noqa: E402
 from repro.workloads.ycsb import YCSBConfig, YCSBWorkload  # noqa: E402
 
@@ -72,7 +77,8 @@ SCALES = {
 }
 
 
-def build_and_run(params: dict, protocol: str, batching: BatchingConfig):
+def build_and_run(params: dict, protocol: str, batching: BatchingConfig,
+                  durability: DurabilityConfig):
     workload = YCSBWorkload(
         YCSBConfig(
             num_keys=params["num_keys"],
@@ -84,6 +90,7 @@ def build_and_run(params: dict, protocol: str, batching: BatchingConfig):
         clients_per_node=params["clients_per_node"],
         seed=params["seed"],
         batching=batching or BatchingConfig(),
+        durability=durability or DurabilityConfig(),
     )
     run_config = RunConfig(
         duration=params["duration"], warmup=params["warmup"]
@@ -92,10 +99,10 @@ def build_and_run(params: dict, protocol: str, batching: BatchingConfig):
 
 
 def measure(params: dict, protocol: str, batching: BatchingConfig,
-            with_heap: bool) -> dict:
+            durability: DurabilityConfig, with_heap: bool) -> dict:
     """One timed run (plus an optional tracemalloc run for peak heap)."""
     started = time.perf_counter()
-    result = build_and_run(params, protocol, batching)
+    result = build_and_run(params, protocol, batching, durability)
     wall = time.perf_counter() - started
 
     sim = result.cluster.sim
@@ -110,13 +117,15 @@ def measure(params: dict, protocol: str, batching: BatchingConfig,
         "events_per_second": sim.executed_count / wall if wall > 0 else 0.0,
         "throughput_ktps_virtual": result.throughput_ktps,
         "abort_rate": result.abort_rate,
+        "wal_syncs": result.metrics.get("wal_syncs", 0),
+        "wal_records_synced": result.metrics.get("wal_records_synced", 0),
     }
 
     if with_heap:
         import tracemalloc
 
         tracemalloc.start()
-        build_and_run(params, protocol, batching)
+        build_and_run(params, protocol, batching, durability)
         _current, peak = tracemalloc.get_traced_memory()
         tracemalloc.stop()
         entry["peak_heap_bytes"] = peak
@@ -133,6 +142,18 @@ def main(argv=None) -> int:
                         help="override the scale's default seed")
     parser.add_argument("--propagate-window", type=float, default=0.0,
                         help="BatchingConfig.propagate_window (0 = off)")
+    parser.add_argument("--batching", choices=("off", "fixed", "adaptive"),
+                        default=None,
+                        help="batching regime: off, fixed (uses "
+                             "--propagate-window), or adaptive (AIMD "
+                             "per-destination windows)")
+    parser.add_argument("--fsync-latency", type=float, default=0.0,
+                        help="DurabilityConfig.fsync_latency in virtual "
+                             "seconds per sync (0 = free syncs, WAL "
+                             "unbuffered; >0 implies wal_enabled)")
+    parser.add_argument("--group-commit-window", type=float, default=0.0,
+                        help="DurabilityConfig.group_commit_window (0 = "
+                             "per-record syncs when --fsync-latency > 0)")
     parser.add_argument("--no-heap", action="store_true",
                         help="skip the tracemalloc peak-heap run")
     parser.add_argument("--out", default=None,
@@ -142,7 +163,20 @@ def main(argv=None) -> int:
     params = dict(SCALES[args.scale])
     if args.seed is not None:
         params["seed"] = args.seed
-    batching = BatchingConfig(propagate_window=args.propagate_window)
+    if args.batching == "off":
+        batching = BatchingConfig()
+    elif args.batching == "adaptive":
+        batching = BatchingConfig(
+            adaptive=True, propagate_window=args.propagate_window
+        )
+    else:
+        # "fixed" or legacy default: the window flag alone decides.
+        batching = BatchingConfig(propagate_window=args.propagate_window)
+    durability = DurabilityConfig(
+        wal_enabled=args.fsync_latency > 0,
+        fsync_latency=args.fsync_latency,
+        group_commit_window=args.group_commit_window,
+    )
 
     out = args.out or os.path.join(
         os.path.dirname(os.path.abspath(__file__)), "..", "benchmarks",
@@ -152,13 +186,17 @@ def main(argv=None) -> int:
     )
     out = os.path.normpath(out)
 
-    entry = measure(params, args.protocol, batching, with_heap=not args.no_heap)
+    entry = measure(params, args.protocol, batching, durability,
+                    with_heap=not args.no_heap)
     entry.update(
         label=args.label,
         protocol=args.protocol,
         python=platform.python_version(),
         platform=platform.platform(),
         propagate_window=args.propagate_window,
+        batching=args.batching or ("fixed" if args.propagate_window else "off"),
+        fsync_latency=args.fsync_latency,
+        group_commit_window=args.group_commit_window,
     )
 
     if os.path.exists(out):

@@ -150,6 +150,24 @@ class BatchingConfig(ConfigSerde):
     #: back to :attr:`ClusterConfig.remove_flush_interval`, the historical
     #: location of this knob.
     remove_flush_interval: Optional[float] = None
+    #: Adaptive windows: instead of the fixed ``propagate_window`` /
+    #: Remove interval, each destination's window is driven by observed
+    #: queue depth -- a flush that carried more than a small target depth
+    #: grows the window additively by ``adaptive_step`` (backlog: batching
+    #: pays), a flush that carried one item decays it multiplicatively by
+    #: ``adaptive_decay`` toward zero (idle: send immediately), and
+    #: depths in between hold it, so windows converge a few
+    #: inter-arrivals wide.  A closed (zero) window sends immediately and
+    #: reopens only once consecutive sends to that destination arrive
+    #: within ``adaptive_step`` of each other.  Windows never exceed
+    #: ``max_window``, bounding snapshot staleness.
+    adaptive: bool = False
+    #: Hard cap on any adaptive window (virtual seconds).
+    max_window: float = 1e-3
+    #: Additive window growth per backlogged flush.
+    adaptive_step: float = 50e-6
+    #: Multiplicative window decay per single-item flush.
+    adaptive_decay: float = 0.5
 
 
 @dataclass
@@ -358,6 +376,22 @@ class DurabilityConfig(ConfigSerde):
     #: Bounded retries for a termination/recovery status query against
     #: an unreachable coordinator before falling back to presumed abort.
     termination_max_attempts: int = 5
+    #: Virtual seconds one durable sync ("fsync") costs.  ``0.0`` (the
+    #: default, and the historical behaviour) makes every append durable
+    #: the instant it is written -- durability is free.  ``> 0`` switches
+    #: the WAL into buffered mode: appends land in a volatile buffer and
+    #: become durable only when a sync covering them completes, commit
+    #: acknowledgements wait for the group holding their Decision record,
+    #: and a crash loses the unsynced suffix (exactly the unacked tail).
+    fsync_latency: float = 0.0
+    #: Group-commit window (virtual seconds).  With ``fsync_latency > 0``
+    #: and a zero window every record pays its own serialized sync
+    #: (per-record durability).  A positive window batches all records
+    #: buffered within it into one sync -- the classic group commit.
+    group_commit_window: float = 0.0
+    #: Early-flush threshold: a group's sync starts as soon as this many
+    #: records are buffered, even before the window elapses.
+    group_commit_max_records: int = 64
 
 
 @dataclass

@@ -10,7 +10,7 @@ from repro.core.fwkv.visibility import (
     select_update_version,
 )
 from repro.core.interfaces import SharedState
-from repro.core.mvcc_node import MVCCNode
+from repro.core.mvcc_node import MVCCNode, _TARGET_DEPTH
 from repro.core.transaction import Transaction
 from repro.core.wire import ReadRequestBody, RemoveBody
 from repro.net.message import Envelope, MessageType
@@ -44,6 +44,9 @@ class FWKVNode(MVCCNode):
         # Outgoing Remove batching: destination -> pending identifiers.
         self._pending_removes: dict = {}
         self._remove_flush_scheduled = False
+        # Adaptive mode: per-destination Remove windows (AIMD, same rule
+        # as the Propagate windows in MVCCNode._flush_propagate).
+        self._remove_windows: dict = {}
 
     def _on_volatile_wiped(self) -> None:
         # Pending Remove identifiers were never sent; they name VAS
@@ -52,6 +55,7 @@ class FWKVNode(MVCCNode):
         # (bounded growth, never a correctness issue).
         self._pending_removes = {}
         self._remove_flush_scheduled = False
+        self._remove_windows = {}
 
     # ------------------------------------------------------------------
     # Read-side hooks
@@ -102,7 +106,7 @@ class FWKVNode(MVCCNode):
                 and not any(request.has_read)
             )
         if fresh:
-            return version.vc.merged(self.site_vc).to_tuple()
+            return version.vc.merged_tuple(self.site_vc)
         return version.vc.to_tuple()
 
     # ------------------------------------------------------------------
@@ -154,6 +158,28 @@ class FWKVNode(MVCCNode):
             sites = self.membership.view.fanout_ids
         else:
             sites = {self.directory.site(key) for key in txn.read_keys}
+        if config.batching.adaptive:
+            # Per-destination windows: each site's batch closes on its own
+            # AIMD-tuned timer instead of the single global interval.
+            # Windows are seeded at the global interval (Removes are off
+            # the commit critical path, so batching them is nearly free)
+            # and then adapt per destination: observed batches grow the
+            # window, lone flushes decay it toward immediate sends.
+            interval = config.effective_remove_flush_interval
+            buffer = self._pending_removes
+            windows = self._remove_windows
+            for site in sites:
+                pending = buffer.get(site)
+                if pending is None:
+                    buffer[site] = [txn.txn_id]
+                    self.sim.call_later(
+                        windows.get(site, interval),
+                        self._flush_removes_site,
+                        site,
+                    )
+                else:
+                    pending.append(txn.txn_id)
+            return
         for site in sites:
             self._pending_removes.setdefault(site, []).append(txn.txn_id)
         if not self._remove_flush_scheduled:
@@ -173,6 +199,26 @@ class FWKVNode(MVCCNode):
         pending, self._pending_removes = self._pending_removes, {}
         for site in sorted(pending):
             self.node.send(site, MessageType.REMOVE, RemoveBody(tuple(pending[site])))
+
+    def _flush_removes_site(self, site: int) -> None:
+        """Close one destination's adaptive Remove window and send it."""
+        ids = self._pending_removes.pop(site, None)
+        if not ids:
+            return
+        self.node.send(site, MessageType.REMOVE, RemoveBody(tuple(ids)))
+        config = self.shared.config
+        batching = config.batching
+        interval = config.effective_remove_flush_interval
+        windows = self._remove_windows
+        current = windows.get(site, interval)
+        if len(ids) > _TARGET_DEPTH:
+            windows[site] = min(
+                current + batching.adaptive_step,
+                max(batching.max_window, interval),
+            )
+        elif len(ids) == 1 and current > 0.0:
+            decayed = current * batching.adaptive_decay
+            windows[site] = 0.0 if decayed < 1e-9 else decayed
 
     # ------------------------------------------------------------------
     # FW-KV-only handler

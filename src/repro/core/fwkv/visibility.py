@@ -117,18 +117,31 @@ def select_read_only_version(
     The loop fuses :func:`visible_under` inline (no per-version function
     call, early exit on the first violated site); the property suite
     asserts it selects exactly what the reference predicates admit.
+    Two specializations keep the per-version scan lean: a transaction
+    that has read nowhere skips the clock loop entirely (no active site
+    can constrain it), and the no-retired-origins common case drops the
+    ``enumerate``/``dropped`` bookkeeping from the inner loop.
     """
     inspected = 0
+    any_read = True in has_read
+    no_dropped = not dropped
     for version in chain.newest_first():
-        visible = True
-        for site, (a, t, active) in enumerate(
-            zip(version.vc.entries, txn_vc, has_read)
-        ):
-            if active and a > t and site not in dropped:
-                visible = False
-                break
-        if not visible:
-            continue
+        if any_read:
+            visible = True
+            if no_dropped:
+                for a, t, active in zip(version.vc.entries, txn_vc, has_read):
+                    if active and a > t:
+                        visible = False
+                        break
+            else:
+                for site, (a, t, active) in enumerate(
+                    zip(version.vc.entries, txn_vc, has_read)
+                ):
+                    if active and a > t and site not in dropped:
+                        visible = False
+                        break
+            if not visible:
+                continue
         access = version.access_set
         if access:
             inspected += 1
@@ -158,28 +171,55 @@ def select_update_version(
     the reference predicates.
     """
     any_read = True in has_read
-    for version in chain.newest_first():
-        visible = True
-        equal_at_read = True
-        newer_at_unread = False
-        for site, (a, t, active) in enumerate(
-            zip(version.vc.entries, txn_vc, has_read)
-        ):
-            if site in dropped:
-                continue  # a retired origin places no constraint
-            if active:
-                if a > t:
-                    visible = False
-                    break
-                if a != t:
-                    equal_at_read = False
-            elif a > t:
-                newer_at_unread = True
-        if not visible:
-            continue
-        if any_read and equal_at_read and newer_at_unread:
-            continue
-        return version, 0
+    if not any_read:
+        # First read: no active site constrains visibility and the
+        # exclusion rule does not apply yet, so the chain head wins.
+        for version in chain.newest_first():
+            return version, 0
+    elif not dropped:
+        # No retired origins: same fused pass without the enumerate /
+        # membership-mask bookkeeping.
+        for version in chain.newest_first():
+            visible = True
+            equal_at_read = True
+            newer_at_unread = False
+            for a, t, active in zip(version.vc.entries, txn_vc, has_read):
+                if active:
+                    if a > t:
+                        visible = False
+                        break
+                    if a != t:
+                        equal_at_read = False
+                elif a > t:
+                    newer_at_unread = True
+            if not visible:
+                continue
+            if equal_at_read and newer_at_unread:
+                continue
+            return version, 0
+    else:
+        for version in chain.newest_first():
+            visible = True
+            equal_at_read = True
+            newer_at_unread = False
+            for site, (a, t, active) in enumerate(
+                zip(version.vc.entries, txn_vc, has_read)
+            ):
+                if site in dropped:
+                    continue  # a retired origin places no constraint
+                if active:
+                    if a > t:
+                        visible = False
+                        break
+                    if a != t:
+                        equal_at_read = False
+                elif a > t:
+                    newer_at_unread = True
+            if not visible:
+                continue
+            if equal_at_read and newer_at_unread:
+                continue
+            return version, 0
     raise RuntimeError(
         f"no visible version of {chain.key!r} for an update read; "
         "the initial version should always be visible"

@@ -41,6 +41,7 @@ from repro.sim import AllOf, ConditionVariable, wait_until
 from repro.storage.locks import LockTable
 from repro.storage.store import MultiVersionStore
 from repro.storage.version import Version
+from repro.storage.group_commit import WalFlusher
 from repro.storage.wal import (
     AbortRecord,
     ApplyRecord,
@@ -55,6 +56,19 @@ from repro.storage.wal import (
     replay,
     restore_store,
 )
+
+#: Adaptive batching: consecutive same-destination sends spaced within
+#: ``adaptive_step`` of each other before a closed (zero) window opens.
+#: Three back-to-back hot arrivals distinguish sustained backlog from a
+#: lone coincidence without delaying the first commits of a burst.
+_PRESSURE_OPEN = 3
+
+#: Adaptive batching: flush depth above which a window grows.  Growth
+#: only past this band (with decay at depth one and a hold in between)
+#: makes the controller converge on windows a few inter-arrivals wide
+#: instead of ratcheting to ``max_window`` -- any positive window batches
+#: *something* under load, so a bare ``depth > 1`` rule always grows.
+_TARGET_DEPTH = 4
 
 
 class _PreparedTxn:
@@ -112,10 +126,36 @@ class MVCCNode(BaseProtocolNode):
         #: Propagate (only used when ``batching.propagate_window > 0``).
         self._propagate_buffer: Dict[int, List[int]] = {}
 
+        #: Adaptive batching: per-destination Propagate windows (AIMD,
+        #: driven by observed flush batch size; see ``_flush_propagate``).
+        self._adaptive_windows: Dict[int, float] = {}
+        #: Adaptive batching pressure probe: destination ->
+        #: ``(last_send_time, consecutive_hot_sends)``.  While a window is
+        #: closed (zero) sends go out immediately; the probe opens a window
+        #: once enough back-to-back sends arrive within ``adaptive_step``
+        #: of each other (see ``_send_propagate``).
+        self._adaptive_pressure: Dict[int, Tuple[float, int]] = {}
+
         durability = shared.config.durability
         #: The node's "disk": survives a durable crash (see repro.storage.wal).
+        #: Buffered (group-commit) mode iff syncs cost virtual time.
         self.wal: Optional[WriteAheadLog] = (
-            WriteAheadLog() if durability.wal_enabled else None
+            WriteAheadLog(buffered=durability.fsync_latency > 0)
+            if durability.wal_enabled
+            else None
+        )
+        #: The WAL's sync scheduler (inert when ``fsync_latency == 0``).
+        self.flusher: Optional[WalFlusher] = (
+            WalFlusher(
+                self.sim,
+                self.wal,
+                durability,
+                metrics=self.metrics,
+                tracer=self.tracer,
+                node_id=node.node_id,
+            )
+            if self.wal is not None
+            else None
         )
         #: Coordinator-side commit outcomes, kept so TxnStatus queries can
         #: be answered definitively.  Only maintained when some feature
@@ -184,14 +224,16 @@ class MVCCNode(BaseProtocolNode):
     # ------------------------------------------------------------------
     def load(self, key: Hashable, value: object) -> None:
         if self.wal is not None:
-            self.wal.append(LoadRecord(((key, value),)))
+            # Setup-time write: durable immediately, never part of a
+            # crash's lost suffix (see WriteAheadLog.append_durable).
+            self.wal.append_durable(LoadRecord(((key, value),)))
         self.store.create(key, value, VectorClock.zero(self.shared.num_nodes))
 
     def load_many(self, items: Iterable[Tuple[Hashable, object]]) -> int:
         """Bulk-install initial versions (all share the interned zero VC)."""
         if self.wal is not None:
             items = tuple(items)
-            self.wal.append(LoadRecord(items))
+            self.wal.append_durable(LoadRecord(items))
         return self.store.create_many(
             items, VectorClock.zero(self.shared.num_nodes)
         )
@@ -223,7 +265,7 @@ class MVCCNode(BaseProtocolNode):
                 is_read_only=txn.is_read_only,
                 key=key,
                 vc=txn.vc.to_tuple(),
-                has_read=tuple(txn.has_read),
+                has_read=txn.has_read_tuple(),
             ),
         )
         if reply.max_vc is not None:
@@ -281,7 +323,7 @@ class MVCCNode(BaseProtocolNode):
                             is_read_only=True,
                             key=key,
                             vc=txn.vc.to_tuple(),
-                            has_read=tuple(txn.has_read),
+                            has_read=txn.has_read_tuple(),
                         ),
                     ),
                     name=f"read-many-{txn.txn_id}",
@@ -468,9 +510,29 @@ class MVCCNode(BaseProtocolNode):
                 self._decisions[txn.txn_id] = decide
                 self._decisions_by_seq[txn.seq_no] = decide
             if self.wal is not None:
-                self.wal.append(
+                lsn = self.wal.append(
                     DecisionRecord(txn.txn_id, txn.seq_no, decide.commit_vc)
                 )
+                if self.flusher.active:
+                    # Group commit: the acknowledgement (and every Decide)
+                    # waits for the sync covering the decision record.  A
+                    # covered decision also covers this node's own
+                    # PrepareRecord for the fast-path local commit (lower
+                    # LSN; syncs are prefix-durable).
+                    durable = yield from self.flusher.ensure_durable(lsn)
+                    if not durable:
+                        # Crashed between buffer and flush: the decision
+                        # never hit disk and no Decide was sent, so the
+                        # recovered coordinator -- and every in-doubt
+                        # participant querying it -- presumes abort.  The
+                        # unacknowledged commit simply vanishes.
+                        txn.mark_aborted(self.sim.now)
+                        self.metrics.on_abort(txn, AbortReason.NODE_CRASHED)
+                        self.tracer.emit(
+                            self.node_id, "abort", txn=txn.txn_id,
+                            reason=AbortReason.NODE_CRASHED,
+                        )
+                        return False
         for site in sorted(participant_sites | {self.node_id} if outcome else participant_sites):
             self.node.send(site, MessageType.DECIDE, decide)
         if outcome:
@@ -511,27 +573,69 @@ class MVCCNode(BaseProtocolNode):
         correctness.  Buffering is per destination because each commit has
         its own participant set.
         """
-        window = self.shared.config.batching.propagate_window
+        batching = self.shared.config.batching
+        adaptive = batching.adaptive
+        window = batching.propagate_window
         node_id = self.node_id
         # Fan out over the live view (ring + joining members), not the
         # static seed: a joining node needs the clock-only stream from
         # the moment it enters the view, and a removed one must stop
         # receiving traffic.  At epoch zero this is exactly ``node_ids``.
         targets = self.membership.view.fanout_ids
-        if window <= 0:
+        if not adaptive and window <= 0:
             propagate = PropagateBody(node_id, seq_no)
             for site in targets:
                 if site not in participant_sites and site != node_id:
                     self.node.send(site, MessageType.PROPAGATE, propagate)
             return
         buffer = self._propagate_buffer
+        if not adaptive:
+            for site in targets:
+                if site not in participant_sites and site != node_id:
+                    pending = buffer.get(site)
+                    if pending is None:
+                        # First commit of this destination's window opens it.
+                        buffer[site] = [seq_no]
+                        self.sim.call_later(window, self._flush_propagate, site)
+                    else:
+                        pending.append(seq_no)
+            return
+        # Adaptive mode.  A destination whose window has decayed to zero is
+        # served immediately -- no buffer, no timer event, so an idle
+        # adaptive cluster pays only two dict operations over the
+        # non-batched path.  The probe watches arrival gaps: once
+        # ``_PRESSURE_OPEN`` consecutive Propagates to the same destination
+        # land within ``adaptive_step`` of each other, commits are
+        # outpacing delivery and a window of one step opens.  From then on
+        # sends buffer and the flush-time AIMD rule takes over: observed
+        # batches grow the window additively, lone flushes decay it back
+        # toward zero (and immediate sends).
+        windows = self._adaptive_windows
+        pressure = self._adaptive_pressure
+        now = self.sim.now
+        hot_gap = batching.adaptive_step
+        propagate = None
         for site in targets:
             if site not in participant_sites and site != node_id:
+                delay = windows.get(site, 0.0)
+                if delay <= 0.0:
+                    if propagate is None:
+                        propagate = PropagateBody(node_id, seq_no)
+                    self.node.send(site, MessageType.PROPAGATE, propagate)
+                    last, hot = pressure.get(site, (-1.0, 0))
+                    if 0.0 <= now - last <= hot_gap:
+                        hot += 1
+                        if hot >= _PRESSURE_OPEN:
+                            windows[site] = hot_gap
+                            hot = 0
+                    else:
+                        hot = 0
+                    pressure[site] = (now, hot)
+                    continue
                 pending = buffer.get(site)
                 if pending is None:
-                    # First commit of this destination's window opens it.
                     buffer[site] = [seq_no]
-                    self.sim.call_later(window, self._flush_propagate, site)
+                    self.sim.call_later(delay, self._flush_propagate, site)
                 else:
                     pending.append(seq_no)
 
@@ -544,6 +648,25 @@ class MVCCNode(BaseProtocolNode):
                 MessageType.PROPAGATE,
                 PropagateBody(self.node_id, seq_nos[-1], tuple(seq_nos)),
             )
+            batching = self.shared.config.batching
+            if batching.adaptive:
+                # AIMD on observed queue depth: depth beyond the target
+                # band means commits far outpace the window (additive
+                # growth, capped), a lone sequence number means idle
+                # (multiplicative decay toward zero = immediate sends
+                # again), and depths inside the band hold the window --
+                # the equilibrium is a window a few inter-arrivals wide,
+                # which coalesces messages without stalling the in-order
+                # Decide apply path behind a ``max_window`` of traffic.
+                windows = self._adaptive_windows
+                current = windows.get(site, 0.0)
+                if len(seq_nos) > _TARGET_DEPTH:
+                    windows[site] = min(
+                        current + batching.adaptive_step, batching.max_window
+                    )
+                elif len(seq_nos) == 1 and current > 0.0:
+                    decayed = current * batching.adaptive_decay
+                    windows[site] = 0.0 if decayed < 1e-9 else decayed
 
     def _group_writes_by_site(
         self, txn: Transaction
@@ -791,13 +914,32 @@ class MVCCNode(BaseProtocolNode):
                 # Log-before-vote: once the yes-vote can reach the
                 # coordinator, a recovered replica must re-stage these
                 # writes (they may be committed without its knowledge).
-                self.wal.append(
+                lsn = self.wal.append(
                     PrepareRecord(
                         request.txn_id,
                         request.coordinator,
                         tuple(request.writes.items()),
                     )
                 )
+                if (
+                    self.flusher.active
+                    and request.coordinator != self.node_id
+                ):
+                    # Group commit: the yes-vote must not leave the node
+                    # before its PrepareRecord is on disk -- a committed
+                    # transaction's re-announced Decide carries no writes,
+                    # so a participant that lost the prepare could never
+                    # re-stage them.  Self-coordinated prepares skip the
+                    # wait: their vote never leaves the node, and the
+                    # decision record's sync (higher LSN, prefix-durable)
+                    # covers this one before any external effect.
+                    durable = yield from self.flusher.ensure_durable(lsn)
+                    if not durable or self.locks is not locks:
+                        # Crashed before the group hit disk: the vote and
+                        # the staged writes die together -- unwind on the
+                        # old table and vote no (presumed abort).
+                        locks.release_write_all(keys, owner=request.txn_id)
+                        return VoteBody(False, reason=AbortReason.VOTE_NO)
             self._prepared[request.txn_id] = entry
             lease = self.shared.config.prepared_lease
             if lease is not None:
@@ -1500,6 +1642,11 @@ class MVCCNode(BaseProtocolNode):
                 "durable crash requires durability.wal_enabled"
             )
         self.wal.freeze()
+        if self.flusher is not None:
+            # Abort any in-flight sync (its group never lands) and wake
+            # ensure_durable waiters so their commit paths observe the
+            # frozen log and report failure.
+            self.flusher.on_crash()
         self._recovering = True
 
     def begin_recovery(self):
@@ -1515,6 +1662,8 @@ class MVCCNode(BaseProtocolNode):
         self._recovering = True
         records = self.wal.records()
         self.wal.unfreeze()
+        if self.flusher is not None:
+            self.flusher.on_recovery()
         result = replay(
             records, max(self.shared.num_nodes, self.node_id + 1)
         )
@@ -1541,6 +1690,8 @@ class MVCCNode(BaseProtocolNode):
         self._prepared = {}
         self._preparing = set()
         self._propagate_buffer = {}
+        self._adaptive_windows = {}
+        self._adaptive_pressure = {}
         self._decisions = {}
         self._decisions_by_seq = {}
         self._applying = {}

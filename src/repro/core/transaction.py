@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import enum
-from typing import Dict, Hashable, List, Optional, Set
+from typing import Dict, Hashable, List, Optional, Set, Tuple
 
 from repro.core.vector_clock import VectorClock
 
@@ -45,6 +45,7 @@ class Transaction:
         "ops",
         "read_cache",
         "read_versions",
+        "_has_read_tuple",
     )
 
     def __init__(
@@ -63,6 +64,9 @@ class Transaction:
         # in its begin hook, and the interned instance rejects mutation.
         self.vc = VectorClock.zero(num_sites)
         self.has_read: List[bool] = [False] * num_sites
+        # Cached tuple(has_read) for wire envelopes; invalidated by
+        # note_read_site.  Reads between site contacts reuse one tuple.
+        self._has_read_tuple: Optional[Tuple[bool, ...]] = None
         self.writeset: Dict[Hashable, object] = {}
         self.read_keys: Set[Hashable] = set()
         self.collected_set: Set[int] = set()
@@ -104,8 +108,17 @@ class Transaction:
         if site >= len(has_read):
             has_read.extend([False] * (site + 1 - len(has_read)))
         first = not has_read[site]
-        has_read[site] = True
+        if first:
+            has_read[site] = True
+            self._has_read_tuple = None
         return first
+
+    def has_read_tuple(self) -> Tuple[bool, ...]:
+        """``tuple(has_read)``, cached between site contacts."""
+        cached = self._has_read_tuple
+        if cached is None:
+            cached = self._has_read_tuple = tuple(self.has_read)
+        return cached
 
     def buffered_write(self, key: Hashable):
         """The value this transaction wrote for ``key``, if any.

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 
 class VectorClock:
@@ -31,10 +31,15 @@ class VectorClock:
     bind the underlying list locally; they must never mutate it.
     """
 
-    __slots__ = ("_entries",)
+    __slots__ = ("_entries", "_tuple")
 
     def __init__(self, entries: Iterable[int]) -> None:
         self._entries: List[int] = list(entries)
+        # Cached to_tuple() result; every mutator resets it to None.  Wire
+        # envelopes serialize the same committed version clock once per
+        # reader, so the cache collapses repeated tuple() materializations
+        # of clocks that are stamped once and never change again.
+        self._tuple: Optional[Tuple[int, ...]] = None
 
     @classmethod
     def zeros(cls, size: int) -> "VectorClock":
@@ -42,6 +47,7 @@ class VectorClock:
             raise ValueError("vector clock size must be positive")
         vc = cls.__new__(cls)
         vc._entries = [0] * size
+        vc._tuple = None
         return vc
 
     @classmethod
@@ -60,6 +66,7 @@ class VectorClock:
                 raise ValueError("vector clock size must be positive")
             clock = _ImmutableVectorClock.__new__(_ImmutableVectorClock)
             clock._entries = [0] * size
+            clock._tuple = None
             _ZERO_CACHE[size] = clock
         return clock
 
@@ -74,6 +81,7 @@ class VectorClock:
 
     def __setitem__(self, index: int, value: int) -> None:
         self._entries[index] = value
+        self._tuple = None
 
     def __iter__(self) -> Iterator[int]:
         return iter(self._entries)
@@ -100,6 +108,7 @@ class VectorClock:
     def copy(self) -> "VectorClock":
         vc = VectorClock.__new__(VectorClock)
         vc._entries = self._entries.copy()
+        vc._tuple = self._tuple
         return vc
 
     def merge(self, other: "VectorClock") -> None:
@@ -116,6 +125,7 @@ class VectorClock:
         theirs = other._entries
         if theirs is mine:
             return
+        self._tuple = None
         if len(theirs) > len(mine):
             mine.extend([0] * (len(theirs) - len(mine)))
         index = 0
@@ -131,6 +141,7 @@ class VectorClock:
         saves one :class:`VectorClock` allocation per message.
         """
         mine = self._entries
+        self._tuple = None
         if len(values) > len(mine):
             mine.extend([0] * (len(values) - len(mine)))
         index = 0
@@ -144,6 +155,28 @@ class VectorClock:
         result = self.copy()
         result.merge(other)
         return result
+
+    def merged_tuple(self, other: "VectorClock") -> Tuple[int, ...]:
+        """``self.merged(other).to_tuple()`` without the throwaway clock.
+
+        The FW-KV fresh-contact freshness bound materializes exactly this
+        -- a merged snapshot that goes straight onto the wire -- so fusing
+        the merge and the tuple() skips one list copy and one
+        :class:`VectorClock` allocation per fresh read.
+        """
+        mine = self._entries
+        theirs = other._entries
+        if theirs is mine:
+            return self.to_tuple()
+        if len(mine) < len(theirs):
+            mine, theirs = theirs, mine
+        result = list(mine)
+        index = 0
+        for value in theirs:
+            if value > result[index]:
+                result[index] = value
+            index += 1
+        return tuple(result)
 
     def leq(self, other: "VectorClock") -> bool:
         """True when every entry is <= the corresponding entry of ``other``.
@@ -193,6 +226,7 @@ class VectorClock:
         mine = self._entries
         if size > len(mine):
             mine.extend([0] * (size - len(mine)))
+            self._tuple = None
 
     def shrink(self, size: int) -> None:
         """Truncate to the first ``size`` entries in place.
@@ -205,6 +239,7 @@ class VectorClock:
         mine = self._entries
         if size < len(mine):
             del mine[size:]
+            self._tuple = None
 
     def shrunk(self, size: int) -> "VectorClock":
         """A copy truncated to the first ``size`` entries.
@@ -215,10 +250,14 @@ class VectorClock:
         """
         vc = VectorClock.__new__(VectorClock)
         vc._entries = self._entries[:size]
+        vc._tuple = None
         return vc
 
     def to_tuple(self) -> Tuple[int, ...]:
-        return tuple(self._entries)
+        cached = self._tuple
+        if cached is None:
+            cached = self._tuple = tuple(self._entries)
+        return cached
 
 
 class _ImmutableVectorClock(VectorClock):

@@ -21,6 +21,10 @@ class AbortReason:
     #: coordinator failed the commit fast instead of paying the timeout
     #: ladder (``HealingConfig.fail_fast_commits``).
     PEER_DEAD = "peer_dead"
+    #: The node crashed durably while the transaction was waiting for its
+    #: Decision record's group-commit sync: the record was dropped with
+    #: the unsynced WAL suffix, so the commit is never acknowledged.
+    NODE_CRASHED = "node_crashed"
 
 
 class RunningStat:
@@ -194,6 +198,11 @@ class MetricsRecorder:
         #: WAL checkpoints taken and records truncated below them.
         self.checkpoints_taken = 0
         self.wal_records_truncated = 0
+        #: Completed WAL syncs and the records each batch made durable
+        #: (group commit: records_synced / syncs is the achieved batch
+        #: size; 1.0 means per-record durability).
+        self.wal_syncs = 0
+        self.wal_records_synced = 0
         #: Checkpoint snapshot transfer (healing): offers made by this
         #: node as sender, offers/chunks refused or transfers that died
         #: mid-flight, chunks and store chains actually moved, completed
@@ -364,6 +373,11 @@ class MetricsRecorder:
         """WAL records below a stable checkpoint were truncated."""
         self.wal_records_truncated += dropped
 
+    def on_wal_sync(self, records: int) -> None:
+        """One WAL sync completed, making ``records`` records durable."""
+        self.wal_syncs += 1
+        self.wal_records_synced += records
+
     def on_snapshot_offer(self) -> None:
         """This node offered its checkpoint to a truncation-gapped peer."""
         self.snapshot_offers += 1
@@ -451,6 +465,8 @@ class MetricsRecorder:
             "records_streamed": self.records_streamed,
             "checkpoints_taken": self.checkpoints_taken,
             "wal_records_truncated": self.wal_records_truncated,
+            "wal_syncs": self.wal_syncs,
+            "wal_records_synced": self.wal_records_synced,
             "snapshot_offers": self.snapshot_offers,
             "snapshot_rejected": self.snapshot_rejected,
             "snapshot_chunks": self.snapshot_chunks,

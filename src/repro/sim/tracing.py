@@ -56,6 +56,7 @@ class Tracer:
             "stream",
             "checkpoint",
             "truncate",
+            "wal_sync",
             "snapshot_offer",
             "snapshot_accept",
             "snapshot_shipped",

@@ -188,23 +188,110 @@ class WriteAheadLog:
     handler compute cannot retroactively become durable.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, buffered: bool = False) -> None:
         self._records: List[WalRecord] = []
         self._frozen = False
         #: Appends discarded while frozen (crash-window compute).
         self.discarded = 0
         #: Records dropped by checkpoint truncation, cumulatively.
         self.truncated = 0
+        #: Buffered-durability mode (``fsync_latency > 0``): appends land
+        #: in a volatile buffer and become durable only when
+        #: :meth:`mark_durable` covers them.  Off (default), every append
+        #: is durable instantly -- the historical free-sync model.
+        self.buffered = buffered
+        #: Absolute LSN (== ``truncated`` + buffer index + 1) up to which
+        #: records are durable.  Meaningful only in buffered mode.
+        self._durable = 0
+        #: Hook invoked with the new LSN after every successful append
+        #: (the group-commit flusher registers itself here so membership
+        #: and checkpoint appends are synced without explicit plumbing).
+        self.on_append = None
+        #: Completed syncs and records they covered (buffered mode).
+        self.syncs = 0
+        self.records_synced = 0
+        #: Buffered-but-unsynced records dropped at freeze (crash loss).
+        self.lost_on_crash = 0
 
-    def append(self, record: WalRecord) -> None:
+    @property
+    def tail_lsn(self) -> int:
+        """Absolute LSN of the newest appended record (0 = empty log)."""
+        return self.truncated + len(self._records)
+
+    @property
+    def durable_lsn(self) -> int:
+        """Absolute LSN up to which the log would survive a crash."""
+        return self._durable if self.buffered else self.tail_lsn
+
+    def append(self, record: WalRecord) -> int:
+        """Append one record; returns its absolute LSN.
+
+        A frozen (mid-crash) log discards the append and returns the
+        unchanged tail -- waiting on that LSN covers nothing new, and
+        callers on the crash path check :attr:`frozen` anyway.
+        """
         if self._frozen:
             self.discarded += 1
-            return
+            return self.tail_lsn
         self._records.append(record)
+        lsn = self.truncated + len(self._records)
+        hook = self.on_append
+        if hook is not None:
+            hook(lsn)
+        return lsn
+
+    def append_durable(self, record: WalRecord) -> int:
+        """Append with instant durability (setup-time writes: data load).
+
+        The initial load happens before the run -- synchronously, like
+        formatting the disk -- so it never competes for sync bandwidth
+        and is never part of a crash's lost suffix.
+        """
+        if self._frozen:
+            self.discarded += 1
+            return self.tail_lsn
+        self._records.append(record)
+        lsn = self.truncated + len(self._records)
+        if self.buffered and lsn > self._durable:
+            self._durable = lsn
+        return lsn
+
+    def is_durable(self, lsn: int) -> bool:
+        return self.durable_lsn >= lsn
+
+    def mark_durable(self, lsn: int) -> int:
+        """One sync completed: records up to ``lsn`` are durable.
+
+        Returns the number of newly durable records.  No-op outside
+        buffered mode (everything is always durable there).
+        """
+        if not self.buffered:
+            return 0
+        lsn = min(lsn, self.tail_lsn)
+        newly = lsn - self._durable
+        if newly <= 0:
+            newly = 0
+        else:
+            self._durable = lsn
+        self.syncs += 1
+        self.records_synced += newly
+        return newly
 
     def freeze(self) -> None:
-        """Mark the crash instant: later appends are lost, not durable."""
+        """Mark the crash instant: later appends are lost, not durable.
+
+        In buffered mode the unsynced suffix -- exactly the records past
+        :attr:`durable_lsn` -- is dropped here: it only ever existed in
+        the volatile buffer, so the crash loses it.  Commit paths wait
+        for their Decision record's group before acknowledging, which is
+        what makes this loss invisible to acknowledged transactions.
+        """
         self._frozen = True
+        if self.buffered:
+            lost = self.truncated + len(self._records) - self._durable
+            if lost > 0:
+                del self._records[len(self._records) - lost:]
+                self.lost_on_crash += lost
 
     def unfreeze(self) -> None:
         """Re-admit appends (recovery has read the surviving records)."""
@@ -238,6 +325,12 @@ class WriteAheadLog:
                 index = position
                 break
         if not index:  # no checkpoint, or already the first record
+            return 0
+        if self.buffered and self._durable < self.truncated + index + 1:
+            # The checkpoint itself has not hit disk yet; truncating the
+            # records it summarizes would leave a log whose surviving
+            # prefix after a crash misses both.  The group-commit flusher
+            # syncs it shortly; the next truncation attempt proceeds.
             return 0
         self._records = self._records[index:]
         self.truncated += index

@@ -73,6 +73,26 @@ def test_facade_types_are_exported():
     assert "TxnHandle" in repro.__all__ and "TxnResult" in repro.__all__
 
 
+def test_group_commit_and_adaptive_batching_fields_default_off():
+    # The perf knobs added with group commit / adaptive batching must stay
+    # inert by default: fsync cost zero (unbuffered WAL, historical
+    # behaviour) and fixed-window batching.
+    durability = DurabilityConfig()
+    assert durability.fsync_latency == 0.0
+    assert durability.group_commit_window == 0.0
+    assert durability.group_commit_max_records > 0
+    batching = BatchingConfig()
+    assert batching.adaptive is False
+    assert batching.max_window > 0
+    assert batching.adaptive_step > 0
+    assert 0 < batching.adaptive_decay < 1
+    round_tripped = DurabilityConfig.from_dict(
+        {"fsync_latency": 1e-4, "group_commit_window": 2e-4}
+    )
+    assert round_tripped.fsync_latency == 1e-4
+    assert round_tripped.group_commit_window == 2e-4
+
+
 # ----------------------------------------------------------------------
 # Config serde round-trip
 # ----------------------------------------------------------------------
@@ -137,11 +157,18 @@ cluster_configs = st.builds(
         BatchingConfig,
         propagate_window=small_floats,
         remove_flush_interval=optional(positive_floats),
+        adaptive=st.booleans(),
+        max_window=small_floats,
+        adaptive_step=small_floats,
+        adaptive_decay=small_floats,
     ),
     durability=st.builds(
         DurabilityConfig,
         wal_enabled=st.booleans(),
         termination_query=st.booleans(),
+        fsync_latency=small_floats,
+        group_commit_window=small_floats,
+        group_commit_max_records=st.integers(1, 256),
     ),
     healing=healing_configs,
     network=network_configs,

@@ -1,0 +1,292 @@
+"""Group commit and adaptive batching: inert by default, safe when on.
+
+Mirrors ``test_batching_equivalence``'s two levels of assurance for the
+PR's new perf knobs:
+
+* Disabled-by-default equivalence.  ``group_commit_window`` /
+  ``group_commit_max_records`` are inert while ``fsync_latency == 0``
+  (the WAL is unbuffered, every append instantly durable), and the
+  adaptive AIMD parameters are inert while ``adaptive`` is off -- a run
+  with those knobs set must be *bit-identical* to the seed defaults:
+  same commit log, same per-node siteVC history at every quiescence
+  point, same WAL contents.
+* Enabled, the durable group-commit path and adaptive batching may shift
+  which transactions win races (commit acks now wait on batched syncs;
+  windows stretch and shrink) but must preserve PSI-checker cleanliness
+  on a concurrent chaos workload and still quiesce fully converged.
+"""
+
+import pytest
+
+from repro import Cluster, ClusterConfig, NetworkConfig
+from repro.cluster import ModuloDirectory
+from repro.config import BatchingConfig, DurabilityConfig
+from repro.metrics import check_no_read_skew, check_site_order
+from repro.sim.rng import make_rng
+
+from tests.integration.scenario_tools import read_only_txn, update_txn
+
+NODES = 3
+KEYS = [f"k{i}" for i in range(9)]
+
+
+def _make_cluster(protocol, *, batching=None, durability=None):
+    config = ClusterConfig(
+        num_nodes=NODES,
+        seed=23,
+        batching=batching or BatchingConfig(),
+        durability=durability or DurabilityConfig(),
+        network=NetworkConfig(jitter=0.0),
+    )
+    cluster = Cluster(
+        protocol, config, directory=ModuloDirectory(NODES), record_history=True
+    )
+    for key in KEYS:
+        cluster.load(key, 0)
+    return cluster
+
+
+def _commit_log(cluster):
+    return [
+        (
+            r.txn_id,
+            r.node_id,
+            r.is_read_only,
+            r.seq_no,
+            r.commit_vc,
+            tuple((op.kind, op.key, op.vid) for op in r.ops),
+        )
+        for r in cluster.finalized_history()
+    ]
+
+
+def _run_sequential(protocol, *, batching=None, durability=None):
+    cluster = _make_cluster(protocol, batching=batching, durability=durability)
+    rng = make_rng(23, "gc-equiv")
+    site_vc_history = []
+    for round_no in range(30):
+        node_id = rng.randrange(NODES)
+        chosen = rng.sample(KEYS, 2)
+        if rng.random() < 0.4:
+            cluster.spawn(read_only_txn(cluster, node_id, chosen))
+        else:
+            cluster.spawn(
+                update_txn(
+                    cluster,
+                    node_id,
+                    {key: round_no for key in chosen},
+                    reads=chosen,
+                )
+            )
+        cluster.run()
+        site_vc_history.append(tuple(cluster.site_clocks()))
+    wal_lengths = tuple(len(node.wal) if node.wal else 0 for node in cluster.nodes)
+    return _commit_log(cluster), site_vc_history, wal_lengths
+
+
+@pytest.mark.parametrize("protocol", ("fwkv", "walter"))
+def test_group_commit_knobs_inert_without_fsync_latency(protocol):
+    baseline = _run_sequential(
+        protocol, durability=DurabilityConfig(wal_enabled=True)
+    )
+    knobs_set = _run_sequential(
+        protocol,
+        durability=DurabilityConfig(
+            wal_enabled=True,
+            group_commit_window=300e-6,
+            group_commit_max_records=8,
+        ),
+    )
+    assert knobs_set[0] == baseline[0], "commit logs diverged"
+    assert knobs_set[1] == baseline[1], "siteVC histories diverged"
+    assert knobs_set[2] == baseline[2], "WAL lengths diverged"
+
+
+@pytest.mark.parametrize("protocol", ("fwkv", "walter"))
+def test_adaptive_parameters_inert_while_adaptive_off(protocol):
+    baseline = _run_sequential(protocol)
+    knobs_set = _run_sequential(
+        protocol,
+        batching=BatchingConfig(
+            adaptive=False, max_window=5e-3, adaptive_step=1e-3,
+            adaptive_decay=0.9,
+        ),
+    )
+    assert knobs_set[0] == baseline[0], "commit logs diverged"
+    assert knobs_set[1] == baseline[1], "siteVC histories diverged"
+
+
+def _chaos(cluster, *, clients=2, txns=40):
+    seed = cluster.config.seed
+
+    def client(node_id, client_id):
+        rng = make_rng(seed, "gc-chaos", node_id, client_id)
+        node = cluster.node(node_id)
+        for _ in range(txns):
+            chosen = rng.sample(KEYS, 2)
+            read_only = rng.random() < 0.4
+            while True:
+                txn = node.begin(is_read_only=read_only)
+                values = []
+                for key in chosen:
+                    value = yield from node.read(txn, key)
+                    values.append(value)
+                if not read_only:
+                    for key, value in zip(chosen, values):
+                        node.write(txn, key, value + 1)
+                ok = yield from node.commit(txn)
+                if ok:
+                    break
+                yield cluster.sim.timeout(rng.uniform(50e-6, 150e-6))
+            yield cluster.sim.timeout(rng.uniform(0, 100e-6))
+
+    for node_id in range(NODES):
+        for client_id in range(clients):
+            cluster.spawn(client(node_id, client_id))
+    cluster.run()
+
+
+def _assert_consistent(cluster, *, min_commits=240):
+    history = cluster.finalized_history()
+    assert len(history) >= min_commits
+    skew = check_no_read_skew(history)
+    assert skew.ok, skew.violations[:3]
+    order = check_site_order(history, cluster.version_catalog())
+    assert order.ok, order.violations[:3]
+    assert not cluster.any_locks_held()
+    clocks = cluster.site_clocks()
+    assert all(clock == clocks[0] for clock in clocks)
+
+
+@pytest.mark.parametrize("protocol", ("fwkv", "walter"))
+def test_durable_group_commit_chaos_stays_consistent(protocol):
+    cluster = _make_cluster(
+        protocol,
+        durability=DurabilityConfig(
+            wal_enabled=True,
+            fsync_latency=50e-6,
+            group_commit_window=200e-6,
+            group_commit_max_records=32,
+        ),
+    )
+    _chaos(cluster)
+    _assert_consistent(cluster)
+    # The sync schedule actually batched: fewer syncs than records.
+    assert cluster.metrics.wal_syncs > 0
+    assert cluster.metrics.wal_records_synced > cluster.metrics.wal_syncs
+    # Quiescence drained every buffer: nothing volatile is left behind.
+    for node in cluster.nodes:
+        assert node.wal.durable_lsn == node.wal.tail_lsn
+
+
+@pytest.mark.parametrize("protocol", ("fwkv", "walter"))
+def test_durable_naive_chaos_stays_consistent(protocol):
+    cluster = _make_cluster(
+        protocol,
+        durability=DurabilityConfig(wal_enabled=True, fsync_latency=20e-6),
+    )
+    _chaos(cluster, txns=20)
+    _assert_consistent(cluster, min_commits=120)
+    # Per-record mode: every sync covers exactly one record.
+    assert cluster.metrics.wal_syncs == cluster.metrics.wal_records_synced > 0
+    for node in cluster.nodes:
+        assert node.wal.durable_lsn == node.wal.tail_lsn
+
+
+@pytest.mark.parametrize("protocol", ("fwkv", "walter"))
+def test_adaptive_batching_chaos_stays_consistent(protocol):
+    cluster = _make_cluster(
+        protocol,
+        batching=BatchingConfig(
+            adaptive=True, max_window=1e-3, adaptive_step=50e-6,
+            adaptive_decay=0.5,
+        ),
+    )
+    _chaos(cluster)
+    _assert_consistent(cluster)
+    if protocol == "fwkv":
+        assert cluster.total_vas_entries() == 0
+
+
+def test_adaptive_with_durable_group_commit_combined():
+    cluster = _make_cluster(
+        "fwkv",
+        batching=BatchingConfig(adaptive=True),
+        durability=DurabilityConfig(
+            wal_enabled=True,
+            fsync_latency=50e-6,
+            group_commit_window=200e-6,
+        ),
+    )
+    _chaos(cluster)
+    _assert_consistent(cluster)
+    assert cluster.metrics.wal_records_synced > cluster.metrics.wal_syncs > 0
+
+
+# ----------------------------------------------------------------------
+# The AIMD controller itself, exercised deterministically on one node.
+# ----------------------------------------------------------------------
+
+def _adaptive_node(step=50e-6, max_window=1e-3, decay=0.5):
+    cluster = _make_cluster(
+        "walter",
+        batching=BatchingConfig(
+            adaptive=True, adaptive_step=step, max_window=max_window,
+            adaptive_decay=decay,
+        ),
+    )
+    return cluster, cluster.node(0)
+
+
+def test_adaptive_pressure_probe_opens_closed_window():
+    from repro.core.mvcc_node import _PRESSURE_OPEN
+
+    cluster, node = _adaptive_node()
+    step = cluster.config.batching.adaptive_step
+    # A closed window serves sends immediately; back-to-back sends at the
+    # same instant are maximally hot (gap zero), so after the cold first
+    # send plus _PRESSURE_OPEN hot ones the window opens at one step.
+    for seq_no in range(_PRESSURE_OPEN + 1):
+        node._send_propagate(set(), seq_no)
+        opened = dict(node._adaptive_windows)
+        if seq_no < _PRESSURE_OPEN:
+            assert not opened, f"window opened early after send {seq_no}"
+    destinations = {i for i in range(NODES) if i != node.node_id}
+    assert opened == {site: step for site in destinations}
+    # Once open, sends buffer instead of going out immediately.
+    node._send_propagate(set(), 99)
+    assert set(node._propagate_buffer) == destinations
+
+
+def test_adaptive_window_grows_only_past_target_depth():
+    from repro.core.mvcc_node import _TARGET_DEPTH
+
+    cluster, node = _adaptive_node()
+    batching = cluster.config.batching
+    step = batching.adaptive_step
+    site = (node.node_id + 1) % NODES
+
+    # Depth inside the band: window holds (no ratchet toward max_window).
+    node._adaptive_windows[site] = step
+    node._propagate_buffer[site] = list(range(_TARGET_DEPTH))
+    node._flush_propagate(site)
+    assert node._adaptive_windows[site] == step
+
+    # Depth beyond the band: additive growth, capped at max_window.
+    node._propagate_buffer[site] = list(range(_TARGET_DEPTH + 1))
+    node._flush_propagate(site)
+    assert node._adaptive_windows[site] == 2 * step
+    node._adaptive_windows[site] = batching.max_window
+    node._propagate_buffer[site] = list(range(_TARGET_DEPTH + 1))
+    node._flush_propagate(site)
+    assert node._adaptive_windows[site] == batching.max_window
+
+    # Singleton flush: multiplicative decay, snapping to zero (closed).
+    node._adaptive_windows[site] = step
+    node._propagate_buffer[site] = [1]
+    node._flush_propagate(site)
+    assert node._adaptive_windows[site] == step * batching.adaptive_decay
+    node._adaptive_windows[site] = 1e-10
+    node._propagate_buffer[site] = [2]
+    node._flush_propagate(site)
+    assert node._adaptive_windows[site] == 0.0

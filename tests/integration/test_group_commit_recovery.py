@@ -1,0 +1,187 @@
+"""Group-commit crash semantics: a crash between buffer and flush loses
+exactly the unflushed WAL suffix, and never an acknowledged commit.
+
+The flusher emits a ``wal_sync`` trace at the instant a sync *starts* --
+after records joined the group buffer, before the fsync completes -- so
+a trace-point crash there lands precisely in the window the tentpole's
+recovery guarantee is about: every record past ``durable_lsn`` is
+volatile and must vanish, while every commit the client saw acknowledged
+had already waited for its Decision record's covering sync.
+"""
+
+import pytest
+
+from repro import (
+    Cluster,
+    ClusterConfig,
+    DurabilityConfig,
+    NetworkConfig,
+    RpcConfig,
+)
+from repro.cluster import ModuloDirectory
+from repro.faults import CRASH_DURABLE, FaultEvent, Nemesis
+from repro.metrics import check_no_read_skew, check_site_order
+from repro.net.rpc import RpcTimeoutError
+from repro.sim.rng import make_rng
+
+from tests.harness.recovery_tools import (
+    TracePoint,
+    assert_no_lost_commits,
+    restart,
+)
+
+NUM_NODES = 4
+NUM_KEYS = 16
+VICTIM = 2
+
+pytestmark = pytest.mark.recovery
+
+
+def build(protocol, seed, *, group_commit_window):
+    config = ClusterConfig(
+        num_nodes=NUM_NODES,
+        seed=seed,
+        prepared_lease=5e-3,
+        # assert_no_lost_commits matches versions by writer-txn stamp, so
+        # every version must survive the run.
+        gc_enabled=False,
+        durability=DurabilityConfig(
+            wal_enabled=True,
+            termination_query=True,
+            fsync_latency=50e-6,
+            group_commit_window=group_commit_window,
+            group_commit_max_records=32,
+        ),
+        network=NetworkConfig(
+            jitter=5e-6,
+            rpc=RpcConfig(request_timeout=1.5e-3, max_attempts=3),
+        ),
+    )
+    cluster = Cluster(
+        protocol, config, directory=ModuloDirectory(NUM_NODES),
+        record_history=True,
+    )
+    for i in range(NUM_KEYS):
+        cluster.load(f"k{i}", 0)
+    return cluster, Nemesis(cluster)
+
+
+def client(cluster, node_id, client_id, committed, *, txns=30):
+    """Closed-loop client recording every *acknowledged* update commit."""
+    rng = make_rng(cluster.config.seed, "gc-recovery", node_id, client_id)
+    node = cluster.node(node_id)
+    keys = [f"k{i}" for i in range(NUM_KEYS)]
+    for _ in range(txns):
+        chosen = rng.sample(keys, 2)
+        read_only = rng.random() < 0.3
+        for _attempt in range(6):
+            txn = node.begin(is_read_only=read_only)
+            try:
+                values = []
+                for key in chosen:
+                    values.append((yield from node.read(txn, key)))
+                if not read_only:
+                    for key, value in zip(chosen, values):
+                        node.write(txn, key, value + 1)
+                ok = yield from node.commit(txn)
+            except RpcTimeoutError:
+                node.abort(txn)
+                ok = False
+            if ok:
+                if not read_only:
+                    committed[txn.txn_id] = list(chosen)
+                break
+            yield cluster.sim.timeout(rng.uniform(50e-6, 250e-6))
+        yield cluster.sim.timeout(rng.uniform(0, 100e-6))
+
+
+def run_crash_scenario(protocol, *, group_commit_window, sync_count, seed=47):
+    """Crash the victim at its ``sync_count``-th wal_sync start, restart
+    it mid-run, and drive the workload to completion.
+
+    Returns ``(cluster, committed, loss_snapshot)`` where the snapshot
+    captures the victim's exact volatile suffix at the crash instant.
+    """
+    cluster, nemesis = build(
+        protocol, seed, group_commit_window=group_commit_window
+    )
+    victim = cluster.nodes[VICTIM]
+    snapshot = {}
+
+    def crash_action(_record):
+        # Captured before the fault applies: the volatile suffix the
+        # freeze is about to drop.
+        snapshot["expected_loss"] = victim.wal.tail_lsn - victim.wal.durable_lsn
+        snapshot["durable_lsn"] = victim.wal.durable_lsn
+        nemesis.apply(FaultEvent(cluster.sim.now, CRASH_DURABLE, VICTIM))
+
+    point = TracePoint(
+        cluster, "wal_sync", crash_action, node=VICTIM, count=sync_count
+    )
+
+    def restarter():
+        while not point.fired:
+            yield cluster.sim.timeout(500e-6)
+        yield cluster.sim.timeout(2e-3)
+        restart(cluster, nemesis, VICTIM)
+
+    committed = {}
+    for node_id in range(NUM_NODES):
+        for client_id in range(2):
+            cluster.spawn(client(cluster, node_id, client_id, committed))
+    cluster.spawn(restarter())
+    cluster.run()
+
+    assert point.fired, "workload never reached the chosen sync point"
+    return cluster, committed, snapshot
+
+
+@pytest.mark.parametrize("protocol", ("fwkv", "walter"))
+def test_crash_between_buffer_and_flush_loses_exact_suffix(protocol):
+    cluster, committed, snapshot = run_crash_scenario(
+        protocol, group_commit_window=200e-6, sync_count=25
+    )
+    victim = cluster.nodes[VICTIM]
+
+    # The freeze dropped exactly the records past durable_lsn -- no
+    # fewer (volatile records cannot survive) and no more (the durable
+    # prefix is never touched).  A wal_sync emit guarantees at least one
+    # record was pending, so the crash genuinely lost something.
+    assert snapshot["expected_loss"] >= 1
+    assert victim.wal.lost_on_crash == snapshot["expected_loss"]
+    assert victim.recoveries == 1
+    assert cluster.metrics.recoveries == 1
+
+    # Replay restarted from the surviving prefix: the records the crash
+    # kept were re-read, none re-lost, and the flusher re-armed (the log
+    # drained fully by quiescence).
+    assert victim.wal.durable_lsn == victim.wal.tail_lsn
+    assert victim.wal.tail_lsn >= snapshot["durable_lsn"]
+
+    # No acknowledged commit vanished: every write whose commit a client
+    # observed is installed at its key's preferred site.
+    assert_no_lost_commits(cluster, committed)
+
+    history = cluster.finalized_history()
+    skew = check_no_read_skew(history)
+    assert skew.ok, skew.violations[:3]
+    order = check_site_order(history, cluster.version_catalog())
+    assert order.ok, order.violations[:3]
+    assert not cluster.any_locks_held()
+    clocks = cluster.site_clocks()
+    assert all(clock == clocks[0] for clock in clocks)
+
+
+def test_crash_under_per_record_durability_loses_exact_suffix():
+    # window == 0: the naive one-record-per-sync regime must satisfy the
+    # same contract (the suffix past durable_lsn is exactly what dies).
+    cluster, committed, snapshot = run_crash_scenario(
+        "fwkv", group_commit_window=0.0, sync_count=40
+    )
+    victim = cluster.nodes[VICTIM]
+    assert snapshot["expected_loss"] >= 1
+    assert victim.wal.lost_on_crash == snapshot["expected_loss"]
+    assert victim.wal.durable_lsn == victim.wal.tail_lsn
+    assert_no_lost_commits(cluster, committed)
+    clocks = cluster.site_clocks()
+    assert all(clock == clocks[0] for clock in clocks)

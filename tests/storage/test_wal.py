@@ -6,6 +6,7 @@ from repro.core.vector_clock import VectorClock
 from repro.storage.wal import (
     AbortRecord,
     ApplyRecord,
+    CheckpointRecord,
     DecisionRecord,
     LoadRecord,
     PrepareRecord,
@@ -178,3 +179,118 @@ def test_replay_commit_vc_preserved():
     latest = result.store.chain("x").latest
     assert latest.vc.to_tuple() == vc
     assert latest.vc == VectorClock(vc)
+
+
+# ----------------------------------------------------------------------
+# Buffered mode (group commit)
+# ----------------------------------------------------------------------
+def checkpoint_rec():
+    return CheckpointRecord(
+        site_vc=(0,) * N,
+        curr_seq_no=0,
+        chains=(),
+        in_doubt=(),
+        decisions=(),
+        fingerprint="test",
+    )
+
+
+def test_buffered_append_is_not_durable_until_marked():
+    wal = WriteAheadLog(buffered=True)
+    lsn1 = wal.append(PropagateRecord(0, 1))
+    lsn2 = wal.append(PropagateRecord(0, 2))
+    assert (lsn1, lsn2) == (1, 2)
+    assert wal.tail_lsn == 2 and wal.durable_lsn == 0
+    assert not wal.is_durable(lsn1)
+    assert wal.mark_durable(lsn2) == 2
+    assert wal.durable_lsn == 2 and wal.is_durable(lsn2)
+    assert wal.syncs == 1 and wal.records_synced == 2
+
+
+def test_unbuffered_appends_are_instantly_durable():
+    wal = WriteAheadLog()
+    lsn = wal.append(PropagateRecord(0, 1))
+    assert wal.is_durable(lsn) and wal.durable_lsn == wal.tail_lsn
+    # mark_durable is a no-op outside buffered mode.
+    assert wal.mark_durable(lsn) == 0
+    assert wal.syncs == 0
+
+
+def test_mark_durable_clamps_to_tail_and_never_regresses():
+    wal = WriteAheadLog(buffered=True)
+    wal.append(PropagateRecord(0, 1))
+    assert wal.mark_durable(99) == 1  # clamped to the tail
+    assert wal.durable_lsn == 1
+    assert wal.mark_durable(1) == 0  # already durable: no new records
+    assert wal.durable_lsn == 1
+
+
+def test_append_durable_skips_the_sync_queue():
+    wal = WriteAheadLog(buffered=True)
+    requested = []
+    wal.on_append = requested.append
+    lsn = wal.append_durable(LoadRecord((("x", 0),)))
+    assert wal.is_durable(lsn)
+    assert requested == []  # setup loads never ask for a sync
+
+
+def test_on_append_hook_sees_every_lsn():
+    wal = WriteAheadLog(buffered=True)
+    seen = []
+    wal.on_append = seen.append
+    wal.append(PropagateRecord(0, 1))
+    wal.append(PropagateRecord(0, 2))
+    assert seen == [1, 2]
+
+
+def test_freeze_drops_exactly_the_unsynced_suffix():
+    wal = WriteAheadLog(buffered=True)
+    survivor = PropagateRecord(0, 1)
+    wal.append(survivor)
+    wal.mark_durable(1)
+    wal.append(PropagateRecord(0, 2))
+    wal.append(PropagateRecord(0, 3))
+    wal.freeze()
+    assert wal.lost_on_crash == 2
+    assert wal.records() == (survivor,)
+    assert wal.tail_lsn == 1 and wal.durable_lsn == 1
+    # Replay after recovery sees only the durable prefix.
+    wal.unfreeze()
+    lsn = wal.append(PropagateRecord(0, 2))
+    assert lsn == 2  # LSNs continue from the surviving prefix
+
+
+def test_freeze_with_everything_durable_loses_nothing():
+    wal = WriteAheadLog(buffered=True)
+    wal.append(PropagateRecord(0, 1))
+    wal.mark_durable(wal.tail_lsn)
+    wal.freeze()
+    assert wal.lost_on_crash == 0
+    assert len(wal) == 1
+
+
+def test_truncation_waits_for_a_durable_checkpoint():
+    wal = WriteAheadLog(buffered=True)
+    wal.append(PropagateRecord(0, 1))
+    wal.mark_durable(1)
+    wal.append(checkpoint_rec())
+    # The checkpoint record itself is still volatile: refuse to truncate.
+    assert wal.truncate_to_checkpoint() == 0
+    assert wal.truncated == 0
+    wal.mark_durable(wal.tail_lsn)
+    assert wal.truncate_to_checkpoint() == 1
+    assert wal.truncated == 1
+    assert isinstance(wal.records()[0], CheckpointRecord)
+
+
+def test_lsns_are_absolute_across_truncation():
+    wal = WriteAheadLog(buffered=True)
+    wal.append(PropagateRecord(0, 1))
+    wal.append(checkpoint_rec())
+    wal.mark_durable(wal.tail_lsn)
+    assert wal.truncate_to_checkpoint() == 1
+    lsn = wal.append(PropagateRecord(0, 2))
+    assert lsn == 3  # 2 pre-truncation records + this one
+    assert wal.tail_lsn == 3
+    assert wal.durable_lsn == 2
+    assert wal.mark_durable(3) == 1
