@@ -48,6 +48,7 @@ from repro.config import (  # noqa: E402
     ClusterConfig,
     DurabilityConfig,
     RunConfig,
+    ShardingConfig,
 )
 from repro.harness.runner import run_experiment  # noqa: E402
 from repro.workloads.ycsb import YCSBConfig, YCSBWorkload  # noqa: E402
@@ -78,11 +79,15 @@ SCALES = {
 
 
 def build_and_run(params: dict, protocol: str, batching: BatchingConfig,
-                  durability: DurabilityConfig):
+                  durability: DurabilityConfig,
+                  sharding: ShardingConfig = None,
+                  distribution: str = "uniform", zipf_s: float = 1.1):
     workload = YCSBWorkload(
         YCSBConfig(
             num_keys=params["num_keys"],
             read_only_fraction=params["read_only_fraction"],
+            distribution=distribution,
+            zipf_s=zipf_s,
         )
     )
     cluster_config = ClusterConfig(
@@ -91,6 +96,7 @@ def build_and_run(params: dict, protocol: str, batching: BatchingConfig,
         seed=params["seed"],
         batching=batching or BatchingConfig(),
         durability=durability or DurabilityConfig(),
+        sharding=sharding or ShardingConfig(),
     )
     run_config = RunConfig(
         duration=params["duration"], warmup=params["warmup"]
@@ -99,10 +105,13 @@ def build_and_run(params: dict, protocol: str, batching: BatchingConfig,
 
 
 def measure(params: dict, protocol: str, batching: BatchingConfig,
-            durability: DurabilityConfig, with_heap: bool) -> dict:
+            durability: DurabilityConfig, with_heap: bool,
+            sharding: ShardingConfig = None,
+            distribution: str = "uniform", zipf_s: float = 1.1) -> dict:
     """One timed run (plus an optional tracemalloc run for peak heap)."""
     started = time.perf_counter()
-    result = build_and_run(params, protocol, batching, durability)
+    result = build_and_run(params, protocol, batching, durability,
+                           sharding, distribution, zipf_s)
     wall = time.perf_counter() - started
 
     sim = result.cluster.sim
@@ -119,13 +128,16 @@ def measure(params: dict, protocol: str, batching: BatchingConfig,
         "abort_rate": result.abort_rate,
         "wal_syncs": result.metrics.get("wal_syncs", 0),
         "wal_records_synced": result.metrics.get("wal_records_synced", 0),
+        "shard_migrations": result.metrics.get("shard_migrations", 0),
+        "shard_migration_keys": result.metrics.get("shard_migration_keys", 0),
     }
 
     if with_heap:
         import tracemalloc
 
         tracemalloc.start()
-        build_and_run(params, protocol, batching, durability)
+        build_and_run(params, protocol, batching, durability,
+                      sharding, distribution, zipf_s)
         _current, peak = tracemalloc.get_traced_memory()
         tracemalloc.stop()
         entry["peak_heap_bytes"] = peak
@@ -154,6 +166,22 @@ def main(argv=None) -> int:
     parser.add_argument("--group-commit-window", type=float, default=0.0,
                         help="DurabilityConfig.group_commit_window (0 = "
                              "per-record syncs when --fsync-latency > 0)")
+    parser.add_argument("--distribution",
+                        choices=("uniform", "zipfian", "zipf"),
+                        default="uniform",
+                        help="YCSB key distribution (zipf = rank-ordered "
+                             "heavy tail, see --zipf-s)")
+    parser.add_argument("--zipf-s", type=float, default=1.1,
+                        help="Zipf exponent for --distribution zipf")
+    parser.add_argument("--sharding", choices=("off", "on"), default="off",
+                        help="on = ShardMap directory with the live "
+                             "rebalancer migrating hot shards during the "
+                             "run (see --rebalance-interval)")
+    parser.add_argument("--num-shards", type=int, default=64,
+                        help="ShardingConfig.num_shards when --sharding on")
+    parser.add_argument("--rebalance-interval", type=float, default=2e-3,
+                        help="rebalance loop period in virtual seconds "
+                             "when --sharding on")
     parser.add_argument("--no-heap", action="store_true",
                         help="skip the tracemalloc peak-heap run")
     parser.add_argument("--out", default=None,
@@ -177,6 +205,15 @@ def main(argv=None) -> int:
         fsync_latency=args.fsync_latency,
         group_commit_window=args.group_commit_window,
     )
+    sharding = (
+        ShardingConfig(
+            enabled=True,
+            num_shards=args.num_shards,
+            rebalance_interval=args.rebalance_interval,
+        )
+        if args.sharding == "on"
+        else ShardingConfig()
+    )
 
     out = args.out or os.path.join(
         os.path.dirname(os.path.abspath(__file__)), "..", "benchmarks",
@@ -187,7 +224,8 @@ def main(argv=None) -> int:
     out = os.path.normpath(out)
 
     entry = measure(params, args.protocol, batching, durability,
-                    with_heap=not args.no_heap)
+                    with_heap=not args.no_heap, sharding=sharding,
+                    distribution=args.distribution, zipf_s=args.zipf_s)
     entry.update(
         label=args.label,
         protocol=args.protocol,
@@ -197,6 +235,9 @@ def main(argv=None) -> int:
         batching=args.batching or ("fixed" if args.propagate_window else "off"),
         fsync_latency=args.fsync_latency,
         group_commit_window=args.group_commit_window,
+        distribution=args.distribution,
+        zipf_s=args.zipf_s if args.distribution == "zipf" else None,
+        sharding=args.sharding,
     )
 
     if os.path.exists(out):

@@ -46,11 +46,12 @@ from repro.config import (
     NetworkConfig,
     RpcConfig,
     RunConfig,
+    ShardingConfig,
     SnapshotTransferConfig,
 )
 from repro.system import PROTOCOLS, Cluster, TxnHandle, TxnResult
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "BatchingConfig",
@@ -67,6 +68,7 @@ __all__ = [
     "PROTOCOLS",
     "RpcConfig",
     "RunConfig",
+    "ShardingConfig",
     "SnapshotTransferConfig",
     "TxnHandle",
     "TxnResult",

@@ -6,6 +6,7 @@ from repro.cluster.directory import (
     Directory,
     ExplicitDirectory,
     ModuloDirectory,
+    ShardMap,
 )
 from repro.cluster.membership import (
     ACTIVE,
@@ -15,6 +16,7 @@ from repro.cluster.membership import (
     NodeMembership,
 )
 from repro.cluster.node import Node
+from repro.cluster.rebalancer import Rebalancer, plan_moves
 
 __all__ = [
     "ACTIVE",
@@ -28,4 +30,7 @@ __all__ = [
     "ModuloDirectory",
     "NodeMembership",
     "Node",
+    "Rebalancer",
+    "ShardMap",
+    "plan_moves",
 ]

@@ -224,6 +224,23 @@ class NodeMembership:
             return False
         return any(key in self.moving for key in keys)
 
+    def unfence(self, keys: Iterable) -> None:
+        """Lift the fence on exactly ``keys`` (shard-migration cutover).
+
+        Unlike :meth:`lift_fences` -- the view-commit sledgehammer that
+        clears every fence -- this is scoped: a rebalancer migrating one
+        shard releases only that shard's keys, leaving any concurrent
+        drain or migration fence intact.  Parked prepares wake, re-check
+        ownership against the (possibly flipped) directory, and either
+        proceed locally or vote "moved".
+        """
+        if not self.moving:
+            return
+        before = len(self.moving)
+        self.moving.difference_update(keys)
+        if len(self.moving) != before:
+            self.changed.notify_all()
+
     def lift_fences(self) -> None:
         if self.moving or self.moving_all:
             self.moving.clear()

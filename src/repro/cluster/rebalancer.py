@@ -1,0 +1,251 @@
+"""Online shard rebalancing: fence, drain, stream, flip.
+
+A :class:`Rebalancer` moves one shard at a time between live nodes while
+foreground PSI traffic keeps committing.  A migration reuses the exact
+machinery the membership drivers built (docs/membership.md):
+
+1. **Fence** the shard's keys at the donor (``NodeMembership.fence``):
+   new prepares touching them park before taking locks.
+2. **Drain** the keys' write locks (``Cluster._drain_write_locks``):
+   prepares that already held locks finish through their Decide.
+3. **Stream** the shard's version chains to the recipient over the
+   PR-5 SNAPSHOT_OFFER/CHUNK/ACK protocol (``NodeHealing.ship_shard``)
+   with fingerprint verification at the receiver.
+4. **Flip** the single :class:`~repro.cluster.directory.ShardMap` owner
+   entry atomically (one epoch bump), then **unfence** -- scoped, so a
+   concurrent drain's fence stays up.  Parked prepares wake, re-check
+   ownership, and vote "moved"; the coordinator regroups against the
+   flipped map and re-prepares at the new owner.  Nothing aborts.
+
+A failed transfer (crashed donor or recipient, partition, drain
+timeout) unfences *without* flipping: ownership is unchanged, the
+receiver installed nothing (installs are all-or-nothing at the final
+chunk), and the parked prepares proceed locally -- so the failure is
+invisible to foreground traffic and the migration can simply be
+retried.
+
+Which shard to move comes from :func:`plan_moves`, a pure greedy
+planner over the per-shard access counters in
+:class:`~repro.metrics.stats.MetricsRecorder` -- shared by the live
+``rebalance_once`` path and the skew regression tests so the tests gate
+the planner the cluster actually runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.cluster.directory import ShardMap
+
+
+def plan_moves(
+    loads: Mapping[int, int],
+    owners: Sequence[int],
+    node_ids: Sequence[int],
+    *,
+    threshold: float = 1.25,
+    max_moves: int = 1,
+) -> List[Tuple[int, int]]:
+    """Greedy shard moves flattening per-node load: ``[(shard, dest)]``.
+
+    While some node's tracked load exceeds ``threshold`` times the mean,
+    move its hottest shard to the least-loaded node -- but only when the
+    move strictly lowers the pair's maximum, so the plan can never
+    oscillate.  Ties break toward lower node/shard ids, keeping the plan
+    a pure deterministic function of its inputs.
+    """
+    if max_moves <= 0 or not node_ids:
+        return []
+    owners = list(owners)
+    node_load: Dict[int, int] = {n: 0 for n in node_ids}
+    for shard, owner in enumerate(owners):
+        if owner in node_load:
+            node_load[owner] += loads.get(shard, 0)
+    total = sum(node_load.values())
+    if total <= 0:
+        return []
+    mean = total / len(node_ids)
+    moves: List[Tuple[int, int]] = []
+    while len(moves) < max_moves:
+        src = max(node_ids, key=lambda n: (node_load[n], -n))
+        dst = min(node_ids, key=lambda n: (node_load[n], n))
+        if src == dst or node_load[src] <= threshold * mean:
+            break
+        candidates = sorted(
+            (
+                shard
+                for shard, owner in enumerate(owners)
+                if owner == src and loads.get(shard, 0) > 0
+            ),
+            key=lambda shard: (-loads.get(shard, 0), shard),
+        )
+        best = None
+        for shard in candidates:
+            if node_load[dst] + loads[shard] < node_load[src]:
+                best = shard
+                break
+        if best is None:
+            break  # src's load is one indivisible hot shard; moving it
+            # would just relocate the hotspot
+        weight = loads[best]
+        owners[best] = dst
+        node_load[src] -= weight
+        node_load[dst] += weight
+        moves.append((best, dst))
+    return moves
+
+
+class Rebalancer:
+    """Drives live shard migrations for a :class:`ShardMap` cluster.
+
+    Constructed by :class:`repro.system.Cluster` whenever the directory
+    is a ShardMap.  Migrations run as simulator processes; the optional
+    background loop (``ShardingConfig.rebalance_interval``) periodically
+    plans from the metrics counters and migrates, with the same
+    generation-token idempotent start/stop protocol as the healing
+    loops.  The loop should be stopped across membership changes: the
+    join/leave drivers precompute ownership with ``with_nodes`` and a
+    concurrent flip would skew that precomputation.
+    """
+
+    def __init__(self, cluster) -> None:
+        self.cluster = cluster
+        self.config = cluster.config.sharding
+        self.sim = cluster.sim
+        self.metrics = cluster.metrics
+        #: Completed migrations, as ``(shard, donor, recipient)`` (probe).
+        self.migrations: List[Tuple[int, int, int]] = []
+        self._started = False
+        self._generation = 0
+
+    @property
+    def shard_map(self) -> ShardMap:
+        return self.cluster.directory
+
+    # ------------------------------------------------------------------
+    # One migration
+    # ------------------------------------------------------------------
+    def migrate_shard(self, shard: int, dest: int):
+        """Spawn one live migration; the process's value is True on flip."""
+        return self.cluster.spawn(
+            self._migrate(shard, dest), name=f"migrate-s{shard}-to-{dest}"
+        )
+
+    def _migrate(self, shard: int, dest: int):
+        shard_map = self.shard_map
+        donor_id = shard_map.owner_of(shard)
+        if donor_id == dest:
+            return True  # already there; idempotent
+        if dest not in shard_map.node_ids:
+            raise ValueError(f"node {dest} is not a member")
+        cluster = self.cluster
+        tracer = cluster.tracer
+        if cluster.network.is_crashed(donor_id) or cluster.network.is_crashed(
+            dest
+        ):
+            self.metrics.on_shard_migration_failed()
+            return False
+        donor = cluster.nodes[donor_id]
+        incarnation = donor._incarnation
+        keys = sorted(
+            (k for k in donor.store.keys() if shard_map.shard_of(k) == shard),
+            key=repr,
+        )
+        donor.membership.fence(keys)
+        if tracer._enabled:
+            tracer.emit(
+                donor_id, "shard_migrate_start", shard=shard, dest=dest,
+                keys=len(keys), epoch=shard_map.epoch,
+            )
+        flipped = False
+        try:
+            drained = yield from cluster._drain_write_locks(donor, keys)
+            if drained and donor._incarnation == incarnation:
+                if keys:
+                    installed = yield from donor.healing.ship_shard(
+                        dest, keys, incarnation
+                    )
+                else:
+                    installed = True  # nothing resident; flip is pure metadata
+                if installed and shard_map.owner_of(shard) == donor_id:
+                    # Cutover: single table write, one epoch bump.  The
+                    # fence is still up, so no prepare can slip between
+                    # the stream and the flip.
+                    shard_map.assign(shard, dest)
+                    flipped = True
+        finally:
+            # Scoped: wakes only this shard's parked prepares.  On the
+            # success path they re-check ownership and vote "moved"; on
+            # the failure path the map never flipped and they proceed
+            # locally as if the migration had never started.
+            donor.membership.unfence(keys)
+        if flipped:
+            self.migrations.append((shard, donor_id, dest))
+            self.metrics.on_shard_migrated(len(keys))
+            if tracer._enabled:
+                tracer.emit(
+                    donor_id, "shard_migrated", shard=shard, dest=dest,
+                    keys=len(keys), epoch=shard_map.epoch,
+                )
+        else:
+            self.metrics.on_shard_migration_failed()
+            if tracer._enabled:
+                tracer.emit(
+                    donor_id, "shard_migrate_failed", shard=shard, dest=dest,
+                )
+        return flipped
+
+    # ------------------------------------------------------------------
+    # Planning from the live load signal
+    # ------------------------------------------------------------------
+    def rebalance_once(self):
+        """Plan from the metrics counters and run the moves; returns the
+        number of migrations that flipped."""
+        cfg = self.config
+        self.metrics.on_rebalance_round()
+        loads = self.metrics.shard_loads
+        if sum(loads.values()) < cfg.min_samples:
+            return 0
+        shard_map = self.shard_map
+        live = [
+            n
+            for n in shard_map.node_ids
+            if not self.cluster.network.is_crashed(n)
+        ]
+        moves = plan_moves(
+            dict(loads),
+            shard_map.owners(),
+            live,
+            threshold=cfg.imbalance_threshold,
+            max_moves=cfg.max_moves_per_round,
+        )
+        done = 0
+        for shard, dest in moves:
+            flipped = yield from self._migrate(shard, dest)
+            if flipped:
+                done += 1
+        if moves and cfg.load_decay < 1.0:
+            self.metrics.decay_shard_loads(cfg.load_decay)
+        return done
+
+    # ------------------------------------------------------------------
+    # Background loop (generation-token lifecycle, like NodeHealing)
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self.config.rebalance_interval is None or self._started:
+            return
+        self._started = True
+        self._generation += 1
+        self.sim.spawn(self._loop(self._generation), name="rebalancer")
+
+    def stop(self) -> None:
+        self._started = False
+        self._generation += 1
+
+    def _loop(self, generation: int):
+        interval = self.config.rebalance_interval
+        while self._generation == generation:
+            yield self.sim.timeout(interval)
+            if self._generation != generation:
+                return
+            yield from self.rebalance_once()

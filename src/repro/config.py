@@ -351,6 +351,56 @@ class MembershipConfig(ConfigSerde):
 
 
 @dataclass
+class ShardingConfig(ConfigSerde):
+    """Keyspace sharding and online shard rebalancing (docs/sharding.md).
+
+    Off by default: a cluster without ``enabled`` keeps the classic
+    consistent-hash ring and pays nothing for this subsystem.  Enabled,
+    the cluster's directory becomes a :class:`repro.cluster.directory.
+    ShardMap` (key → shard → owner with epoch-versioned flips) and a
+    :class:`repro.cluster.rebalancer.Rebalancer` can move hot shards
+    between live nodes: fence, drain, stream the shard's chains over the
+    snapshot protocol, flip the owner table entry, unfence.
+    """
+
+    #: Use a ShardMap directory (and construct a rebalancer) instead of
+    #: the consistent-hash ring.
+    enabled: bool = False
+    #: Fixed shard count.  Many small shards per node is the point: the
+    #: rebalancer moves load at shard granularity, so more shards means
+    #: finer-grained (but chattier) rebalancing.
+    num_shards: int = 64
+    #: Count per-shard read/prepare accesses in ``MetricsRecorder``
+    #: (the rebalancer's load signal).  One dict increment per request.
+    track_load: bool = True
+    #: Period of the background rebalance loop (virtual seconds).
+    #: ``None`` (default) never starts the loop; migrations then only
+    #: happen when driven explicitly (``Rebalancer.migrate_shard``).
+    rebalance_interval: Optional[float] = None
+    #: A node triggers a move only when its tracked load exceeds this
+    #: multiple of the mean -- hysteresis against thrashing.
+    imbalance_threshold: float = 1.25
+    #: Minimum total tracked accesses before the planner trusts the
+    #: load signal at all.
+    min_samples: int = 64
+    #: Shard moves attempted per rebalance round.
+    max_moves_per_round: int = 1
+    #: Multiplicative decay applied to the per-shard counters after each
+    #: rebalance round, so the signal tracks current load, not history.
+    load_decay: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        if self.imbalance_threshold < 1.0:
+            raise ValueError("imbalance_threshold must be >= 1.0")
+        if self.max_moves_per_round <= 0:
+            raise ValueError("max_moves_per_round must be positive")
+        if not 0.0 <= self.load_decay <= 1.0:
+            raise ValueError("load_decay must be in [0, 1]")
+
+
+@dataclass
 class DurabilityConfig(ConfigSerde):
     """Write-ahead logging and in-doubt termination (see DESIGN.md 5.5).
 
@@ -499,6 +549,9 @@ class ClusterConfig(ConfigSerde):
     #: Elastic membership (online join/leave); the defaults only shape
     #: reconfiguration runs -- static-membership runs never consult them.
     membership: MembershipConfig = field(default_factory=MembershipConfig)
+    #: Keyspace sharding + rebalancing; disabled by default, leaving the
+    #: consistent-hash ring (and its exact placement) untouched.
+    sharding: ShardingConfig = field(default_factory=ShardingConfig)
     network: NetworkConfig = field(default_factory=NetworkConfig)
     costs: CostModel = field(default_factory=CostModel)
 
@@ -507,6 +560,7 @@ class ClusterConfig(ConfigSerde):
         "durability": DurabilityConfig,
         "healing": HealingConfig,
         "membership": MembershipConfig,
+        "sharding": ShardingConfig,
         "network": NetworkConfig,
         "costs": CostModel,
     }

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
 
+from repro.cluster.directory import ShardMap
 from repro.cluster.membership import NodeMembership
 from repro.cluster.node import Node
 from repro.core.interfaces import BaseProtocolNode, SharedState
@@ -218,6 +219,17 @@ class MVCCNode(BaseProtocolNode):
         #: checkpoints).  Constructed unconditionally -- with the default
         #: configuration it installs no hooks and its loops never spawn.
         self.healing = NodeHealing(self)
+        #: Per-shard load tracking, armed only when the shared directory
+        #: is a :class:`ShardMap` with tracking on; the static-directory
+        #: hot path pays a single ``is None`` test per request.
+        sharding = shared.config.sharding
+        self._shard_map: Optional[ShardMap] = (
+            self.directory
+            if sharding.enabled
+            and sharding.track_load
+            and isinstance(self.directory, ShardMap)
+            else None
+        )
 
     # ------------------------------------------------------------------
     # Loading
@@ -822,6 +834,9 @@ class MVCCNode(BaseProtocolNode):
         if needs_lock:
             locks.release_read(lock_key, owner=lock_owner)
 
+        if self._shard_map is not None:
+            self.metrics.on_shard_access(self._shard_map.shard_of(request.key))
+
         self.node.rpc.reply(
             envelope,
             ReadReturnBody(version.value, max_vc, version.vid, latest_vid),
@@ -946,6 +961,11 @@ class MVCCNode(BaseProtocolNode):
                 self.sim.call_later(
                     lease, self._expire_prepared, request.txn_id, entry
                 )
+            if self._shard_map is not None:
+                for key in keys:
+                    self.metrics.on_shard_access(
+                        self._shard_map.shard_of(key)
+                    )
             self.tracer.emit(
                 self.node_id, "prepare", txn=request.txn_id,
                 keys=len(keys), collected=len(collected),

@@ -13,6 +13,7 @@ from repro.faults.schedules import (
     ordered,
     partition_cycle,
     random_schedule,
+    shard_migration_schedule,
     staggered_crashes,
 )
 
@@ -30,5 +31,6 @@ __all__ = [
     "partition_cycle",
     "staggered_crashes",
     "random_schedule",
+    "shard_migration_schedule",
     "ordered",
 ]

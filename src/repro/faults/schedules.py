@@ -218,6 +218,50 @@ def reconfiguration_chaos_schedule(
     return ordered(events)
 
 
+def shard_migration_schedule(
+    donor: int,
+    recipient: int,
+    at: float,
+    window: float,
+    *,
+    crash_donor: bool = False,
+    crash_recipient: bool = False,
+    partition: bool = False,
+    down_for: Optional[float] = None,
+) -> List[FaultEvent]:
+    """Chaos overlay for one live shard migration (docs/sharding.md).
+
+    The migration starting at ``at`` fences, drains, and streams across
+    ``window``; the selected faults land a quarter of the way in, when
+    the shard-scoped snapshot stream is in flight:
+
+    - ``crash_donor``: the sender dies mid-stream, so the in-flight
+      chunks and the cutover settle against a dead peer.
+    - ``crash_recipient``: the receiver dies before the final chunk, so
+      its install never happens and the flip must not either.
+    - ``partition``: the donor-recipient link is cut across the
+      cutover; offers/chunks/acks are lost in both directions.
+
+    Every fault heals after ``down_for`` (default half the window), and
+    the failed migration must leave ownership, chains, and foreground
+    traffic untouched -- the rebalancer unfences without flipping and
+    the move is simply retried later.
+    """
+    if window <= 0:
+        raise ValueError("window must be positive")
+    if donor == recipient:
+        raise ValueError("donor and recipient must differ")
+    down = window / 2 if down_for is None else down_for
+    events: List[FaultEvent] = []
+    if crash_donor:
+        events += crash_cycle(donor, at + window / 4, down)
+    if crash_recipient:
+        events += crash_cycle(recipient, at + window / 4, down)
+    if partition:
+        events += partition_cycle(donor, recipient, at + window / 4, down)
+    return ordered(events)
+
+
 def staggered_crashes(
     node_ids: Sequence[int],
     start: float,

@@ -226,6 +226,17 @@ class MetricsRecorder:
         self.drains_completed = 0
         self.stale_width_messages = 0
 
+        #: Keyspace sharding (run-wide, never window-gated): per-shard
+        #: access counts (the rebalancer's load signal; reads and
+        #: prepared writes both count one access per key), completed and
+        #: failed live shard migrations, store chains moved by completed
+        #: migrations, and planner rounds attempted.
+        self.shard_loads: Counter = Counter()
+        self.shard_migrations = 0
+        self.shard_migration_keys = 0
+        self.shard_migrations_failed = 0
+        self.rebalance_rounds = 0
+
     # ------------------------------------------------------------------
     # Window control
     # ------------------------------------------------------------------
@@ -419,6 +430,31 @@ class MetricsRecorder:
         """A message carried a clock narrower than the receiver's view."""
         self.stale_width_messages += 1
 
+    def on_shard_access(self, shard: int, count: int = 1) -> None:
+        """One read or prepared write landed on ``shard``."""
+        self.shard_loads[shard] += count
+
+    def on_shard_migrated(self, keys: int) -> None:
+        """A live shard migration flipped ownership (``keys`` chains moved)."""
+        self.shard_migrations += 1
+        self.shard_migration_keys += keys
+
+    def on_shard_migration_failed(self) -> None:
+        """A migration aborted before the flip (crash, partition, drain)."""
+        self.shard_migrations_failed += 1
+
+    def on_rebalance_round(self) -> None:
+        self.rebalance_rounds += 1
+
+    def decay_shard_loads(self, factor: float) -> None:
+        """Age the load signal so it tracks current traffic, not history."""
+        for shard in list(self.shard_loads):
+            aged = int(self.shard_loads[shard] * factor)
+            if aged:
+                self.shard_loads[shard] = aged
+            else:
+                del self.shard_loads[shard]
+
     @property
     def stale_read_fraction(self) -> float:
         return self.ro_stale_reads / self.ro_reads if self.ro_reads else 0.0
@@ -478,4 +514,8 @@ class MetricsRecorder:
             "joins_bootstrapped": self.joins_bootstrapped,
             "drains_completed": self.drains_completed,
             "stale_width_messages": self.stale_width_messages,
+            "shard_migrations": self.shard_migrations,
+            "shard_migration_keys": self.shard_migration_keys,
+            "shard_migrations_failed": self.shard_migrations_failed,
+            "rebalance_rounds": self.rebalance_rounds,
         }

@@ -76,6 +76,9 @@ class Tracer:
             "drain_complete",
             "shard_offer",
             "shard_shipped",
+            "shard_migrate_start",
+            "shard_migrated",
+            "shard_migrate_failed",
         }
     )
 

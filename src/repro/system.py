@@ -26,9 +26,10 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, Iterable, Optional, Tuple
 
-from repro.cluster.directory import ConsistentHashDirectory, Directory
+from repro.cluster.directory import ConsistentHashDirectory, Directory, ShardMap
 from repro.cluster.membership import ACTIVE, DRAINING, JOINING, MembershipView
 from repro.cluster.node import Node
+from repro.cluster.rebalancer import Rebalancer
 from repro.config import ClusterConfig
 from repro.core.fwkv import FWKVNode
 from repro.core.interfaces import BaseProtocolNode, SharedState
@@ -145,7 +146,17 @@ class Cluster:
         self.network = Network(self.sim, config.network, seed=config.seed)
         self.metrics = MetricsRecorder(self.sim)
         self.tracer = Tracer(self.sim)
-        self.directory = directory or ConsistentHashDirectory(list(config.node_ids))
+        if directory is None:
+            # Sharded clusters place keys through an explicit owner table
+            # (shard granularity, epoch-versioned flips); everything else
+            # keeps the classic ring and its exact historical placement.
+            if config.sharding.enabled:
+                directory = ShardMap(
+                    list(config.node_ids), config.sharding.num_shards
+                )
+            else:
+                directory = ConsistentHashDirectory(list(config.node_ids))
+        self.directory = directory
         self.history: Optional[History] = History() if record_history else None
         self.shared = SharedState(
             sim=self.sim,
@@ -164,6 +175,12 @@ class Cluster:
         #: membership drivers; they keep their slot in ``nodes`` so ids
         #: stay dense, but no driver or healing pass touches them.
         self._removed: set = set()
+        #: Live shard migration driver; present iff the directory is a
+        #: ShardMap (its background loop only spawns when
+        #: ``sharding.rebalance_interval`` is set -- see start_healing).
+        self.rebalancer: Optional[Rebalancer] = (
+            Rebalancer(self) if isinstance(self.directory, ShardMap) else None
+        )
         # Arm the self-healing loops (heartbeats, anti-entropy, WAL
         # checkpoints) on every MVCC node.  With the default HealingConfig
         # no loop is configured, so this spawns nothing; when periods are
@@ -212,15 +229,21 @@ class Cluster:
         for node in self.nodes:
             if isinstance(node, MVCCNode) and node.node_id not in self._removed:
                 node.healing.start()
+        if self.rebalancer is not None:
+            self.rebalancer.start()
 
     def stop_healing(self) -> None:
         """Wind the healing loops down so the simulator can quiesce.
 
         Idempotent: stopping twice (or with nothing running) is a no-op.
+        The rebalance loop (when configured) winds down with the healing
+        loops -- both are the cluster's periodic background machinery.
         """
         for node in self.nodes:
             if isinstance(node, MVCCNode):
                 node.healing.stop()
+        if self.rebalancer is not None:
+            self.rebalancer.stop()
 
     # ------------------------------------------------------------------
     # Elastic membership (online reconfiguration)

@@ -1,7 +1,11 @@
 """Transactional workloads: YCSB and TPC-C ported to the key-value model."""
 
 from repro.workloads.base import Rollback, TxnContext, TxnProgram, Workload
-from repro.workloads.distributions import UniformChooser, ZipfianChooser
+from repro.workloads.distributions import (
+    UniformChooser,
+    ZipfianChooser,
+    ZipfKeyGenerator,
+)
 from repro.workloads.ycsb import YCSBConfig, YCSBWorkload
 from repro.workloads.tpcc import TPCCConfig, TPCCWorkload
 
@@ -15,5 +19,6 @@ __all__ = [
     "Workload",
     "YCSBConfig",
     "YCSBWorkload",
+    "ZipfKeyGenerator",
     "ZipfianChooser",
 ]

@@ -28,6 +28,7 @@ from repro import (
     HealingConfig,
     NetworkConfig,
     RpcConfig,
+    ShardingConfig,
     SnapshotTransferConfig,
     TxnHandle,
     TxnResult,
@@ -93,6 +94,21 @@ def test_group_commit_and_adaptive_batching_fields_default_off():
     assert round_tripped.group_commit_window == 2e-4
 
 
+def test_sharding_defaults_off_and_overlays():
+    # Sharding must stay inert by default: clusters keep the consistent
+    # hash ring unless opted in, and the rebalance loop stays dormant.
+    sharding = ShardingConfig()
+    assert sharding.enabled is False
+    assert sharding.rebalance_interval is None
+    assert sharding.num_shards > 0
+    assert sharding.imbalance_threshold >= 1.0
+    cfg = ClusterConfig.from_dict(
+        {"num_nodes": 3, "sharding": {"enabled": True, "num_shards": 32}}
+    )
+    assert cfg.sharding.enabled and cfg.sharding.num_shards == 32
+    assert cfg.sharding.track_load is True  # defaults kept for the rest
+
+
 # ----------------------------------------------------------------------
 # Config serde round-trip
 # ----------------------------------------------------------------------
@@ -137,6 +153,19 @@ snapshot_configs = st.builds(
     offer_threshold=st.integers(0, 4),
     lag_bias=small_floats,
 )
+sharding_configs = st.builds(
+    ShardingConfig,
+    enabled=st.booleans(),
+    num_shards=st.integers(1, 256),
+    track_load=st.booleans(),
+    rebalance_interval=optional(positive_floats),
+    imbalance_threshold=st.floats(
+        min_value=1.0, max_value=4.0, allow_nan=False
+    ),
+    min_samples=st.integers(1, 256),
+    max_moves_per_round=st.integers(1, 8),
+    load_decay=small_floats,
+)
 healing_configs = st.builds(
     HealingConfig,
     detector_enabled=st.booleans(),
@@ -171,6 +200,7 @@ cluster_configs = st.builds(
         group_commit_max_records=st.integers(1, 256),
     ),
     healing=healing_configs,
+    sharding=sharding_configs,
     network=network_configs,
     costs=st.builds(
         CostModel,

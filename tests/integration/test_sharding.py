@@ -1,0 +1,473 @@
+"""End-to-end keyspace-sharding suite: live shard migration under load.
+
+The headline scenarios are the ones ISSUE 8 promised: a shard migrated
+between live nodes under foreground PSI traffic completes with zero
+aborts, checker-clean reads, and a final *authoritative* fingerprint --
+every key's chain at its current owner -- bit-identical to a run that
+never migrated; three migration-nemesis pairs (donor crashed
+mid-stream, recipient crashed before the flip, donor-recipient
+partition across the cutover) each leave ownership and state untouched
+and converge bit-identically to a fault-free control; and under s=1.1
+Zipfian skew the rebalancer's planner brings max/mean per-node load
+under a bound the static consistent-hash ring provably exceeds.
+
+Determinism mirrors the membership suite: serialized traffic with
+settle pauses keeps per-key install order identical across paired runs,
+so store chains, commit clocks, and sequence numbers are comparable bit
+for bit even though a migration shifts event timings.
+
+Seeds come from ``SHARDING_SEEDS`` (comma-separated) so CI can sweep a
+matrix without editing the file.
+"""
+
+import os
+from collections import Counter
+
+import pytest
+
+from repro import (
+    Cluster,
+    ClusterConfig,
+    DurabilityConfig,
+    NetworkConfig,
+    RpcConfig,
+    ShardingConfig,
+)
+from repro.cluster.directory import ConsistentHashDirectory, ShardMap
+from repro.cluster.rebalancer import plan_moves
+from repro.faults import Nemesis
+from repro.faults.schedules import shard_migration_schedule
+from repro.metrics import check_no_read_skew, find_long_forks
+from repro.sim.rng import make_rng
+from repro.workloads import ZipfKeyGenerator
+
+from tests.harness.recovery_tools import node_fingerprint
+
+NUM_NODES = 3
+NUM_KEYS = 24
+NUM_SHARDS = 12
+
+#: Per-commit settle pause: long enough for a commit's full fan-out to
+#: drain, keeping per-key install order identical across paired runs.
+SETTLE = 1e-3
+
+SEEDS = tuple(
+    int(s) for s in os.environ.get("SHARDING_SEEDS", "7,11").split(",")
+)
+
+pytestmark = pytest.mark.sharding
+
+
+def build(seed, *, rpc=None, record_history=False, chunk_records=None):
+    """A 3-node FW-KV cluster on a 12-shard ShardMap directory."""
+    config = ClusterConfig(
+        num_nodes=NUM_NODES,
+        seed=seed,
+        prepared_lease=5e-3,
+        gc_enabled=False,
+        durability=DurabilityConfig(wal_enabled=False),
+        sharding=ShardingConfig(enabled=True, num_shards=NUM_SHARDS),
+        network=NetworkConfig(jitter=5e-6, rpc=rpc or RpcConfig()),
+    )
+    if chunk_records is not None:
+        config.healing.snapshot.chunk_records = chunk_records
+    cluster = Cluster("fwkv", config, record_history=record_history)
+    for i in range(NUM_KEYS):
+        cluster.load(f"k{i}", 0)
+    return cluster, Nemesis(cluster)
+
+
+def all_keys():
+    return [f"k{i}" for i in range(NUM_KEYS)]
+
+
+def migration_target(cluster):
+    """The loaded shard with the most keys, its owner, and a recipient."""
+    shard_map = cluster.directory
+    counts = Counter(shard_map.shard_of(k) for k in all_keys())
+    shard = max(counts, key=lambda s: (counts[s], -s))
+    donor = shard_map.owner_of(shard)
+    dest = next(n for n in shard_map.node_ids if n != donor)
+    return shard, donor, dest
+
+
+def rmw_plan(rng, coordinators, count, sample=2):
+    keys = all_keys()
+    return [
+        (coordinators[n % len(coordinators)], rng.sample(keys, sample))
+        for n in range(count)
+    ]
+
+
+def spawn_plan(cluster, plan, *, settle=SETTLE):
+    """Start ``(coordinator, keys)`` read-modify-write commits running."""
+    outcomes = []
+
+    def driver():
+        for coordinator, keys in plan:
+            node = cluster.node(coordinator)
+            txn = node.begin(is_read_only=False)
+            values = []
+            for key in keys:
+                values.append((yield from node.read(txn, key)))
+            for key, value in zip(keys, values):
+                node.write(txn, key, value + 1)
+            ok = yield from node.commit(txn)
+            outcomes.append(ok)
+            yield cluster.sim.timeout(settle)
+
+    return cluster.spawn(driver(), name="live-traffic"), outcomes
+
+
+def drive(cluster, plan, *, settle=SETTLE):
+    """Run a plan to completion on a stepped clock."""
+    process, outcomes = spawn_plan(cluster, plan, settle=settle)
+    cluster.run(until=cluster.sim.now + len(plan) * (settle + 1e-3) + 1e-3)
+    assert len(outcomes) == len(plan), "plan driver did not finish in time"
+    assert all(outcomes), "a planned commit failed"
+
+
+def authoritative_fingerprint(cluster):
+    """Every key's full chain at its *current* owner, bit-comparable.
+
+    Migration intentionally leaves stale chains behind at the donor
+    (like a decommission drain), so per-node stores differ from a
+    no-migration control by design; what must be identical is the state
+    the directory actually serves.
+    """
+    entries = {}
+    for key in sorted(all_keys()):
+        owner = cluster.node(cluster.directory.site(key))
+        if key in owner.store:
+            entries[key] = tuple(
+                (v.vid, v.origin, v.seq, v.value, v.vc.to_tuple(), v.writer_txn)
+                for v in owner.store.chain(key)
+            )
+    return entries
+
+
+# ----------------------------------------------------------------------
+# Fault-free live migration: zero aborts, bit-identical to no-migration
+# ----------------------------------------------------------------------
+def run_live_migration(seed, *, migrate):
+    """Concurrent PSI traffic with (or without) one live shard migration."""
+    cluster, _ = build(seed, record_history=True)
+    shard, donor, dest = migration_target(cluster)
+    rng = make_rng(seed, "sharding-live")
+    plan = rmw_plan(rng, range(NUM_NODES), 30)
+    traffic, outcomes = spawn_plan(cluster, plan, settle=4e-4)
+    cluster.run(until=cluster.sim.now + 2e-3)  # traffic well underway
+    if migrate:
+        moved = cluster.rebalancer.migrate_shard(shard, dest)
+    cluster.run()
+
+    assert len(outcomes) == len(plan) and all(outcomes)
+    assert cluster.metrics.aborts == 0, "a live migration must not abort"
+    if migrate:
+        assert moved.value is True
+        assert cluster.directory.owner_of(shard) == dest
+        assert cluster.directory.epoch == 1
+        assert cluster.metrics.shard_migrations == 1
+
+    history = cluster.finalized_history()
+    assert check_no_read_skew(history).ok
+    assert find_long_forks(history) == []
+    assert len({n.site_vc.to_tuple() for n in cluster.nodes}) == 1
+    return {
+        "authoritative": authoritative_fingerprint(cluster),
+        "plan_counts": Counter(k for _, keys in plan for k in keys),
+        "cluster": cluster,
+        "shard": shard,
+        "dest": dest,
+    }
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_fault_free_migration_under_live_traffic(seed):
+    """The tentpole acceptance scenario: a shard moves under live PSI
+    traffic with zero foreground aborts and keys readable throughout,
+    and the served state is bit-identical to a no-migration control."""
+    migrated = run_live_migration(seed, migrate=True)
+    control = run_live_migration(seed, migrate=False)
+    assert migrated["authoritative"] == control["authoritative"]
+
+    # The moved keys are served by the new owner with their latest values.
+    cluster = migrated["cluster"]
+    shard_map = cluster.directory
+    moved = [k for k in all_keys() if shard_map.shard_of(k) == migrated["shard"]]
+    assert moved, "the chosen shard must hold keys"
+    seen = {}
+
+    def read_moved(txn):
+        for key in moved:
+            seen[key] = yield from txn.read(key)
+
+    result = cluster.run_txn(read_moved, node=migrated["dest"], read_only=True)
+    assert result.committed
+    assert seen == {k: migrated["plan_counts"][k] for k in moved}
+
+
+# ----------------------------------------------------------------------
+# Migration-nemesis pairs: donor crash, recipient crash, partition
+# ----------------------------------------------------------------------
+def run_migration_chaos(seed, *, fault):
+    """One faulted migration attempt, then the same clean migration.
+
+    ``fault`` is ``None`` (control), ``"donor"``, ``"recipient"``, or
+    ``"partition"``.  The faulty run launches the migration at ``t0``
+    with the fault landing mid-stream (``chunk_records=1`` stretches the
+    transfer across several round trips); the stream settles against the
+    dead link, the rebalancer unfences without flipping, and ownership,
+    chains, and foreground traffic are untouched.  Both runs then
+    perform the identical clean migration on the same timeline and must
+    end bit-identical per node.
+    """
+    rpc = RpcConfig(request_timeout=1.5e-3, max_attempts=3)
+    cluster, nemesis = build(seed, rpc=rpc, chunk_records=1)
+    shard_map = cluster.directory
+    rng = make_rng(seed, f"sharding-chaos")
+    drive(cluster, rmw_plan(rng, range(NUM_NODES), 12))
+    shard, donor, dest = migration_target(cluster)
+    t0 = cluster.sim.now
+    if fault is not None:
+        nemesis.start(
+            shard_migration_schedule(
+                donor,
+                dest,
+                t0,
+                6e-4,
+                crash_donor=fault == "donor",
+                crash_recipient=fault == "recipient",
+                partition=fault == "partition",
+                # Longer than the stream's full RPC retry ladder, so the
+                # transfer cannot sneak through after an early heal.
+                down_for=15e-3,
+            )
+        )
+        first = cluster.rebalancer.migrate_shard(shard, dest)
+        cluster.run(until=t0 + 20e-3)
+        assert first.triggered, "faulted migration did not settle"
+        assert first.value is False
+        assert shard_map.owner_of(shard) == donor, (
+            "a failed migration must not flip ownership"
+        )
+        assert shard_map.epoch == 0
+        assert cluster.metrics.shard_migrations_failed == 1
+        assert not cluster.node(donor).membership.moving, (
+            "a failed migration must unfence"
+        )
+    else:
+        cluster.run(until=t0 + 20e-3)
+    second = cluster.rebalancer.migrate_shard(shard, dest)
+    cluster.run(until=t0 + 30e-3)
+    assert second.triggered and second.value is True
+    assert shard_map.owner_of(shard) == dest
+
+    drive(cluster, rmw_plan(rng, range(NUM_NODES), 8))
+    cluster.run()
+    assert cluster.metrics.aborts == 0
+    assert cluster.metrics.shard_migrations == 1
+    return {
+        "fingerprints": [node_fingerprint(n) for n in cluster.nodes],
+        "clocks": {n.site_vc.to_tuple() for n in cluster.nodes},
+    }
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_donor_crash_mid_stream_converges(seed):
+    faulty = run_migration_chaos(seed, fault="donor")
+    control = run_migration_chaos(seed, fault=None)
+    assert len(faulty["clocks"]) == 1
+    assert faulty["fingerprints"] == control["fingerprints"]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_recipient_crash_before_flip_converges(seed):
+    faulty = run_migration_chaos(seed, fault="recipient")
+    control = run_migration_chaos(seed, fault=None)
+    assert len(faulty["clocks"]) == 1
+    assert faulty["fingerprints"] == control["fingerprints"]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_partition_during_cutover_converges(seed):
+    faulty = run_migration_chaos(seed, fault="partition")
+    control = run_migration_chaos(seed, fault=None)
+    assert len(faulty["clocks"]) == 1
+    assert faulty["fingerprints"] == control["fingerprints"]
+
+
+def test_migration_nemesis_is_deterministic():
+    """The most eventful scenario replays bit-identically."""
+    seed = SEEDS[0]
+    once = run_migration_chaos(seed, fault="donor")
+    twice = run_migration_chaos(seed, fault="donor")
+    assert once["fingerprints"] == twice["fingerprints"]
+
+
+# ----------------------------------------------------------------------
+# Skew: the rebalancer flattens s=1.1 Zipf load the static ring cannot
+# ----------------------------------------------------------------------
+SKEW_BOUND = 1.25
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_rebalancer_beats_static_ring_under_zipf_skew(seed):
+    """Under s=1.1 skew, ``plan_moves`` brings max/mean per-node load
+    under a bound the static consistent-hash ring provably exceeds.
+
+    Same planner the live rebalancer runs, fed by the same kind of
+    per-shard counters -- so this regression gates the production code
+    path, not a test-local reimplementation.  (Empirically the ring
+    lands around 1.7x mean and the plan around 1.02x; 1.25 splits them
+    with wide margins on both sides across the CI seed matrix.)
+    """
+    nodes, num_keys, num_shards, draws = 4, 512, 128, 20_000
+    keys = [f"u{i}" for i in range(num_keys)]
+    generator = ZipfKeyGenerator(num_keys, s=1.1)
+    rng = make_rng(seed, "zipf-skew")
+    counts = Counter(generator.next(rng) for _ in range(draws))
+    mean = draws / nodes
+
+    ring = ConsistentHashDirectory(list(range(nodes)))
+    static_load = Counter()
+    for index, count in counts.items():
+        static_load[ring.site(keys[index])] += count
+    static_ratio = max(static_load.values()) / mean
+
+    shard_map = ShardMap(list(range(nodes)), num_shards)
+    shard_loads = Counter()
+    for index, count in counts.items():
+        shard_loads[shard_map.shard_of(keys[index])] += count
+    moves = plan_moves(
+        dict(shard_loads),
+        shard_map.owners(),
+        shard_map.node_ids,
+        threshold=1.02,
+        max_moves=64,
+    )
+    assert moves, "skewed load must trigger rebalancing moves"
+    for shard, dest in moves:
+        shard_map.assign(shard, dest)
+    rebalanced_load = Counter()
+    for index, count in counts.items():
+        rebalanced_load[shard_map.site(keys[index])] += count
+    rebalanced_ratio = max(rebalanced_load.values()) / mean
+
+    assert static_ratio > SKEW_BOUND, (
+        f"static ring unexpectedly balanced: {static_ratio:.3f}"
+    )
+    assert rebalanced_ratio < SKEW_BOUND, (
+        f"rebalancer left imbalance: {rebalanced_ratio:.3f}"
+    )
+
+
+def test_rebalance_once_moves_hot_shard_under_live_skew():
+    """The live metrics-driven path: skewed traffic populates the
+    per-shard counters, and one ``rebalance_once`` pass migrates load
+    off the hottest node."""
+    seed = SEEDS[0]
+    cluster, _ = build(seed)
+    shard_map = cluster.directory
+    cluster.config.sharding.min_samples = 16
+    # Pin all the traffic on two loaded shards of one node, so the hot
+    # node's load is divisible and a single shard move must improve it
+    # (two hot shards on different nodes would be irreducible: moving
+    # either only relocates the hotspot, and the planner refuses).
+    hot_owner = 0
+    hot_shards = [
+        s
+        for s in shard_map.shards_of(hot_owner)
+        if any(shard_map.shard_of(k) == s for k in all_keys())
+    ][:2]
+    assert len(hot_shards) == 2
+    hot = [
+        next(k for k in all_keys() if shard_map.shard_of(k) == s)
+        for s in hot_shards
+    ]
+    plan = [(n % NUM_NODES, list(hot)) for n in range(12)]
+    drive(cluster, plan)
+    assert sum(cluster.metrics.shard_loads.values()) >= 16
+
+    done = None
+
+    def driver():
+        nonlocal done
+        done = yield from cluster.rebalancer.rebalance_once()
+
+    cluster.spawn(driver(), name="rebalance")
+    cluster.run()
+    assert done == 1
+    assert cluster.metrics.shard_migrations == 1
+    shard, src, dst = cluster.rebalancer.migrations[0]
+    assert src == hot_owner, "the hottest node must shed the shard"
+    assert shard_map.owner_of(shard) == dst
+    assert cluster.metrics.aborts == 0
+
+
+# ----------------------------------------------------------------------
+# Elastic membership on a sharded cluster
+# ----------------------------------------------------------------------
+def test_join_and_decommission_on_sharded_cluster():
+    """The membership drivers work through ShardMap's incremental ops:
+    a joiner inherits whole shards, a decommissioned node hands its
+    shards off, and no lookup ever lands on the retired member."""
+    seed = SEEDS[0]
+    cluster, _ = build(seed)
+    shard_map = cluster.directory
+    rng = make_rng(seed, "sharding-membership")
+    drive(cluster, rmw_plan(rng, range(NUM_NODES), 8))
+
+    joined = cluster.add_node()
+    cluster.run()
+    assert joined.value is True
+    joiner = NUM_NODES
+    assert shard_map.shards_of(joiner), "the joiner must own shards"
+    assert all(
+        cluster.directory.site(k) in shard_map.node_ids for k in all_keys()
+    )
+
+    victim = 0
+    left = cluster.remove_node(victim)
+    cluster.run()
+    assert left.value is True
+    assert victim in shard_map.retired
+    assert not shard_map.shards_of(victim)
+    assert all(cluster.directory.site(k) != victim for k in all_keys())
+    for key in all_keys():
+        assert key in cluster.node(cluster.directory.site(key)).store.keys()
+    assert cluster.metrics.aborts == 0
+
+
+# ----------------------------------------------------------------------
+# Observability: counters and trace kinds
+# ----------------------------------------------------------------------
+def test_sharding_counters_and_traces_surface():
+    """The sharding counters exist under stable summary() names and the
+    migration trace kinds are emitted."""
+    cluster, _ = build(SEEDS[0])
+    cluster.tracer.enable(
+        "shard_migrate_start", "shard_migrated", "shard_migrate_failed",
+    )
+    drive(cluster, [(0, ["k0", "k1"]), (1, ["k2", "k3"])])
+    shard, donor, dest = migration_target(cluster)
+    moved = cluster.rebalancer.migrate_shard(shard, dest)
+    cluster.run()
+    assert moved.value is True
+
+    summary = cluster.metrics.summary()
+    for name in (
+        "shard_migrations",
+        "shard_migration_keys",
+        "shard_migrations_failed",
+        "rebalance_rounds",
+    ):
+        assert name in summary, f"{name} missing from metrics summary"
+    assert summary["shard_migrations"] == 1
+    assert summary["shard_migration_keys"] >= 1
+    assert summary["shard_migrations_failed"] == 0
+    assert cluster.metrics.shard_loads, "load tracking must be armed"
+
+    assert cluster.tracer.of_kind("shard_migrate_start")
+    assert cluster.tracer.of_kind("shard_migrated")
+    assert cluster.tracer.of_kind("shard_migrate_failed") == []

@@ -5,7 +5,7 @@ from collections import Counter
 
 import pytest
 
-from repro.workloads import UniformChooser, ZipfianChooser
+from repro.workloads import UniformChooser, ZipfianChooser, ZipfKeyGenerator
 
 
 def test_uniform_covers_range():
@@ -72,4 +72,47 @@ def test_zipfian_validates_arguments():
 def test_deterministic_given_seed():
     a = [ZipfianChooser(100).next(random.Random(7)) for _ in range(1)]
     b = [ZipfianChooser(100).next(random.Random(7)) for _ in range(1)]
+    assert a == b
+
+
+def test_zipf_generator_rank_ordered():
+    gen = ZipfKeyGenerator(100, s=1.1)
+    probs = [gen.probability(rank) for rank in range(100)]
+    assert probs == sorted(probs, reverse=True)
+    assert abs(sum(probs) - 1.0) < 1e-9
+
+
+def test_zipf_generator_heavy_tail_skew():
+    gen = ZipfKeyGenerator(1000, s=1.1)
+    rng = random.Random(8)
+    counts = Counter(gen.next(rng) for _ in range(20_000))
+    assert counts.most_common(1)[0][0] == 0, "rank 0 must be the hottest"
+    top_share = sum(count for _item, count in counts.most_common(10)) / 20_000
+    assert top_share > 0.4, "top 1% of ranks should absorb >40% under s=1.1"
+
+
+def test_zipf_generator_stays_in_range():
+    gen = ZipfKeyGenerator(17, s=2.0)
+    rng = random.Random(9)
+    assert all(0 <= gen.next(rng) < 17 for _ in range(2000))
+
+
+def test_zipf_generator_sample_distinct():
+    gen = ZipfKeyGenerator(100, s=1.1)
+    sample = gen.sample(random.Random(10), 5)
+    assert len(set(sample)) == 5
+
+
+def test_zipf_generator_validates_arguments():
+    with pytest.raises(ValueError):
+        ZipfKeyGenerator(0)
+    with pytest.raises(ValueError):
+        ZipfKeyGenerator(10, s=0.0)
+    with pytest.raises(ValueError):
+        ZipfKeyGenerator(3).sample(random.Random(0), 4)
+
+
+def test_zipf_generator_deterministic_given_seed():
+    a = [ZipfKeyGenerator(100).next(random.Random(11)) for _ in range(20)]
+    b = [ZipfKeyGenerator(100).next(random.Random(11)) for _ in range(20)]
     assert a == b
