@@ -47,6 +47,7 @@ from repro.config import (  # noqa: E402
     BatchingConfig,
     ClusterConfig,
     DurabilityConfig,
+    ReplicationConfig,
     RunConfig,
     ShardingConfig,
 )
@@ -81,7 +82,8 @@ SCALES = {
 def build_and_run(params: dict, protocol: str, batching: BatchingConfig,
                   durability: DurabilityConfig,
                   sharding: ShardingConfig = None,
-                  distribution: str = "uniform", zipf_s: float = 1.1):
+                  distribution: str = "uniform", zipf_s: float = 1.1,
+                  replication: ReplicationConfig = None):
     workload = YCSBWorkload(
         YCSBConfig(
             num_keys=params["num_keys"],
@@ -97,6 +99,7 @@ def build_and_run(params: dict, protocol: str, batching: BatchingConfig,
         batching=batching or BatchingConfig(),
         durability=durability or DurabilityConfig(),
         sharding=sharding or ShardingConfig(),
+        replication=replication or ReplicationConfig(),
     )
     run_config = RunConfig(
         duration=params["duration"], warmup=params["warmup"]
@@ -107,11 +110,12 @@ def build_and_run(params: dict, protocol: str, batching: BatchingConfig,
 def measure(params: dict, protocol: str, batching: BatchingConfig,
             durability: DurabilityConfig, with_heap: bool,
             sharding: ShardingConfig = None,
-            distribution: str = "uniform", zipf_s: float = 1.1) -> dict:
+            distribution: str = "uniform", zipf_s: float = 1.1,
+            replication: ReplicationConfig = None) -> dict:
     """One timed run (plus an optional tracemalloc run for peak heap)."""
     started = time.perf_counter()
     result = build_and_run(params, protocol, batching, durability,
-                           sharding, distribution, zipf_s)
+                           sharding, distribution, zipf_s, replication)
     wall = time.perf_counter() - started
 
     sim = result.cluster.sim
@@ -130,6 +134,13 @@ def measure(params: dict, protocol: str, batching: BatchingConfig,
         "wal_records_synced": result.metrics.get("wal_records_synced", 0),
         "shard_migrations": result.metrics.get("shard_migrations", 0),
         "shard_migration_keys": result.metrics.get("shard_migration_keys", 0),
+        "replication_records_streamed": result.metrics.get(
+            "replication_records_streamed", 0
+        ),
+        "backup_reads_served": result.metrics.get("backup_reads_served", 0),
+        "backup_reads_forwarded": result.metrics.get(
+            "backup_reads_forwarded", 0
+        ),
     }
 
     if with_heap:
@@ -137,7 +148,7 @@ def measure(params: dict, protocol: str, batching: BatchingConfig,
 
         tracemalloc.start()
         build_and_run(params, protocol, batching, durability,
-                      sharding, distribution, zipf_s)
+                      sharding, distribution, zipf_s, replication)
         _current, peak = tracemalloc.get_traced_memory()
         tracemalloc.stop()
         entry["peak_heap_bytes"] = peak
@@ -182,6 +193,20 @@ def main(argv=None) -> int:
     parser.add_argument("--rebalance-interval", type=float, default=2e-3,
                         help="rebalance loop period in virtual seconds "
                              "when --sharding on")
+    parser.add_argument("--replication", choices=("off", "on"),
+                        default="off",
+                        help="on = per-shard primary-backup replication "
+                             "(forces --sharding semantics: a ShardMap "
+                             "directory with the rebalance loop off)")
+    parser.add_argument("--replication-factor", type=int, default=2,
+                        help="copies per shard when --replication on")
+    parser.add_argument("--replication-mode", choices=("sync", "async"),
+                        default="sync",
+                        help="ReplicationConfig.mode when --replication on")
+    parser.add_argument("--read-from-backups", choices=("off", "on"),
+                        default="off",
+                        help="spread read-only reads over the replica set "
+                             "(requires --replication on)")
     parser.add_argument("--no-heap", action="store_true",
                         help="skip the tracemalloc peak-heap run")
     parser.add_argument("--out", default=None,
@@ -214,6 +239,24 @@ def main(argv=None) -> int:
         if args.sharding == "on"
         else ShardingConfig()
     )
+    if args.read_from_backups == "on" and args.replication == "off":
+        parser.error("--read-from-backups requires --replication on")
+    if args.replication == "on":
+        if not sharding.enabled:
+            # Replication rides the ShardMap directory; keep the
+            # rebalance loop off so the measured overhead is the
+            # streams, not shard migrations.
+            sharding = ShardingConfig(
+                enabled=True, num_shards=args.num_shards
+            )
+        replication = ReplicationConfig(
+            enabled=True,
+            replication_factor=args.replication_factor,
+            mode=args.replication_mode,
+            read_from_backups=args.read_from_backups == "on",
+        )
+    else:
+        replication = ReplicationConfig()
 
     out = args.out or os.path.join(
         os.path.dirname(os.path.abspath(__file__)), "..", "benchmarks",
@@ -225,7 +268,8 @@ def main(argv=None) -> int:
 
     entry = measure(params, args.protocol, batching, durability,
                     with_heap=not args.no_heap, sharding=sharding,
-                    distribution=args.distribution, zipf_s=args.zipf_s)
+                    distribution=args.distribution, zipf_s=args.zipf_s,
+                    replication=replication)
     entry.update(
         label=args.label,
         protocol=args.protocol,
@@ -238,6 +282,11 @@ def main(argv=None) -> int:
         distribution=args.distribution,
         zipf_s=args.zipf_s if args.distribution == "zipf" else None,
         sharding=args.sharding,
+        replication=args.replication,
+        replication_factor=(
+            args.replication_factor if args.replication == "on" else None
+        ),
+        read_from_backups=args.read_from_backups,
     )
 
     if os.path.exists(out):

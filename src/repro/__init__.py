@@ -44,6 +44,7 @@ from repro.config import (
     HealingConfig,
     MembershipConfig,
     NetworkConfig,
+    ReplicationConfig,
     RpcConfig,
     RunConfig,
     ShardingConfig,
@@ -66,6 +67,7 @@ __all__ = [
     "NetworkConfig",
     "NodeMembership",
     "PROTOCOLS",
+    "ReplicationConfig",
     "RpcConfig",
     "RunConfig",
     "ShardingConfig",

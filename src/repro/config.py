@@ -401,6 +401,64 @@ class ShardingConfig(ConfigSerde):
 
 
 @dataclass
+class ReplicationConfig(ConfigSerde):
+    """Per-shard primary-backup replication (docs/replication.md).
+
+    Off by default: a cluster without ``enabled`` has exactly one copy
+    of every shard and pays nothing for this subsystem.  Enabled (which
+    requires ``ShardingConfig.enabled``), every shard's owner streams
+    its prepare/decision/apply records to ``replication_factor - 1``
+    deterministically placed backups; ``sync`` mode defers prepare
+    votes and commit acknowledgements to backup acknowledgment, and a
+    ``failover_timeout`` arms the cluster-level
+    :class:`repro.replication.shard.FailoverDriver` that promotes the
+    freshest backup of a dead primary behind the shard fence machinery.
+    """
+
+    #: Master switch; requires a ShardMap directory (sharding enabled).
+    enabled: bool = False
+    #: Total copies of each shard including the primary (>= 1); each
+    #: shard gets ``replication_factor - 1`` backups.
+    replication_factor: int = 2
+    #: ``"sync"`` gates prepare votes and commit acks on backup
+    #: acknowledgment of the covering stream record (zero acked commits
+    #: lost across a primary crash); ``"async"`` streams in the
+    #: background and only tracks the per-backup replicated frontier.
+    mode: str = "sync"
+    #: Route read-only reads through the shard's replica set; a backup
+    #: serves only snapshots its replicated frontier dominates and
+    #: forwards everything else to the primary (freshness-safe).
+    read_from_backups: bool = False
+    #: Arm automatic failover: when the accrual failure detector at a
+    #: majority of live peers classifies a node dead, its shards are
+    #: promoted to their freshest backups.  ``None`` (default) never
+    #: promotes -- streams still replicate, but ownership is static.
+    failover_timeout: Optional[float] = None
+    #: How long a sync-mode prepare/commit waits for backup
+    #: acknowledgment before degrading to async for that record (the
+    #: record stays queued and retransmits; only the *wait* is skipped).
+    sync_timeout: float = 2e-3
+    #: Stream records per REPLICATE message (flow control).
+    batch_records: int = 16
+    #: Pump back-off after an unacknowledged REPLICATE batch.
+    retry_interval: float = 1e-3
+
+    def __post_init__(self) -> None:
+        if self.replication_factor < 1:
+            raise ValueError("replication_factor must be >= 1")
+        if self.mode not in ("sync", "async"):
+            raise ValueError("mode must be 'sync' or 'async'")
+        if self.sync_timeout <= 0:
+            raise ValueError("sync_timeout must be positive")
+        if self.batch_records <= 0:
+            raise ValueError("batch_records must be positive")
+        if self.retry_interval <= 0:
+            raise ValueError("retry_interval must be positive")
+        if self.failover_timeout is not None and self.failover_timeout <= 0:
+            raise ValueError("failover_timeout must be positive or None")
+
+
+@dataclass
 class DurabilityConfig(ConfigSerde):
     """Write-ahead logging and in-doubt termination (see DESIGN.md 5.5).
 
@@ -552,6 +610,9 @@ class ClusterConfig(ConfigSerde):
     #: Keyspace sharding + rebalancing; disabled by default, leaving the
     #: consistent-hash ring (and its exact placement) untouched.
     sharding: ShardingConfig = field(default_factory=ShardingConfig)
+    #: Per-shard primary-backup replication; disabled by default (one
+    #: copy of every shard, exactly the historical behaviour).
+    replication: ReplicationConfig = field(default_factory=ReplicationConfig)
     network: NetworkConfig = field(default_factory=NetworkConfig)
     costs: CostModel = field(default_factory=CostModel)
 
@@ -561,6 +622,7 @@ class ClusterConfig(ConfigSerde):
         "healing": HealingConfig,
         "membership": MembershipConfig,
         "sharding": ShardingConfig,
+        "replication": ReplicationConfig,
         "network": NetworkConfig,
         "costs": CostModel,
     }

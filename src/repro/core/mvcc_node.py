@@ -38,6 +38,7 @@ from repro.core.wire import (
 from repro.healing import NodeHealing
 from repro.metrics.stats import AbortReason
 from repro.net.message import Envelope, MessageType
+from repro.net.rpc import RpcTimeoutError
 from repro.sim import AllOf, ConditionVariable, wait_until
 from repro.storage.locks import LockTable
 from repro.storage.store import MultiVersionStore
@@ -170,6 +171,9 @@ class MVCCNode(BaseProtocolNode):
             durability.wal_enabled
             or durability.termination_query
             or shared.config.healing.anti_entropy_interval is not None
+            # Replication re-announces a dead coordinator's decisions and
+            # answers the promoted node's TXN_STATUS queries from here.
+            or shared.config.replication.enabled
         )
         #: Decide appliers between popping their prepared entry and
         #: logging the ApplyRecord (WAL runs only).  While non-empty the
@@ -230,6 +234,10 @@ class MVCCNode(BaseProtocolNode):
             and isinstance(self.directory, ShardMap)
             else None
         )
+        #: Per-shard primary-backup replication substrate; attached by
+        #: :class:`repro.replication.shard.ClusterReplication` when
+        #: ``ReplicationConfig.enabled`` is set, ``None`` otherwise.
+        self.replication = None
 
     # ------------------------------------------------------------------
     # Loading
@@ -269,17 +277,52 @@ class MVCCNode(BaseProtocolNode):
             return txn.read_cache[key]
 
         target = self.directory.site(key)
-        reply: ReadReturnBody = yield from self.node.rpc.call(
-            target,
-            MessageType.READ_REQUEST,
-            ReadRequestBody(
-                txn_id=txn.txn_id,
-                is_read_only=txn.is_read_only,
-                key=key,
-                vc=txn.vc.to_tuple(),
-                has_read=txn.has_read_tuple(),
-            ),
-        )
+        frozen = False
+        rep = self.replication
+        if (
+            rep is not None
+            and txn.is_read_only
+            and rep.cluster_rep.config.read_from_backups
+        ):
+            # Spread read-only traffic over the key's replica set.  A
+            # backup-served read is *frozen*: answered against the carried
+            # snapshot with no clock merge, so it can never observe state
+            # the backup's replicated frontier does not cover.
+            candidates = rep.cluster_rep.read_targets(key)
+            target = candidates[txn.txn_id % len(candidates)]
+            frozen = target != candidates[0]
+        attempts = 0
+        while True:
+            try:
+                reply: ReadReturnBody = yield from self.node.rpc.call(
+                    target,
+                    MessageType.READ_REQUEST,
+                    ReadRequestBody(
+                        txn_id=txn.txn_id,
+                        is_read_only=txn.is_read_only,
+                        key=key,
+                        vc=txn.vc.to_tuple(),
+                        has_read=txn.has_read_tuple(),
+                        frozen=frozen,
+                    ),
+                )
+                break
+            except RpcTimeoutError:
+                # With failover armed, a read that timed out against a
+                # (possibly dead) server parks until the directory routes
+                # the key elsewhere, then retries at the new owner --
+                # keys stay readable across a primary failure.
+                attempts += 1
+                rep = self.replication
+                if rep is None or attempts >= 3:
+                    raise
+                flipped = yield from rep.cluster_rep.wait_for_site_flip(
+                    key, target
+                )
+                if not flipped and self.directory.site(key) == target:
+                    raise
+                target = self.directory.site(key)
+                frozen = False
         if reply.max_vc is not None:
             txn.vc.merge_seq(reply.max_vc)  # Alg. 2 line 9
         first_contact = txn.note_read_site(target)  # Alg. 2 line 8
@@ -407,6 +450,28 @@ class MVCCNode(BaseProtocolNode):
                     if site != self.node_id and detector.is_dead(site)
                 ]
                 if dead:
+                    rep = self.replication
+                    if (
+                        rep is not None
+                        and rep.cluster_rep.failover_armed()
+                        and round_no + 1 < max_rounds
+                    ):
+                        # Failover armed: instead of aborting against the
+                        # dead participant, park until its shards are
+                        # promoted away, then re-prepare against the new
+                        # owners -- a failover costs a retry, not an abort.
+                        flipped = yield from rep.cluster_rep.wait_for_failover(
+                            dead
+                        )
+                        if flipped:
+                            round_no += 1
+                            if self.tracer._enabled:
+                                self.tracer.emit(
+                                    self.node_id, "failover_retry",
+                                    txn=txn.txn_id, round=round_no,
+                                    peers=tuple(dead),
+                                )
+                            continue
                     txn.mark_aborted(self.sim.now)
                     self.metrics.on_abort(txn, AbortReason.PEER_DEAD)
                     self.tracer.emit(
@@ -443,15 +508,55 @@ class MVCCNode(BaseProtocolNode):
                 # Each prepare is an independently-retried call; a site whose
                 # retries are exhausted settles as (False, None) rather than
                 # hanging the coordinator forever on a crashed peer.
+                sites = list(by_site)
                 settles = [
                     self.node.rpc.spawn_call(
-                        site, MessageType.PREPARE, prepare_body(writes)
+                        site, MessageType.PREPARE, prepare_body(by_site[site])
                     )
-                    for site, writes in by_site.items()
+                    for site in sites
                 ]
                 results = yield AllOf(self.sim, settles)
                 votes = [vote for ok, vote in results if ok]
                 timed_out = len(votes) < len(results)
+                rep = self.replication
+                if (
+                    timed_out
+                    and rep is not None
+                    and rep.cluster_rep.failover_armed()
+                    and round_no + 1 < max_rounds
+                ):
+                    # Some participant stopped answering mid-round.  Abort
+                    # this round everywhere (round-tagged, so it cannot
+                    # cancel a successor round's prepare), wait for the
+                    # silent sites' shards to fail over, and re-prepare
+                    # against the promoted owners.
+                    missing = [
+                        site
+                        for (ok, _vote), site in zip(results, sites)
+                        if not ok
+                    ]
+                    abort = DecideBody(
+                        txn_id=txn.txn_id,
+                        outcome=False,
+                        origin=self.node_id,
+                        seq_no=None,
+                        commit_vc=None,
+                        round=round_no,
+                    )
+                    for site in sorted(by_site):
+                        self.node.send(site, MessageType.DECIDE, abort)
+                    flipped = yield from rep.cluster_rep.wait_for_failover(
+                        missing
+                    )
+                    if flipped:
+                        round_no += 1
+                        if self.tracer._enabled:
+                            self.tracer.emit(
+                                self.node_id, "failover_retry",
+                                txn=txn.txn_id, round=round_no,
+                                peers=tuple(missing),
+                            )
+                        continue
 
             for vote in votes:
                 txn.collected_set |= vote.collected  # Alg. 4 line 19
@@ -545,6 +650,16 @@ class MVCCNode(BaseProtocolNode):
                             reason=AbortReason.NODE_CRASHED,
                         )
                         return False
+            if self.replication is not None:
+                # Stream the decision record to every backup before any
+                # Decide (or the client acknowledgement) leaves the node;
+                # sync mode waits for the acks, bounded by sync_timeout.
+                # Mirrors the WAL's decision-before-Decide rule: a backup
+                # promoted after our crash re-announces exactly the
+                # decisions whose Decides might have been lost.
+                yield from self.replication.replicate_decision(
+                    txn.txn_id, txn.seq_no, decide.commit_vc, decide.collected
+                )
         for site in sorted(participant_sites | {self.node_id} if outcome else participant_sites):
             self.node.send(site, MessageType.DECIDE, decide)
         if outcome:
@@ -749,6 +864,17 @@ class MVCCNode(BaseProtocolNode):
             yield from wait_until(
                 self._recovered_cv, lambda: not self._recovering
             )
+
+        if request.frozen and self.replication is not None:
+            # Read-forwarding: a frozen read routed to this node as a
+            # backup is served against the replicated frontier (or
+            # forwarded to the primary); a False return means a failover
+            # made us the owner meanwhile -- serve it normally below.
+            handled = yield from self.replication.serve_or_forward(
+                envelope, request
+            )
+            if handled:
+                return
 
         # Snapshot-completeness wait.  The requester's T.VC may run ahead
         # of this node (it can learn a commit through its own Decide
@@ -955,6 +1081,17 @@ class MVCCNode(BaseProtocolNode):
                         # old table and vote no (presumed abort).
                         locks.release_write_all(keys, owner=request.txn_id)
                         return VoteBody(False, reason=AbortReason.VOTE_NO)
+            if self.replication is not None:
+                # Stream the staged writes to the written shards' backups
+                # before the yes-vote can escape (sync mode waits for the
+                # acks, bounded): a backup promoted after our crash can
+                # then resolve this prepare through the coordinator.
+                yield from self.replication.replicate_prepare(request)
+                if self.locks is not locks:
+                    # Durable crash during the replication wait: unwind on
+                    # the old table and vote no (presumed abort).
+                    locks.release_write_all(keys, owner=request.txn_id)
+                    return VoteBody(False, reason=AbortReason.VOTE_NO)
             self._prepared[request.txn_id] = entry
             lease = self.shared.config.prepared_lease
             if lease is not None:
@@ -1005,6 +1142,8 @@ class MVCCNode(BaseProtocolNode):
         del self._prepared[txn_id]
         if self.wal is not None:
             self.wal.append(AbortRecord(txn_id))
+        if self.replication is not None:
+            self.replication.note_abort(txn_id, entry.writes, entry.round)
         self.locks.release_write_all(entry.locked_keys, owner=txn_id)
 
     def _terminate_in_doubt(self, txn_id: int, entry: _PreparedTxn):
@@ -1104,6 +1243,10 @@ class MVCCNode(BaseProtocolNode):
                 del self._prepared[body.txn_id]
                 if self.wal is not None:
                     self.wal.append(AbortRecord(body.txn_id))
+                if self.replication is not None:
+                    self.replication.note_abort(
+                        body.txn_id, prepared.writes, prepared.round
+                    )
                 self.locks.release_write_all(
                     prepared.locked_keys, owner=body.txn_id
                 )
@@ -1211,6 +1354,12 @@ class MVCCNode(BaseProtocolNode):
                     )
                 self.site_vc[body.origin] = body.seq_no  # Alg. 5 line 21
                 self.site_vc_changed.notify_all()
+                if self.replication is not None:
+                    # Stream the installed versions (and the advanced
+                    # frontier) to the written shards' backups; the
+                    # frontier snapshot taken *after* the clock advance
+                    # provably covers this install.
+                    self.replication.note_apply(body, writes)
                 if self.tracer._enabled:
                     self.tracer.emit(
                         self.node_id, "decide", txn=body.txn_id,
@@ -1265,6 +1414,8 @@ class MVCCNode(BaseProtocolNode):
                     self.wal.append(PropagateRecord(origin, seq_no))
                 site_vc[origin] = seq_no
                 self.site_vc_changed.notify_all()
+                if self.replication is not None:
+                    self.replication.note_frontier()
                 if self.tracer._enabled:
                     self.tracer.emit(
                         self.node_id, "propagate", origin=origin, seq=seq_no
@@ -1294,6 +1445,8 @@ class MVCCNode(BaseProtocolNode):
                     self.wal.append(PropagateRecord(origin, seq_no))
                 self.site_vc[origin] = seq_no
                 self.site_vc_changed.notify_all()
+                if self.replication is not None:
+                    self.replication.note_frontier()
                 self.tracer.emit(
                     self.node_id, "propagate", origin=origin, seq=seq_no
                 )
@@ -1761,6 +1914,8 @@ class MVCCNode(BaseProtocolNode):
                 granted = self.locks.lock_for(key).acquire_write(txn_id)
                 assert granted.triggered, "fresh lock table cannot block"
             self._prepared[txn_id] = entry
+        if self.replication is not None:
+            self.replication.on_recovered(result.replication)
 
     def _recover(self, result: ReplayResult):
         """Rebuild from the WAL: terminate in-doubt prepares, catch up.

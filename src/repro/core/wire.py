@@ -20,6 +20,12 @@ class ReadRequestBody:
     key: Hashable
     vc: Tuple[int, ...]
     has_read: Tuple[bool, ...]
+    #: Read-forwarding (docs/replication.md): a read routed to a backup
+    #: is *frozen* -- served Walter-style against the carried snapshot
+    #: (``max_vc=None``, so the requester's clock never advances) and
+    #: only when the backup's replicated frontier dominates ``vc``;
+    #: otherwise the backup forwards it to the primary.
+    frozen: bool = False
 
 
 @dataclass(slots=True)
@@ -248,6 +254,65 @@ class SnapshotAckBody:
     #: Receiver's post-install clock (one-way ack only).
     site_vc: Optional[Tuple[int, ...]] = None
     reason: Optional[str] = None
+
+
+@dataclass(slots=True)
+class ReplicationEntry:
+    """One record on a primary -> backup replication stream.
+
+    Streams are per-(primary, backup) FIFOs with dense sequence numbers;
+    the backup applies records strictly in ``seq`` order and
+    acknowledges cumulatively, so an unacknowledged suffix simply
+    retransmits after a partition or backup restart.  ``kind`` selects
+    the payload:
+
+    * ``"prepare"`` -- stage ``writes`` of an in-flight 2PC participant
+      (``txn_id``, ``coordinator``, ``round``); promotion resolves
+      staged entries through the coordinator's decision log.
+    * ``"abort"`` -- drop the staged entry for ``txn_id``.
+    * ``"decision"`` -- the primary, as coordinator, committed
+      ``txn_id`` at (``origin``, ``seq_no``) with ``commit_vc``; backs
+      the promoted node's TXN_STATUS answers and decision re-announce.
+    * ``"apply"`` -- the primary installed ``writes`` at (``origin``,
+      ``seq_no``); the backup installs them verbatim, in stream order,
+      never touching its own clock.
+    * ``"frontier"`` -- clock-only freshness update (coalesced).
+
+    ``frontier`` (apply/frontier records) is the primary's ``siteVC``
+    snapshot after the install; a backup may serve a frozen read only
+    for snapshots its newest frontier dominates.
+    """
+
+    seq: int
+    kind: str
+    txn_id: Optional[int] = None
+    coordinator: Optional[int] = None
+    origin: Optional[int] = None
+    seq_no: Optional[int] = None
+    commit_vc: Optional[Tuple[int, ...]] = None
+    writes: Tuple = ()
+    collected: FrozenSet[int] = frozenset()
+    frontier: Optional[Tuple[int, ...]] = None
+    round: int = 0
+
+
+@dataclass(slots=True)
+class ReplicateBody:
+    """Primary -> backup stream batch (RPC request)."""
+
+    primary: int
+    entries: Tuple[ReplicationEntry, ...]
+
+
+@dataclass(slots=True)
+class ReplicateAckBody:
+    """Backup's cumulative acknowledgment: every stream record at or
+    below ``applied`` has been applied (prefix semantics).  ``-1``
+    refuses the batch outright -- the stream was closed by a failover
+    (the sender was deposed) and the deposed primary must stop pumping.
+    """
+
+    applied: int
 
 
 @dataclass(slots=True)

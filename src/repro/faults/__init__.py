@@ -8,8 +8,10 @@ from repro.faults.schedules import (
     PARTITION,
     RESTART,
     FaultEvent,
+    backup_lag_schedule,
     crash_cycle,
     durable_crash_cycle,
+    failover_schedule,
     ordered,
     partition_cycle,
     random_schedule,
@@ -26,8 +28,10 @@ __all__ = [
     "RESTART",
     "PARTITION",
     "HEAL",
+    "backup_lag_schedule",
     "crash_cycle",
     "durable_crash_cycle",
+    "failover_schedule",
     "partition_cycle",
     "staggered_crashes",
     "random_schedule",

@@ -60,6 +60,9 @@ class DownWindow:
     lost_propagates: Dict[int, List[int]] = field(default_factory=dict)
     #: The recovery process spawned at restart (join it to await rebuild).
     recovery: Optional[object] = None
+    #: Shards promoted away (cluster-wide ``failovers_completed`` delta)
+    #: while this window was open -- the failover work the crash caused.
+    promotions: int = 0
     #: Index into the nemesis drop log where this window opened.
     _log_start: int = 0
 
@@ -95,6 +98,12 @@ class Nemesis:
         #: Envelope drop feed, attached to the network while at least one
         #: durable window is open.
         self._drop_log: List[Tuple[str, object]] = []
+        #: One ``(node, promotions, restarted_at)`` record per restart of
+        #: a crashed node, in restart order: how many shard promotions
+        #: (``failovers_completed`` delta) the down window triggered.
+        self.promotion_reports: List[Tuple[int, int, float]] = []
+        #: node -> ``failovers_completed`` at its (first) crash instant.
+        self._failover_base: Dict[int, int] = {}
 
     def start(self, events: Iterable[FaultEvent]):
         """Spawn the nemesis process driving ``events``; returns it."""
@@ -109,8 +118,10 @@ class Nemesis:
     def apply(self, event: FaultEvent) -> None:
         """Apply one fault transition immediately (also usable directly)."""
         if event.kind == CRASH:
+            self._note_crash(event.a)
             self.network.crash(event.a)
         elif event.kind == CRASH_DURABLE:
+            self._note_crash(event.a)
             self._crash_durable(event.a)
         elif event.kind == RESTART:
             self._restart(event.a)
@@ -183,12 +194,39 @@ class Nemesis:
             self._durable_down[node_id] = window
             self.down_windows.append(window)
 
+    def _note_crash(self, node_id: int) -> None:
+        """Snapshot the cluster's promotion counter at the crash instant.
+
+        The matching restart diffs against it: with failover armed, a
+        crashed primary's shards promote to their freshest backups while
+        it is down, and the delta is the promotion work this fault
+        caused (heal accounting for failover, mirroring the partition
+        windows' drop accounting).
+        """
+        self._failover_base.setdefault(
+            node_id, self.cluster.metrics.failovers_completed
+        )
+
     def _restart(self, node_id: int) -> None:
         self.network.restart(node_id)
         self.restart_count += 1
+        base = self._failover_base.pop(node_id, None)
+        promotions = (
+            self.cluster.metrics.failovers_completed - base
+            if base is not None
+            else 0
+        )
+        if base is not None:
+            self.promotion_reports.append(
+                (node_id, promotions, self.sim.now)
+            )
+            self.tracer.emit(
+                node_id, "nemesis_promotions", shards=promotions
+            )
         window = self._durable_down.pop(node_id, None)
         if window is None:
             return  # plain (volatile-state-intact) restart
+        window.promotions = promotions
         window.ended_at = self.sim.now
         self._account_window(window)
         if not self._durable_down and self.network.drop_log is self._drop_log:

@@ -262,6 +262,54 @@ def shard_migration_schedule(
     return ordered(events)
 
 
+def failover_schedule(
+    primary: int,
+    at: float,
+    *,
+    down_for: Optional[float] = None,
+) -> List[FaultEvent]:
+    """Crash ``primary`` so the failover driver promotes its shards.
+
+    The canonical replication scenario (docs/replication.md): a
+    network-level crash of a shard primary leaves its replication
+    streams silent, the accrual detectors at a majority of live peers
+    classify it dead, and the :class:`~repro.replication.shard.
+    FailoverDriver` promotes the freshest backup of every shard it
+    owned.  With ``down_for`` the node restarts that much later -- a
+    deposed primary rejoins retired, its shards stay with their
+    promoted successors, and the repair loop may re-enlist it as a
+    backup; without it the crash is permanent.
+    """
+    events = [FaultEvent(at, CRASH, primary)]
+    if down_for is not None:
+        if down_for <= 0:
+            raise ValueError("down_for must be positive")
+        events.append(FaultEvent(at + down_for, RESTART, primary))
+    return ordered(events)
+
+
+def backup_lag_schedule(
+    primary: int,
+    backup: int,
+    at: float,
+    duration: float,
+) -> List[FaultEvent]:
+    """Cut the ``primary``/``backup`` link so the backup falls behind.
+
+    While the link is down the primary's replication pump retries into
+    the void: sync-mode commits degrade to async after ``sync_timeout``
+    (counted in ``replication_sync_degraded``), the backup's replicated
+    frontier stalls, and read-forwarding must route reads it can no
+    longer prove fresh back to the primary.  After the heal the stream
+    retransmits from the last acknowledged record and the backup
+    converges without a bootstrap.  Identical event shape to
+    :func:`partition_cycle`; the distinct builder names the intent.
+    """
+    if primary == backup:
+        raise ValueError("primary and backup must differ")
+    return partition_cycle(primary, backup, at, duration)
+
+
 def staggered_crashes(
     node_ids: Sequence[int],
     start: float,

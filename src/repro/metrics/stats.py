@@ -237,6 +237,20 @@ class MetricsRecorder:
         self.shard_migrations_failed = 0
         self.rebalance_rounds = 0
 
+        #: Per-shard primary-backup replication (run-wide): stream
+        #: records acknowledged by backups, the worst observed stream
+        #: lag (records streamed but unacknowledged), sync waits that
+        #: degraded to async at ``sync_timeout``, frozen reads served by
+        #: backups vs forwarded to the primary, shards promoted by
+        #: completed failovers, and backup (re-)bootstraps shipped.
+        self.replication_records_streamed = 0
+        self.replication_lag_max = 0
+        self.replication_sync_degraded = 0
+        self.backup_reads_served = 0
+        self.backup_reads_forwarded = 0
+        self.failovers_completed = 0
+        self.backup_bootstraps = 0
+
     # ------------------------------------------------------------------
     # Window control
     # ------------------------------------------------------------------
@@ -446,6 +460,35 @@ class MetricsRecorder:
     def on_rebalance_round(self) -> None:
         self.rebalance_rounds += 1
 
+    def on_replication_records(self, count: int) -> None:
+        """A backup acknowledged ``count`` stream records."""
+        self.replication_records_streamed += count
+
+    def on_replication_lag(self, lag: int) -> None:
+        """Track the worst unacknowledged stream suffix seen."""
+        if lag > self.replication_lag_max:
+            self.replication_lag_max = lag
+
+    def on_replication_sync_degraded(self) -> None:
+        """A sync-mode wait hit ``sync_timeout`` and proceeded async."""
+        self.replication_sync_degraded += 1
+
+    def on_backup_read_served(self) -> None:
+        """A backup answered a frozen read from its replicated state."""
+        self.backup_reads_served += 1
+
+    def on_backup_read_forwarded(self) -> None:
+        """A backup forwarded a frozen read to the current primary."""
+        self.backup_reads_forwarded += 1
+
+    def on_failover_completed(self, shards: int) -> None:
+        """A failover promoted backups over ``shards`` shards."""
+        self.failovers_completed += shards
+
+    def on_backup_bootstrapped(self) -> None:
+        """A primary (re-)shipped its chains to one backup."""
+        self.backup_bootstraps += 1
+
     def decay_shard_loads(self, factor: float) -> None:
         """Age the load signal so it tracks current traffic, not history."""
         for shard in list(self.shard_loads):
@@ -518,4 +561,11 @@ class MetricsRecorder:
             "shard_migration_keys": self.shard_migration_keys,
             "shard_migrations_failed": self.shard_migrations_failed,
             "rebalance_rounds": self.rebalance_rounds,
+            "replication_records_streamed": self.replication_records_streamed,
+            "replication_lag_max": self.replication_lag_max,
+            "replication_sync_degraded": self.replication_sync_degraded,
+            "backup_reads_served": self.backup_reads_served,
+            "backup_reads_forwarded": self.backup_reads_forwarded,
+            "failovers_completed": self.failovers_completed,
+            "backup_bootstraps": self.backup_bootstraps,
         }

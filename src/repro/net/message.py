@@ -37,6 +37,12 @@ class MessageType:
     #: ... and the receiver confirms the verified install (one-way),
     #: which doubles as frontier evidence at the sender.
     SNAPSHOT_ACK = "SnapshotAck"
+    #: Per-shard primary-backup replication stream (RPC): a primary
+    #: ships a batch of prepare/decision/apply records to one backup;
+    #: the reply carries the backup's cumulative applied sequence.
+    #: Foreground, not background: in sync mode commit acknowledgements
+    #: wait on these acks.
+    REPLICATE = "Replicate"
     #: Membership view change, phase one: the view coordinator proposes
     #: an epoch-numbered membership view to every member (one-way) ...
     VIEW_PROPOSE = "ViewPropose"

@@ -1,31 +1,52 @@
-"""Site availability substrate: primary-backup replication.
+"""Site availability substrate: per-shard primary-backup replication.
 
 The paper's system model (Section 2.2) assumes "each preferred site is
 highly available, meaning the site is expected to implement a replication
 technique to resist faults", and leaves that technique out of the
-concurrency-control description.  This package supplies it: a
-primary-backup replicated state machine with synchronous log shipping,
-heartbeat failure detection, and deterministic failover, built on the
-same simulation substrate as the transactional protocols.
+concurrency-control description.  This package supplies it, integrated
+under the transactional core: with
+:class:`repro.config.ReplicationConfig` enabled on a sharded cluster,
+every shard's owner streams its prepare/decision/apply records to
+deterministically placed backups (``repro.replication.shard``), sync mode
+gates commit acknowledgment on backup acknowledgment, the accrual
+failure detector drives live failover behind the shard fence machinery,
+and read-only FW-KV reads can be served straight from backups when the
+replicated frontier dominates the requested snapshot (see
+``docs/replication.md``).
 
 Scope notes, mirroring the paper's:
 
-* crash-stop failures, no network partitions (real deployments use a
-  consensus protocol -- the paper cites Paxos [19] -- for partition
-  tolerance; view changes here are heartbeat-driven and deterministic);
+* crash-stop failures plus network partitions handled by majority
+  failure attestation (real deployments use a consensus protocol -- the
+  paper cites Paxos [19] -- for full partition tolerance);
 * the transactional core treats a preferred site as one logical node;
   this package shows how that logical node survives replica crashes with
-  no committed write lost.
+  no acknowledged commit lost and its keys readable throughout.
+
+The original standalone replicated-state-machine demo (``ReplicaGroup``,
+``Replica``, ``KVStateMachine``) predates the integration and is kept as
+a deprecated shim: constructing a ``ReplicaGroup`` emits a
+``DeprecationWarning`` pointing at the integrated substrate.
 """
 
 from repro.replication.state_machine import KVStateMachine, StateMachine
 from repro.replication.replica import Replica, ReplicaRole
 from repro.replication.group import ReplicaGroup
+from repro.replication.shard import (
+    ClusterReplication,
+    FailoverDriver,
+    NodeReplication,
+    backups_for_shard,
+)
 
 __all__ = [
+    "ClusterReplication",
+    "FailoverDriver",
     "KVStateMachine",
+    "NodeReplication",
     "Replica",
     "ReplicaGroup",
     "ReplicaRole",
     "StateMachine",
+    "backups_for_shard",
 ]

@@ -1,7 +1,19 @@
-"""A replica group plus the client stub that finds the primary."""
+"""A replica group plus the client stub that finds the primary.
+
+.. deprecated::
+    ``ReplicaGroup`` was the standalone site-availability substrate from
+    before replication was folded under the transactional core.  New code
+    should enable :class:`repro.config.ReplicationConfig` on a sharded
+    :class:`repro.system.Cluster` instead -- per-shard primary-backup
+    streams, live failover, and read-forwarding all run inside the same
+    node abstraction (see ``repro.replication.shard`` and
+    ``docs/replication.md``).  This shim keeps the old API importable and
+    functional but emits a :class:`DeprecationWarning` on construction.
+"""
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Callable, List, Optional
 
 from repro.config import NetworkConfig
@@ -37,6 +49,14 @@ class ReplicaGroup:
         heartbeat_timeout: float = 6e-3,
         submit_timeout: float = 10e-3,
     ) -> None:
+        warnings.warn(
+            "ReplicaGroup is deprecated: enable "
+            "ClusterConfig(replication=ReplicationConfig(enabled=True)) on a "
+            "sharded Cluster instead (repro.replication.shard integrates "
+            "primary-backup replication under the transactional core).",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if num_replicas < 1:
             raise ValueError("need at least one replica")
         self.sim = sim

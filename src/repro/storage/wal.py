@@ -20,6 +20,9 @@ Record vocabulary (one dataclass per protocol step, see DESIGN.md 5.5):
 ``ApplyRecord``      a Decide installed versions and advanced ``siteVC``
 ``PropagateRecord``  a Propagate advanced ``siteVC`` (clock-only)
 ``AbortRecord``      a prepared transaction was resolved aborted
+``ReplicationRecord`` one replication stream record applied here as a
+                     backup (docs/replication.md); replay rebuilds the
+                     backup chains and per-primary stream state
 ``CheckpointRecord`` fingerprinted snapshot of the node's full durable
                      state; replay resets to it and continues with the
                      suffix, so truncating everything below the newest
@@ -42,8 +45,8 @@ become durable, since none of its messages escape the crashed node.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass
-from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Tuple
 
 from repro.core.vector_clock import VectorClock
 from repro.storage.chain import VersionChain
@@ -106,6 +109,32 @@ class AbortRecord:
     """A prepared transaction was resolved aborted and unstaged."""
 
     txn_id: int
+
+
+@dataclass(frozen=True)
+class ReplicationRecord:
+    """One replication stream record this node applied as a backup.
+
+    Logged per applied record, in stream order, so replay rebuilds both
+    the verbatim backup chains (``kind="apply"`` installs) and the
+    per-primary stream state -- applied high-water mark, replicated
+    frontier, staged prepares, and the primary's decision log -- that a
+    post-restart promotion would need.  The field vocabulary mirrors
+    :class:`repro.core.wire.ReplicationEntry`.
+    """
+
+    primary: int
+    seq: int
+    kind: str
+    txn_id: Optional[int] = None
+    coordinator: Optional[int] = None
+    origin: Optional[int] = None
+    seq_no: Optional[int] = None
+    commit_vc: Optional[Tuple[int, ...]] = None
+    writes: Tuple = ()
+    collected: FrozenSet[int] = frozenset()
+    frontier: Optional[Tuple[int, ...]] = None
+    round: int = 0
 
 
 @dataclass(frozen=True)
@@ -480,6 +509,11 @@ class ReplayResult:
     #: A view acked but not yet committed at the crash (epoch past the
     #: committed one); recovery re-installs it as the in-progress view.
     pending_view: Optional[Tuple] = None
+    #: primary id -> backup-side stream state rebuilt from the node's
+    #: ReplicationRecords: ``{"applied", "frontier", "staged",
+    #: "decisions"}`` (staged/decisions map txn_id -> the record, which
+    #: is attribute-compatible with ``ReplicationEntry``).
+    replication: Dict[int, Dict] = field(default_factory=dict)
 
 
 def replay(records: Iterable[WalRecord], num_nodes: int) -> ReplayResult:
@@ -504,6 +538,7 @@ def replay(records: Iterable[WalRecord], num_nodes: int) -> ReplayResult:
     checkpoints = 0
     view: Optional[Tuple] = None
     pending_view: Optional[Tuple] = None
+    replication: Dict[int, Dict] = {}
     # origin -> {seq_no: record} waiting for its per-origin predecessor.
     pending: Dict[int, Dict[int, WalRecord]] = {}
 
@@ -593,6 +628,45 @@ def replay(records: Iterable[WalRecord], num_nodes: int) -> ReplayResult:
                     pending_view = None
             elif view is None or record.epoch > view[0]:
                 pending_view = triple
+        elif isinstance(record, ReplicationRecord):
+            # Backup-side stream state.  Apply installs go straight into
+            # the store (never through ``admit``): a backup's verbatim
+            # installs do not advance its own clock, exactly as live.
+            state = replication.get(record.primary)
+            if state is None:
+                state = {
+                    "applied": 0,
+                    "frontier": None,
+                    "staged": {},
+                    "decisions": {},
+                }
+                replication[record.primary] = state
+            if record.seq <= state["applied"]:
+                continue  # duplicated prefix
+            state["applied"] = record.seq
+            if record.kind == "prepare":
+                state["staged"][record.txn_id] = record
+            elif record.kind == "abort":
+                staged = state["staged"].get(record.txn_id)
+                if staged is not None and staged.round == record.round:
+                    del state["staged"][record.txn_id]
+            elif record.kind == "decision":
+                state["decisions"][record.txn_id] = record
+            elif record.kind == "apply":
+                state["staged"].pop(record.txn_id, None)
+                commit_vc = VectorClock(record.commit_vc)
+                for key, value in record.writes:
+                    store.install(
+                        key,
+                        value,
+                        commit_vc.copy(),
+                        origin=record.origin,
+                        seq=record.seq_no,
+                        writer_txn=record.txn_id,
+                    )
+                state["frontier"] = record.frontier
+            elif record.kind == "frontier":
+                state["frontier"] = record.frontier
         else:
             raise TypeError(f"unknown WAL record {record!r}")
 
@@ -624,6 +698,7 @@ def replay(records: Iterable[WalRecord], num_nodes: int) -> ReplayResult:
         checkpoints=checkpoints,
         view=view,
         pending_view=pending_view,
+        replication=replication,
     )
 
 

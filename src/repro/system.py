@@ -40,6 +40,7 @@ from repro.metrics.history import History, OpRecord
 from repro.metrics.psi_checker import VersionCatalog
 from repro.metrics.stats import MetricsRecorder
 from repro.net.network import Network
+from repro.replication.shard import ClusterReplication
 from repro.sim import Simulator, Tracer
 
 PROTOCOLS = {
@@ -181,6 +182,23 @@ class Cluster:
         self.rebalancer: Optional[Rebalancer] = (
             Rebalancer(self) if isinstance(self.directory, ShardMap) else None
         )
+        #: Per-shard primary-backup replication (docs/replication.md):
+        #: deterministic backup placement over the ShardMap, record
+        #: streams from every primary, and the failover driver.  ``None``
+        #: unless ``config.replication.enabled``.
+        self.replication: Optional[ClusterReplication] = None
+        if config.replication.enabled:
+            if not isinstance(self.directory, ShardMap):
+                raise ValueError(
+                    "replication requires the sharded directory; set "
+                    "sharding.enabled (replication placement and failover "
+                    "operate at shard granularity)"
+                )
+            if not self.nodes or not isinstance(self.nodes[0], MVCCNode):
+                raise ValueError(
+                    f"protocol {protocol!r} does not support replication"
+                )
+            self.replication = ClusterReplication(self)
         # Arm the self-healing loops (heartbeats, anti-entropy, WAL
         # checkpoints) on every MVCC node.  With the default HealingConfig
         # no loop is configured, so this spawns nothing; when periods are
@@ -192,8 +210,16 @@ class Cluster:
     # Data loading
     # ------------------------------------------------------------------
     def load(self, key: Hashable, value: object) -> None:
-        """Install initial data at the key's preferred site."""
+        """Install initial data at the key's preferred site.
+
+        With replication enabled the baseline version is mirrored to the
+        key's backups as well -- every replica's chain starts identical,
+        so stream installs keep vids aligned forever after.
+        """
         self.nodes[self.directory.site(key)].load(key, value)
+        if self.replication is not None:
+            for backup in self.replication.backups_for_key(key):
+                self.nodes[backup].load(key, value)
 
     def load_many(self, items: Iterable[Tuple[Hashable, object]]) -> int:
         """Install many (key, value) pairs; returns the count loaded.
@@ -212,9 +238,21 @@ class Cluster:
             else:
                 bucket.append(item)
         nodes = self.nodes
-        return sum(
+        loaded = sum(
             nodes[owner].load_many(bucket) for owner, bucket in buckets.items()
         )
+        if self.replication is not None:
+            # Mirror the baseline to every backup (identical chains from
+            # vid 0 on); the returned count stays the primary-copy count.
+            backups_for_key = self.replication.backups_for_key
+            mirror: Dict[int, list] = {}
+            for bucket in buckets.values():
+                for item in bucket:
+                    for backup in backups_for_key(item[0]):
+                        mirror.setdefault(backup, []).append(item)
+            for backup, bucket in mirror.items():
+                nodes[backup].load_many(bucket)
+        return loaded
 
     # ------------------------------------------------------------------
     # Self-healing lifecycle
@@ -231,6 +269,8 @@ class Cluster:
                 node.healing.start()
         if self.rebalancer is not None:
             self.rebalancer.start()
+        if self.replication is not None:
+            self.replication.start()
 
     def stop_healing(self) -> None:
         """Wind the healing loops down so the simulator can quiesce.
@@ -244,6 +284,8 @@ class Cluster:
                 node.healing.stop()
         if self.rebalancer is not None:
             self.rebalancer.stop()
+        if self.replication is not None:
+            self.replication.stop()
 
     # ------------------------------------------------------------------
     # Elastic membership (online reconfiguration)
@@ -283,6 +325,8 @@ class Cluster:
             self.nodes.append(
                 node_cls(Node(self.sim, node_id, self.network), self.shared)
             )
+            if self.replication is not None:
+                self.replication.attach(self.nodes[node_id])
         else:
             raise ValueError(
                 f"node ids must stay dense: the next id is {len(self.nodes)}"

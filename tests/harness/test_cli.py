@@ -45,6 +45,37 @@ def test_config_command_round_trips_through_json(capsys, tmp_path):
         main(["config", "--load", str(bad)])
 
 
+def test_config_command_covers_replication(capsys, tmp_path):
+    import json
+
+    from repro import ClusterConfig, ReplicationConfig
+
+    # The default dump includes the (inert) replication section.
+    assert main(["config", "--nodes", "4"]) == 0
+    dumped = json.loads(capsys.readouterr().out)
+    assert dumped["replication"] == ReplicationConfig().to_dict()
+    assert dumped["replication"]["enabled"] is False
+
+    # A replication overlay loads, validates, and echoes normalised.
+    overlay = tmp_path / "replicated.json"
+    overlay.write_text(
+        '{"num_nodes": 3, "sharding": {"enabled": true},'
+        ' "replication": {"enabled": true, "replication_factor": 3,'
+        ' "mode": "async", "failover_timeout": 0.004}}'
+    )
+    assert main(["config", "--load", str(overlay)]) == 0
+    echoed = json.loads(capsys.readouterr().out)
+    assert echoed["replication"]["replication_factor"] == 3
+    assert echoed["replication"]["mode"] == "async"
+    assert ClusterConfig.from_dict(echoed).replication.failover_timeout == 0.004
+
+    # Validation still bites through the CLI path.
+    bad = tmp_path / "bad_mode.json"
+    bad.write_text('{"num_nodes": 3, "replication": {"mode": "quorum"}}')
+    with pytest.raises(ValueError, match="sync"):
+        main(["config", "--load", str(bad)])
+
+
 def test_figure5_tiny_run(capsys):
     code = main(
         [

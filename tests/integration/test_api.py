@@ -27,6 +27,7 @@ from repro import (
     DurabilityConfig,
     HealingConfig,
     NetworkConfig,
+    ReplicationConfig,
     RpcConfig,
     ShardingConfig,
     SnapshotTransferConfig,
@@ -94,6 +95,33 @@ def test_group_commit_and_adaptive_batching_fields_default_off():
     assert round_tripped.group_commit_window == 2e-4
 
 
+def test_replication_defaults_off_and_overlays():
+    # Replication must stay inert by default: one copy of every shard,
+    # no streams, no failover driver.
+    replication = ReplicationConfig()
+    assert replication.enabled is False
+    assert replication.read_from_backups is False
+    assert replication.failover_timeout is None
+    assert replication.replication_factor >= 2
+    assert replication.mode == "sync"
+    cfg = ClusterConfig.from_dict(
+        {
+            "num_nodes": 3,
+            "sharding": {"enabled": True},
+            "replication": {
+                "enabled": True,
+                "replication_factor": 3,
+                "mode": "async",
+                "failover_timeout": 4e-3,
+            },
+        }
+    )
+    assert cfg.replication.enabled and cfg.replication.replication_factor == 3
+    assert cfg.replication.mode == "async"
+    assert cfg.replication.failover_timeout == 4e-3
+    assert cfg.replication.sync_timeout == ReplicationConfig().sync_timeout
+
+
 def test_sharding_defaults_off_and_overlays():
     # Sharding must stay inert by default: clusters keep the consistent
     # hash ring unless opted in, and the rebalance loop stays dormant.
@@ -153,6 +181,17 @@ snapshot_configs = st.builds(
     offer_threshold=st.integers(0, 4),
     lag_bias=small_floats,
 )
+replication_configs = st.builds(
+    ReplicationConfig,
+    enabled=st.booleans(),
+    replication_factor=st.integers(1, 5),
+    mode=st.sampled_from(["sync", "async"]),
+    read_from_backups=st.booleans(),
+    failover_timeout=optional(positive_floats),
+    sync_timeout=positive_floats,
+    batch_records=st.integers(1, 64),
+    retry_interval=positive_floats,
+)
 sharding_configs = st.builds(
     ShardingConfig,
     enabled=st.booleans(),
@@ -201,6 +240,7 @@ cluster_configs = st.builds(
     ),
     healing=healing_configs,
     sharding=sharding_configs,
+    replication=replication_configs,
     network=network_configs,
     costs=st.builds(
         CostModel,

@@ -1,0 +1,534 @@
+"""Replication chaos battery: failover pairs bit-identical to controls.
+
+The headline scenarios ISSUE 9 promised, each run as a control/faulty
+pair under the PSI checkers:
+
+* a primary crashed *mid-commit* (at its own prepare trace point, after
+  the staged write has replicated but before its vote reaches the
+  coordinator) loses zero acked commits and aborts nothing -- the racing
+  commit parks, waits out the failover, and re-prepares against the
+  promoted backup;
+* a partition between a primary and its backup degrades sync-mode
+  commits to async (counted, never blocking) without tricking a
+  majority into a spurious failover, and the stream retransmits the
+  backlog bit-verbatim after the heal;
+* a backup crash-cycled across its own resync window closes and
+  re-bootstraps its streams without disturbing foreground traffic;
+* a double failure (a primary, then the freshest backup that had just
+  been promoted in its place) with replication_factor=3 keeps every key
+  writable and readable throughout;
+* read-forwarding stays freshness-safe across a failover: backup-served
+  reads keep flowing while the dead owner's shards promote, with every
+  PSI checker green.
+
+Fingerprints compare the *authoritative* state -- every key's chain at
+its current directory owner -- because failover intentionally moves
+ownership; version stamps are coordinator-assigned ``(origin, seq)``
+pairs, so excluding the crash victims from coordinating (in both runs
+of a pair) keeps the surviving chains bit-comparable.  Serialized
+traffic with settle pauses keeps install order identical across paired
+runs, exactly like the sharding and membership suites.
+
+Seeds come from ``REPLICATION_SEEDS`` (comma-separated) so CI can sweep
+a matrix without editing the file.
+"""
+
+import os
+
+import pytest
+
+from repro import (
+    Cluster,
+    ClusterConfig,
+    DurabilityConfig,
+    NetworkConfig,
+    ReplicationConfig,
+    RpcConfig,
+    ShardingConfig,
+)
+from repro.config import HealingConfig
+from repro.faults import CRASH, FaultEvent, Nemesis
+from repro.faults.schedules import (
+    backup_lag_schedule,
+    crash_cycle,
+    failover_schedule,
+    ordered,
+)
+from repro.metrics import check_no_read_skew, find_long_forks
+from repro.sim.rng import make_rng
+
+from tests.harness.recovery_tools import TracePoint
+
+NUM_NODES = 3
+NUM_KEYS = 12
+NUM_SHARDS = 12
+
+#: Per-commit settle pause (see test_sharding.py): long enough for a
+#: commit's full fan-out -- including its replication records -- to
+#: drain, keeping per-key install order identical across paired runs.
+SETTLE = 1e-3
+
+SEEDS = tuple(
+    int(s) for s in os.environ.get("REPLICATION_SEEDS", "7,11").split(",")
+)
+
+pytestmark = pytest.mark.replication
+
+
+# ----------------------------------------------------------------------
+# Harness
+# ----------------------------------------------------------------------
+def build(
+    seed,
+    *,
+    num_nodes=NUM_NODES,
+    factor=2,
+    failover=4e-3,
+    read_from_backups=False,
+    rpc=None,
+    record_history=False,
+):
+    """A sharded, replicated FW-KV cluster with failover armed."""
+    config = ClusterConfig(
+        num_nodes=num_nodes,
+        seed=seed,
+        prepared_lease=5e-3,
+        gc_enabled=False,
+        network=NetworkConfig(
+            jitter=5e-6,
+            rpc=rpc or RpcConfig(request_timeout=1.5e-3, max_attempts=3),
+        ),
+        sharding=ShardingConfig(enabled=True, num_shards=NUM_SHARDS),
+        replication=ReplicationConfig(
+            enabled=True,
+            replication_factor=factor,
+            mode="sync",
+            read_from_backups=read_from_backups,
+            failover_timeout=failover,
+        ),
+        durability=DurabilityConfig(wal_enabled=False, termination_query=True),
+        # Anti-entropy repairs the Propagate gap a restarted node slept
+        # through (replication streams carry a primary's *writes*, not
+        # the cluster-wide clock advances its reads must wait on).
+        healing=HealingConfig(
+            heartbeat_interval=1e-3, anti_entropy_interval=2e-3
+        ),
+    )
+    cluster = Cluster("fwkv", config, record_history=record_history)
+    for i in range(NUM_KEYS):
+        cluster.load(f"k{i}", 0)
+    return cluster, Nemesis(cluster)
+
+
+def all_keys():
+    return [f"k{i}" for i in range(NUM_KEYS)]
+
+
+def rmw_plan(rng, coordinators, count):
+    keys = all_keys()
+    return [
+        (coordinators[n % len(coordinators)], rng.sample(keys, 2))
+        for n in range(count)
+    ]
+
+
+def drive(cluster, plan, committed=None, *, budget=None, read_only=False):
+    """Run serialized ``(coordinator, keys)`` txns; all must commit.
+
+    ``committed`` (txn_id -> keys) records every *acknowledged* write
+    set, the ledger the lost-commit assertion audits afterwards.
+    """
+    outcomes = []
+
+    def driver():
+        for coordinator, keys in plan:
+            node = cluster.node(coordinator)
+            txn = node.begin(is_read_only=read_only)
+            values = []
+            for key in keys:
+                values.append((yield from node.read(txn, key)))
+            if not read_only:
+                for key, value in zip(keys, values):
+                    node.write(txn, key, value + 1)
+            ok = yield from node.commit(txn)
+            outcomes.append((ok, list(keys), values))
+            if ok and not read_only and committed is not None:
+                committed[txn.txn_id] = tuple(keys)
+            yield cluster.sim.timeout(SETTLE)
+
+    cluster.spawn(driver(), name="traffic")
+    default = len(plan) * (SETTLE + 2e-3) + 10e-3
+    cluster.run(until=cluster.sim.now + (budget or default))
+    assert len(outcomes) == len(plan), "traffic driver did not finish in time"
+    assert all(ok for ok, _, _ in outcomes), [
+        o for o in outcomes if not o[0]
+    ]
+    return outcomes
+
+
+def chain_tuples(node, key):
+    if key not in node.store:
+        return ()
+    return tuple(
+        (v.vid, v.origin, v.seq, v.value, v.vc.to_tuple(), v.writer_txn)
+        for v in node.store.chain(key)
+    )
+
+
+def authoritative_fingerprint(cluster):
+    """Every key's full chain at its *current* directory owner."""
+    return {
+        key: chain_tuples(cluster.node(cluster.directory.site(key)), key)
+        for key in sorted(all_keys())
+    }
+
+
+def assert_backups_verbatim(cluster, *, skip=()):
+    """Every live backup holds its primary's chains bit-for-bit."""
+    for key in all_keys():
+        owner = cluster.node(cluster.directory.site(key))
+        reference = chain_tuples(owner, key)
+        assert reference, key
+        for backup in cluster.replication.backups_for_key(key):
+            if backup in skip:
+                continue
+            assert chain_tuples(cluster.node(backup), key) == reference, key
+
+
+def assert_no_lost_commits(cluster, committed):
+    """Every acked write is installed at its key's current owner."""
+    missing = []
+    for txn_id, keys in sorted(committed.items()):
+        for key in keys:
+            owner = cluster.node(cluster.directory.site(key))
+            chain = owner.store.chain(key) if key in owner.store else ()
+            if not any(v.writer_txn == txn_id for v in chain):
+                missing.append((txn_id, key))
+    assert not missing, (
+        f"{len(missing)} acked commit(s) lost across the failover: "
+        f"{missing[:5]}"
+    )
+
+
+def settle(cluster, for_=10e-3):
+    cluster.run(until=cluster.sim.now + for_)
+
+
+# ----------------------------------------------------------------------
+# Primary crashed mid-commit: the acceptance pair
+# ----------------------------------------------------------------------
+def run_primary_crash(seed, *, crash):
+    """Traffic over a 2-copy cluster, with or without a mid-commit crash.
+
+    The victim never coordinates (in either run), so every version stamp
+    comes from a surviving coordinator and the pair stays bit-comparable.
+    The crash lands at the victim's own ``prepare`` trace emit: the
+    staged write has already replicated synchronously to its backup, but
+    the vote reply is destroyed -- the worst instant for the racing
+    commit, which must park, wait out the promotion, and re-prepare.
+    """
+    cluster, nemesis = build(seed)
+    victim = 1
+    coordinators = [0, 2]
+    rng = make_rng(seed, "replication-chaos")
+    committed = {}
+
+    drive(cluster, rmw_plan(rng, coordinators, 10), committed)
+
+    victim_keys = [
+        k for k in all_keys() if cluster.directory.site(k) == victim
+    ]
+    assert victim_keys, "victim must own keys for the scenario to bite"
+
+    point = None
+    if crash:
+        point = TracePoint(
+            cluster,
+            "prepare",
+            lambda record: nemesis.apply(
+                FaultEvent(cluster.sim.now, CRASH, victim)
+            ),
+            node=victim,
+            count=2,
+        )
+
+    # Every even txn writes a victim-owned key, so prepares keep landing
+    # at the victim until the trace point fires mid-commit.
+    plan = [
+        (
+            coordinators[i % 2],
+            [victim_keys[i % len(victim_keys)]]
+            if i % 2 == 0
+            else [all_keys()[(7 * i) % NUM_KEYS]],
+        )
+        for i in range(12)
+    ]
+    drive(cluster, plan, committed, budget=0.2)
+
+    metrics = cluster.metrics
+    if crash:
+        assert point.fired, "the victim never reached the crash point"
+        assert metrics.failovers_completed > 0
+        assert not cluster.directory.shards_of(victim)
+        assert metrics.backup_bootstraps >= 0
+    assert metrics.aborts == 0, dict(metrics.aborts_by_reason)
+
+    settle(cluster)
+    assert_no_lost_commits(cluster, committed)
+    assert_backups_verbatim(cluster, skip={victim} if crash else ())
+    live = [n for n in cluster.nodes if n.node_id != victim or not crash]
+    assert len({n.site_vc.to_tuple() for n in live}) == 1
+    return authoritative_fingerprint(cluster)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_primary_crash_mid_commit_loses_nothing(seed):
+    """rf=2 sync: a primary crash mid-commit loses zero acked commits,
+    aborts nothing, and converges bit-identically to a never-failed
+    control."""
+    faulty = run_primary_crash(seed, crash=True)
+    control = run_primary_crash(seed, crash=False)
+    assert faulty == control
+
+
+def test_primary_crash_chaos_is_deterministic():
+    seed = SEEDS[0]
+    assert run_primary_crash(seed, crash=True) == run_primary_crash(
+        seed, crash=True
+    )
+
+
+# ----------------------------------------------------------------------
+# Partition between a primary and its backup
+# ----------------------------------------------------------------------
+def run_backup_partition(seed, *, partition):
+    """Cut a primary/backup link mid-traffic; sync degrades, no failover.
+
+    The partitioned pair can each still reach the third node, so neither
+    loses a majority attestation and ownership must not move.  During
+    the window only the unaffected node coordinates (both runs), keeping
+    the pair's version stamps comparable while the degraded prepares
+    exercise the sync-timeout path.
+    """
+    rpc = RpcConfig(request_timeout=4e-3, max_attempts=3)
+    cluster, nemesis = build(seed, rpc=rpc)
+    primary = 0
+    primary_keys = [
+        k for k in all_keys() if cluster.directory.site(k) == primary
+    ]
+    backup = cluster.replication.backups_for_key(primary_keys[0])[0]
+    outsider = next(
+        n for n in range(NUM_NODES) if n not in (primary, backup)
+    )
+    rng = make_rng(seed, "replication-lag")
+    committed = {}
+
+    drive(cluster, rmw_plan(rng, list(range(NUM_NODES)), 8), committed)
+
+    window = 12e-3
+    if partition:
+        nemesis.start(
+            backup_lag_schedule(primary, backup, cluster.sim.now, window)
+        )
+    # Writes to the primary's keys force its (cut) stream to carry the
+    # sync wait; the outsider coordinates so 2PC itself never crosses
+    # the partitioned link.
+    lag_plan = [
+        (outsider, [primary_keys[i % len(primary_keys)]]) for i in range(6)
+    ]
+    drive(cluster, lag_plan, committed, budget=0.1)
+    settle(cluster, window)  # fully healed before the next phase
+
+    drive(cluster, rmw_plan(rng, list(range(NUM_NODES)), 8), committed)
+    settle(cluster)
+
+    metrics = cluster.metrics
+    if partition:
+        assert metrics.replication_sync_degraded > 0, (
+            "the cut stream must degrade at least one sync wait"
+        )
+        assert nemesis.heal_reports, "the window must have healed"
+    assert metrics.failovers_completed == 0, (
+        "a one-link partition must never trick a majority into failover"
+    )
+    assert metrics.aborts == 0, dict(metrics.aborts_by_reason)
+    assert_no_lost_commits(cluster, committed)
+    assert_backups_verbatim(cluster)  # backlog retransmitted post-heal
+    assert len({n.site_vc.to_tuple() for n in cluster.nodes}) == 1
+    return authoritative_fingerprint(cluster)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_primary_backup_partition_degrades_then_converges(seed):
+    faulty = run_backup_partition(seed, partition=True)
+    control = run_backup_partition(seed, partition=False)
+    assert faulty == control
+
+
+# ----------------------------------------------------------------------
+# Backup crash-cycled across its own resync
+# ----------------------------------------------------------------------
+def run_backup_crash(seed, *, crash):
+    """Crash a backup twice in quick succession, the second landing in
+    the repair/bootstrap window of the first; streams close, repair
+    re-bootstraps, and the backup converges bit-verbatim."""
+    cluster, nemesis = build(seed)
+    primary = 0
+    primary_keys = [
+        k for k in all_keys() if cluster.directory.site(k) == primary
+    ]
+    backup = cluster.replication.backups_for_key(primary_keys[0])[0]
+    coordinators = [n for n in range(NUM_NODES) if n != backup]
+    rng = make_rng(seed, "replication-backup-crash")
+    committed = {}
+
+    drive(cluster, rmw_plan(rng, coordinators, 6), committed)
+
+    if crash:
+        t0 = cluster.sim.now
+        nemesis.start(
+            ordered(
+                crash_cycle(backup, t0, 2e-3)
+                + crash_cycle(backup, t0 + 2.5e-3, 2e-3)
+            )
+        )
+    # Traffic against the primary's keys while its backup flaps: the
+    # pump sees the dead peer and closes the stream; the repair loop
+    # must re-bootstrap it after the final restart.
+    flap_plan = [
+        (coordinators[i % 2], [primary_keys[i % len(primary_keys)]])
+        for i in range(8)
+    ]
+    drive(cluster, flap_plan, committed, budget=0.1)
+    settle(cluster, 20e-3)
+
+    drive(cluster, rmw_plan(rng, coordinators, 6), committed)
+    settle(cluster)
+
+    metrics = cluster.metrics
+    if crash:
+        assert metrics.backup_bootstraps >= 1, (
+            "repair must re-bootstrap the crashed backup's streams"
+        )
+        assert nemesis.restart_count == 2
+        assert [r[:2] for r in nemesis.promotion_reports] == [
+            (backup, 0),
+            (backup, 0),
+        ], "a fast backup flap must not trigger promotions"
+    assert metrics.failovers_completed == 0
+    assert metrics.aborts == 0, dict(metrics.aborts_by_reason)
+    assert_no_lost_commits(cluster, committed)
+    assert_backups_verbatim(cluster)
+    return authoritative_fingerprint(cluster)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_backup_crash_during_resync_converges(seed):
+    faulty = run_backup_crash(seed, crash=True)
+    control = run_backup_crash(seed, crash=False)
+    assert faulty == control
+
+
+# ----------------------------------------------------------------------
+# Double failure: the primary, then its freshest (promoted) backup
+# ----------------------------------------------------------------------
+def run_double_failure(seed, *, crash, second=None):
+    """rf=3 on four nodes: crash a primary, then the successor that was
+    just promoted in its place.  ``second`` pins the control run to the
+    same coordinator exclusions as the faulty run that discovered it."""
+    cluster, nemesis = build(seed, num_nodes=4, factor=3)
+    first = 1
+    rng = make_rng(seed, "replication-double")
+    committed = {}
+
+    coordinators = [n for n in range(4) if n != first]
+    drive(cluster, rmw_plan(rng, coordinators, 8), committed)
+
+    first_shards = cluster.directory.shards_of(first)
+    assert first_shards
+    if crash:
+        nemesis.apply(FaultEvent(cluster.sim.now, CRASH, first))
+        settle(cluster, 50e-3)
+        assert not cluster.directory.shards_of(first)
+        second = cluster.directory.owner_of(first_shards[0])
+    assert second is not None and second not in (first,)
+
+    coordinators = [n for n in range(4) if n not in (first, second)]
+    drive(cluster, rmw_plan(rng, coordinators, 8), committed, budget=0.2)
+
+    if crash:
+        nemesis.apply(FaultEvent(cluster.sim.now, CRASH, second))
+        settle(cluster, 50e-3)
+        assert not cluster.directory.shards_of(second)
+
+    drive(cluster, rmw_plan(rng, coordinators, 8), committed, budget=0.2)
+    settle(cluster)
+
+    metrics = cluster.metrics
+    if crash:
+        assert metrics.failovers_completed >= len(first_shards)
+        survivors = set(range(4)) - {first, second}
+        for key in all_keys():
+            assert cluster.directory.site(key) in survivors
+    assert metrics.aborts == 0, dict(metrics.aborts_by_reason)
+    assert_no_lost_commits(cluster, committed)
+    assert_backups_verbatim(
+        cluster, skip={first, second} if crash else ()
+    )
+    return authoritative_fingerprint(cluster), second
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_double_failure_keeps_keys_alive(seed):
+    faulty, second = run_double_failure(seed, crash=True)
+    control, _ = run_double_failure(seed, crash=False, second=second)
+    assert faulty == control
+
+
+# ----------------------------------------------------------------------
+# Read-forwarding stays freshness-safe across a failover
+# ----------------------------------------------------------------------
+def run_forwarded_reads(seed, *, crash):
+    """RO traffic spread over backups while a primary dies mid-stream."""
+    cluster, nemesis = build(seed, read_from_backups=True, record_history=True)
+    victim = 1
+    coordinators = [0, 2]
+    rng = make_rng(seed, "replication-ro")
+    committed = {}
+
+    drive(cluster, rmw_plan(rng, coordinators, 10), committed)
+
+    if crash:
+        nemesis.start(failover_schedule(victim, cluster.sim.now + 5e-3))
+    ro_plan = [
+        (coordinators[i % 2], [all_keys()[(5 * i) % NUM_KEYS]])
+        for i in range(24)
+    ]
+    reads = drive(cluster, ro_plan, read_only=True, budget=0.3)
+    for ok, keys, values in reads:
+        owner = cluster.node(cluster.directory.site(keys[0]))
+        expected = [owner.store.chain(keys[0]).latest.value]
+        assert ok and values == expected, (keys, values, expected)
+
+    drive(cluster, rmw_plan(rng, coordinators, 6), committed, budget=0.2)
+    settle(cluster)
+
+    metrics = cluster.metrics
+    assert metrics.backup_reads_served > 0
+    assert metrics.aborts == 0, dict(metrics.aborts_by_reason)
+    if crash:
+        assert metrics.failovers_completed > 0
+        assert not cluster.directory.shards_of(victim)
+    assert_no_lost_commits(cluster, committed)
+
+    history = cluster.finalized_history()
+    assert check_no_read_skew(history).ok
+    assert find_long_forks(history) == []
+    return authoritative_fingerprint(cluster)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_forwarded_reads_survive_failover(seed):
+    faulty = run_forwarded_reads(seed, crash=True)
+    control = run_forwarded_reads(seed, crash=False)
+    assert faulty == control
