@@ -50,6 +50,7 @@ from repro.config import (  # noqa: E402
     ReplicationConfig,
     RunConfig,
     ShardingConfig,
+    TransportConfig,
 )
 from repro.harness.runner import run_experiment  # noqa: E402
 from repro.workloads.ycsb import YCSBConfig, YCSBWorkload  # noqa: E402
@@ -83,7 +84,8 @@ def build_and_run(params: dict, protocol: str, batching: BatchingConfig,
                   durability: DurabilityConfig,
                   sharding: ShardingConfig = None,
                   distribution: str = "uniform", zipf_s: float = 1.1,
-                  replication: ReplicationConfig = None):
+                  replication: ReplicationConfig = None,
+                  transport: TransportConfig = None):
     workload = YCSBWorkload(
         YCSBConfig(
             num_keys=params["num_keys"],
@@ -100,6 +102,7 @@ def build_and_run(params: dict, protocol: str, batching: BatchingConfig,
         durability=durability or DurabilityConfig(),
         sharding=sharding or ShardingConfig(),
         replication=replication or ReplicationConfig(),
+        transport=transport or TransportConfig(),
     )
     run_config = RunConfig(
         duration=params["duration"], warmup=params["warmup"]
@@ -111,12 +114,15 @@ def measure(params: dict, protocol: str, batching: BatchingConfig,
             durability: DurabilityConfig, with_heap: bool,
             sharding: ShardingConfig = None,
             distribution: str = "uniform", zipf_s: float = 1.1,
-            replication: ReplicationConfig = None) -> dict:
+            replication: ReplicationConfig = None,
+            transport: TransportConfig = None) -> dict:
     """One timed run (plus an optional tracemalloc run for peak heap)."""
     started = time.perf_counter()
     result = build_and_run(params, protocol, batching, durability,
-                           sharding, distribution, zipf_s, replication)
+                           sharding, distribution, zipf_s, replication,
+                           transport)
     wall = time.perf_counter() - started
+    result.cluster.close()
 
     sim = result.cluster.sim
     commits = result.metrics["commits"]
@@ -148,7 +154,8 @@ def measure(params: dict, protocol: str, batching: BatchingConfig,
 
         tracemalloc.start()
         build_and_run(params, protocol, batching, durability,
-                      sharding, distribution, zipf_s, replication)
+                      sharding, distribution, zipf_s, replication,
+                      transport).cluster.close()
         _current, peak = tracemalloc.get_traced_memory()
         tracemalloc.stop()
         entry["peak_heap_bytes"] = peak
@@ -207,6 +214,18 @@ def main(argv=None) -> int:
                         default="off",
                         help="spread read-only reads over the replica set "
                              "(requires --replication on)")
+    parser.add_argument("--transport", choices=("sim", "socket"),
+                        default="sim",
+                        help="message fabric: sim (deterministic virtual "
+                             "clock) or socket (real loopback TCP; wall "
+                             "RTTs bound throughput, so pair it with a "
+                             "wall-sized --duration)")
+    parser.add_argument("--duration", type=float, default=None,
+                        help="override the scale's measured virtual "
+                             "seconds (socket runs map these 1:1 onto "
+                             "the wall clock)")
+    parser.add_argument("--warmup", type=float, default=None,
+                        help="override the scale's warmup virtual seconds")
     parser.add_argument("--no-heap", action="store_true",
                         help="skip the tracemalloc peak-heap run")
     parser.add_argument("--out", default=None,
@@ -216,6 +235,11 @@ def main(argv=None) -> int:
     params = dict(SCALES[args.scale])
     if args.seed is not None:
         params["seed"] = args.seed
+    if args.duration is not None:
+        params["duration"] = args.duration
+    if args.warmup is not None:
+        params["warmup"] = args.warmup
+    transport = TransportConfig(kind=args.transport)
     if args.batching == "off":
         batching = BatchingConfig()
     elif args.batching == "adaptive":
@@ -261,7 +285,10 @@ def main(argv=None) -> int:
     out = args.out or os.path.join(
         os.path.dirname(os.path.abspath(__file__)), "..", "benchmarks",
         "results",
-        "BENCH_fig5_midscale.json" if args.scale == "mid"
+        # Socket rows are wall-bound, not comparable to sim baselines:
+        # they live in their own trajectory file.
+        f"BENCH_transport_{args.scale}.json" if args.transport == "socket"
+        else "BENCH_fig5_midscale.json" if args.scale == "mid"
         else f"BENCH_fig5_{args.scale}.json",
     )
     out = os.path.normpath(out)
@@ -269,10 +296,11 @@ def main(argv=None) -> int:
     entry = measure(params, args.protocol, batching, durability,
                     with_heap=not args.no_heap, sharding=sharding,
                     distribution=args.distribution, zipf_s=args.zipf_s,
-                    replication=replication)
+                    replication=replication, transport=transport)
     entry.update(
         label=args.label,
         protocol=args.protocol,
+        transport=args.transport,
         python=platform.python_version(),
         platform=platform.platform(),
         propagate_window=args.propagate_window,

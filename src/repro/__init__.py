@@ -49,10 +49,11 @@ from repro.config import (
     RunConfig,
     ShardingConfig,
     SnapshotTransferConfig,
+    TransportConfig,
 )
 from repro.system import PROTOCOLS, Cluster, TxnHandle, TxnResult
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "BatchingConfig",
@@ -72,6 +73,7 @@ __all__ = [
     "RunConfig",
     "ShardingConfig",
     "SnapshotTransferConfig",
+    "TransportConfig",
     "TxnHandle",
     "TxnResult",
     "__version__",

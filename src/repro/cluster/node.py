@@ -6,8 +6,7 @@ import inspect
 from typing import Callable, Dict, Optional
 
 from repro.net.message import Envelope, MessageType
-from repro.net.network import Network
-from repro.net.rpc import RpcEndpoint
+from repro.net.transport import Transport
 from repro.sim import Simulator
 
 Handler = Callable[[Envelope], object]
@@ -25,11 +24,11 @@ class Node:
     protocol requires them.
     """
 
-    def __init__(self, sim: Simulator, node_id: int, network: Network) -> None:
+    def __init__(self, sim: Simulator, node_id: int, network: Transport) -> None:
         self.sim = sim
         self.node_id = node_id
         self.network = network
-        self.rpc = RpcEndpoint(sim, network, node_id)
+        self.rpc = network.endpoint(node_id)
         # msg_type -> (handler, spawn_as_process, process_name); the
         # generator check is done once at registration, not per delivery.
         self._handlers: Dict[str, tuple] = {}

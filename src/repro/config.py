@@ -126,6 +126,66 @@ class NetworkConfig(ConfigSerde):
 
 
 @dataclass
+class TransportConfig(ConfigSerde):
+    """Which message fabric the cluster runs on (see docs/networking.md).
+
+    ``kind="sim"`` (default) keeps the deterministic simulated network --
+    the home for correctness work, bit-identical to the pre-seam
+    behaviour.  ``kind="socket"`` runs the identical protocol code over
+    real asyncio TCP sockets with the canonical byte serde on every
+    message: virtual time is mapped onto the wall clock, latency comes
+    from the real network stack, and runs are no longer deterministic.
+    Every knob except ``kind`` concerns only the socket backend.
+    """
+
+    #: ``"sim"`` or ``"socket"``.
+    kind: str = "sim"
+    #: Bind address for the socket backend's listener.
+    host: str = "127.0.0.1"
+    #: Listener port; ``0`` (default) binds an ephemeral port, reported
+    #: via ``SocketTransport.listen_address`` for the launcher handshake.
+    base_port: int = 0
+    #: Virtual seconds the socket pump advances per wall second.  ``1.0``
+    #: maps virtual time 1:1 onto the wall clock; below 1 dilates every
+    #: protocol timer (lock timeouts, leases) to give real-network
+    #: latency more headroom per virtual second.
+    time_scale: float = 1.0
+    #: Wall-second deadline for one TCP connect attempt.
+    connect_timeout: float = 5.0
+    #: Connect attempts per link before queued frames are dropped
+    #: (counted as ``unreachable`` in ``NetworkStats.drops_by_reason``).
+    max_connect_attempts: int = 8
+    #: Reconnect backoff reuses the :class:`RpcConfig` ladder
+    #: (``backoff_base``/``factor``/``cap``/``jitter``) scaled by this
+    #: factor -- the simulator's microsecond-scale defaults would
+    #: busy-spin a real TCP reconnect loop.
+    reconnect_backoff_scale: float = 500.0
+    #: Wall seconds the socket pump tolerates with *nothing* happening
+    #: (no events executed, no frames arriving) while waiting on a
+    #: ``stop`` process before declaring the run stalled.
+    idle_timeout: float = 10.0
+    #: Wall seconds of inbound silence after the local schedule drains
+    #: that an unbounded pump treats as cluster quiescence.
+    drain_grace: float = 0.05
+    #: Waits shorter than this (wall seconds) spin through the pump loop
+    #: instead of sleeping; microsecond-scale virtual timers would
+    #: otherwise pay an OS-wakeup per event.
+    spin_threshold: float = 500e-6
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("sim", "socket"):
+            raise ValueError("transport kind must be 'sim' or 'socket'")
+        if self.time_scale <= 0:
+            raise ValueError("time_scale must be positive")
+        if not 0 <= self.base_port <= 65535:
+            raise ValueError("base_port must be a valid TCP port (or 0)")
+        if self.max_connect_attempts < 1:
+            raise ValueError("max_connect_attempts must be >= 1")
+        if self.connect_timeout <= 0:
+            raise ValueError("connect_timeout must be positive")
+
+
+@dataclass
 class BatchingConfig(ConfigSerde):
     """Batching of background protocol traffic (Propagate / Remove fan-out).
 
@@ -614,6 +674,11 @@ class ClusterConfig(ConfigSerde):
     #: copy of every shard, exactly the historical behaviour).
     replication: ReplicationConfig = field(default_factory=ReplicationConfig)
     network: NetworkConfig = field(default_factory=NetworkConfig)
+    #: Which fabric carries the messages: the deterministic simulator
+    #: (default) or real asyncio TCP sockets.  Selected once at cluster
+    #: construction (``repro.net.transport.build_transport``); nothing
+    #: downstream branches on it.
+    transport: TransportConfig = field(default_factory=TransportConfig)
     costs: CostModel = field(default_factory=CostModel)
 
     _nested = {
@@ -624,6 +689,7 @@ class ClusterConfig(ConfigSerde):
         "sharding": ShardingConfig,
         "replication": ReplicationConfig,
         "network": NetworkConfig,
+        "transport": TransportConfig,
         "costs": CostModel,
     }
 

@@ -8,6 +8,7 @@ from typing import Callable, Dict, Optional, Set, Tuple
 
 from repro.config import NetworkConfig
 from repro.net.message import Envelope, MessageType
+from repro.net.transport import Transport
 from repro.sim import Simulator
 from repro.sim.rng import make_rng
 
@@ -46,8 +47,9 @@ class NetworkStats:
     partition_drops: Counter = field(default_factory=Counter)
 
 
-class Network:
-    """Message channels between registered nodes, with injectable faults.
+class Network(Transport):
+    """The simulator :class:`~repro.net.transport.Transport` backend:
+    message channels between registered nodes, with injectable faults.
 
     The default configuration matches the paper's system model (Section
     2.1): "nodes communicate through message passing over reliable
@@ -77,6 +79,8 @@ class Network:
     All randomness comes from RNG streams derived from the run seed, so a
     faulty run is exactly as reproducible as a fault-free one.
     """
+
+    kind = "sim"
 
     def __init__(
         self,

@@ -24,7 +24,7 @@ from typing import Any, Dict, Optional, Tuple
 
 from repro.config import RpcConfig
 from repro.net.message import Envelope, MessageType
-from repro.net.network import Network
+from repro.net.transport import Endpoint, Transport
 from repro.sim import Event, Simulator
 from repro.sim.rng import make_rng
 
@@ -86,19 +86,24 @@ class _Race(Event):
             self.fail(child.exception)
 
 
-class RpcEndpoint:
+class RpcEndpoint(Endpoint):
     """Per-node request/reply plumbing.
 
     A coordinator calls :meth:`request` and yields the returned event; the
     storage-node handler computes a response and calls :meth:`reply` on the
     original envelope.  Replies travel as ``RpcReply`` messages on the
     foreground channel and resolve the waiting event with the reply body.
+
+    The endpoint consumes only the :class:`~repro.net.transport.Transport`
+    surface (``send``, ``config.rpc``, ``seed``, ``stats``), so one
+    implementation serves both the simulated and the socket fabric;
+    :meth:`repro.net.transport.Transport.endpoint` is the factory.
     """
 
     def __init__(
         self,
         sim: Simulator,
-        network: Network,
+        network: Transport,
         node_id: int,
         config: Optional[RpcConfig] = None,
     ) -> None:
@@ -117,10 +122,39 @@ class RpcEndpoint:
         #: -- one probe for a known-dead peer instead of the full ladder.
         self.detector = None
 
-    def request(self, dst: int, msg_type: str, body: Any) -> Event:
-        """Send a request; the returned event delivers the reply body."""
-        _request_id, event = self._send_request(dst, msg_type, body)
+    def request(
+        self,
+        dst: int,
+        msg_type: str,
+        body: Any,
+        deadline: Optional[float] = None,
+    ) -> Event:
+        """Send a request; the returned event delivers the reply body.
+
+        With the default ``deadline=None`` the event resolves only when a
+        reply arrives -- the paper's reliable-channel primitive, which
+        never resolves if the peer is crashed.  A ``deadline`` (virtual
+        seconds) bounds the wait: the pending slot is retired and the
+        event *fails* with :class:`RpcTimeoutError`, so a reply arriving
+        later is dropped as stale.  Socket-backend callers should always
+        pass one -- a real peer can be gone without any simulator crash
+        bookkeeping to tell the caller so.
+        """
+        request_id, event = self._send_request(dst, msg_type, body)
+        if deadline is not None:
+            timer = self.sim.call_later(
+                deadline, self._expire_request, request_id, dst, msg_type
+            )
+            event.add_callback(lambda _event: timer.cancel())
         return event
+
+    def _expire_request(self, request_id: int, dst: int, msg_type: str) -> None:
+        """Deadline hit: retire the slot and fail the waiting event."""
+        event = self._pending.pop(request_id, None)
+        if event is None:
+            return  # the reply won; its callback cancels this timer
+        self.network.stats.rpc_timeouts += 1
+        event.fail(RpcTimeoutError(dst, msg_type, 1))
 
     def _send_request(
         self, dst: int, msg_type: str, body: Any

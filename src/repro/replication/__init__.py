@@ -22,16 +22,8 @@ Scope notes, mirroring the paper's:
 * the transactional core treats a preferred site as one logical node;
   this package shows how that logical node survives replica crashes with
   no acknowledged commit lost and its keys readable throughout.
-
-The original standalone replicated-state-machine demo (``ReplicaGroup``,
-``Replica``, ``KVStateMachine``) predates the integration and is kept as
-a deprecated shim: constructing a ``ReplicaGroup`` emits a
-``DeprecationWarning`` pointing at the integrated substrate.
 """
 
-from repro.replication.state_machine import KVStateMachine, StateMachine
-from repro.replication.replica import Replica, ReplicaRole
-from repro.replication.group import ReplicaGroup
 from repro.replication.shard import (
     ClusterReplication,
     FailoverDriver,
@@ -42,11 +34,6 @@ from repro.replication.shard import (
 __all__ = [
     "ClusterReplication",
     "FailoverDriver",
-    "KVStateMachine",
     "NodeReplication",
-    "Replica",
-    "ReplicaGroup",
-    "ReplicaRole",
-    "StateMachine",
     "backups_for_shard",
 ]

@@ -39,7 +39,7 @@ from repro.core.walter import WalterNode
 from repro.metrics.history import History, OpRecord
 from repro.metrics.psi_checker import VersionCatalog
 from repro.metrics.stats import MetricsRecorder
-from repro.net.network import Network
+from repro.net.transport import Transport, build_transport
 from repro.replication.shard import ClusterReplication
 from repro.sim import Simulator, Tracer
 
@@ -144,7 +144,9 @@ class Cluster:
         self.protocol = protocol
         self.config = config
         self.sim = Simulator()
-        self.network = Network(self.sim, config.network, seed=config.seed)
+        #: The message fabric, selected by ``config.transport.kind`` --
+        #: the only place the backend choice is made (docs/networking.md).
+        self.network: Transport = build_transport(self.sim, config)
         self.metrics = MetricsRecorder(self.sim)
         self.tracer = Tracer(self.sim)
         if directory is None:
@@ -728,12 +730,41 @@ class Cluster:
         return self.sim.spawn(gen, name=name)
 
     def run(self, until: Optional[float] = None) -> float:
-        """Run the simulation until quiescence or ``until`` virtual seconds."""
-        return self.sim.run(until)
+        """Run the cluster until quiescence or ``until`` virtual seconds.
+
+        Delegates to the transport's pump: the simulator backend is
+        exactly ``sim.run(until)``; the socket backend interleaves the
+        simulator with real network I/O until the virtual deadline.
+        """
+        return self.network.pump(until=until)
 
     def run_process(self, gen, name: Optional[str] = None):
-        """Spawn ``gen``, run to quiescence, and return the process's value."""
-        return self.sim.run_process(gen, name=name)
+        """Spawn ``gen``, run until it finishes, and return its value."""
+        proc = self.sim.spawn(gen, name=name)
+        # Register as a joiner so a failure re-raises below as the original
+        # exception instead of surfacing as an unhandled SimulationCrash.
+        proc.add_callback(lambda _event: None)
+        self.network.pump(stop=proc)
+        if not proc.triggered:
+            raise RuntimeError(
+                f"process {proc.name!r} never finished: simulation deadlocked"
+            )
+        return proc.value
+
+    def close(self) -> None:
+        """Release the transport's external resources (sockets, threads).
+
+        A no-op on the simulator backend; socket clusters must be closed
+        (or used as a context manager) so the I/O thread and listener
+        shut down cleanly.  Idempotent.
+        """
+        self.network.close()
+
+    def __enter__(self) -> "Cluster":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Transaction facade

@@ -31,6 +31,7 @@ from repro import (
     RpcConfig,
     ShardingConfig,
     SnapshotTransferConfig,
+    TransportConfig,
     TxnHandle,
     TxnResult,
 )
@@ -73,6 +74,41 @@ def test_facade_types_are_exported():
     assert repro.TxnHandle is TxnHandle
     assert repro.TxnResult is TxnResult
     assert "TxnHandle" in repro.__all__ and "TxnResult" in repro.__all__
+
+
+def test_transport_seam_is_part_of_the_public_surface():
+    # The transport redesign's contract: the abstract seam types are
+    # importable from repro.net, and the selecting config from repro.
+    from repro.net import Endpoint, Network, RpcEndpoint, Transport
+
+    assert issubclass(Network, Transport)
+    assert issubclass(RpcEndpoint, Endpoint)
+    assert repro.TransportConfig is TransportConfig
+    assert "TransportConfig" in repro.__all__
+    assert TransportConfig in public_config_classes().values()
+
+
+def test_transport_config_defaults_to_sim_and_validates_kind():
+    cfg = TransportConfig()
+    assert cfg.kind == "sim"
+    assert ClusterConfig(num_nodes=3).transport == cfg
+    with pytest.raises(ValueError):
+        TransportConfig(kind="carrier-pigeon")
+    overlay = ClusterConfig.from_dict(
+        {"num_nodes": 3, "transport": {"kind": "socket", "time_scale": 2.0}}
+    )
+    assert overlay.transport.kind == "socket"
+    assert overlay.transport.time_scale == 2.0
+    assert overlay.transport.host == TransportConfig().host  # defaults kept
+
+
+def test_cli_config_includes_the_transport_block(capsys):
+    from repro.cli import main
+
+    assert main(["config", "--nodes", "3"]) == 0
+    printed = json.loads(capsys.readouterr().out)
+    assert printed["transport"]["kind"] == "sim"
+    assert ClusterConfig.from_dict(printed).transport == TransportConfig()
 
 
 def test_group_commit_and_adaptive_batching_fields_default_off():
@@ -205,6 +241,21 @@ sharding_configs = st.builds(
     max_moves_per_round=st.integers(1, 8),
     load_decay=small_floats,
 )
+transport_configs = st.builds(
+    TransportConfig,
+    kind=st.sampled_from(["sim", "socket"]),
+    host=st.sampled_from(["127.0.0.1", "localhost"]),
+    base_port=st.integers(0, 65535),
+    time_scale=st.floats(min_value=0.01, max_value=100.0, allow_nan=False),
+    connect_timeout=positive_floats,
+    max_connect_attempts=st.integers(1, 16),
+    reconnect_backoff_scale=st.floats(
+        min_value=1.0, max_value=1000.0, allow_nan=False
+    ),
+    idle_timeout=positive_floats,
+    drain_grace=positive_floats,
+    spin_threshold=small_floats,
+)
 healing_configs = st.builds(
     HealingConfig,
     detector_enabled=st.booleans(),
@@ -242,6 +293,7 @@ cluster_configs = st.builds(
     sharding=sharding_configs,
     replication=replication_configs,
     network=network_configs,
+    transport=transport_configs,
     costs=st.builds(
         CostModel,
         read_handler=small_floats,

@@ -13,7 +13,6 @@ EXAMPLES = [
     "social_network.py",
     "banking_freshness.py",
     "tpcc_demo.py",
-    "replicated_site.py",
     "trace_debugging.py",
 ]
 

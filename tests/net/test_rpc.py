@@ -253,3 +253,80 @@ def test_retry_backoff_is_seed_deterministic():
     other = retry_trace(seed=8)
     assert other[1] == first[1]
     assert other[0] != first[0]
+
+
+# ----------------------------------------------------------------------
+# Hard deadlines on bare requests (request(deadline=...))
+# ----------------------------------------------------------------------
+def test_bare_request_to_silent_peer_never_resolves():
+    # The documented footnote: the reliable-channel primitive hangs
+    # forever when nobody replies -- the deadline parameter exists
+    # because of exactly this.
+    sim, client, server = build_pair()
+    server.on("Void", lambda envelope: None)
+    event = client.rpc.request(1, "Void", None)
+    sim.run()
+    assert not event.triggered
+    assert client.rpc.pending_count == 1
+
+
+def test_request_deadline_fails_event_and_retires_slot():
+    sim, client, server = build_pair()
+    server.on("Void", lambda envelope: None)
+
+    def proc():
+        try:
+            yield client.rpc.request(1, "Void", None, deadline=1e-3)
+        except RpcTimeoutError as exc:
+            return exc, sim.now
+        return None, sim.now
+
+    exc, finished = sim.run_process(proc())
+    assert isinstance(exc, RpcTimeoutError)
+    assert exc.dst == 1
+    assert exc.msg_type == "Void"
+    assert finished == pytest.approx(1e-3)
+    assert client.rpc.pending_count == 0
+    assert client.rpc.network.stats.rpc_timeouts == 1
+
+
+def test_late_reply_after_request_deadline_is_stale():
+    sim, client, server = build_pair()
+
+    def handle(envelope):
+        yield sim.timeout(5e-3)
+        server.rpc.reply(envelope, "too-late")
+
+    server.on("Slow", handle)
+
+    def proc():
+        try:
+            yield client.rpc.request(1, "Slow", None, deadline=1e-3)
+        except RpcTimeoutError:
+            return "timed-out"
+        return "replied"
+
+    assert sim.run_process(proc()) == "timed-out"
+    sim.run()
+    assert client.rpc.network.stats.stale_replies == 1
+    assert client.rpc.pending_count == 0
+
+
+def test_reply_within_deadline_cancels_the_timer():
+    sim, client, server = build_pair()
+
+    def handle(envelope):
+        server.rpc.reply(envelope, "pong")
+
+    server.on("Ping", handle)
+
+    def proc():
+        reply = yield client.rpc.request(1, "Ping", None, deadline=1.0)
+        return reply
+
+    assert sim.run_process(proc()) == "pong"
+    # The deadline timer must not linger: quiescence is reached at the
+    # reply, not a virtual second later.
+    assert sim.now < 1.0
+    assert client.rpc.network.stats.rpc_timeouts == 0
+    assert client.rpc.pending_count == 0

@@ -4,8 +4,7 @@ These are the old standalone ``ReplicaGroup`` scenarios -- replicate to
 every backup, apply in submission order, failover preserves committed
 writes, double failover, single-copy groups, backup-targeted clients --
 ported to the integrated substrate (``repro.replication.shard`` driven
-through :class:`repro.system.Cluster`), plus shim coverage proving the
-deprecated ``ReplicaGroup`` path still functions but warns.
+through :class:`repro.system.Cluster`).
 
 Clusters with a heartbeat interval configured never quiesce, so every
 scenario drives the simulation with ``cluster.run(until=...)`` on a
@@ -24,8 +23,7 @@ from repro import (
     ShardingConfig,
 )
 from repro.config import HealingConfig
-from repro.replication import KVStateMachine, ReplicaGroup, backups_for_shard
-from repro.sim import Simulator
+from repro.replication import backups_for_shard
 
 NUM_KEYS = 12
 NUM_SHARDS = 12
@@ -284,39 +282,3 @@ def test_replication_requires_sharding():
     )
     with pytest.raises(ValueError):
         Cluster("fwkv", config)
-
-
-# ----------------------------------------------------------------------
-# Deprecated ReplicaGroup shim
-# ----------------------------------------------------------------------
-def test_replica_group_shim_warns_and_still_works():
-    sim = Simulator()
-    with pytest.warns(DeprecationWarning, match="ReplicaGroup is deprecated"):
-        group = ReplicaGroup(sim, num_replicas=3)
-
-    def client():
-        result = yield from group.submit(("put", "x", 1))
-        return result
-
-    proc = sim.spawn(client())
-    while not proc.triggered:
-        if not sim.step():
-            raise AssertionError("simulation drained before submit finished")
-    assert proc.value == 1
-    sim.run(until=sim.now + 5e-3)
-    for replica in group.replicas:
-        assert replica.sm.get("x") == 1
-    group.shutdown()
-
-
-def test_replica_group_shim_still_validates_size():
-    sim = Simulator()
-    with pytest.warns(DeprecationWarning):
-        with pytest.raises(ValueError):
-            ReplicaGroup(sim, num_replicas=0)
-
-
-def test_state_machine_rejects_unknown_commands():
-    machine = KVStateMachine()
-    with pytest.raises(ValueError):
-        machine.apply(("increment", "x"))
